@@ -1,0 +1,88 @@
+// Ablations for the design choices called out in DESIGN.md:
+//   (a) one-phase chained commit vs two-phase (Achilles vs Damysus, both counter-free);
+//   (b) the NEW-VIEW optimization on/off;
+//   (c) ECALL-cost sweep: what Table 3's SGX gap is made of;
+//   (d) real Schnorr vs fast-HMAC signature backend (results must be identical: the
+//       simulator charges modeled costs either way).
+#include "src/harness/experiment.h"
+
+namespace achilles {
+namespace {
+
+ClusterConfig Base(Protocol protocol, uint64_t seed) {
+  ClusterConfig config;
+  config.protocol = protocol;
+  config.f = 4;
+  config.batch_size = 400;
+  config.payload_size = 256;
+  config.net = NetworkConfig::Lan();
+  config.counter = CounterSpec::None();
+  config.seed = seed;
+  return config;
+}
+
+int Main() {
+  std::printf("# Achilles ablations (LAN, f=4, batch 400, 256 B)\n");
+
+  {
+    std::printf("\n== (a) one-phase vs two-phase commit (no counters anywhere) ==\n");
+    TablePrinter table({"variant", "throughput (KTPS)", "commit latency (ms)"});
+    const RunStats one_phase = MeasureOnce(Base(Protocol::kAchilles, 1), Ms(500), Sec(3));
+    const RunStats two_phase = MeasureOnce(Base(Protocol::kDamysus, 1), Ms(500), Sec(3));
+    table.AddRow({"Achilles (1-phase)", TablePrinter::Num(one_phase.throughput_tps / 1e3),
+                  TablePrinter::Num(one_phase.commit_latency_ms)});
+    table.AddRow({"Damysus (2-phase)", TablePrinter::Num(two_phase.throughput_tps / 1e3),
+                  TablePrinter::Num(two_phase.commit_latency_ms)});
+    table.Print();
+  }
+
+  {
+    std::printf("\n== (b) NEW-VIEW optimization (commit fast path) ==\n");
+    TablePrinter table({"fast path", "throughput (KTPS)", "commit latency (ms)"});
+    for (bool fast : {true, false}) {
+      ClusterConfig config = Base(Protocol::kAchilles, 2);
+      config.commit_fast_path = fast;
+      const RunStats stats = MeasureOnce(config, Ms(500), Sec(3));
+      table.AddRow({fast ? "on" : "off", TablePrinter::Num(stats.throughput_tps / 1e3),
+                    TablePrinter::Num(stats.commit_latency_ms)});
+    }
+    table.Print();
+  }
+
+  {
+    std::printf("\n== (c) ECALL round-trip cost sweep ==\n");
+    TablePrinter table({"ecall cost (us)", "throughput (KTPS)", "commit latency (ms)"});
+    for (int64_t us : {0, 8, 25, 50, 100}) {
+      ClusterConfig config = Base(Protocol::kAchilles, 3);
+      config.costs.ecall_round_trip = Us(us);
+      const RunStats stats = MeasureOnce(config, Ms(500), Sec(3));
+      table.AddRow({std::to_string(us), TablePrinter::Num(stats.throughput_tps / 1e3),
+                    TablePrinter::Num(stats.commit_latency_ms)});
+    }
+    table.Print();
+  }
+
+  {
+    std::printf("\n== (d) signature backend: fast-HMAC vs real Schnorr ==\n");
+    std::printf("(identical charged costs => identical virtual-time results)\n");
+    TablePrinter table({"backend", "throughput (KTPS)", "commit latency (ms)", "blocks"});
+    for (SignatureScheme scheme : {SignatureScheme::kFastHmac, SignatureScheme::kSchnorr}) {
+      ClusterConfig config = Base(Protocol::kAchilles, 4);
+      config.scheme = scheme;
+      config.f = 1;               // Keep the real-crypto run cheap in wall-clock.
+      config.batch_size = 100;
+      const RunStats stats = MeasureOnce(config, Ms(200), Ms(800));
+      table.AddRow({scheme == SignatureScheme::kSchnorr ? "secp256k1 Schnorr" : "HMAC",
+                    TablePrinter::Num(stats.throughput_tps / 1e3),
+                    TablePrinter::Num(stats.commit_latency_ms),
+                    std::to_string(stats.committed_blocks)});
+    }
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace achilles
+
+int main() { return achilles::Main(); }

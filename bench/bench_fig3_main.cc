@@ -1,0 +1,147 @@
+// Reproduces Figure 3 (a–l): throughput and commit latency of Achilles, Damysus-R,
+// FlexiBFT and OneShot-R in WAN and LAN, sweeping the fault threshold f, the transaction
+// payload, and the batch size.
+//
+// Usage: bench_fig3_main [--net lan|wan|all] [--sweep faults|payload|batch|all] [--quick]
+//   --quick caps the fault sweep at f=10 and shortens windows (CI-friendly).
+#include <cstring>
+#include <string>
+
+#include "src/harness/experiment.h"
+
+namespace achilles {
+namespace {
+
+const Protocol kProtocols[] = {Protocol::kAchilles, Protocol::kDamysusR, Protocol::kFlexiBft,
+                               Protocol::kOneShotR};
+
+ClusterConfig BaseConfig(Protocol protocol, uint32_t f, const NetworkConfig& net) {
+  ClusterConfig config;
+  config.protocol = protocol;
+  config.f = f;
+  config.batch_size = 400;
+  config.payload_size = 256;
+  config.net = net;
+  config.counter = CounterSpec::PaperDefault();  // 20 ms writes, §5.1.
+  config.base_timeout = net.one_way_base >= Ms(5) ? Sec(2) : Ms(500);
+  config.seed = 0xf16'3000 + f;
+  return config;
+}
+
+struct Windows {
+  SimDuration warmup;
+  SimDuration measure;
+};
+
+Windows WindowsFor(const NetworkConfig& net, bool quick) {
+  Windows w{DefaultWarmup(net), DefaultMeasure(net)};
+  if (quick) {
+    w.warmup /= 2;
+    w.measure /= 2;
+  }
+  return w;
+}
+
+void SweepFaults(const NetworkConfig& net, const char* net_name, bool quick) {
+  std::printf("\n== Fig. 3 %s: varying faults f (batch 400, payload 256 B) ==\n",
+              net_name);
+  TablePrinter table({"protocol", "f", "n", "throughput (KTPS)", "commit latency (ms)",
+                      "p99 (ms)"});
+  const Windows w = WindowsFor(net, quick);
+  for (Protocol protocol : kProtocols) {
+    for (uint32_t f : {1u, 2u, 4u, 10u, 20u, 30u}) {
+      if (quick && f > 10) {
+        continue;
+      }
+      ClusterConfig config = BaseConfig(protocol, f, net);
+      const RunStats stats = MeasureOnce(config, w.warmup, w.measure);
+      table.AddRow({ProtocolName(protocol), std::to_string(f),
+                    std::to_string(ReplicasFor(protocol, f)),
+                    TablePrinter::Num(stats.throughput_tps / 1000.0),
+                    TablePrinter::Num(stats.commit_latency_ms),
+                    TablePrinter::Num(stats.commit_p99_ms)});
+      std::fprintf(stderr, "  done %s f=%u\n", ProtocolName(protocol), f);
+    }
+  }
+  table.Print();
+}
+
+void SweepPayload(const NetworkConfig& net, const char* net_name, bool quick) {
+  std::printf("\n== Fig. 3 %s: varying payload (f=10, batch 400) ==\n", net_name);
+  TablePrinter table({"protocol", "payload (B)", "throughput (KTPS)", "commit latency (ms)"});
+  const Windows w = WindowsFor(net, quick);
+  for (Protocol protocol : kProtocols) {
+    for (uint32_t payload : {0u, 256u, 512u}) {
+      ClusterConfig config = BaseConfig(protocol, 10, net);
+      config.payload_size = payload;
+      const RunStats stats = MeasureOnce(config, w.warmup, w.measure);
+      table.AddRow({ProtocolName(protocol), std::to_string(payload),
+                    TablePrinter::Num(stats.throughput_tps / 1000.0),
+                    TablePrinter::Num(stats.commit_latency_ms)});
+      std::fprintf(stderr, "  done %s payload=%u\n", ProtocolName(protocol), payload);
+    }
+  }
+  table.Print();
+}
+
+void SweepBatch(const NetworkConfig& net, const char* net_name, bool quick) {
+  std::printf("\n== Fig. 3 %s: varying batch size (f=10, payload 256 B) ==\n", net_name);
+  TablePrinter table({"protocol", "batch", "throughput (KTPS)", "commit latency (ms)"});
+  const Windows w = WindowsFor(net, quick);
+  for (Protocol protocol : kProtocols) {
+    for (size_t batch : {200u, 400u, 600u}) {
+      ClusterConfig config = BaseConfig(protocol, 10, net);
+      config.batch_size = batch;
+      const RunStats stats = MeasureOnce(config, w.warmup, w.measure);
+      table.AddRow({ProtocolName(protocol), std::to_string(batch),
+                    TablePrinter::Num(stats.throughput_tps / 1000.0),
+                    TablePrinter::Num(stats.commit_latency_ms)});
+      std::fprintf(stderr, "  done %s batch=%zu\n", ProtocolName(protocol), batch);
+    }
+  }
+  table.Print();
+}
+
+int Main(int argc, char** argv) {
+  std::string net_arg = "all";
+  std::string sweep_arg = "all";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--net") == 0 && i + 1 < argc) {
+      net_arg = argv[++i];
+    } else if (std::strcmp(argv[i], "--sweep") == 0 && i + 1 < argc) {
+      sweep_arg = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  std::printf("# Figure 3 reproduction — throughput & commit latency\n");
+  struct Net {
+    NetworkConfig config;
+    const char* name;
+  };
+  std::vector<Net> nets;
+  if (net_arg == "wan" || net_arg == "all") {
+    nets.push_back({NetworkConfig::Wan(), "WAN (3a/3b, 3e/3f, 3i/3j)"});
+  }
+  if (net_arg == "lan" || net_arg == "all") {
+    nets.push_back({NetworkConfig::Lan(), "LAN (3c/3d, 3g/3h, 3k/3l)"});
+  }
+  for (const Net& net : nets) {
+    if (sweep_arg == "faults" || sweep_arg == "all") {
+      SweepFaults(net.config, net.name, quick);
+    }
+    if (sweep_arg == "payload" || sweep_arg == "all") {
+      SweepPayload(net.config, net.name, quick);
+    }
+    if (sweep_arg == "batch" || sweep_arg == "all") {
+      SweepBatch(net.config, net.name, quick);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace achilles
+
+int main(int argc, char** argv) { return achilles::Main(argc, argv); }

@@ -1,0 +1,51 @@
+// Reproduces Figure 4: end-to-end latency vs throughput in LAN (f=10, batch 400, payload
+// 256 B), sweeping offered load per protocol until saturation.
+#include "src/harness/experiment.h"
+
+namespace achilles {
+namespace {
+
+ClusterConfig BaseConfig(Protocol protocol, double rate_tps) {
+  ClusterConfig config;
+  config.protocol = protocol;
+  config.f = 10;
+  config.batch_size = 400;
+  config.payload_size = 256;
+  config.net = NetworkConfig::Lan();
+  config.counter = CounterSpec::PaperDefault();
+  config.client_rate_tps = rate_tps;
+  config.seed = 0xf16'4000;
+  return config;
+}
+
+int Main() {
+  std::printf("# Figure 4 reproduction — latency vs throughput to saturation (LAN, f=10)\n");
+  const Protocol protocols[] = {Protocol::kAchilles, Protocol::kDamysusR, Protocol::kFlexiBft,
+                                Protocol::kOneShotR};
+  for (Protocol protocol : protocols) {
+    // First find the saturation throughput with a saturating client...
+    const RunStats max_stats = MeasureOnce(BaseConfig(protocol, 0.0), Ms(500), Sec(3));
+    const double max_tput = max_stats.throughput_tps;
+    std::printf("\n== %s (saturation ~ %.2f KTPS) ==\n", ProtocolName(protocol),
+                max_tput / 1000.0);
+    TablePrinter table({"offered (KTPS)", "achieved (KTPS)", "e2e latency (ms)",
+                        "e2e p99 (ms)"});
+    // ...then sweep offered load up to just past it.
+    for (double frac : {0.2, 0.4, 0.6, 0.8, 0.9, 1.0}) {
+      const double rate = frac * max_tput;
+      const RunStats stats = MeasureOnce(BaseConfig(protocol, rate), Sec(1), Sec(3));
+      table.AddRow({TablePrinter::Num(rate / 1000.0),
+                    TablePrinter::Num(stats.throughput_tps / 1000.0),
+                    TablePrinter::Num(stats.e2e_latency_ms),
+                    TablePrinter::Num(stats.e2e_p99_ms)});
+      std::fprintf(stderr, "  done %s %.0f%%\n", ProtocolName(protocol), frac * 100);
+    }
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace achilles
+
+int main() { return achilles::Main(); }

@@ -1,0 +1,65 @@
+// Reproduces Table 2: breakdown of Achilles' recovery overhead in LAN with varying cluster
+// sizes. "Initialization" covers enclave relaunch + per-peer reconnection; "Recovery" is
+// Algorithm 3 (request -> f+1 replies -> TEErecover -> rejoin).
+#include "src/achilles/replica.h"
+#include "src/harness/experiment.h"
+
+namespace achilles {
+namespace {
+
+int Main() {
+  std::printf("# Table 2 reproduction — recovery overhead in LAN (ms)\n\n");
+  TablePrinter table({"nodes", "initialization (ms)", "recovery (ms)", "total (ms)"});
+  for (uint32_t n : {3u, 5u, 9u, 21u, 41u, 61u}) {
+    const uint32_t f = (n - 1) / 2;
+    ClusterConfig config;
+    config.protocol = Protocol::kAchilles;
+    config.f = f;
+    config.batch_size = 400;
+    config.payload_size = 256;
+    config.net = NetworkConfig::Lan();
+    config.base_timeout = Ms(200);
+    config.seed = 0x7ab1e200 + n;
+
+    Cluster cluster(config);
+    cluster.Start();
+    cluster.sim().RunFor(Ms(400));
+    const uint32_t victim = cluster.num_replicas() - 1;
+    // Common-case measurement: crash just after the victim's leadership passed. (If the
+    // victim crashes while leading, recovery must additionally wait for the next leader to
+    // be elected — §4.5 — which measures the pacemaker timeout, not the recovery protocol.)
+    auto* probe = dynamic_cast<AchillesReplica*>(cluster.replica(0));
+    for (int i = 0; i < 1000 && LeaderOfView(probe->current_view(), n) != (victim + 1) % n;
+         ++i) {
+      cluster.sim().RunFor(Us(200));
+    }
+    const SimTime crash_time = cluster.sim().Now();
+    cluster.CrashReplica(victim);
+    cluster.RebootReplica(victim);
+    const SimDuration init = cluster.ReplicaInitDelay();
+    cluster.sim().RunFor(Sec(5));
+
+    auto* replica = dynamic_cast<AchillesReplica*>(cluster.replica(victim));
+    if (replica == nullptr || replica->recovering() ||
+        replica->recovery_completed_at() < 0) {
+      table.AddRow({std::to_string(n), TablePrinter::Num(ToMs(init)), "DID NOT RECOVER",
+                    "-"});
+      continue;
+    }
+    const SimTime boot_done = crash_time + init;
+    const double recovery_ms = ToMs(replica->recovery_completed_at() - boot_done);
+    table.AddRow({std::to_string(n), TablePrinter::Num(ToMs(init)),
+                  TablePrinter::Num(recovery_ms),
+                  TablePrinter::Num(ToMs(init) + recovery_ms)});
+    std::fprintf(stderr, "  done n=%u\n", n);
+  }
+  table.Print();
+  std::printf("\nPaper's Table 2: init 11.5 -> 17.3 ms, recovery 3.64 -> 6.85 ms over\n");
+  std::printf("3 -> 61 nodes (both growing mildly with n).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace achilles
+
+int main() { return achilles::Main(); }

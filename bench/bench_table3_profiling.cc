@@ -1,0 +1,60 @@
+// Reproduces Table 3: SGX overhead profiling — Achilles vs Achilles-C (trusted components
+// outside the enclave) vs BRaft (CFT ceiling), max throughput and latency in LAN.
+#include "src/harness/experiment.h"
+
+namespace achilles {
+namespace {
+
+int Main() {
+  std::printf("# Table 3 reproduction — overhead profiling in LAN (batch 400, 256 B)\n\n");
+  const Protocol protocols[] = {Protocol::kAchilles, Protocol::kAchillesC, Protocol::kRaft};
+  TablePrinter tput({"protocol", "f=2 (KTPS)", "f=4 (KTPS)", "f=10 (KTPS)"});
+  TablePrinter lat({"protocol", "f=2 (ms)", "f=4 (ms)", "f=10 (ms)"});
+  double achilles_f10 = 0;
+  double achilles_c_f10 = 0;
+  double raft_f10 = 0;
+  for (Protocol protocol : protocols) {
+    std::vector<std::string> tput_row = {ProtocolName(protocol)};
+    std::vector<std::string> lat_row = {ProtocolName(protocol)};
+    for (uint32_t f : {2u, 4u, 10u}) {
+      ClusterConfig config;
+      config.protocol = protocol;
+      config.f = f;
+      config.batch_size = 400;
+      config.payload_size = 256;
+      config.net = NetworkConfig::Lan();
+      config.seed = 0x7ab1e300 + f;
+      const RunStats stats = MeasureOnce(config, Ms(500), Sec(3));
+      tput_row.push_back(TablePrinter::Num(stats.throughput_tps / 1000.0, 1));
+      lat_row.push_back(TablePrinter::Num(stats.commit_latency_ms, 1));
+      if (f == 10) {
+        if (protocol == Protocol::kAchilles) {
+          achilles_f10 = stats.throughput_tps;
+        } else if (protocol == Protocol::kAchillesC) {
+          achilles_c_f10 = stats.throughput_tps;
+        } else {
+          raft_f10 = stats.throughput_tps;
+        }
+      }
+      std::fprintf(stderr, "  done %s f=%u\n", ProtocolName(protocol), f);
+    }
+    tput.AddRow(tput_row);
+    lat.AddRow(lat_row);
+  }
+  std::printf("Throughput:\n");
+  tput.Print();
+  std::printf("\nLatency:\n");
+  lat.Print();
+  if (achilles_c_f10 > 0 && raft_f10 > 0) {
+    std::printf("\nAchilles/Achilles-C at f=10: %.1f%% (paper: 76.3%%)\n",
+                100.0 * achilles_f10 / achilles_c_f10);
+    std::printf("Achilles/BRaft at f=10:      %.1f%% (paper: 97.3%%)\n",
+                100.0 * achilles_f10 / raft_f10);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace achilles
+
+int main() { return achilles::Main(); }

@@ -1,0 +1,249 @@
+#include "src/achilles/checker.h"
+
+#include <algorithm>
+
+namespace achilles {
+
+std::string AchRpyDomain(NodeId requester) {
+  return std::string("achilles/RPY/") + std::to_string(requester);
+}
+
+AchillesChecker::AchillesChecker(EnclaveRuntime* enclave, uint32_t n, uint32_t f,
+                                 bool initial_launch)
+    : enclave_(enclave), n_(n), f_(f), recovering_(!initial_launch) {
+  preph_ = Block::Genesis()->hash;  // (prepv, preph) = (0, H(G)), Algorithm 2 line 3.
+}
+
+SignedCert AchillesChecker::MakeCert(const char* domain, const Hash256& hash, View view,
+                                     uint64_t aux, uint64_t aux2) {
+  SignedCert cert;
+  cert.hash = hash;
+  cert.view = view;
+  cert.aux = aux;
+  cert.aux2 = aux2;
+  enclave_->ChargeSign();
+  const Bytes digest = cert.Digest(domain);
+  cert.sig = enclave_->Sign(ByteView(digest.data(), digest.size()));
+  return cert;
+}
+
+std::optional<SignedCert> AchillesChecker::TeePrepare(const Block& b,
+                                                      const AccumulatorCert& acc) {
+  enclave_->ChargeEcall();
+  if (recovering_ || flag_) {
+    return std::nullopt;
+  }
+  // The accumulator must target the current view and must be ours (self-signed by this
+  // enclave's key — checker and accumulator share the TEE).
+  if (acc.current_view != vi_ || acc.sig.signer != enclave_->platform().node_id()) {
+    return std::nullopt;
+  }
+  enclave_->ChargeVerify(1);
+  const Bytes acc_digest = acc.Digest(kAchAcc);
+  if (!enclave_->Verify(acc.sig, ByteView(acc_digest.data(), acc_digest.size()))) {
+    return std::nullopt;
+  }
+  if (b.parent != acc.hash || b.view != vi_) {
+    return std::nullopt;
+  }
+  flag_ = true;
+  ++state_updates_;
+  return MakeCert(kAchProp, b.hash, vi_);
+}
+
+std::optional<SignedCert> AchillesChecker::TeePrepare(const Block& b,
+                                                      const QuorumCert& commit_cert) {
+  enclave_->ChargeEcall();
+  if (recovering_) {
+    return std::nullopt;
+  }
+  // NEW-VIEW optimization: a commitment certificate for view v lets the leader of view v+1
+  // propose immediately. The certificate's view must not be behind the trusted view.
+  const View new_view = commit_cert.view + 1;
+  if (new_view < vi_ || (new_view == vi_ && flag_)) {
+    return std::nullopt;
+  }
+  enclave_->ChargeVerify(commit_cert.sigs.size());
+  if (!commit_cert.Verify(enclave_->platform().suite(), kAchCommit,
+                          static_cast<size_t>(f_) + 1)) {
+    return std::nullopt;
+  }
+  if (b.parent != commit_cert.hash || b.view != new_view) {
+    return std::nullopt;
+  }
+  vi_ = new_view;
+  flag_ = true;
+  ++state_updates_;
+  return MakeCert(kAchProp, b.hash, vi_);
+}
+
+std::optional<SignedCert> AchillesChecker::TeeStore(const SignedCert& block_cert) {
+  enclave_->ChargeEcall();
+  if (recovering_) {
+    return std::nullopt;
+  }
+  const View v = block_cert.view;
+  if (v < vi_) {
+    return std::nullopt;
+  }
+  // Must be signed by the leader of its view.
+  if (block_cert.sig.signer != LeaderOfView(v, n_)) {
+    return std::nullopt;
+  }
+  enclave_->ChargeVerify(1);
+  const Bytes digest = block_cert.Digest(kAchProp);
+  if (!enclave_->Verify(block_cert.sig, ByteView(digest.data(), digest.size()))) {
+    return std::nullopt;
+  }
+  // Record the latest stored block; when advancing to a later view, the proposal flag
+  // resets (a new leader may propose there). Staying in the same view keeps the flag so a
+  // leader cannot propose, store its own block, and propose again.
+  prepv_ = v;
+  preph_ = block_cert.hash;
+  if (v > vi_) {
+    vi_ = v;
+    flag_ = false;
+  }
+  ++state_updates_;
+  return MakeCert(kAchCommit, block_cert.hash, v);
+}
+
+std::optional<AccumulatorCert> AchillesChecker::TeeAccum(
+    const std::vector<SignedCert>& view_certs) {
+  enclave_->ChargeEcall();
+  if (recovering_ || view_certs.size() < static_cast<size_t>(f_) + 1) {
+    return std::nullopt;
+  }
+  enclave_->ChargeVerify(view_certs.size());
+  std::vector<NodeId> ids;
+  const SignedCert* best = nullptr;
+  for (const SignedCert& cert : view_certs) {
+    if (cert.aux != vi_) {
+      return std::nullopt;  // Every certificate must be for the current view.
+    }
+    const Bytes digest = cert.Digest(kAchNewView);
+    if (!enclave_->Verify(cert.sig, ByteView(digest.data(), digest.size()))) {
+      return std::nullopt;
+    }
+    for (NodeId seen : ids) {
+      if (seen == cert.sig.signer) {
+        return std::nullopt;  // Distinct signers required.
+      }
+    }
+    ids.push_back(cert.sig.signer);
+    if (best == nullptr || cert.view > best->view) {
+      best = &cert;
+    }
+  }
+  AccumulatorCert acc;
+  acc.hash = best->hash;
+  acc.block_view = best->view;
+  acc.current_view = vi_;
+  acc.ids = std::move(ids);
+  enclave_->ChargeSign();
+  const Bytes digest = acc.Digest(kAchAcc);
+  acc.sig = enclave_->Sign(ByteView(digest.data(), digest.size()));
+  return acc;
+}
+
+std::optional<SignedCert> AchillesChecker::TeeView(View target) {
+  enclave_->ChargeEcall();
+  if (recovering_ || target <= vi_) {
+    return std::nullopt;
+  }
+  vi_ = target;
+  flag_ = false;
+  ++state_updates_;
+  return MakeCert(kAchNewView, preph_, prepv_, /*aux=*/target);
+}
+
+std::optional<SignedCert> AchillesChecker::TeeRequest() {
+  enclave_->ChargeEcall();
+  if (!recovering_) {
+    return std::nullopt;
+  }
+  expected_nonce_ = enclave_->FreshNonce();
+  nonce_armed_ = true;
+  return MakeCert(kAchReq, ZeroHash(), 0, /*aux=*/expected_nonce_);
+}
+
+std::optional<SignedCert> AchillesChecker::TeeReply(const SignedCert& request,
+                                                    NodeId requester) {
+  enclave_->ChargeEcall();
+  if (recovering_) {
+    return std::nullopt;  // A recovering node must not answer recovery requests.
+  }
+  if (request.sig.signer != requester) {
+    return std::nullopt;
+  }
+  enclave_->ChargeVerify(1);
+  const Bytes digest = request.Digest(kAchReq);
+  if (!enclave_->Verify(request.sig, ByteView(digest.data(), digest.size()))) {
+    return std::nullopt;
+  }
+  SignedCert reply;
+  reply.hash = preph_;
+  reply.view = prepv_;
+  reply.aux = vi_;
+  reply.aux2 = request.aux;  // Echo the nonce.
+  enclave_->ChargeSign();
+  const Bytes rpy_digest = reply.Digest(AchRpyDomain(requester));
+  reply.sig = enclave_->Sign(ByteView(rpy_digest.data(), rpy_digest.size()));
+  return reply;
+}
+
+std::optional<SignedCert> AchillesChecker::TeeRecover(const SignedCert& leader_reply,
+                                                      const std::vector<SignedCert>& replies) {
+  enclave_->ChargeEcall();
+  if (!recovering_ || !nonce_armed_ || replies.size() < static_cast<size_t>(f_) + 1) {
+    return std::nullopt;
+  }
+  const NodeId self = enclave_->platform().node_id();
+  const std::string domain = AchRpyDomain(self);
+  enclave_->ChargeVerify(replies.size());
+  std::vector<NodeId> seen;
+  bool leader_in_set = false;
+  for (const SignedCert& reply : replies) {
+    if (reply.aux2 != expected_nonce_) {
+      return std::nullopt;  // Stale or replayed reply.
+    }
+    const Bytes digest = reply.Digest(domain);
+    if (!enclave_->Verify(reply.sig, ByteView(digest.data(), digest.size()))) {
+      return std::nullopt;
+    }
+    for (NodeId s : seen) {
+      if (s == reply.sig.signer) {
+        return std::nullopt;
+      }
+    }
+    seen.push_back(reply.sig.signer);
+    if (reply.aux > leader_reply.aux) {
+      return std::nullopt;  // leader_reply must carry the highest current view.
+    }
+    if (reply.sig.signer == leader_reply.sig.signer && reply.aux == leader_reply.aux &&
+        reply.hash == leader_reply.hash && reply.view == leader_reply.view) {
+      leader_in_set = true;
+    }
+  }
+  if (!leader_in_set) {
+    return std::nullopt;
+  }
+  // The highest-view reply must come from that view's leader — otherwise a Byzantine
+  // schedule can erase a committed block (the §4.5 five-node attack).
+  const View leader_view = leader_reply.aux;
+  if (leader_reply.sig.signer != LeaderOfView(leader_view, n_)) {
+    return std::nullopt;
+  }
+  // Jump two views ahead: the node may have sent messages in leader_view and — through the
+  // NEW-VIEW optimization — in leader_view + 1 before it crashed, so both are burned.
+  vi_ = leader_view + 2;
+  flag_ = false;
+  prepv_ = leader_reply.view;
+  preph_ = leader_reply.hash;
+  recovering_ = false;
+  nonce_armed_ = false;
+  ++state_updates_;
+  return MakeCert(kAchNewView, preph_, prepv_, /*aux=*/vi_);
+}
+
+}  // namespace achilles

@@ -1,0 +1,70 @@
+// Wire messages of the Achilles protocol (normal case + recovery).
+#ifndef SRC_ACHILLES_MESSAGES_H_
+#define SRC_ACHILLES_MESSAGES_H_
+
+#include "src/consensus/certificates.h"
+#include "src/sim/process.h"
+
+namespace achilles {
+
+// Leader -> all: ⟨b, φ_b⟩. The block certificate from the leader's CHECKER is the whole
+// justification — backups need no quorum certificate because TEEprepare already enforced
+// the parent-selection rules (this is what removes Damysus' PREPARE phase).
+struct AchProposeMsg : SimMessage {
+  BlockPtr block;
+  SignedCert block_cert;
+
+  size_t WireSize() const override { return block->WireSize() + block_cert.WireSize(); }
+};
+
+// Backup -> leader: store certificate φ_s.
+struct AchVoteMsg : SimMessage {
+  SignedCert store_cert;
+
+  size_t WireSize() const override { return store_cert.WireSize(); }
+};
+
+// Leader -> all (and every node -> next leader): commitment certificate φ_c.
+struct AchDecideMsg : SimMessage {
+  QuorumCert commit_cert;
+
+  size_t WireSize() const override { return commit_cert.WireSize(); }
+};
+
+// Node -> leader of the new view: φ_v.
+struct AchNewViewMsg : SimMessage {
+  SignedCert view_cert;
+
+  size_t WireSize() const override { return view_cert.WireSize(); }
+};
+
+// Recovering node -> all: ⟨REQ, nonce⟩.
+struct AchRecoveryRequestMsg : SimMessage {
+  SignedCert request;
+
+  size_t WireSize() const override { return request.WireSize(); }
+};
+
+// Peer -> recovering node: reply certificate plus the latest stored block and its
+// certificates (Algorithm 3 step 2).
+struct AchRecoveryReplyMsg : SimMessage {
+  SignedCert reply;
+  BlockPtr block;           // May be genesis.
+  SignedCert block_cert;    // φ_b for `block` (may be empty if unknown).
+  QuorumCert commit_cert;   // φ_c for `block` (may be empty if not yet committed).
+  // State transfer: the replier's latest committed block with its commitment certificate,
+  // so the recovering node can adopt a certified checkpoint instead of replaying history.
+  BlockPtr committed_block;
+  QuorumCert committed_cert;
+
+  size_t WireSize() const override {
+    return reply.WireSize() + (block != nullptr ? block->WireSize() : 0) +
+           block_cert.WireSize() + commit_cert.WireSize() +
+           (committed_block != nullptr ? committed_block->WireSize() : 0) +
+           committed_cert.WireSize();
+  }
+};
+
+}  // namespace achilles
+
+#endif  // SRC_ACHILLES_MESSAGES_H_

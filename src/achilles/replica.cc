@@ -1,0 +1,481 @@
+#include "src/achilles/replica.h"
+
+#include <algorithm>
+
+namespace achilles {
+
+namespace {
+// Certificates collected per view are bounded by n; collections for old views are pruned
+// lazily against this horizon to keep long runs memory-stable.
+constexpr View kPruneHorizon = 8;
+
+template <typename MapT>
+void PruneBelow(MapT& map, View horizon) {
+  while (!map.empty() && map.begin()->first + kPruneHorizon < horizon) {
+    map.erase(map.begin());
+  }
+}
+}  // namespace
+
+AchillesReplica::AchillesReplica(const ReplicaContext& ctx, bool initial_launch)
+    : ReplicaBase(ctx), checker_(&enclave(), ctx.params.n, ctx.params.f, initial_launch) {
+  preb_.block = Block::Genesis();
+}
+
+void AchillesReplica::OnStart() {
+  if (checker_.recovering()) {
+    StartRecoveryRound();
+    return;
+  }
+  // Genesis bootstrap: every node enters view 1 and reports its (empty) state to leader(1).
+  AdvanceViaTeeView(1);
+}
+
+void AchillesReplica::HandleMessage(NodeId from, const MessageRef& msg) {
+  if (auto propose = std::dynamic_pointer_cast<const AchProposeMsg>(msg)) {
+    OnPropose(from, propose);
+  } else if (auto vote = std::dynamic_pointer_cast<const AchVoteMsg>(msg)) {
+    OnVote(*vote);
+  } else if (auto decide = std::dynamic_pointer_cast<const AchDecideMsg>(msg)) {
+    OnDecide(from, decide);
+  } else if (auto nv = std::dynamic_pointer_cast<const AchNewViewMsg>(msg)) {
+    OnNewView(*nv);
+  } else if (auto req = std::dynamic_pointer_cast<const AchRecoveryRequestMsg>(msg)) {
+    OnRecoveryRequest(from, *req);
+  } else if (auto rpy = std::dynamic_pointer_cast<const AchRecoveryReplyMsg>(msg)) {
+    OnRecoveryReply(from, *rpy);
+  }
+}
+
+// --- View transitions ---
+
+void AchillesReplica::AdvanceViaTeeView(View target) {
+  const auto cert = checker_.TeeView(target);
+  if (!cert) {
+    return;
+  }
+  cur_view_ = std::max(cur_view_, target);
+  ArmViewTimer(cur_view_, consecutive_timeouts_);
+  auto msg = std::make_shared<AchNewViewMsg>();
+  msg->view_cert = *cert;
+  SendTo(LeaderOf(target), msg);
+}
+
+void AchillesReplica::OnViewTimeout(View view) {
+  if (checker_.recovering() || view != cur_view_) {
+    return;
+  }
+  ++consecutive_timeouts_;
+  AdvanceViaTeeView(cur_view_ + 1);
+}
+
+void AchillesReplica::EnterViewAfterCommit(View new_view,
+                                           const std::shared_ptr<const AchDecideMsg>& decide) {
+  if (new_view <= cur_view_) {
+    return;
+  }
+  cur_view_ = new_view;
+  consecutive_timeouts_ = 0;
+  ArmViewTimer(cur_view_, 0);
+  if (!params().commit_fast_path) {
+    // Ablation: fall back to the NEW-VIEW collection for every view.
+    AdvanceViaTeeView(new_view);
+    return;
+  }
+  // NEW-VIEW optimization: hand the commitment certificate to the new leader instead of a
+  // NEW-VIEW certificate. Self-addressed copies short-circuit locally below.
+  const NodeId next_leader = LeaderOf(new_view);
+  if (next_leader == id()) {
+    commit_certs_[new_view] = decide->commit_cert;
+    TryProposeFromCommit(new_view);
+  } else {
+    SendTo(next_leader, decide);
+  }
+}
+
+// --- Normal case: proposals ---
+
+void AchillesReplica::TryProposeFromCommit(View w) {
+  if (checker_.recovering() || LeaderOf(w) != id() || w < cur_view_ ||
+      proposed_hash_.count(w) > 0) {
+    return;
+  }
+  auto it = commit_certs_.find(w);
+  if (it == commit_certs_.end()) {
+    return;
+  }
+  const QuorumCert& cert = it->second;
+  if (!EnsureAncestry(cert.hash, LeaderOf(cert.view))) {
+    return;  // Sync will retry via OnBlocksSynced.
+  }
+  const BlockPtr parent = store_.Get(cert.hash);
+  BuildAndBroadcastProposal(w, parent, /*acc=*/nullptr, &cert);
+}
+
+void AchillesReplica::TryProposeFromViewCerts(View w) {
+  if (checker_.recovering() || LeaderOf(w) != id() || w < cur_view_ ||
+      proposed_hash_.count(w) > 0) {
+    return;
+  }
+  auto it = view_certs_.find(w);
+  if (it == view_certs_.end() || it->second.size() < quorum()) {
+    return;
+  }
+  // Join the view in the trusted component if the pacemaker hasn't got us there yet; our
+  // own NEW-VIEW certificate (sent to ourselves) will land in the collection too, but the
+  // quorum check above already passed without it.
+  if (checker_.vi() < w) {
+    AdvanceViaTeeView(w);
+    if (checker_.vi() != w) {
+      return;
+    }
+  }
+  // The freshest stored block among the certificates must be locally available before we
+  // can extend it.
+  const SignedCert* best = nullptr;
+  for (const SignedCert& cert : it->second) {
+    if (best == nullptr || cert.view > best->view) {
+      best = &cert;
+    }
+  }
+  if (!EnsureAncestry(best->hash, best->sig.signer)) {
+    return;
+  }
+  const BlockPtr parent = store_.Get(best->hash);
+  const auto acc = checker_.TeeAccum(it->second);
+  if (!acc) {
+    return;
+  }
+  BuildAndBroadcastProposal(w, parent, &*acc, /*commit_cert=*/nullptr);
+}
+
+void AchillesReplica::BuildAndBroadcastProposal(View w, const BlockPtr& parent,
+                                                const AccumulatorCert* acc,
+                                                const QuorumCert* commit_cert) {
+  std::vector<Transaction> batch = mempool_.TakeBatch(params().batch_size);
+  // executeTx + createLeaf: hash the batch and execute it against the parent state.
+  ChargeExecute(batch.size());
+  const BlockPtr block = Block::Create(w, parent, std::move(batch), LocalNow());
+  ChargeHashBytes(block->WireSize());
+
+  std::optional<SignedCert> block_cert;
+  if (acc != nullptr) {
+    block_cert = checker_.TeePrepare(*block, *acc);
+  } else {
+    block_cert = checker_.TeePrepare(*block, *commit_cert);
+  }
+  if (!block_cert) {
+    return;
+  }
+  cur_view_ = std::max(cur_view_, w);
+  proposed_hash_[w] = block->hash;
+  store_.Add(block);
+  tracker().OnPropose(block);
+  PruneBelow(proposed_hash_, cur_view_);
+  PruneBelow(view_certs_, cur_view_);
+  PruneBelow(store_votes_, cur_view_);
+  PruneBelow(commit_certs_, cur_view_);
+
+  auto msg = std::make_shared<AchProposeMsg>();
+  msg->block = block;
+  msg->block_cert = *block_cert;
+  BroadcastToReplicas(msg, /*include_self=*/true);
+}
+
+// --- Normal case: store + vote ---
+
+void AchillesReplica::OnPropose(NodeId from,
+                                const std::shared_ptr<const AchProposeMsg>& msg) {
+  if (checker_.recovering() || msg->block == nullptr) {
+    return;
+  }
+  const View v = msg->block_cert.view;
+  if (v < checker_.vi() || msg->block->hash != msg->block_cert.hash ||
+      msg->block->view != v) {
+    return;
+  }
+  if (!AcceptBlock(msg->block)) {
+    return;  // Failed integrity validation.
+  }
+  if (!EnsureAncestry(msg->block->hash, from)) {
+    pending_proposals_.emplace_back(from, msg);
+    return;
+  }
+  const auto store_cert = checker_.TeeStore(msg->block_cert);
+  if (!store_cert) {
+    return;
+  }
+  if (preb_.block == nullptr || msg->block->view >= preb_.block->view) {
+    preb_ = StoredBlock{msg->block, msg->block_cert, QuorumCert{}};
+  }
+  cur_view_ = std::max(cur_view_, v);
+  consecutive_timeouts_ = 0;
+  ArmViewTimer(cur_view_, 0);  // Progress: reset the pacemaker.
+
+  auto vote = std::make_shared<AchVoteMsg>();
+  vote->store_cert = *store_cert;
+  SendTo(LeaderOf(v), vote);
+}
+
+void AchillesReplica::OnVote(const AchVoteMsg& msg) {
+  if (checker_.recovering()) {
+    return;
+  }
+  const View v = msg.store_cert.view;
+  if (LeaderOf(v) != id() || v > cur_view_ + 1 || highest_decided_ >= v) {
+    return;
+  }
+  auto proposed = proposed_hash_.find(v);
+  if (proposed == proposed_hash_.end() || msg.store_cert.hash != proposed->second) {
+    return;
+  }
+  ChargeVerifyPlain(1);
+  const Bytes digest = msg.store_cert.Digest(kAchCommit);
+  if (!platform().suite().Verify(msg.store_cert.sig, ByteView(digest.data(), digest.size()))) {
+    return;
+  }
+  std::vector<SignedCert>& votes = store_votes_[v];
+  for (const SignedCert& existing : votes) {
+    if (existing.sig.signer == msg.store_cert.sig.signer) {
+      return;
+    }
+  }
+  votes.push_back(msg.store_cert);
+  if (votes.size() < quorum()) {
+    return;
+  }
+  highest_decided_ = v;
+  auto decide = std::make_shared<AchDecideMsg>();
+  decide->commit_cert.hash = proposed->second;
+  decide->commit_cert.view = v;
+  for (const SignedCert& vote : votes) {
+    decide->commit_cert.sigs.push_back(vote.sig);
+  }
+  BroadcastToReplicas(decide, /*include_self=*/true);
+}
+
+// --- Normal case: decide + chained commit ---
+
+void AchillesReplica::OnDecide(NodeId from, const std::shared_ptr<const AchDecideMsg>& msg) {
+  if (checker_.recovering()) {
+    return;
+  }
+  const QuorumCert& cert = msg->commit_cert;
+  BlockPtr block = store_.Get(cert.hash);
+  if (block != nullptr && block->height <= last_committed_height_) {
+    return;  // Duplicate decide for an already-committed block.
+  }
+  ChargeVerifyPlain(cert.sigs.size());
+  if (!cert.Verify(platform().suite(), kAchCommit, quorum())) {
+    return;
+  }
+  if (block == nullptr) {
+    pending_decides_.emplace_back(from, msg);
+    RequestBlock(from, cert.hash);
+    return;
+  }
+  if (!EnsureAncestry(cert.hash, from) &&
+      block->height <= last_committed_height_ + 64) {
+    // A small gap: wait for sync. (A deep gap falls through to checkpoint adoption in
+    // CommitChain — state transfer instead of replay.)
+    pending_decides_.emplace_back(from, msg);
+    return;
+  }
+  // Record the freshest certificates for recovery replies.
+  if (preb_.block != nullptr && preb_.block->hash == cert.hash) {
+    preb_.commit_cert = cert;
+  } else if (preb_.block == nullptr || block->view > preb_.block->view) {
+    preb_ = StoredBlock{block, SignedCert{}, cert};
+  }
+  CommitChain(block, cert.WireSize());
+  if (latest_committed_.block == nullptr || block->view > latest_committed_.block->view) {
+    latest_committed_ = StoredBlock{block, SignedCert{}, cert};
+  }
+  // As the (possibly future) leader, remember the justification for view v+1.
+  if (params().commit_fast_path && LeaderOf(cert.view + 1) == id()) {
+    commit_certs_[cert.view + 1] = cert;
+    TryProposeFromCommit(cert.view + 1);
+  }
+  EnterViewAfterCommit(cert.view + 1, msg);
+}
+
+// --- NEW-VIEW collection (leader) ---
+
+void AchillesReplica::OnNewView(const AchNewViewMsg& msg) {
+  if (checker_.recovering()) {
+    return;
+  }
+  const View w = msg.view_cert.aux;  // Certificate's target view.
+  if (LeaderOf(w) != id() || w + kPruneHorizon < cur_view_ || proposed_hash_.count(w) > 0) {
+    return;
+  }
+  ChargeVerifyPlain(1);
+  const Bytes digest = msg.view_cert.Digest(kAchNewView);
+  if (!platform().suite().Verify(msg.view_cert.sig, ByteView(digest.data(), digest.size()))) {
+    return;
+  }
+  std::vector<SignedCert>& certs = view_certs_[w];
+  for (const SignedCert& existing : certs) {
+    if (existing.sig.signer == msg.view_cert.sig.signer) {
+      return;
+    }
+  }
+  certs.push_back(msg.view_cert);
+  TryProposeFromViewCerts(w);
+}
+
+// --- Recovery ---
+
+void AchillesReplica::StartRecoveryRound() {
+  const auto request = checker_.TeeRequest();
+  if (!request) {
+    return;
+  }
+  recovery_replies_.clear();
+  reply_source_.clear();
+  last_request_nonce_ = request->aux;
+  auto msg = std::make_shared<AchRecoveryRequestMsg>();
+  msg->request = *request;
+  BroadcastToReplicas(msg, /*include_self=*/false);
+  // Retry with a fresh nonce if the round cannot complete (e.g. the highest-view reply is
+  // not from that view's leader yet — §4.5: wait for the next leader). Rounds are cheap
+  // (one small message per peer), so retry every few RTTs rather than a full view timeout.
+  const SimDuration retry = std::max<SimDuration>(Ms(2), params().base_timeout / 20);
+  host().SetTimer(retry, [this] {
+    if (checker_.recovering()) {
+      StartRecoveryRound();
+    }
+  });
+}
+
+void AchillesReplica::OnRecoveryRequest(NodeId from, const AchRecoveryRequestMsg& msg) {
+  const auto reply = checker_.TeeReply(msg.request, from);
+  if (!reply) {
+    return;
+  }
+  auto out = std::make_shared<AchRecoveryReplyMsg>();
+  out->reply = *reply;
+  out->block = preb_.block;
+  out->block_cert = preb_.block_cert;
+  out->commit_cert = preb_.commit_cert;
+  out->committed_block = latest_committed_.block;
+  out->committed_cert = latest_committed_.commit_cert;
+  SendTo(from, out);
+}
+
+void AchillesReplica::OnRecoveryReply(NodeId from, const AchRecoveryReplyMsg& msg) {
+  if (!checker_.recovering() || msg.reply.aux2 != last_request_nonce_) {
+    return;  // Not recovering, or a reply from a superseded request round.
+  }
+  if (msg.block != nullptr) {
+    AcceptBlock(msg.block);
+    recovered_certs_[msg.block->hash] = RecoveredCerts{msg.block_cert, msg.commit_cert};
+  }
+  if (msg.committed_block != nullptr && !msg.committed_cert.empty()) {
+    AcceptBlock(msg.committed_block);
+    // Keep the highest *verified* certified checkpoint for state transfer.
+    if (best_recovery_checkpoint_.block == nullptr ||
+        msg.committed_block->height > best_recovery_checkpoint_.block->height) {
+      ChargeVerifyPlain(msg.committed_cert.sigs.size());
+      if (msg.committed_cert.hash == msg.committed_block->hash &&
+          msg.committed_cert.Verify(platform().suite(), kAchCommit, quorum())) {
+        best_recovery_checkpoint_ =
+            StoredBlock{msg.committed_block, SignedCert{}, msg.committed_cert};
+      }
+    }
+  }
+  for (const SignedCert& existing : recovery_replies_) {
+    if (existing.sig.signer == msg.reply.sig.signer) {
+      return;
+    }
+  }
+  ChargeVerifyPlain(1);
+  recovery_replies_.push_back(msg.reply);
+  reply_source_[msg.reply.sig.signer] = from;
+  TryFinishRecovery();
+}
+
+void AchillesReplica::TryFinishRecovery() {
+  if (!checker_.recovering() || recovery_replies_.size() < quorum()) {
+    return;
+  }
+  // Find the highest current view among the replies; several replies usually tie (all
+  // correct nodes that stored the same proposal report the same vi), so among the ties we
+  // must pick the one signed by that view's leader — the checker enforces exactly this.
+  View max_view = 0;
+  for (const SignedCert& reply : recovery_replies_) {
+    max_view = std::max<View>(max_view, reply.aux);
+  }
+  const SignedCert* leader_reply = nullptr;
+  for (const SignedCert& reply : recovery_replies_) {
+    if (reply.aux == max_view && reply.sig.signer == LeaderOfView(max_view, n())) {
+      leader_reply = &reply;
+      break;
+    }
+  }
+  if (leader_reply == nullptr) {
+    return;  // Wait for more replies (or the retry round).
+  }
+  const BlockPtr recovered = store_.Get(leader_reply->hash);
+  if (recovered == nullptr) {
+    auto src = reply_source_.find(leader_reply->sig.signer);
+    if (src != reply_source_.end()) {
+      RequestBlock(src->second, leader_reply->hash);
+    }
+    return;
+  }
+  const auto view_cert = checker_.TeeRecover(*leader_reply, recovery_replies_);
+  if (!view_cert) {
+    return;
+  }
+  recovery_completed_at_ = LocalNow();
+  cur_view_ = checker_.vi();
+  consecutive_timeouts_ = 0;
+  // State transfer: adopt the best certified committed checkpoint from the replies.
+  if (best_recovery_checkpoint_.block != nullptr) {
+    AdoptCheckpoint(best_recovery_checkpoint_.block,
+                    best_recovery_checkpoint_.commit_cert.WireSize());
+    latest_committed_ = best_recovery_checkpoint_;
+  }
+  preb_.block = recovered;
+  auto certs = recovered_certs_.find(recovered->hash);
+  if (certs != recovered_certs_.end()) {
+    preb_.block_cert = certs->second.block_cert;
+    preb_.commit_cert = certs->second.commit_cert;
+    if (!certs->second.commit_cert.empty()) {
+      CommitChain(recovered, certs->second.commit_cert.WireSize());
+      if (latest_committed_.block == nullptr ||
+          recovered->view > latest_committed_.block->view) {
+        latest_committed_ = StoredBlock{recovered, SignedCert{}, certs->second.commit_cert};
+      }
+    }
+  } else {
+    preb_.block_cert = SignedCert{};
+    preb_.commit_cert = QuorumCert{};
+  }
+  recovery_replies_.clear();
+  recovered_certs_.clear();
+  best_recovery_checkpoint_ = StoredBlock{};
+  ArmViewTimer(cur_view_, 0);
+  auto msg = std::make_shared<AchNewViewMsg>();
+  msg->view_cert = *view_cert;
+  SendTo(LeaderOf(cur_view_), msg);
+}
+
+void AchillesReplica::OnBlocksSynced() {
+  auto proposals = std::move(pending_proposals_);
+  pending_proposals_.clear();
+  for (auto& [from, msg] : proposals) {
+    OnPropose(from, msg);
+  }
+  auto decides = std::move(pending_decides_);
+  pending_decides_.clear();
+  for (auto& [from, msg] : decides) {
+    OnDecide(from, msg);
+  }
+  TryProposeFromCommit(cur_view_);
+  TryProposeFromViewCerts(cur_view_);
+  TryFinishRecovery();
+}
+
+}  // namespace achilles

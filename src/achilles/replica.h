@@ -1,0 +1,95 @@
+// The Achilles replica: one-phase normal case with chained commit rules (Algorithm 1) and
+// the rollback-resilient recovery driver (Algorithm 3). Trusted decisions live in
+// AchillesChecker; this class is the untrusted driver around it.
+#ifndef SRC_ACHILLES_REPLICA_H_
+#define SRC_ACHILLES_REPLICA_H_
+
+#include <map>
+#include <vector>
+
+#include "src/achilles/checker.h"
+#include "src/achilles/messages.h"
+#include "src/consensus/replica_base.h"
+
+namespace achilles {
+
+class AchillesReplica : public ReplicaBase {
+ public:
+  // `initial_launch` must be true only for the genesis incarnation of the node; reboots
+  // construct with false, which starts the replica in recovery.
+  AchillesReplica(const ReplicaContext& ctx, bool initial_launch);
+
+  void OnStart() override;
+
+  // Introspection (tests/harness).
+  bool recovering() const { return checker_.recovering(); }
+  View current_view() const { return cur_view_; }
+  const AchillesChecker& checker() const { return checker_; }
+  SimTime recovery_completed_at() const { return recovery_completed_at_; }
+
+ protected:
+  void HandleMessage(NodeId from, const MessageRef& msg) override;
+  void OnViewTimeout(View view) override;
+  void OnBlocksSynced() override;
+
+ private:
+  struct StoredBlock {
+    BlockPtr block;
+    SignedCert block_cert;
+    QuorumCert commit_cert;
+  };
+
+  void OnPropose(NodeId from, const std::shared_ptr<const AchProposeMsg>& msg);
+  void OnVote(const AchVoteMsg& msg);
+  void OnDecide(NodeId from, const std::shared_ptr<const AchDecideMsg>& msg);
+  void OnNewView(const AchNewViewMsg& msg);
+  void OnRecoveryRequest(NodeId from, const AchRecoveryRequestMsg& msg);
+  void OnRecoveryReply(NodeId from, const AchRecoveryReplyMsg& msg);
+
+  // Proposal paths. `w` is the view to propose in.
+  void TryProposeFromCommit(View w);
+  void TryProposeFromViewCerts(View w);
+  void BuildAndBroadcastProposal(View w, const BlockPtr& parent,
+                                 const AccumulatorCert* acc, const QuorumCert* commit_cert);
+
+  // View transitions.
+  void AdvanceViaTeeView(View target);
+  void EnterViewAfterCommit(View new_view, const std::shared_ptr<const AchDecideMsg>& decide);
+
+  // Recovery driver.
+  void StartRecoveryRound();
+  void TryFinishRecovery();
+
+  AchillesChecker checker_;
+  View cur_view_ = 0;
+  uint32_t consecutive_timeouts_ = 0;
+  StoredBlock preb_;  // Latest stored block from a leader (Algorithm 1 line 3).
+  StoredBlock latest_committed_;  // Latest block committed with its certificate.
+
+  // Leader-side collections.
+  std::map<View, std::vector<SignedCert>> store_votes_;
+  std::map<View, std::vector<SignedCert>> view_certs_;
+  std::map<View, Hash256> proposed_hash_;    // Blocks this node proposed per view.
+  std::map<View, QuorumCert> commit_certs_;  // Justifications: cert of view v enables v+1.
+  View highest_decided_ = 0;                 // Highest view whose decide we broadcast.
+
+  // Stashed messages waiting for ancestor synchronization.
+  std::vector<std::pair<NodeId, std::shared_ptr<const AchProposeMsg>>> pending_proposals_;
+  std::vector<std::pair<NodeId, std::shared_ptr<const AchDecideMsg>>> pending_decides_;
+
+  // Recovery state (untrusted side).
+  std::vector<SignedCert> recovery_replies_;
+  struct RecoveredCerts {
+    SignedCert block_cert;
+    QuorumCert commit_cert;
+  };
+  std::unordered_map<Hash256, RecoveredCerts, Hash256Hasher> recovered_certs_;
+  StoredBlock best_recovery_checkpoint_;   // Highest certified committed block seen.
+  std::map<NodeId, NodeId> reply_source_;  // Reply signer -> host that sent it (for sync).
+  uint64_t last_request_nonce_ = 0;        // Pre-filter for superseded reply rounds.
+  SimTime recovery_completed_at_ = -1;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_ACHILLES_REPLICA_H_

@@ -1,0 +1,66 @@
+#include "src/common/bytes.h"
+
+namespace achilles {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+}  // namespace
+
+std::string ToHex(ByteView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes FromHex(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    return {};
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return {};
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void Append(Bytes& dst, ByteView src) { dst.insert(dst.end(), src.begin(), src.end()); }
+
+ByteView AsBytes(const std::string& s) {
+  return ByteView(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+bool ConstantTimeEqual(ByteView a, ByteView b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+}  // namespace achilles

@@ -1,0 +1,32 @@
+// Byte-buffer helpers shared by every module.
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace achilles {
+
+using Bytes = std::vector<uint8_t>;
+using ByteView = std::span<const uint8_t>;
+
+// Lowercase hex encoding of `data`.
+std::string ToHex(ByteView data);
+
+// Parses a hex string (no 0x prefix, even length). Returns empty on malformed input.
+Bytes FromHex(const std::string& hex);
+
+// Appends `src` to `dst`.
+void Append(Bytes& dst, ByteView src);
+
+// Views a string's bytes without copying.
+ByteView AsBytes(const std::string& s);
+
+// Constant-time equality, for MAC comparisons.
+bool ConstantTimeEqual(ByteView a, ByteView b);
+
+}  // namespace achilles
+
+#endif  // SRC_COMMON_BYTES_H_

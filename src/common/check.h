@@ -1,0 +1,26 @@
+// Fatal assertion macros. These guard internal invariants; protocol-level validation of
+// untrusted input must use explicit error returns instead.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define ACHILLES_CHECK(cond)                                                              \
+  do {                                                                                    \
+    if (!(cond)) {                                                                        \
+      std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", #cond, __FILE__, __LINE__);     \
+      std::abort();                                                                       \
+    }                                                                                     \
+  } while (0)
+
+#define ACHILLES_CHECK_MSG(cond, msg)                                                     \
+  do {                                                                                    \
+    if (!(cond)) {                                                                        \
+      std::fprintf(stderr, "CHECK failed: %s (%s) at %s:%d\n", #cond, msg, __FILE__,      \
+                   __LINE__);                                                             \
+      std::abort();                                                                       \
+    }                                                                                     \
+  } while (0)
+
+#endif  // SRC_COMMON_CHECK_H_

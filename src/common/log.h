@@ -1,0 +1,40 @@
+// Tiny leveled logger. Logging is off by default in benchmarks; tests can raise the level to
+// trace protocol decisions.
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace achilles {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+void LogMessage(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace achilles
+
+#define ACH_LOG(level, ...)                                                   \
+  do {                                                                        \
+    if (static_cast<int>(level) >= static_cast<int>(::achilles::GetLogLevel())) { \
+      ::achilles::LogMessage(level, __VA_ARGS__);                             \
+    }                                                                         \
+  } while (0)
+
+#define ACH_TRACE(...) ACH_LOG(::achilles::LogLevel::kTrace, __VA_ARGS__)
+#define ACH_DEBUG(...) ACH_LOG(::achilles::LogLevel::kDebug, __VA_ARGS__)
+#define ACH_INFO(...) ACH_LOG(::achilles::LogLevel::kInfo, __VA_ARGS__)
+#define ACH_WARN(...) ACH_LOG(::achilles::LogLevel::kWarn, __VA_ARGS__)
+#define ACH_ERROR(...) ACH_LOG(::achilles::LogLevel::kError, __VA_ARGS__)
+
+#endif  // SRC_COMMON_LOG_H_

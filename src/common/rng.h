@@ -1,0 +1,46 @@
+// Deterministic random number generation. Every simulation derives all randomness from a
+// single seed so adversarial schedules and performance runs are exactly reproducible.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace achilles {
+
+// SplitMix64: used for seeding and cheap hashing of seeds.
+uint64_t SplitMix64(uint64_t& state);
+
+// xoshiro256++ generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+  // Uniform in [0, bound), bound > 0. Uses rejection sampling to avoid modulo bias.
+  uint64_t UniformU64(uint64_t bound);
+  // Uniform double in [0, 1).
+  double UniformDouble();
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+  // Standard normal via Box-Muller; Gaussian(m, s) = m + s * N(0,1).
+  double Gaussian(double mean, double stddev);
+  // Bernoulli trial.
+  bool Chance(double p);
+  // Exponential with given mean (for Poisson arrival processes).
+  double Exponential(double mean);
+  // Fills `out` with random bytes.
+  void Fill(Bytes& out, size_t n);
+  // Derives an independent child generator (for per-node streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,117 @@
+#include "src/common/serde.h"
+
+namespace achilles {
+
+void ByteWriter::U8(uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::U16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void ByteWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+
+void ByteWriter::Blob(ByteView data) {
+  U32(static_cast<uint32_t>(data.size()));
+  Raw(data);
+}
+
+void ByteWriter::Raw(ByteView data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+
+void ByteWriter::Str(const std::string& s) { Blob(AsBytes(s)); }
+
+bool ByteReader::Ensure(size_t n) {
+  if (!ok_ || pos_ + n > data_.size()) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::optional<uint8_t> ByteReader::U8() {
+  if (!Ensure(1)) {
+    return std::nullopt;
+  }
+  return data_[pos_++];
+}
+
+std::optional<uint16_t> ByteReader::U16() {
+  if (!Ensure(2)) {
+    return std::nullopt;
+  }
+  uint16_t v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::optional<uint32_t> ByteReader::U32() {
+  if (!Ensure(4)) {
+    return std::nullopt;
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::optional<uint64_t> ByteReader::U64() {
+  if (!Ensure(8)) {
+    return std::nullopt;
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::optional<int64_t> ByteReader::I64() {
+  auto v = U64();
+  if (!v) {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(*v);
+}
+
+std::optional<Bytes> ByteReader::Blob() {
+  auto n = U32();
+  if (!n) {
+    return std::nullopt;
+  }
+  return Raw(*n);
+}
+
+std::optional<Bytes> ByteReader::Raw(size_t n) {
+  if (!Ensure(n)) {
+    return std::nullopt;
+  }
+  Bytes out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+            data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::optional<std::string> ByteReader::Str() {
+  auto b = Blob();
+  if (!b) {
+    return std::nullopt;
+  }
+  return std::string(b->begin(), b->end());
+}
+
+}  // namespace achilles

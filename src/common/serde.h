@@ -1,0 +1,64 @@
+// Minimal binary serialization. Fixed-width little-endian integers plus length-prefixed
+// byte strings. Used both for signing digests (canonical encoding) and for wire-size
+// accounting in the network simulator.
+#ifndef SRC_COMMON_SERDE_H_
+#define SRC_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/common/bytes.h"
+
+namespace achilles {
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v);
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v);
+  // Length-prefixed (u32) byte string.
+  void Blob(ByteView data);
+  // Raw bytes, no length prefix.
+  void Raw(ByteView data);
+  void Str(const std::string& s);
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+// Reader over a byte view. All accessors return nullopt on underflow; once a read fails the
+// reader stays failed.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteView data) : data_(data) {}
+
+  std::optional<uint8_t> U8();
+  std::optional<uint16_t> U16();
+  std::optional<uint32_t> U32();
+  std::optional<uint64_t> U64();
+  std::optional<int64_t> I64();
+  std::optional<Bytes> Blob();
+  std::optional<Bytes> Raw(size_t n);
+  std::optional<std::string> Str();
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Ensure(size_t n);
+
+  ByteView data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_COMMON_SERDE_H_

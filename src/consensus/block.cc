@@ -1,0 +1,150 @@
+#include "src/consensus/block.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/serde.h"
+
+namespace achilles {
+
+namespace {
+
+Hash256 TxRoot(const std::vector<Transaction>& txs) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(txs.size()));
+  for (const Transaction& tx : txs) {
+    w.U64(tx.id);
+    w.U32(tx.payload_size);
+  }
+  return Sha256Digest(ByteView(w.bytes().data(), w.bytes().size()));
+}
+
+Hash256 HeaderHash(View view, Height height, const Hash256& parent, const Hash256& tx_root,
+                   const Hash256& exec_result) {
+  ByteWriter w;
+  w.Str("achilles-block");
+  w.U64(view);
+  w.U64(height);
+  w.Raw(ByteView(parent.data(), parent.size()));
+  w.Raw(ByteView(tx_root.data(), tx_root.size()));
+  w.Raw(ByteView(exec_result.data(), exec_result.size()));
+  return Sha256Digest(ByteView(w.bytes().data(), w.bytes().size()));
+}
+
+}  // namespace
+
+size_t Block::WireSize() const {
+  // view + height + parent + exec_result + hash + tx batch.
+  return 8 + 8 + 32 + 32 + 32 + TotalWireSize(txs);
+}
+
+const BlockPtr& Block::Genesis() {
+  static const BlockPtr genesis = [] {
+    auto g = std::make_shared<Block>();
+    g->view = 0;
+    g->height = 0;
+    g->parent = ZeroHash();
+    g->exec_result = Sha256Digest(AsBytes("genesis-state"));
+    g->hash = HeaderHash(0, 0, g->parent, TxRoot({}), g->exec_result);
+    return g;
+  }();
+  return genesis;
+}
+
+BlockPtr Block::Create(View view, const BlockPtr& parent, std::vector<Transaction> txs,
+                       SimTime propose_time) {
+  ACHILLES_CHECK(parent != nullptr);
+  auto b = std::make_shared<Block>();
+  b->view = view;
+  b->height = parent->height + 1;
+  b->parent = parent->hash;
+  b->txs = std::move(txs);
+  b->exec_result = ComputeExecResult(parent->exec_result, b->txs);
+  b->hash = HeaderHash(b->view, b->height, b->parent, TxRoot(b->txs), b->exec_result);
+  b->propose_time = propose_time;
+  return b;
+}
+
+Hash256 Block::ComputeExecResult(const Hash256& parent_exec,
+                                 const std::vector<Transaction>& txs) {
+  return HashPair(parent_exec, TxRoot(txs));
+}
+
+bool Block::ValidUnder(const Hash256& parent_exec) const {
+  if (exec_result != ComputeExecResult(parent_exec, txs)) {
+    return false;
+  }
+  return hash == HeaderHash(view, height, parent, TxRoot(txs), exec_result);
+}
+
+BlockStore::BlockStore() { Add(Block::Genesis()); }
+
+void BlockStore::Add(const BlockPtr& block) {
+  ACHILLES_CHECK(block != nullptr);
+  blocks_.emplace(block->hash, block);
+}
+
+BlockPtr BlockStore::Get(const Hash256& hash) const {
+  auto it = blocks_.find(hash);
+  return it == blocks_.end() ? nullptr : it->second;
+}
+
+bool BlockStore::HasFullAncestry(const Hash256& hash) const {
+  BlockPtr cur = Get(hash);
+  while (cur != nullptr) {
+    if (cur->height == 0) {
+      return true;
+    }
+    cur = Get(cur->parent);
+  }
+  return false;
+}
+
+bool BlockStore::Extends(const Hash256& descendant, const Hash256& ancestor) const {
+  BlockPtr cur = Get(descendant);
+  const BlockPtr anc = Get(ancestor);
+  if (anc == nullptr) {
+    return false;
+  }
+  while (cur != nullptr) {
+    if (cur->hash == ancestor) {
+      return true;
+    }
+    if (cur->height <= anc->height) {
+      return false;
+    }
+    cur = Get(cur->parent);
+  }
+  return false;
+}
+
+void BlockStore::PruneBelow(Height keep_from) {
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (it->second->height != 0 && it->second->height < keep_from) {
+      it = blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<BlockPtr> BlockStore::PathBetween(const Hash256& from_exclusive,
+                                              const Hash256& to) const {
+  std::vector<BlockPtr> path;
+  BlockPtr cur = Get(to);
+  while (cur != nullptr && cur->hash != from_exclusive) {
+    path.push_back(cur);
+    if (cur->height == 0) {
+      return {};  // Reached genesis without meeting `from_exclusive`.
+    }
+    cur = Get(cur->parent);
+  }
+  if (cur == nullptr) {
+    return {};
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace achilles

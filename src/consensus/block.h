@@ -1,0 +1,92 @@
+// Blocks and the local block store (chain structure per §4.2 of the paper).
+#ifndef SRC_CONSENSUS_BLOCK_H_
+#define SRC_CONSENSUS_BLOCK_H_
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/consensus/transaction.h"
+#include "src/consensus/types.h"
+#include "src/crypto/sha256.h"
+
+namespace achilles {
+
+struct Block;
+using BlockPtr = std::shared_ptr<const Block>;
+
+struct Block {
+  View view = 0;
+  Height height = 0;
+  Hash256 parent = ZeroHash();
+  std::vector<Transaction> txs;
+  Hash256 exec_result = ZeroHash();  // Deterministic state-machine digest after this block.
+  Hash256 hash = ZeroHash();         // H(view, height, parent, tx root, exec_result).
+
+  // Bookkeeping (not part of the hash): when the leader proposed this block.
+  SimTime propose_time = 0;
+
+  // Header + certificate-free body size on the wire.
+  size_t WireSize() const;
+
+  // The hard-coded genesis block G (height 0, view 0).
+  static const BlockPtr& Genesis();
+
+  // createLeaf(txs, op, h_p): builds and hashes a child of `parent` at `view`.
+  static BlockPtr Create(View view, const BlockPtr& parent, std::vector<Transaction> txs,
+                         SimTime propose_time);
+
+  // executeTx(txs, h_p): the execution digest a correct node must obtain for this block.
+  static Hash256 ComputeExecResult(const Hash256& parent_exec,
+                                   const std::vector<Transaction>& txs);
+
+  // Recomputes the header hash; true iff it matches the stored one and exec_result is the
+  // correct fold over the parent's result (block validity, §4.2).
+  bool ValidUnder(const Hash256& parent_exec) const;
+};
+
+struct Hash256Hasher {
+  size_t operator()(const Hash256& h) const {
+    size_t v;
+    static_assert(sizeof(v) <= 32);
+    std::memcpy(&v, h.data(), sizeof(v));
+    return v;
+  }
+};
+
+// Per-replica store of all received blocks, keyed by hash; genesis is always present.
+class BlockStore {
+ public:
+  BlockStore();
+
+  // Adds a block (idempotent). The parent need not be present yet (sync may backfill).
+  void Add(const BlockPtr& block);
+  BlockPtr Get(const Hash256& hash) const;
+  bool Has(const Hash256& hash) const { return blocks_.count(hash) > 0; }
+
+  // True iff every ancestor down to genesis is present.
+  bool HasFullAncestry(const Hash256& hash) const;
+
+  // True iff `descendant` extends (or equals) `ancestor` following parent links; requires
+  // the chain between them to be present.
+  bool Extends(const Hash256& descendant, const Hash256& ancestor) const;
+
+  // Chain from (excluding) `from_exclusive` up to (including) `to`, oldest first. Empty if
+  // the path is unknown or `to` does not extend `from_exclusive`.
+  std::vector<BlockPtr> PathBetween(const Hash256& from_exclusive, const Hash256& to) const;
+
+  size_t size() const { return blocks_.size(); }
+
+  // Drops blocks below `keep_from` height (genesis always retained). Committed history
+  // below the retention window is not needed: catching-up nodes adopt certified
+  // checkpoints instead of replaying from genesis.
+  void PruneBelow(Height keep_from);
+
+ private:
+  std::unordered_map<Hash256, BlockPtr, Hash256Hasher> blocks_;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_CONSENSUS_BLOCK_H_

@@ -1,0 +1,45 @@
+#include "src/consensus/certificates.h"
+
+#include "src/common/serde.h"
+
+namespace achilles {
+
+Bytes CertDigest(const std::string& domain, const Hash256& hash, View view, uint64_t aux,
+                 uint64_t aux2) {
+  ByteWriter w;
+  w.Str(domain);
+  w.Raw(ByteView(hash.data(), hash.size()));
+  w.U64(view);
+  w.U64(aux);
+  w.U64(aux2);
+  return w.Take();
+}
+
+size_t QuorumCert::WireSize() const {
+  size_t total = 32 + 8;
+  for (const Signature& sig : sigs) {
+    total += sig.WireSize();
+  }
+  return total;
+}
+
+bool QuorumCert::Verify(const CryptoSuite& suite, const std::string& domain,
+                        size_t quorum) const {
+  const Bytes digest = Digest(domain);
+  return suite.VerifyQuorum(sigs, ByteView(digest.data(), digest.size()), quorum);
+}
+
+Bytes AccumulatorCert::Digest(const std::string& domain) const {
+  ByteWriter w;
+  w.Str(domain);
+  w.Raw(ByteView(hash.data(), hash.size()));
+  w.U64(block_view);
+  w.U64(current_view);
+  w.U32(static_cast<uint32_t>(ids.size()));
+  for (NodeId id : ids) {
+    w.U32(id);
+  }
+  return w.Take();
+}
+
+}  // namespace achilles

@@ -1,0 +1,70 @@
+// Certificate building blocks. Every certificate in the paper is either a signed tuple
+// ⟨KIND, h, v, aux...⟩_σ or a quorum of signatures over such a tuple; the concrete kinds and
+// their rules live in the protocol modules, the canonical digests and containers live here.
+#ifndef SRC_CONSENSUS_CERTIFICATES_H_
+#define SRC_CONSENSUS_CERTIFICATES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/consensus/block.h"
+#include "src/crypto/signer.h"
+
+namespace achilles {
+
+// Canonical digest for a signed tuple. `domain` provides protocol + message-kind
+// separation (e.g. "achilles/PROP"); `aux`/`aux2` carry second views, ids, or nonces.
+Bytes CertDigest(const std::string& domain, const Hash256& hash, View view, uint64_t aux = 0,
+                 uint64_t aux2 = 0);
+
+// A single-signer certificate ⟨KIND, h, v, aux, aux2⟩_σ.
+struct SignedCert {
+  Hash256 hash = ZeroHash();
+  View view = 0;
+  uint64_t aux = 0;
+  uint64_t aux2 = 0;
+  Signature sig;
+
+  bool empty() const { return sig.empty(); }
+  size_t WireSize() const { return 32 + 8 + 8 + 8 + sig.WireSize(); }
+
+  Bytes Digest(const std::string& domain) const {
+    return CertDigest(domain, hash, view, aux, aux2);
+  }
+};
+
+// A quorum certificate ⟨KIND, h, v⟩_{σ...}: one tuple, many signers.
+struct QuorumCert {
+  Hash256 hash = ZeroHash();
+  View view = 0;
+  std::vector<Signature> sigs;
+
+  bool empty() const { return sigs.empty(); }
+  size_t WireSize() const;
+
+  Bytes Digest(const std::string& domain) const { return CertDigest(domain, hash, view); }
+
+  // All signatures valid over `domain`'s digest, signers distinct, at least `quorum` many.
+  bool Verify(const CryptoSuite& suite, const std::string& domain, size_t quorum) const;
+};
+
+// Accumulator certificate ⟨ACC, h, v, v', ids⟩_σ. Compared to the paper we additionally bind
+// the current view v' into the certificate so a stale accumulator cannot be replayed in a
+// later view (Algorithm 2 checks "v == vi", which only type-checks if the accumulator's
+// current view is carried; see DESIGN.md §4).
+struct AccumulatorCert {
+  Hash256 hash = ZeroHash();   // Hash of the selected parent block.
+  View block_view = 0;         // View at which that block was produced.
+  View current_view = 0;       // View the accumulator was produced for.
+  std::vector<NodeId> ids;     // The f+1 contributors.
+  Signature sig;
+
+  bool empty() const { return sig.empty(); }
+  size_t WireSize() const { return 32 + 8 + 8 + 4 * ids.size() + sig.WireSize(); }
+
+  Bytes Digest(const std::string& domain) const;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_CONSENSUS_CERTIFICATES_H_

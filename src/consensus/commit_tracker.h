@@ -1,0 +1,82 @@
+// Global experiment observer: audits safety across replicas and collects throughput and
+// latency statistics. Lives outside the simulated machines (zero simulated cost).
+#ifndef SRC_CONSENSUS_COMMIT_TRACKER_H_
+#define SRC_CONSENSUS_COMMIT_TRACKER_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/consensus/block.h"
+#include "src/consensus/metrics.h"
+
+namespace achilles {
+
+class CommitTracker {
+ public:
+  explicit CommitTracker(uint32_t num_replicas);
+
+  // Excludes a replica from the safety audit (its commits are adversary-controlled).
+  void MarkByzantine(NodeId id) { byzantine_.insert(id); }
+
+  // Application hook: invoked once per (replica, block) commit — this is how replicated
+  // state machines consume the agreed sequence (see examples/replicated_kv.cc).
+  using CommitListener = std::function<void(NodeId, const BlockPtr&, SimTime)>;
+  void SetCommitListener(CommitListener listener) { listener_ = std::move(listener); }
+
+  // --- Called by replicas / clients ---
+  void OnPropose(const BlockPtr& block);
+  void OnCommit(NodeId replica, const BlockPtr& block, SimTime now);
+  // First client-visible confirmation of a block (reply responsiveness: one valid reply).
+  void OnClientConfirm(const BlockPtr& block, SimTime now);
+
+  // --- Measurement window ---
+  void StartMeasurement(SimTime now);
+  void EndMeasurement(SimTime now);
+  double ThroughputTps() const;           // Committed txs per second inside the window.
+  const LatencyRecorder& commit_latency() const { return commit_latency_; }
+  const LatencyRecorder& e2e_latency() const { return e2e_latency_; }
+
+  // --- Safety / liveness state ---
+  bool safety_violated() const { return !violation_.empty(); }
+  const std::string& violation() const { return violation_; }
+  Height committed_height(NodeId replica) const;
+  Height max_committed_height() const;
+  uint64_t total_committed_blocks() const { return blocks_committed_; }
+  uint64_t total_committed_txs() const { return txs_committed_total_; }
+  // The committed hash at `height` (from the audit map); ZeroHash if none.
+  Hash256 committed_hash_at(Height h) const;
+
+ private:
+  uint32_t num_replicas_;
+  std::set<NodeId> byzantine_;
+
+  std::unordered_map<Hash256, SimTime, Hash256Hasher> propose_times_;
+  // Audit: agreed hash per height among correct replicas.
+  std::map<Height, Hash256> height_to_hash_;
+  // Per replica: highest committed height and set of committed hashes (for dedup).
+  std::vector<Height> replica_height_;
+  std::vector<std::unordered_set<Hash256, Hash256Hasher>> replica_committed_;
+  // First-commit bookkeeping (global, correct replicas only).
+  std::unordered_set<Hash256, Hash256Hasher> first_committed_;
+  std::unordered_set<Hash256, Hash256Hasher> client_confirmed_;
+
+  std::string violation_;
+  CommitListener listener_;
+
+  SimTime window_start_ = 0;
+  SimTime window_end_ = -1;
+  bool measuring_ = false;
+  uint64_t txs_in_window_ = 0;
+  uint64_t blocks_committed_ = 0;
+  uint64_t txs_committed_total_ = 0;
+  LatencyRecorder commit_latency_;
+  LatencyRecorder e2e_latency_;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_CONSENSUS_COMMIT_TRACKER_H_

@@ -1,0 +1,39 @@
+#include "src/consensus/mempool.h"
+
+namespace achilles {
+
+void Mempool::Add(const Transaction& tx) {
+  if (!known_.insert(tx.id).second) {
+    return;
+  }
+  queue_.push_back(tx);
+}
+
+void Mempool::AddBatch(const std::vector<Transaction>& txs) {
+  for (const Transaction& tx : txs) {
+    Add(tx);
+  }
+}
+
+std::vector<Transaction> Mempool::TakeBatch(size_t max) {
+  std::vector<Transaction> batch;
+  batch.reserve(std::min(max, queue_.size()));
+  while (batch.size() < max && !queue_.empty()) {
+    Transaction tx = queue_.front();
+    queue_.pop_front();
+    if (committed_.count(tx.id) > 0) {
+      continue;  // Committed while queued.
+    }
+    batch.push_back(tx);
+  }
+  return batch;
+}
+
+void Mempool::MarkCommitted(const std::vector<Transaction>& txs) {
+  for (const Transaction& tx : txs) {
+    committed_.insert(tx.id);
+    known_.insert(tx.id);
+  }
+}
+
+}  // namespace achilles

@@ -1,0 +1,35 @@
+// Pending-transaction pool with duplicate suppression across submissions and commits.
+#ifndef SRC_CONSENSUS_MEMPOOL_H_
+#define SRC_CONSENSUS_MEMPOOL_H_
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "src/consensus/transaction.h"
+
+namespace achilles {
+
+class Mempool {
+ public:
+  // Adds a transaction; duplicates (by id) of pending or already-committed txs are dropped.
+  void Add(const Transaction& tx);
+  void AddBatch(const std::vector<Transaction>& txs);
+
+  // Removes and returns up to `max` transactions, FIFO.
+  std::vector<Transaction> TakeBatch(size_t max);
+
+  // Marks transactions as committed so re-submissions / stale proposals don't re-enter.
+  void MarkCommitted(const std::vector<Transaction>& txs);
+
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  std::deque<Transaction> queue_;
+  std::unordered_set<uint64_t> known_;      // Pending or committed ids.
+  std::unordered_set<uint64_t> committed_;  // Committed ids.
+};
+
+}  // namespace achilles
+
+#endif  // SRC_CONSENSUS_MEMPOOL_H_

@@ -1,0 +1,53 @@
+#include "src/consensus/metrics.h"
+
+#include <algorithm>
+
+namespace achilles {
+
+void LatencyRecorder::Record(SimDuration latency) {
+  samples_.push_back(latency);
+  sorted_ = false;
+}
+
+void LatencyRecorder::Reset() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+double LatencyRecorder::MeanMs() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (SimDuration s : samples_) {
+    sum += static_cast<double>(s);
+  }
+  return sum / static_cast<double>(samples_.size()) / kMillisecond;
+}
+
+double LatencyRecorder::PercentileMs(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  const double v = static_cast<double>(samples_[lo]) * (1.0 - frac) +
+                   static_cast<double>(samples_[hi]) * frac;
+  return v / kMillisecond;
+}
+
+double LatencyRecorder::MaxMs() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return static_cast<double>(*std::max_element(samples_.begin(), samples_.end())) /
+         kMillisecond;
+}
+
+}  // namespace achilles

@@ -1,0 +1,29 @@
+// Latency statistics and per-run counters.
+#ifndef SRC_CONSENSUS_METRICS_H_
+#define SRC_CONSENSUS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace achilles {
+
+class LatencyRecorder {
+ public:
+  void Record(SimDuration latency);
+  void Reset();
+
+  uint64_t count() const { return samples_.size(); }
+  double MeanMs() const;
+  double PercentileMs(double p) const;  // p in [0, 100].
+  double MaxMs() const;
+
+ private:
+  mutable std::vector<SimDuration> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_CONSENSUS_METRICS_H_

@@ -1,0 +1,240 @@
+#include "src/consensus/replica_base.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace achilles {
+
+ReplicaBase::ReplicaBase(const ReplicaContext& ctx)
+    : ctx_(ctx), enclave_(std::make_unique<EnclaveRuntime>(ctx.platform)) {
+  last_committed_hash_ = Block::Genesis()->hash;
+}
+
+NodeId ReplicaBase::ReplicaOfHost(uint32_t host) const {
+  if (ctx_.replica_hosts.empty()) {
+    return host;
+  }
+  for (NodeId r = 0; r < ctx_.replica_hosts.size(); ++r) {
+    if (ctx_.replica_hosts[r] == host) {
+      return r;
+    }
+  }
+  return kNoNode;
+}
+
+void ReplicaBase::OnMessage(uint32_t from, const MessageRef& msg) {
+  host().ChargeCpu(ctx_.platform->costs().per_msg_handling);
+
+  if (auto submit = std::dynamic_pointer_cast<const ClientSubmitMsg>(msg)) {
+    ChargeHashBytes(submit->WireSize());
+    mempool_.AddBatch(submit->txs);
+    return;
+  }
+  // Protocol handlers and block sync see replica indices, not host ids.
+  const NodeId from_replica = ReplicaOfHost(from);
+  if (auto req = std::dynamic_pointer_cast<const BlockFetchRequest>(msg)) {
+    if (from_replica != kNoNode) {
+      HandleFetchRequest(from_replica, *req);
+    }
+    return;
+  }
+  if (auto resp = std::dynamic_pointer_cast<const BlockFetchResponse>(msg)) {
+    HandleFetchResponse(*resp);
+    return;
+  }
+  if (from_replica != kNoNode) {
+    HandleMessage(from_replica, msg);
+  }
+}
+
+void ReplicaBase::BroadcastToReplicas(const MessageRef& msg, bool include_self) {
+  for (uint32_t r = 0; r < ctx_.params.n; ++r) {
+    if (!include_self && r == id()) {
+      continue;
+    }
+    ctx_.net->Send(HostOf(id()), HostOf(r), msg);
+  }
+}
+
+void ReplicaBase::ChargeExecute(size_t tx_count) {
+  host().ChargeCpu(static_cast<SimDuration>(tx_count) * ctx_.platform->costs().per_tx_execute);
+}
+
+void ReplicaBase::ChargeVerifyPlain(size_t count) {
+  host().ChargeCpu(static_cast<SimDuration>(count) * ctx_.platform->costs().verify);
+}
+
+void ReplicaBase::ChargeSignPlain() { host().ChargeCpu(ctx_.platform->costs().sign); }
+
+namespace {
+// Retention below the committed prefix: enough to serve lagging peers' fetches, small
+// enough to keep long runs memory-stable.
+constexpr Height kPruneWindow = 128;
+}  // namespace
+
+bool ReplicaBase::CommitChain(const BlockPtr& block, size_t cert_wire_size) {
+  ACHILLES_CHECK(block != nullptr);
+  if (block->height <= last_committed_height_) {
+    return true;  // Already covered by the committed prefix.
+  }
+  // Chained commit rule: committing a block commits every uncommitted ancestor first.
+  const std::vector<BlockPtr> path = store_.PathBetween(last_committed_hash_, block->hash);
+  if (path.empty()) {
+    // The chain between the committed prefix and the certified block is unavailable
+    // (recovered checkpoint or peers pruned the gap): state-transfer to the block.
+    AdoptCheckpoint(block, cert_wire_size);
+    return true;
+  }
+  for (const BlockPtr& b : path) {
+    ChargeExecute(b->txs.size());
+    mempool_.MarkCommitted(b->txs);
+    last_committed_height_ = b->height;
+    last_committed_hash_ = b->hash;
+    tracker().OnCommit(id(), b, LocalNow());
+    if (client_replies_enabled_) {
+      for (uint32_t client : ctx_.client_ids) {
+        auto reply = std::make_shared<ClientReplyMsg>();
+        reply->block = b;
+        reply->cert_wire_size = cert_wire_size;
+        SendTo(client, reply);
+      }
+    }
+  }
+  if (last_committed_height_ > kPruneWindow &&
+      last_committed_height_ % (kPruneWindow / 2) == 0) {
+    store_.PruneBelow(last_committed_height_ - kPruneWindow);
+  }
+  return true;
+}
+
+void ReplicaBase::AdoptCheckpoint(const BlockPtr& block, size_t cert_wire_size) {
+  ACHILLES_CHECK(block != nullptr);
+  if (block->height <= last_committed_height_) {
+    return;
+  }
+  store_.Add(block);
+  mempool_.MarkCommitted(block->txs);
+  last_committed_height_ = block->height;
+  last_committed_hash_ = block->hash;
+  tracker().OnCommit(id(), block, LocalNow());
+  if (client_replies_enabled_) {
+    for (uint32_t client : ctx_.client_ids) {
+      auto reply = std::make_shared<ClientReplyMsg>();
+      reply->block = block;
+      reply->cert_wire_size = cert_wire_size;
+      SendTo(client, reply);
+    }
+  }
+}
+
+bool ReplicaBase::HaveChainAboveCommitted(const Hash256& hash) const {
+  BlockPtr cur = store_.Get(hash);
+  while (cur != nullptr) {
+    if (cur->height <= last_committed_height_ || cur->hash == last_committed_hash_) {
+      return true;
+    }
+    cur = store_.Get(cur->parent);
+  }
+  return false;
+}
+
+bool ReplicaBase::EnsureAncestry(const Hash256& target, NodeId peer) {
+  BlockPtr cur = store_.Get(target);
+  if (cur == nullptr) {
+    RequestBlock(peer, target);
+    return false;
+  }
+  while (cur->height > last_committed_height_ && cur->hash != last_committed_hash_) {
+    BlockPtr parent = store_.Get(cur->parent);
+    if (parent == nullptr) {
+      RequestBlock(peer, cur->parent);
+      return false;
+    }
+    cur = parent;
+  }
+  return true;
+}
+
+void ReplicaBase::ArmViewTimer(View view, uint32_t consecutive_timeouts) {
+  CancelViewTimer();
+  double factor = 1.0;
+  for (uint32_t i = 0; i < consecutive_timeouts && factor < 1e6; ++i) {
+    factor *= ctx_.params.timeout_multiplier;
+  }
+  const SimDuration timeout = std::min<SimDuration>(
+      ctx_.params.max_timeout,
+      static_cast<SimDuration>(static_cast<double>(ctx_.params.base_timeout) * factor));
+  view_timer_armed_ = true;
+  view_timer_ = host().SetTimer(timeout, [this, view] {
+    view_timer_armed_ = false;
+    OnViewTimeout(view);
+  });
+}
+
+void ReplicaBase::CancelViewTimer() {
+  if (view_timer_armed_) {
+    host().CancelTimer(view_timer_);
+    view_timer_armed_ = false;
+  }
+}
+
+void ReplicaBase::RequestBlock(NodeId from_peer, const Hash256& want) {
+  auto req = std::make_shared<BlockFetchRequest>();
+  req->want = want;
+  SendTo(from_peer, req);
+}
+
+bool ReplicaBase::AcceptBlock(const BlockPtr& block) {
+  if (block == nullptr) {
+    return false;
+  }
+  if (store_.Has(block->hash)) {
+    return true;
+  }
+  const BlockPtr parent = store_.Get(block->parent);
+  if (parent != nullptr) {
+    ChargeHashBytes(block->WireSize());
+    if (!block->ValidUnder(parent->exec_result)) {
+      return false;
+    }
+  }
+  // Parent unknown: store provisionally; ancestry checks gate any use, and a later
+  // ValidUnder runs when the parent arrives via sync.
+  store_.Add(block);
+  return true;
+}
+
+void ReplicaBase::HandleFetchRequest(NodeId from, const BlockFetchRequest& req) {
+  BlockPtr cur = store_.Get(req.want);
+  auto resp = std::make_shared<BlockFetchResponse>();
+  // Serve the requested block plus up to a bounded window of ancestors (the requester will
+  // re-request if its gap is deeper).
+  constexpr size_t kMaxBlocksPerResponse = 32;
+  while (cur != nullptr && resp->blocks.size() < kMaxBlocksPerResponse) {
+    resp->blocks.push_back(cur);
+    if (cur->height == 0) {
+      break;
+    }
+    cur = store_.Get(cur->parent);
+  }
+  std::reverse(resp->blocks.begin(), resp->blocks.end());
+  if (!resp->blocks.empty()) {
+    SendTo(from, resp);
+  }
+}
+
+void ReplicaBase::HandleFetchResponse(const BlockFetchResponse& resp) {
+  bool added = false;
+  for (const BlockPtr& b : resp.blocks) {
+    if (!store_.Has(b->hash)) {
+      added |= AcceptBlock(b);
+    }
+  }
+  if (added) {
+    OnBlocksSynced();
+  }
+}
+
+}  // namespace achilles

@@ -1,0 +1,149 @@
+// Common machinery for every replica implementation: identity and quorum math, message
+// sending with CPU cost accounting, the shared block store, chained commit + client replies,
+// view timers (pacemaker), and block synchronization.
+#ifndef SRC_CONSENSUS_REPLICA_BASE_H_
+#define SRC_CONSENSUS_REPLICA_BASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/consensus/commit_tracker.h"
+#include "src/consensus/mempool.h"
+#include "src/consensus/messages.h"
+#include "src/sim/network.h"
+#include "src/tee/enclave.h"
+
+namespace achilles {
+
+struct ProtocolParams {
+  uint32_t n = 3;                       // Replica count.
+  uint32_t f = 1;                       // Fault threshold.
+  size_t batch_size = 400;              // Transactions per block.
+  SimDuration base_timeout = Ms(500);   // Pacemaker initial view timeout.
+  double timeout_multiplier = 2.0;      // Exponential back-off per consecutive timeout.
+  SimDuration max_timeout = Sec(30);
+  // NEW-VIEW optimization (§4.4): hand the commitment certificate straight to the next
+  // leader instead of running the NEW-VIEW collection. Off only for the ablation bench.
+  bool commit_fast_path = true;
+
+  // Quorum used by the 2f+1 TEE protocols is f+1; FlexiBFT (3f+1) overrides with 2f+1.
+  size_t quorum() const { return static_cast<size_t>(f) + 1; }
+};
+
+struct ReplicaContext {
+  NodePlatform* platform = nullptr;
+  Network* net = nullptr;
+  CommitTracker* tracker = nullptr;
+  ProtocolParams params;
+  std::vector<uint32_t> client_ids;  // Hosts to send ClientReplyMsg to.
+  // Host id of each replica index. Empty = identity (replica i lives on host i), which is
+  // the normal Cluster layout; the concurrent-instances extension offsets hosts.
+  std::vector<uint32_t> replica_hosts;
+};
+
+class ReplicaBase : public IProcess {
+ public:
+  explicit ReplicaBase(const ReplicaContext& ctx);
+
+  // IProcess: charges the per-message handling cost, serves block-sync and client-submit
+  // traffic, then dispatches to the protocol.
+  void OnMessage(uint32_t from, const MessageRef& msg) final;
+
+  // Read-side accessors used by the harness.
+  Height last_committed_height() const { return last_committed_height_; }
+  const BlockStore& store() const { return store_; }
+  size_t mempool_pending() const { return mempool_.pending(); }
+
+ protected:
+  virtual void HandleMessage(NodeId from, const MessageRef& msg) = 0;
+  // Pacemaker expiry for the view armed via ArmViewTimer.
+  virtual void OnViewTimeout(View /*view*/) {}
+  // A previously missing block (and its ancestors) became available.
+  virtual void OnBlocksSynced() {}
+
+  NodeId id() const { return ctx_.platform->node_id(); }
+  uint32_t n() const { return ctx_.params.n; }
+  uint32_t f() const { return ctx_.params.f; }
+  size_t quorum() const { return ctx_.params.quorum(); }
+  NodeId LeaderOf(View v) const { return LeaderOfView(v, ctx_.params.n); }
+  Host& host() { return ctx_.platform->host(); }
+  EnclaveRuntime& enclave() { return *enclave_; }
+  NodePlatform& platform() { return *ctx_.platform; }
+  CommitTracker& tracker() { return *ctx_.tracker; }
+  const ProtocolParams& params() const { return ctx_.params; }
+  SimTime LocalNow() const { return ctx_.platform->host().LocalNow(); }
+
+  // --- Messaging (wire cost via Network; CPU charge is the sender's handler charge) ---
+  // `to` below params.n addresses a replica (translated to its host); higher values are
+  // raw host ids (clients).
+  void SendTo(NodeId to, MessageRef msg) {
+    ctx_.net->Send(HostOf(id()), to < ctx_.params.n ? HostOf(to) : to, std::move(msg));
+  }
+  void BroadcastToReplicas(const MessageRef& msg, bool include_self);
+  // Replica index <-> host id mapping (identity in the standard layout).
+  uint32_t HostOf(NodeId replica) const {
+    return ctx_.replica_hosts.empty() ? replica : ctx_.replica_hosts[replica];
+  }
+  NodeId ReplicaOfHost(uint32_t host) const;
+
+  // --- Cost charging helpers ---
+  void ChargeHashBytes(size_t bytes) { enclave_->ChargeHash(bytes); }
+  void ChargeExecute(size_t tx_count);
+  // Untrusted-side verification (outside the enclave, no TEE factor).
+  void ChargeVerifyPlain(size_t count);
+  void ChargeSignPlain();
+
+  // --- Chained commit (commits `block` and all uncommitted ancestors, oldest first) ---
+  // Informs the tracker, marks the mempool, replies to clients with `cert_wire_size`. If
+  // the chain between the committed prefix and `block` is not locally available (deep lag,
+  // pruned peers), the certified block is adopted as a checkpoint instead: state transfer
+  // rather than replay. Returns true iff the committed height advanced to block->height.
+  bool CommitChain(const BlockPtr& block, size_t cert_wire_size);
+
+  // Installs `block` as the committed prefix without replaying ancestors. Only valid for
+  // blocks whose commitment is certified (f+1 store certificates).
+  void AdoptCheckpoint(const BlockPtr& block, size_t cert_wire_size);
+
+  // True iff every parent link from `hash` down to the committed prefix is present — the
+  // paper's block-availability rule, bounded by finality (no need to reach genesis).
+  bool HaveChainAboveCommitted(const Hash256& hash) const;
+
+  // Ensures the uncommitted ancestry of `target` is present; if a link is missing, requests
+  // the deepest missing ancestor from `peer` and returns false. Each fetch round makes
+  // strict progress, so repeated calls converge.
+  bool EnsureAncestry(const Hash256& target, NodeId peer);
+
+  // --- Pacemaker ---
+  // Arms (or re-arms) the single view timer for `view`, with exponential back-off driven by
+  // `consecutive_timeouts`. OnViewTimeout(view) fires unless re-armed or cancelled.
+  void ArmViewTimer(View view, uint32_t consecutive_timeouts);
+  void CancelViewTimer();
+
+  // --- Block sync ---
+  // Requests `want` (and transitively its ancestors) from `from_peer`.
+  void RequestBlock(NodeId from_peer, const Hash256& want);
+  // Adds a validated incoming block to the store (checks hash/exec integrity).
+  bool AcceptBlock(const BlockPtr& block);
+
+  // Protocols where only the leader answers clients (Raft) can turn replies off.
+  void set_client_replies_enabled(bool enabled) { client_replies_enabled_ = enabled; }
+
+  Mempool mempool_;
+  BlockStore store_;
+  Height last_committed_height_ = 0;
+  Hash256 last_committed_hash_;
+
+ private:
+  void HandleFetchRequest(NodeId from, const BlockFetchRequest& req);
+  void HandleFetchResponse(const BlockFetchResponse& resp);
+
+  ReplicaContext ctx_;
+  std::unique_ptr<EnclaveRuntime> enclave_;
+  uint64_t view_timer_ = 0;
+  bool view_timer_armed_ = false;
+  bool client_replies_enabled_ = true;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_CONSENSUS_REPLICA_BASE_H_

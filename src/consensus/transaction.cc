@@ -1,0 +1,13 @@
+#include "src/consensus/transaction.h"
+
+namespace achilles {
+
+size_t TotalWireSize(const std::vector<Transaction>& txs) {
+  size_t total = 0;
+  for (const Transaction& tx : txs) {
+    total += tx.WireSize();
+  }
+  return total;
+}
+
+}  // namespace achilles

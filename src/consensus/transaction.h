@@ -1,0 +1,32 @@
+// Client transactions. Payload bytes are synthetic: only the size participates in wire and
+// hashing cost models, so large runs stay memory-light.
+#ifndef SRC_CONSENSUS_TRANSACTION_H_
+#define SRC_CONSENSUS_TRANSACTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace achilles {
+
+struct Transaction {
+  uint64_t id = 0;           // (client id << 32) | sequence.
+  SimTime submit_time = 0;   // Client creation time; basis of end-to-end latency.
+  uint32_t payload_size = 0; // Bytes of application payload.
+
+  // Paper setup: each transaction carries 8 B metadata (client + transaction ids) on top of
+  // the payload.
+  size_t WireSize() const { return 8 + payload_size; }
+
+  static uint64_t MakeId(uint32_t client, uint32_t seq) {
+    return (static_cast<uint64_t>(client) << 32) | seq;
+  }
+};
+
+size_t TotalWireSize(const std::vector<Transaction>& txs);
+
+}  // namespace achilles
+
+#endif  // SRC_CONSENSUS_TRANSACTION_H_

@@ -1,0 +1,20 @@
+// Core identifier types shared by every protocol implementation.
+#ifndef SRC_CONSENSUS_TYPES_H_
+#define SRC_CONSENSUS_TYPES_H_
+
+#include <cstdint>
+
+namespace achilles {
+
+using NodeId = uint32_t;
+using View = uint64_t;
+using Height = uint64_t;
+
+constexpr NodeId kNoNode = UINT32_MAX;
+
+// Round-robin leader schedule used by all rotating-leader protocols here.
+constexpr NodeId LeaderOfView(View v, uint32_t n) { return static_cast<NodeId>(v % n); }
+
+}  // namespace achilles
+
+#endif  // SRC_CONSENSUS_TYPES_H_

@@ -1,0 +1,43 @@
+#include "src/crypto/hmac.h"
+
+#include <cstring>
+
+namespace achilles {
+
+Hash256 HmacSha256(ByteView key, ByteView message) {
+  uint8_t key_block[64];
+  std::memset(key_block, 0, sizeof(key_block));
+  if (key.size() > 64) {
+    const Hash256 kh = Sha256Digest(key);
+    std::memcpy(key_block, kh.data(), kh.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[64];
+  uint8_t opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ByteView(ipad, 64));
+  inner.Update(message);
+  const Hash256 inner_hash = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(ByteView(opad, 64));
+  outer.Update(ByteView(inner_hash.data(), inner_hash.size()));
+  return outer.Finish();
+}
+
+Hash256 DeriveKey(ByteView key, const std::string& label, ByteView context) {
+  Bytes msg;
+  Append(msg, AsBytes(label));
+  msg.push_back(0);
+  Append(msg, context);
+  return HmacSha256(key, ByteView(msg.data(), msg.size()));
+}
+
+}  // namespace achilles

@@ -1,0 +1,16 @@
+// HMAC-SHA-256 (RFC 2104). Backs sealed-storage authentication and the fast signature mode.
+#ifndef SRC_CRYPTO_HMAC_H_
+#define SRC_CRYPTO_HMAC_H_
+
+#include "src/crypto/sha256.h"
+
+namespace achilles {
+
+Hash256 HmacSha256(ByteView key, ByteView message);
+
+// HKDF-like key derivation: HMAC(key, label || context).
+Hash256 DeriveKey(ByteView key, const std::string& label, ByteView context);
+
+}  // namespace achilles
+
+#endif  // SRC_CRYPTO_HMAC_H_

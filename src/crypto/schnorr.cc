@@ -1,0 +1,89 @@
+#include "src/crypto/schnorr.h"
+
+#include "src/common/check.h"
+#include "src/crypto/sha256.h"
+
+namespace achilles {
+
+namespace {
+
+UInt256 HashToScalar(ByteView a, ByteView b, ByteView c) {
+  Sha256 h;
+  h.Update(a);
+  h.Update(b);
+  h.Update(c);
+  const Hash256 digest = h.Finish();
+  const UInt256 raw = UInt256::FromBytesBE(ByteView(digest.data(), digest.size()));
+  // Reduce into [0, n). A single conditional subtraction is statistically sufficient but we
+  // use the generic reduction for correctness on all inputs.
+  UInt512 wide{};
+  for (int i = 0; i < 4; ++i) {
+    wide[i] = raw.limbs[i];
+  }
+  return Mod512(wide, Secp256k1N());
+}
+
+UInt256 Challenge(const AffinePoint& r, const AffinePoint& pub, ByteView msg) {
+  Bytes ctx = EncodePoint(r);
+  Append(ctx, ByteView(EncodePoint(pub)));
+  return HashToScalar(ByteView(ctx.data(), ctx.size()), msg, ByteView());
+}
+
+}  // namespace
+
+SchnorrKeyPair SchnorrKeyFromSeed(ByteView seed) {
+  uint8_t counter = 0;
+  while (true) {
+    Bytes material(seed.begin(), seed.end());
+    material.push_back(counter++);
+    const UInt256 d = HashToScalar(ByteView(material.data(), material.size()),
+                                   AsBytes("schnorr-key"), ByteView());
+    if (!d.IsZero()) {
+      return SchnorrKeyPair{d, ScalarMulBase(d)};
+    }
+  }
+}
+
+Bytes SchnorrSign(const SchnorrKeyPair& key, ByteView msg) {
+  const Bytes d_bytes = key.d.ToBytesBE();
+  uint8_t counter = 0;
+  while (true) {
+    Bytes nonce_ctx = d_bytes;
+    nonce_ctx.push_back(counter++);
+    const UInt256 k =
+        HashToScalar(ByteView(nonce_ctx.data(), nonce_ctx.size()), msg, AsBytes("nonce"));
+    if (k.IsZero()) {
+      continue;
+    }
+    const AffinePoint r = ScalarMulBase(k);
+    const UInt256 e = Challenge(r, key.pub, msg);
+    const UInt256 s = AddMod(k, MulMod(e, key.d, Secp256k1N()), Secp256k1N());
+    Bytes sig = EncodePoint(r);
+    Append(sig, ByteView(s.ToBytesBE()));
+    ACHILLES_CHECK(sig.size() == kSchnorrSignatureSize);
+    return sig;
+  }
+}
+
+bool SchnorrVerify(const AffinePoint& pub, ByteView msg, ByteView sig) {
+  if (sig.size() != kSchnorrSignatureSize || pub.infinity) {
+    return false;
+  }
+  AffinePoint r;
+  if (!DecodePoint(sig.subspan(0, 64), r) || r.infinity) {
+    return false;
+  }
+  const UInt256 s = UInt256::FromBytesBE(sig.subspan(64, 32));
+  if (Cmp(s, Secp256k1N()) >= 0) {
+    return false;
+  }
+  const UInt256 e = Challenge(r, pub, msg);
+  // Check s*G == R + e*P.
+  const AffinePoint lhs = ScalarMulBase(s);
+  const AffinePoint ep = ScalarMul(e, pub);
+  const JacobianPoint sum = PointAddMixed(JacobianPoint::FromAffine(r), ep);
+  const AffinePoint rhs = ToAffine(sum);
+  return lhs == rhs;
+}
+
+}  // namespace achilles

@@ -1,0 +1,26 @@
+// Schnorr signatures over secp256k1 (BIP340-flavoured challenge, full-point encoding).
+// Deterministic nonces: k = H(d || m || counter) reduced mod n.
+#ifndef SRC_CRYPTO_SCHNORR_H_
+#define SRC_CRYPTO_SCHNORR_H_
+
+#include "src/crypto/secp256k1.h"
+
+namespace achilles {
+
+struct SchnorrKeyPair {
+  UInt256 d;        // Secret scalar in [1, n-1].
+  AffinePoint pub;  // d * G.
+};
+
+// Derives a key pair from 32 bytes of seed material (hashed and reduced into range).
+SchnorrKeyPair SchnorrKeyFromSeed(ByteView seed);
+
+// Signature is 96 bytes: R.x || R.y || s, all big-endian.
+constexpr size_t kSchnorrSignatureSize = 96;
+
+Bytes SchnorrSign(const SchnorrKeyPair& key, ByteView msg);
+bool SchnorrVerify(const AffinePoint& pub, ByteView msg, ByteView sig);
+
+}  // namespace achilles
+
+#endif  // SRC_CRYPTO_SCHNORR_H_

@@ -1,0 +1,257 @@
+#include "src/crypto/secp256k1.h"
+
+#include "src/common/check.h"
+
+namespace achilles {
+
+namespace {
+
+// p = 2^256 - kFoldC, with kFoldC = 2^32 + 977. The fold constant drives fast reduction:
+// 2^256 ≡ kFoldC (mod p).
+constexpr uint64_t kFoldC = 0x1000003D1ULL;
+
+const UInt256 kP = UInt256::FromHexStr(
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+const UInt256 kN = UInt256::FromHexStr(
+    "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+
+const AffinePoint kG = {
+    UInt256::FromHexStr("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"),
+    UInt256::FromHexStr("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8"),
+    /*infinity=*/false};
+
+// Reduces a 512-bit product modulo p using two folds of the high half.
+UInt256 ReduceP(const UInt512& x) {
+  uint64_t r[4];
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned __int128 cur =
+        static_cast<unsigned __int128>(x[i]) +
+        static_cast<unsigned __int128>(x[i + 4]) * kFoldC + carry;
+    r[i] = static_cast<uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  // carry < 2^34; fold carry * 2^256 ≡ carry * kFoldC until no overflow remains.
+  uint64_t overflow = static_cast<uint64_t>(carry);
+  while (overflow != 0) {
+    const unsigned __int128 add = static_cast<unsigned __int128>(overflow) * kFoldC;
+    const uint64_t add_limbs[2] = {static_cast<uint64_t>(add),
+                                   static_cast<uint64_t>(add >> 64)};
+    unsigned __int128 c = 0;
+    for (int i = 0; i < 4; ++i) {
+      const unsigned __int128 cur =
+          static_cast<unsigned __int128>(r[i]) + (i < 2 ? add_limbs[i] : 0) + c;
+      r[i] = static_cast<uint64_t>(cur);
+      c = cur >> 64;
+    }
+    overflow = static_cast<uint64_t>(c);
+  }
+  UInt256 out;
+  out.limbs = {r[0], r[1], r[2], r[3]};
+  while (Cmp(out, kP) >= 0) {
+    UInt256 reduced;
+    SubWithBorrow(out, kP, reduced);
+    out = reduced;
+  }
+  return out;
+}
+
+}  // namespace
+
+const UInt256& Secp256k1P() { return kP; }
+const UInt256& Secp256k1N() { return kN; }
+const AffinePoint& Secp256k1G() { return kG; }
+
+UInt256 FieldAdd(const UInt256& a, const UInt256& b) { return AddMod(a, b, kP); }
+UInt256 FieldSub(const UInt256& a, const UInt256& b) { return SubMod(a, b, kP); }
+
+UInt256 FieldMul(const UInt256& a, const UInt256& b) { return ReduceP(Mul256(a, b)); }
+UInt256 FieldSqr(const UInt256& a) { return ReduceP(Mul256(a, a)); }
+
+UInt256 FieldNeg(const UInt256& a) {
+  if (a.IsZero()) {
+    return a;
+  }
+  UInt256 out;
+  SubWithBorrow(kP, a, out);
+  return out;
+}
+
+UInt256 FieldInv(const UInt256& a) {
+  ACHILLES_CHECK(!a.IsZero());
+  // a^(p-2) via square-and-multiply over the fixed exponent.
+  UInt256 exp;
+  SubWithBorrow(kP, UInt256::FromU64(2), exp);
+  UInt256 result = UInt256::FromU64(1);
+  UInt256 base = a;
+  for (int i = 0; i < 256; ++i) {
+    if (exp.Bit(i)) {
+      result = FieldMul(result, base);
+    }
+    base = FieldSqr(base);
+  }
+  return result;
+}
+
+bool AffinePoint::operator==(const AffinePoint& o) const {
+  if (infinity || o.infinity) {
+    return infinity == o.infinity;
+  }
+  return x == o.x && y == o.y;
+}
+
+JacobianPoint JacobianPoint::Infinity() { return JacobianPoint{}; }
+
+JacobianPoint JacobianPoint::FromAffine(const AffinePoint& p) {
+  if (p.infinity) {
+    return Infinity();
+  }
+  return JacobianPoint{p.x, p.y, UInt256::FromU64(1)};
+}
+
+JacobianPoint PointDouble(const JacobianPoint& p) {
+  if (p.IsInfinity() || p.y.IsZero()) {
+    return JacobianPoint::Infinity();
+  }
+  const UInt256 y2 = FieldSqr(p.y);
+  const UInt256 s = FieldMul(FieldMul(UInt256::FromU64(4), p.x), y2);
+  const UInt256 m = FieldMul(UInt256::FromU64(3), FieldSqr(p.x));  // a = 0 on secp256k1.
+  const UInt256 x3 = FieldSub(FieldSqr(m), FieldMul(UInt256::FromU64(2), s));
+  const UInt256 y4 = FieldSqr(y2);
+  const UInt256 y3 =
+      FieldSub(FieldMul(m, FieldSub(s, x3)), FieldMul(UInt256::FromU64(8), y4));
+  const UInt256 z3 = FieldMul(FieldMul(UInt256::FromU64(2), p.y), p.z);
+  return JacobianPoint{x3, y3, z3};
+}
+
+JacobianPoint PointAddMixed(const JacobianPoint& p, const AffinePoint& q) {
+  if (q.infinity) {
+    return p;
+  }
+  if (p.IsInfinity()) {
+    return JacobianPoint::FromAffine(q);
+  }
+  const UInt256 z1z1 = FieldSqr(p.z);
+  const UInt256 u2 = FieldMul(q.x, z1z1);
+  const UInt256 s2 = FieldMul(FieldMul(q.y, p.z), z1z1);
+  if (u2 == p.x) {
+    if (s2 == p.y) {
+      return PointDouble(p);
+    }
+    return JacobianPoint::Infinity();
+  }
+  const UInt256 h = FieldSub(u2, p.x);
+  const UInt256 r = FieldSub(s2, p.y);
+  const UInt256 h2 = FieldSqr(h);
+  const UInt256 h3 = FieldMul(h, h2);
+  const UInt256 v = FieldMul(p.x, h2);
+  const UInt256 x3 =
+      FieldSub(FieldSub(FieldSqr(r), h3), FieldMul(UInt256::FromU64(2), v));
+  const UInt256 y3 = FieldSub(FieldMul(r, FieldSub(v, x3)), FieldMul(p.y, h3));
+  const UInt256 z3 = FieldMul(p.z, h);
+  return JacobianPoint{x3, y3, z3};
+}
+
+JacobianPoint PointAdd(const JacobianPoint& p, const JacobianPoint& q) {
+  if (p.IsInfinity()) {
+    return q;
+  }
+  if (q.IsInfinity()) {
+    return p;
+  }
+  const UInt256 z1z1 = FieldSqr(p.z);
+  const UInt256 z2z2 = FieldSqr(q.z);
+  const UInt256 u1 = FieldMul(p.x, z2z2);
+  const UInt256 u2 = FieldMul(q.x, z1z1);
+  const UInt256 s1 = FieldMul(FieldMul(p.y, q.z), z2z2);
+  const UInt256 s2 = FieldMul(FieldMul(q.y, p.z), z1z1);
+  if (u1 == u2) {
+    if (s1 == s2) {
+      return PointDouble(p);
+    }
+    return JacobianPoint::Infinity();
+  }
+  const UInt256 h = FieldSub(u2, u1);
+  const UInt256 r = FieldSub(s2, s1);
+  const UInt256 h2 = FieldSqr(h);
+  const UInt256 h3 = FieldMul(h, h2);
+  const UInt256 v = FieldMul(u1, h2);
+  const UInt256 x3 =
+      FieldSub(FieldSub(FieldSqr(r), h3), FieldMul(UInt256::FromU64(2), v));
+  const UInt256 y3 = FieldSub(FieldMul(r, FieldSub(v, x3)), FieldMul(s1, h3));
+  const UInt256 z3 = FieldMul(FieldMul(p.z, q.z), h);
+  return JacobianPoint{x3, y3, z3};
+}
+
+AffinePoint ToAffine(const JacobianPoint& p) {
+  if (p.IsInfinity()) {
+    return AffinePoint{};
+  }
+  const UInt256 zinv = FieldInv(p.z);
+  const UInt256 zinv2 = FieldSqr(zinv);
+  const UInt256 zinv3 = FieldMul(zinv2, zinv);
+  return AffinePoint{FieldMul(p.x, zinv2), FieldMul(p.y, zinv3), /*infinity=*/false};
+}
+
+AffinePoint ScalarMul(const UInt256& k, const AffinePoint& p) {
+  if (k.IsZero() || p.infinity) {
+    return AffinePoint{};
+  }
+  JacobianPoint acc = JacobianPoint::Infinity();
+  for (int i = k.BitLength() - 1; i >= 0; --i) {
+    acc = PointDouble(acc);
+    if (k.Bit(i)) {
+      acc = PointAddMixed(acc, p);
+    }
+  }
+  return ToAffine(acc);
+}
+
+AffinePoint ScalarMulBase(const UInt256& k) { return ScalarMul(k, kG); }
+
+bool IsOnCurve(const AffinePoint& p) {
+  if (p.infinity) {
+    return true;
+  }
+  if (Cmp(p.x, kP) >= 0 || Cmp(p.y, kP) >= 0) {
+    return false;
+  }
+  const UInt256 lhs = FieldSqr(p.y);
+  const UInt256 rhs = FieldAdd(FieldMul(FieldSqr(p.x), p.x), UInt256::FromU64(7));
+  return lhs == rhs;
+}
+
+Bytes EncodePoint(const AffinePoint& p) {
+  Bytes out(64, 0);
+  if (p.infinity) {
+    return out;
+  }
+  const Bytes x = p.x.ToBytesBE();
+  const Bytes y = p.y.ToBytesBE();
+  std::copy(x.begin(), x.end(), out.begin());
+  std::copy(y.begin(), y.end(), out.begin() + 32);
+  return out;
+}
+
+bool DecodePoint(ByteView data, AffinePoint& out) {
+  if (data.size() != 64) {
+    return false;
+  }
+  bool all_zero = true;
+  for (uint8_t b : data) {
+    if (b != 0) {
+      all_zero = false;
+      break;
+    }
+  }
+  if (all_zero) {
+    out = AffinePoint{};
+    return true;
+  }
+  out.x = UInt256::FromBytesBE(data.subspan(0, 32));
+  out.y = UInt256::FromBytesBE(data.subspan(32, 32));
+  out.infinity = false;
+  return IsOnCurve(out);
+}
+
+}  // namespace achilles

@@ -1,0 +1,63 @@
+// secp256k1 group arithmetic: fast reduction modulo the field prime, Jacobian point
+// operations, and scalar multiplication. The paper's prototype uses OpenSSL ECDSA over
+// prime256v1; this from-scratch secp256k1 layer plays the same role (see DESIGN.md §1).
+#ifndef SRC_CRYPTO_SECP256K1_H_
+#define SRC_CRYPTO_SECP256K1_H_
+
+#include "src/crypto/uint256.h"
+
+namespace achilles {
+
+// Field prime p = 2^256 - 2^32 - 977 and group order n.
+const UInt256& Secp256k1P();
+const UInt256& Secp256k1N();
+
+// Field element operations (values are canonical, i.e. < p).
+UInt256 FieldAdd(const UInt256& a, const UInt256& b);
+UInt256 FieldSub(const UInt256& a, const UInt256& b);
+UInt256 FieldMul(const UInt256& a, const UInt256& b);
+UInt256 FieldSqr(const UInt256& a);
+UInt256 FieldInv(const UInt256& a);  // a != 0, via Fermat's little theorem.
+UInt256 FieldNeg(const UInt256& a);
+
+struct AffinePoint {
+  UInt256 x;
+  UInt256 y;
+  bool infinity = true;
+
+  bool operator==(const AffinePoint& o) const;
+};
+
+struct JacobianPoint {
+  UInt256 x;
+  UInt256 y;
+  UInt256 z;  // z == 0 encodes the point at infinity.
+
+  static JacobianPoint Infinity();
+  static JacobianPoint FromAffine(const AffinePoint& p);
+  bool IsInfinity() const { return z.IsZero(); }
+};
+
+const AffinePoint& Secp256k1G();
+
+JacobianPoint PointDouble(const JacobianPoint& p);
+JacobianPoint PointAddMixed(const JacobianPoint& p, const AffinePoint& q);
+JacobianPoint PointAdd(const JacobianPoint& p, const JacobianPoint& q);
+AffinePoint ToAffine(const JacobianPoint& p);
+
+// k * P via left-to-right double-and-add.
+AffinePoint ScalarMul(const UInt256& k, const AffinePoint& p);
+// k * G.
+AffinePoint ScalarMulBase(const UInt256& k);
+
+// True iff (x, y) satisfies y^2 = x^3 + 7 with x, y canonical field elements.
+bool IsOnCurve(const AffinePoint& p);
+
+// Serialization: 64 bytes x||y big-endian (uncompressed, no prefix byte). Infinity is all
+// zeros. Decode validates curve membership.
+Bytes EncodePoint(const AffinePoint& p);
+bool DecodePoint(ByteView data, AffinePoint& out);
+
+}  // namespace achilles
+
+#endif  // SRC_CRYPTO_SECP256K1_H_

@@ -1,0 +1,48 @@
+// From-scratch SHA-256 (FIPS 180-4). Used for block hashes, certificate digests, sealing
+// MACs, and as the PRF behind the fast signature mode.
+#ifndef SRC_CRYPTO_SHA256_H_
+#define SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace achilles {
+
+using Hash256 = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(ByteView data);
+  Hash256 Finish();
+  void Reset();
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+// One-shot convenience.
+Hash256 Sha256Digest(ByteView data);
+
+// Hash of the concatenation of two hashes (chain/Merkle links).
+Hash256 HashPair(const Hash256& a, const Hash256& b);
+
+// Hex string of a hash (for logs and ids).
+std::string HashToHex(const Hash256& h);
+
+// Short prefix for logging.
+std::string HashAbbrev(const Hash256& h);
+
+constexpr Hash256 ZeroHash() { return Hash256{}; }
+
+}  // namespace achilles
+
+#endif  // SRC_CRYPTO_SHA256_H_

@@ -1,0 +1,104 @@
+#include "src/crypto/signer.h"
+
+#include "src/common/check.h"
+#include "src/crypto/hmac.h"
+
+namespace achilles {
+
+namespace {
+constexpr size_t kHmacTagSize = 32;
+// The fast mode models a 64-byte ECDSA signature on the wire; the tag itself is 32 bytes, so
+// we pad with the signer-bound derivation to keep encoded size honest.
+constexpr size_t kModeledSigSize = 64;
+}  // namespace
+
+CryptoSuite::CryptoSuite(SignatureScheme scheme, uint32_t num_parties, uint64_t seed)
+    : scheme_(scheme), num_parties_(num_parties) {
+  Bytes seed_bytes(32, 0);
+  for (int i = 0; i < 8; ++i) {
+    seed_bytes[static_cast<size_t>(i)] = static_cast<uint8_t>(seed >> (8 * i));
+  }
+  if (scheme_ == SignatureScheme::kSchnorr) {
+    schnorr_keys_.reserve(num_parties_);
+    for (uint32_t i = 0; i < num_parties_; ++i) {
+      Bytes party_seed = seed_bytes;
+      party_seed.push_back(static_cast<uint8_t>(i));
+      party_seed.push_back(static_cast<uint8_t>(i >> 8));
+      party_seed.push_back(static_cast<uint8_t>(i >> 16));
+      party_seed.push_back(static_cast<uint8_t>(i >> 24));
+      schnorr_keys_.push_back(
+          SchnorrKeyFromSeed(ByteView(party_seed.data(), party_seed.size())));
+    }
+  } else {
+    hmac_keys_.reserve(num_parties_);
+    const Hash256 master =
+        DeriveKey(ByteView(seed_bytes.data(), seed_bytes.size()), "suite-master", ByteView());
+    for (uint32_t i = 0; i < num_parties_; ++i) {
+      Bytes ctx(4);
+      for (int b = 0; b < 4; ++b) {
+        ctx[static_cast<size_t>(b)] = static_cast<uint8_t>(i >> (8 * b));
+      }
+      hmac_keys_.push_back(DeriveKey(ByteView(master.data(), master.size()), "party-key",
+                                     ByteView(ctx.data(), ctx.size())));
+    }
+  }
+}
+
+Signature CryptoSuite::Sign(uint32_t signer, ByteView msg) const {
+  ACHILLES_CHECK(signer < num_parties_);
+  Signature sig;
+  sig.signer = signer;
+  if (scheme_ == SignatureScheme::kSchnorr) {
+    sig.blob = SchnorrSign(schnorr_keys_[signer], msg);
+  } else {
+    const Hash256 tag =
+        HmacSha256(ByteView(hmac_keys_[signer].data(), kHmacTagSize), msg);
+    sig.blob.assign(tag.begin(), tag.end());
+    sig.blob.resize(kModeledSigSize, 0);  // Pad to the modeled ECDSA wire size.
+  }
+  return sig;
+}
+
+bool CryptoSuite::Verify(const Signature& sig, ByteView msg) const {
+  if (sig.signer >= num_parties_) {
+    return false;
+  }
+  if (scheme_ == SignatureScheme::kSchnorr) {
+    return SchnorrVerify(schnorr_keys_[sig.signer].pub, msg,
+                         ByteView(sig.blob.data(), sig.blob.size()));
+  }
+  if (sig.blob.size() != kModeledSigSize) {
+    return false;
+  }
+  const Hash256 tag =
+      HmacSha256(ByteView(hmac_keys_[sig.signer].data(), kHmacTagSize), msg);
+  return ConstantTimeEqual(ByteView(sig.blob.data(), kHmacTagSize),
+                           ByteView(tag.data(), tag.size()));
+}
+
+bool CryptoSuite::VerifyQuorum(const std::vector<Signature>& sigs, ByteView msg,
+                               size_t quorum) const {
+  if (sigs.size() < quorum) {
+    return false;
+  }
+  std::vector<bool> seen(num_parties_, false);
+  size_t valid = 0;
+  for (const Signature& sig : sigs) {
+    if (sig.signer >= num_parties_ || seen[sig.signer]) {
+      return false;
+    }
+    if (!Verify(sig, msg)) {
+      return false;
+    }
+    seen[sig.signer] = true;
+    ++valid;
+  }
+  return valid >= quorum;
+}
+
+const AffinePoint& CryptoSuite::PublicKey(uint32_t party) const {
+  ACHILLES_CHECK(scheme_ == SignatureScheme::kSchnorr && party < num_parties_);
+  return schnorr_keys_[party].pub;
+}
+
+}  // namespace achilles

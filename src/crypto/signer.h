@@ -1,0 +1,60 @@
+// Signing suite shared by a cluster. Two interchangeable backends:
+//  - kSchnorr:  the real secp256k1 Schnorr implementation (slow, used in crypto tests and the
+//               calibration bench);
+//  - kFastHmac: HMAC-SHA-256 tags under per-party keys held by the suite. Inside the closed
+//               simulation this models an unforgeable signature (no simulated party can forge
+//               without the suite), while keeping large runs fast. Wire size is modeled as an
+//               ECDSA signature (64 B) to match the paper's prototype.
+// Either way the *cost* of signing/verifying charged to simulated CPUs comes from the
+// CostModel, not from host wall-clock, so the backend choice never changes measured results.
+#ifndef SRC_CRYPTO_SIGNER_H_
+#define SRC_CRYPTO_SIGNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/schnorr.h"
+#include "src/crypto/sha256.h"
+
+namespace achilles {
+
+enum class SignatureScheme {
+  kSchnorr,
+  kFastHmac,
+};
+
+struct Signature {
+  uint32_t signer = 0;
+  Bytes blob;
+
+  // Bytes this signature occupies on the wire (id + blob).
+  size_t WireSize() const { return 4 + blob.size(); }
+  bool empty() const { return blob.empty(); }
+};
+
+class CryptoSuite {
+ public:
+  CryptoSuite(SignatureScheme scheme, uint32_t num_parties, uint64_t seed);
+
+  SignatureScheme scheme() const { return scheme_; }
+  uint32_t num_parties() const { return num_parties_; }
+
+  Signature Sign(uint32_t signer, ByteView msg) const;
+  bool Verify(const Signature& sig, ByteView msg) const;
+
+  // Verifies a quorum of signatures over the same message: all valid, all signers distinct,
+  // and at least `quorum` of them.
+  bool VerifyQuorum(const std::vector<Signature>& sigs, ByteView msg, size_t quorum) const;
+
+  const AffinePoint& PublicKey(uint32_t party) const;
+
+ private:
+  SignatureScheme scheme_;
+  uint32_t num_parties_;
+  std::vector<SchnorrKeyPair> schnorr_keys_;  // kSchnorr only.
+  std::vector<Hash256> hmac_keys_;            // kFastHmac only.
+};
+
+}  // namespace achilles
+
+#endif  // SRC_CRYPTO_SIGNER_H_

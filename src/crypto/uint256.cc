@@ -1,0 +1,170 @@
+#include "src/crypto/uint256.h"
+
+#include "src/common/check.h"
+
+namespace achilles {
+
+UInt256 UInt256::FromU64(uint64_t v) {
+  UInt256 out;
+  out.limbs[0] = v;
+  return out;
+}
+
+UInt256 UInt256::FromBytesBE(ByteView be32) {
+  UInt256 out;
+  if (be32.size() != 32) {
+    return out;
+  }
+  for (int limb = 0; limb < 4; ++limb) {
+    uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v = (v << 8) | be32[(3 - limb) * 8 + b];
+    }
+    out.limbs[limb] = v;
+  }
+  return out;
+}
+
+UInt256 UInt256::FromHexStr(const std::string& hex) {
+  std::string padded = hex;
+  while (padded.size() < 64) {
+    padded.insert(padded.begin(), '0');
+  }
+  const Bytes b = FromHex(padded);
+  if (b.size() != 32) {
+    return UInt256{};
+  }
+  return FromBytesBE(ByteView(b.data(), b.size()));
+}
+
+Bytes UInt256::ToBytesBE() const {
+  Bytes out(32);
+  for (int limb = 0; limb < 4; ++limb) {
+    const uint64_t v = limbs[limb];
+    for (int b = 0; b < 8; ++b) {
+      out[(3 - limb) * 8 + (7 - b)] = static_cast<uint8_t>(v >> (8 * b));
+    }
+  }
+  return out;
+}
+
+std::string UInt256::ToHexStr() const {
+  const Bytes b = ToBytesBE();
+  return ToHex(ByteView(b.data(), b.size()));
+}
+
+bool UInt256::IsZero() const {
+  return (limbs[0] | limbs[1] | limbs[2] | limbs[3]) == 0;
+}
+
+bool UInt256::Bit(int i) const {
+  return (limbs[static_cast<size_t>(i) / 64] >> (static_cast<size_t>(i) % 64)) & 1;
+}
+
+int UInt256::BitLength() const {
+  for (int limb = 3; limb >= 0; --limb) {
+    if (limbs[limb] != 0) {
+      return limb * 64 + 64 - __builtin_clzll(limbs[limb]);
+    }
+  }
+  return 0;
+}
+
+int Cmp(const UInt256& a, const UInt256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.limbs[i] < b.limbs[i]) {
+      return -1;
+    }
+    if (a.limbs[i] > b.limbs[i]) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+uint64_t AddWithCarry(const UInt256& a, const UInt256& b, UInt256& out) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned __int128 sum =
+        static_cast<unsigned __int128>(a.limbs[i]) + b.limbs[i] + carry;
+    out.limbs[i] = static_cast<uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  return static_cast<uint64_t>(carry);
+}
+
+uint64_t SubWithBorrow(const UInt256& a, const UInt256& b, UInt256& out) {
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned __int128 diff =
+        static_cast<unsigned __int128>(a.limbs[i]) - b.limbs[i] - borrow;
+    out.limbs[i] = static_cast<uint64_t>(diff);
+    borrow = (diff >> 64) & 1;
+  }
+  return static_cast<uint64_t>(borrow);
+}
+
+UInt512 Mul256(const UInt256& a, const UInt256& b) {
+  UInt512 out{};
+  for (int i = 0; i < 4; ++i) {
+    uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const unsigned __int128 cur = static_cast<unsigned __int128>(a.limbs[i]) * b.limbs[j] +
+                                    out[i + j] + carry;
+      out[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    out[i + 4] += carry;
+  }
+  return out;
+}
+
+UInt256 Mod512(const UInt512& x, const UInt256& m) {
+  ACHILLES_CHECK(!m.IsZero());
+  UInt256 rem{};
+  for (int bit = 511; bit >= 0; --bit) {
+    // rem = rem*2 + x_bit, then conditionally subtract m. rem < m before the shift, so the
+    // shifted value is < 2m and a single subtraction restores the invariant. A carry out of
+    // the top limb means the value crossed 2^256 > m, so subtraction is mandatory then.
+    uint64_t carry = rem.limbs[3] >> 63;
+    for (int i = 3; i > 0; --i) {
+      rem.limbs[i] = (rem.limbs[i] << 1) | (rem.limbs[i - 1] >> 63);
+    }
+    rem.limbs[0] = (rem.limbs[0] << 1) |
+                   ((x[static_cast<size_t>(bit) / 64] >> (static_cast<size_t>(bit) % 64)) & 1);
+    if (carry != 0 || Cmp(rem, m) >= 0) {
+      UInt256 reduced;
+      SubWithBorrow(rem, m, reduced);
+      rem = reduced;
+    }
+  }
+  return rem;
+}
+
+UInt256 AddMod(const UInt256& a, const UInt256& b, const UInt256& m) {
+  UInt256 sum;
+  const uint64_t carry = AddWithCarry(a, b, sum);
+  if (carry != 0 || Cmp(sum, m) >= 0) {
+    UInt256 reduced;
+    SubWithBorrow(sum, m, reduced);
+    return reduced;
+  }
+  return sum;
+}
+
+UInt256 SubMod(const UInt256& a, const UInt256& b, const UInt256& m) {
+  UInt256 diff;
+  const uint64_t borrow = SubWithBorrow(a, b, diff);
+  if (borrow != 0) {
+    UInt256 fixed;
+    AddWithCarry(diff, m, fixed);
+    return fixed;
+  }
+  return diff;
+}
+
+UInt256 MulMod(const UInt256& a, const UInt256& b, const UInt256& m) {
+  return Mod512(Mul256(a, b), m);
+}
+
+}  // namespace achilles

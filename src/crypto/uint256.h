@@ -1,0 +1,57 @@
+// 256-bit unsigned integer arithmetic for the elliptic-curve layer. Little-endian 64-bit
+// limbs. Only the operations the curve needs are provided; everything is constant-size.
+#ifndef SRC_CRYPTO_UINT256_H_
+#define SRC_CRYPTO_UINT256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+
+namespace achilles {
+
+struct UInt256 {
+  // limbs[0] is least significant.
+  std::array<uint64_t, 4> limbs{0, 0, 0, 0};
+
+  static UInt256 FromU64(uint64_t v);
+  static UInt256 FromBytesBE(ByteView be32);  // Exactly 32 bytes; extra bytes rejected via 0.
+  static UInt256 FromHexStr(const std::string& hex);
+
+  Bytes ToBytesBE() const;
+  std::string ToHexStr() const;
+
+  bool IsZero() const;
+  bool Bit(int i) const;  // i in [0, 255].
+  int BitLength() const;
+
+  bool operator==(const UInt256& o) const { return limbs == o.limbs; }
+  bool operator!=(const UInt256& o) const { return !(*this == o); }
+};
+
+// Returns -1/0/1 for a<b, a==b, a>b.
+int Cmp(const UInt256& a, const UInt256& b);
+
+// out = a + b, returns carry-out bit.
+uint64_t AddWithCarry(const UInt256& a, const UInt256& b, UInt256& out);
+
+// out = a - b, returns borrow-out bit.
+uint64_t SubWithBorrow(const UInt256& a, const UInt256& b, UInt256& out);
+
+// 512-bit product container (8 limbs little-endian).
+using UInt512 = std::array<uint64_t, 8>;
+
+UInt512 Mul256(const UInt256& a, const UInt256& b);
+
+// Generic x mod m via binary long division over 512 bits. m must be nonzero.
+UInt256 Mod512(const UInt512& x, const UInt256& m);
+
+// Modular helpers built on the generic reduction (used for the group order n).
+UInt256 AddMod(const UInt256& a, const UInt256& b, const UInt256& m);
+UInt256 SubMod(const UInt256& a, const UInt256& b, const UInt256& m);
+UInt256 MulMod(const UInt256& a, const UInt256& b, const UInt256& m);
+
+}  // namespace achilles
+
+#endif  // SRC_CRYPTO_UINT256_H_

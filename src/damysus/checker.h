@@ -1,0 +1,85 @@
+// Damysus' trusted components (paper Appendix A): a CHECKER tracking the last *prepared*
+// block (two voting phases per view) and an ACCUMULATOR for leader parent selection.
+//
+// Rollback handling is local: the checker seals its state after every mutation. In the -R
+// variant each mutation additionally writes a persistent monotonic counter whose value is
+// bound into the sealed blob; on restart the sealed state is only accepted if its version
+// matches the counter, otherwise the enclave refuses to run (crash-stop). Without the
+// counter (plain Damysus), a rolled-back seal is accepted silently — the vulnerability the
+// paper's §2.1 describes, demonstrated by tests/damysus_test.cc.
+#ifndef SRC_DAMYSUS_CHECKER_H_
+#define SRC_DAMYSUS_CHECKER_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/consensus/certificates.h"
+#include "src/consensus/types.h"
+#include "src/tee/enclave.h"
+
+namespace achilles {
+
+inline constexpr const char* kDamPrep = "damysus/PREP";        // Leader block certificates.
+inline constexpr const char* kDamVote1 = "damysus/VOTE1";      // Prepare-phase votes.
+inline constexpr const char* kDamVote2 = "damysus/VOTE2";      // Pre-commit votes / commit QC.
+inline constexpr const char* kDamNewView = "damysus/NEW-VIEW";
+inline constexpr const char* kDamAcc = "damysus/ACC";
+
+class DamysusChecker {
+ public:
+  // Fresh genesis-time checker.
+  DamysusChecker(EnclaveRuntime* enclave, uint32_t n, uint32_t f);
+
+  // Restores a checker from sealed storage after a reboot. Returns nullptr when the state
+  // is unusable: missing/forged seal, or (-R only) seal version != persistent counter —
+  // i.e. a detected rollback, upon which Damysus-R refuses to participate.
+  static std::unique_ptr<DamysusChecker> Restore(EnclaveRuntime* enclave, uint32_t n,
+                                                 uint32_t f);
+
+  View vi() const { return vi_; }
+  View prepv() const { return prepv_; }
+  const Hash256& preph() const { return preph_; }
+  bool proposed_flag() const { return flag_; }
+
+  // Leader: certify a block for the current view. Justified either by an accumulator over
+  // f+1 NEW-VIEW certificates or by a commit QC of the previous view (chained fast path).
+  std::optional<SignedCert> TdPrepare(const Block& b, const AccumulatorCert& acc);
+  std::optional<SignedCert> TdPrepare(const Block& b, const QuorumCert& commit_qc);
+
+  // Backup: first-phase vote on the leader's block certificate.
+  std::optional<SignedCert> TdVote(const SignedCert& prep_cert);
+
+  // Any node: second-phase vote; records the block as prepared. `prepared_qc` combines f+1
+  // first-phase votes.
+  std::optional<SignedCert> TdStore(const QuorumCert& prepared_qc);
+
+  // Timeout path: jump to `target` view, emitting the NEW-VIEW certificate.
+  std::optional<SignedCert> TdNewView(View target);
+
+  // Stateless accumulator over NEW-VIEW certificates for the current view.
+  std::optional<AccumulatorCert> TdAccum(const std::vector<SignedCert>& view_certs);
+
+ private:
+  DamysusChecker(EnclaveRuntime* enclave, uint32_t n, uint32_t f, bool restored);
+
+  // Seals the state and, when a counter device is present, binds + bumps it.
+  void PersistState();
+  void AdvanceTo(View v);
+
+  EnclaveRuntime* enclave_;
+  uint32_t n_;
+  uint32_t f_;
+
+  View vi_ = 0;
+  bool flag_ = false;    // Leader proposed in vi.
+  bool voted1_ = false;  // First-phase vote cast in vi.
+  bool voted2_ = false;  // Second-phase vote cast in vi.
+  View prepv_ = 0;
+  Hash256 preph_;
+  uint64_t version_ = 0;  // Monotonic state version bound to the counter in -R.
+};
+
+}  // namespace achilles
+
+#endif  // SRC_DAMYSUS_CHECKER_H_

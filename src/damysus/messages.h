@@ -1,0 +1,45 @@
+// Wire messages of (chained) Damysus: two voting phases per view.
+#ifndef SRC_DAMYSUS_MESSAGES_H_
+#define SRC_DAMYSUS_MESSAGES_H_
+
+#include "src/consensus/certificates.h"
+#include "src/sim/process.h"
+
+namespace achilles {
+
+struct DamProposeMsg : SimMessage {
+  BlockPtr block;
+  SignedCert prep_cert;
+  size_t WireSize() const override { return block->WireSize() + prep_cert.WireSize(); }
+};
+
+struct DamVote1Msg : SimMessage {
+  SignedCert vote;
+  size_t WireSize() const override { return vote.WireSize(); }
+};
+
+// Leader -> all: prepared QC (f+1 first-phase votes).
+struct DamPreCommitMsg : SimMessage {
+  QuorumCert prepared_qc;
+  size_t WireSize() const override { return prepared_qc.WireSize(); }
+};
+
+struct DamVote2Msg : SimMessage {
+  SignedCert vote;
+  size_t WireSize() const override { return vote.WireSize(); }
+};
+
+// Leader -> all (and node -> next leader): commit QC (f+1 second-phase votes).
+struct DamDecideMsg : SimMessage {
+  QuorumCert commit_qc;
+  size_t WireSize() const override { return commit_qc.WireSize(); }
+};
+
+struct DamNewViewMsg : SimMessage {
+  SignedCert view_cert;
+  size_t WireSize() const override { return view_cert.WireSize(); }
+};
+
+}  // namespace achilles
+
+#endif  // SRC_DAMYSUS_MESSAGES_H_

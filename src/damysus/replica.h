@@ -1,0 +1,72 @@
+// Chained Damysus replica (Appendix A of the Achilles paper): NEW-VIEW, PREPARE (propose +
+// first votes), PRE-COMMIT (QC + second votes), DECIDE. Six end-to-end steps vs Achilles'
+// four. With a counter-equipped platform this is Damysus-R: every checker mutation stalls
+// on a persistent counter write.
+#ifndef SRC_DAMYSUS_REPLICA_H_
+#define SRC_DAMYSUS_REPLICA_H_
+
+#include <map>
+#include <vector>
+
+#include "src/consensus/replica_base.h"
+#include "src/damysus/checker.h"
+#include "src/damysus/messages.h"
+
+namespace achilles {
+
+class DamysusReplica : public ReplicaBase {
+ public:
+  DamysusReplica(const ReplicaContext& ctx, bool initial_launch);
+
+  void OnStart() override;
+
+  // True when restore after reboot failed (detected rollback in -R): crash-stop.
+  bool halted() const { return checker_ == nullptr; }
+  View current_view() const { return cur_view_; }
+  const DamysusChecker* checker() const { return checker_.get(); }
+
+ protected:
+  void HandleMessage(NodeId from, const MessageRef& msg) override;
+  void OnViewTimeout(View view) override;
+  void OnBlocksSynced() override;
+
+ private:
+  void OnPropose(NodeId from, const std::shared_ptr<const DamProposeMsg>& msg);
+  void OnVote1(const DamVote1Msg& msg);
+  void OnPreCommit(NodeId from, const std::shared_ptr<const DamPreCommitMsg>& msg);
+  void OnVote2(const DamVote2Msg& msg);
+  void OnDecide(NodeId from, const std::shared_ptr<const DamDecideMsg>& msg);
+  void OnNewView(const DamNewViewMsg& msg);
+
+  void TryProposeFromCommit(View w);
+  void TryProposeFromViewCerts(View w);
+  void BuildAndBroadcastProposal(View w, const BlockPtr& parent,
+                                 const AccumulatorCert* acc, const QuorumCert* commit_qc);
+  void AdvanceViaNewView(View target);
+  void EnterViewAfterCommit(View new_view, const std::shared_ptr<const DamDecideMsg>& msg);
+
+  std::unique_ptr<DamysusChecker> checker_;
+  View cur_view_ = 0;
+  uint32_t consecutive_timeouts_ = 0;
+
+  struct StoredBlock {
+    BlockPtr block;
+    QuorumCert commit_qc;
+  };
+  StoredBlock latest_committed_;
+
+  std::map<View, std::vector<SignedCert>> vote1_;
+  std::map<View, std::vector<SignedCert>> vote2_;
+  std::map<View, std::vector<SignedCert>> view_certs_;
+  std::map<View, Hash256> proposed_hash_;
+  std::map<View, QuorumCert> commit_certs_;
+  View highest_precommit_ = 0;
+  View highest_decided_ = 0;
+
+  std::vector<std::pair<NodeId, std::shared_ptr<const DamProposeMsg>>> pending_proposals_;
+  std::vector<std::pair<NodeId, std::shared_ptr<const DamDecideMsg>>> pending_decides_;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_DAMYSUS_REPLICA_H_

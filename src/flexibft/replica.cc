@@ -1,0 +1,257 @@
+#include "src/flexibft/replica.h"
+
+#include <algorithm>
+
+namespace achilles {
+
+std::optional<SignedCert> FlexiSequencer::Order(const Block& b, uint64_t seq,
+                                                uint64_t epoch) {
+  enclave_->ChargeEcall();
+  if (epoch != epoch_ || seq != next_seq_) {
+    return std::nullopt;
+  }
+  ++next_seq_;
+  // The sequencer is the only counter-protected state in FlexiBFT: one write per block.
+  MonotonicCounter& counter = enclave_->platform().counter();
+  if (counter.spec().enabled()) {
+    counter.IncrementBlocking();
+  }
+  SignedCert cert;
+  cert.hash = b.hash;
+  cert.view = seq;
+  cert.aux = epoch;
+  enclave_->ChargeSign();
+  const Bytes digest = cert.Digest(kFbOrder);
+  cert.sig = enclave_->Sign(ByteView(digest.data(), digest.size()));
+  return cert;
+}
+
+bool FlexiSequencer::StartEpoch(uint64_t epoch, uint64_t start_seq) {
+  enclave_->ChargeEcall();
+  if (epoch <= epoch_) {
+    return false;
+  }
+  epoch_ = epoch;
+  next_seq_ = start_seq;
+  return true;
+}
+
+FlexiBftReplica::FlexiBftReplica(const ReplicaContext& ctx, bool /*initial_launch*/)
+    : ReplicaBase(ctx), sequencer_(&enclave()) {
+  // Backups keep no trusted state: a rebooted FlexiBFT node simply rejoins at the current
+  // epoch (its quorum math tolerates rolled-back backups — the 3f+1 trade-off).
+  last_proposed_ = Block::Genesis();
+}
+
+void FlexiBftReplica::OnStart() {
+  ArmViewTimer(epoch_, 0);
+  if (LeaderOfEpoch(epoch_) == id()) {
+    // Small self-kick loop: propose as soon as transactions exist.
+    host().SetTimer(Ms(1), [this] { TryPropose(); });
+  }
+}
+
+void FlexiBftReplica::HandleMessage(NodeId from, const MessageRef& msg) {
+  if (auto propose = std::dynamic_pointer_cast<const FbProposeMsg>(msg)) {
+    OnPropose(from, propose);
+  } else if (auto vote = std::dynamic_pointer_cast<const FbVoteMsg>(msg)) {
+    OnVote(*vote);
+  } else if (auto ec = std::dynamic_pointer_cast<const FbEpochChangeMsg>(msg)) {
+    OnEpochChange(from, *ec);
+  }
+}
+
+void FlexiBftReplica::TryPropose() {
+  if (LeaderOfEpoch(epoch_) != id()) {
+    return;
+  }
+  if (proposal_outstanding_) {
+    host().SetTimer(Ms(1), [this] { TryPropose(); });
+    return;
+  }
+  std::vector<Transaction> batch = mempool_.TakeBatch(params().batch_size);
+  ChargeExecute(batch.size());
+  const BlockPtr block =
+      Block::Create(/*view=*/epoch_, last_proposed_, std::move(batch), LocalNow());
+  ChargeHashBytes(block->WireSize());
+  const auto cert = sequencer_.Order(*block, block->height, epoch_);
+  if (!cert) {
+    host().SetTimer(Ms(1), [this] { TryPropose(); });
+    return;
+  }
+  proposal_outstanding_ = true;
+  last_proposed_ = block;
+  store_.Add(block);
+  tracker().OnPropose(block);
+  auto msg = std::make_shared<FbProposeMsg>();
+  msg->block = block;
+  msg->order_cert = *cert;
+  BroadcastToReplicas(msg, /*include_self=*/true);
+}
+
+void FlexiBftReplica::OnPropose(NodeId from, const std::shared_ptr<const FbProposeMsg>& msg) {
+  if (msg->block == nullptr || msg->order_cert.aux != epoch_ ||
+      msg->order_cert.sig.signer != LeaderOfEpoch(epoch_) ||
+      msg->order_cert.hash != msg->block->hash ||
+      msg->order_cert.view != msg->block->height) {
+    return;
+  }
+  ChargeVerifyPlain(1);
+  const Bytes digest = msg->order_cert.Digest(kFbOrder);
+  if (!platform().suite().Verify(msg->order_cert.sig, ByteView(digest.data(), digest.size()))) {
+    return;
+  }
+  if (!AcceptBlock(msg->block)) {
+    return;
+  }
+  if (!EnsureAncestry(msg->block->hash, from)) {
+    return;  // Vote only for fully-available chains; leader will re-achieve quorum.
+  }
+  Candidate& cand = candidates_[msg->block->hash];
+  cand.block = msg->block;
+  if (cand.voted || msg->block->height <= last_voted_seq_) {
+    return;
+  }
+  cand.voted = true;
+  last_voted_seq_ = msg->block->height;
+  consecutive_timeouts_ = 0;
+  ArmViewTimer(epoch_, 0);
+
+  SignedCert vote;
+  vote.hash = msg->block->hash;
+  vote.view = msg->block->height;
+  vote.aux = epoch_;
+  ChargeSignPlain();
+  const Bytes vote_digest = vote.Digest(kFbVote);
+  vote.sig = platform().suite().Sign(id(), ByteView(vote_digest.data(), vote_digest.size()));
+  auto out = std::make_shared<FbVoteMsg>();
+  out->vote = vote;
+  BroadcastToReplicas(out, /*include_self=*/true);  // All-to-all: the O(n^2) term.
+}
+
+void FlexiBftReplica::OnVote(const FbVoteMsg& msg) {
+  if (msg.vote.aux != epoch_) {
+    return;
+  }
+  Candidate& cand = candidates_[msg.vote.hash];
+  if (cand.committed) {
+    return;
+  }
+  ChargeVerifyPlain(1);
+  const Bytes digest = msg.vote.Digest(kFbVote);
+  if (!platform().suite().Verify(msg.vote.sig, ByteView(digest.data(), digest.size()))) {
+    return;
+  }
+  for (const Signature& existing : cand.votes) {
+    if (existing.signer == msg.vote.sig.signer) {
+      return;
+    }
+  }
+  cand.votes.push_back(msg.vote.sig);
+  TryCommit(msg.vote.hash);
+}
+
+void FlexiBftReplica::TryCommit(const Hash256& hash) {
+  auto it = candidates_.find(hash);
+  if (it == candidates_.end() || it->second.committed ||
+      it->second.votes.size() < VoteQuorum() || it->second.block == nullptr) {
+    return;
+  }
+  if (!EnsureAncestry(hash, LeaderOfEpoch(epoch_))) {
+    return;
+  }
+  it->second.committed = true;
+  const size_t qc_wire = it->second.votes.size() * (4 + 64);
+  const bool was_last_proposed = it->second.block == last_proposed_;
+  CommitChain(it->second.block, qc_wire);
+  consecutive_timeouts_ = 0;
+  ArmViewTimer(epoch_, 0);
+  // Drop finished candidates to keep long runs memory-stable.
+  std::erase_if(candidates_, [this](const auto& entry) {
+    return entry.second.block != nullptr &&
+           entry.second.block->height + 8 < last_committed_height_;
+  });
+  if (LeaderOfEpoch(epoch_) == id() && was_last_proposed) {
+    proposal_outstanding_ = false;
+    TryPropose();
+  }
+}
+
+void FlexiBftReplica::OnViewTimeout(View /*view*/) {
+  // No commit progress: move to the next epoch and tell everyone our committed prefix.
+  ++consecutive_timeouts_;
+  ++epoch_;
+  proposal_outstanding_ = false;
+  candidates_.clear();
+  last_voted_seq_ = last_committed_height_;
+  ArmViewTimer(epoch_, consecutive_timeouts_);
+
+  SignedCert cert;
+  cert.hash = last_committed_hash_;
+  cert.view = last_committed_height_;
+  cert.aux = epoch_;
+  ChargeSignPlain();
+  const Bytes digest = cert.Digest(kFbEpoch);
+  cert.sig = platform().suite().Sign(id(), ByteView(digest.data(), digest.size()));
+  auto msg = std::make_shared<FbEpochChangeMsg>();
+  msg->cert = cert;
+  msg->committed_block = store_.Get(last_committed_hash_);
+  BroadcastToReplicas(msg, /*include_self=*/true);
+}
+
+void FlexiBftReplica::OnEpochChange(NodeId /*from*/, const FbEpochChangeMsg& msg) {
+  const uint64_t new_epoch = msg.cert.aux;
+  if (new_epoch < epoch_ || LeaderOfEpoch(new_epoch) != id()) {
+    return;
+  }
+  ChargeVerifyPlain(1);
+  const Bytes digest = msg.cert.Digest(kFbEpoch);
+  if (!platform().suite().Verify(msg.cert.sig, ByteView(digest.data(), digest.size()))) {
+    return;
+  }
+  if (msg.committed_block != nullptr) {
+    AcceptBlock(msg.committed_block);
+  }
+  auto& collected = epoch_msgs_[new_epoch];
+  collected[msg.cert.sig.signer] = {msg.cert.view, msg.cert.hash};
+  if (collected.size() < VoteQuorum()) {
+    return;
+  }
+  // Become leader of new_epoch: resume from the highest committed block reported.
+  Height best_height = last_committed_height_;
+  Hash256 best_hash = last_committed_hash_;
+  for (const auto& [node, hh] : collected) {
+    if (hh.first > best_height) {
+      best_height = hh.first;
+      best_hash = hh.second;
+    }
+  }
+  const BlockPtr base = store_.Get(best_hash);
+  if (base == nullptr) {
+    return;  // Need the block first; epoch messages keep arriving.
+  }
+  if (!sequencer_.StartEpoch(new_epoch, base->height + 1)) {
+    return;
+  }
+  epoch_ = new_epoch;
+  last_proposed_ = base;
+  proposal_outstanding_ = false;
+  candidates_.clear();
+  epoch_msgs_.erase(epoch_msgs_.begin(), epoch_msgs_.upper_bound(new_epoch));
+  ArmViewTimer(epoch_, 0);
+  TryPropose();
+}
+
+void FlexiBftReplica::OnBlocksSynced() {
+  std::vector<Hash256> ready;
+  for (const auto& [hash, cand] : candidates_) {
+    if (!cand.committed && cand.votes.size() >= VoteQuorum()) {
+      ready.push_back(hash);
+    }
+  }
+  for (const Hash256& hash : ready) {
+    TryCommit(hash);
+  }
+}
+
+}  // namespace achilles

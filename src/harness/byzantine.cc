@@ -1,0 +1,80 @@
+#include "src/harness/byzantine.h"
+
+#include "src/consensus/certificates.h"
+
+namespace achilles {
+
+namespace {
+
+// Forged junk the spammer floods: a fetch request for a random hash plus an outright
+// garbage "certificate" message shaped like client traffic.
+MessageRef MakeJunk(Rng& rng) {
+  if (rng.Chance(0.5)) {
+    auto req = std::make_shared<BlockFetchRequest>();
+    Bytes noise;
+    rng.Fill(noise, 32);
+    std::copy(noise.begin(), noise.end(), req->want.begin());
+    return req;
+  }
+  auto submit = std::make_shared<ClientSubmitMsg>();
+  submit->txs.push_back(
+      Transaction{rng.NextU64(), 0, static_cast<uint32_t>(rng.UniformU64(512))});
+  return submit;
+}
+
+}  // namespace
+
+ByzantineShim::ByzantineShim(std::unique_ptr<IProcess> inner, ByzantineMode mode, Host* host,
+                             Network* net, uint32_t num_replicas, uint64_t seed)
+    : inner_(std::move(inner)),
+      mode_(mode),
+      host_(host),
+      net_(net),
+      num_replicas_(num_replicas),
+      rng_(seed) {}
+
+void ByzantineShim::OnStart() {
+  if (mode_ != ByzantineMode::kSilent) {
+    inner_->OnStart();
+  }
+  if (mode_ == ByzantineMode::kSpammer) {
+    SpamOnce();
+  }
+}
+
+void ByzantineShim::OnMessage(uint32_t from, const MessageRef& msg) {
+  switch (mode_) {
+    case ByzantineMode::kNone:
+      inner_->OnMessage(from, msg);
+      return;
+    case ByzantineMode::kSilent:
+      return;
+    case ByzantineMode::kFlaky:
+      if (!rng_.Chance(0.4)) {
+        inner_->OnMessage(from, msg);
+      }
+      return;
+    case ByzantineMode::kDelayer: {
+      const SimDuration delay = static_cast<SimDuration>(rng_.UniformU64(Ms(50)));
+      host_->SetTimer(delay, [this, from, msg] { inner_->OnMessage(from, msg); });
+      return;
+    }
+    case ByzantineMode::kDuplicator:
+      inner_->OnMessage(from, msg);
+      inner_->OnMessage(from, msg);
+      return;
+    case ByzantineMode::kSpammer:
+      inner_->OnMessage(from, msg);
+      return;
+  }
+}
+
+void ByzantineShim::SpamOnce() {
+  for (int i = 0; i < 4; ++i) {
+    const uint32_t target = static_cast<uint32_t>(rng_.UniformU64(num_replicas_));
+    net_->Send(host_->id(), target, MakeJunk(rng_));
+  }
+  host_->SetTimer(Ms(2), [this] { SpamOnce(); });
+}
+
+}  // namespace achilles

@@ -1,0 +1,45 @@
+// Byzantine behaviour shims: wrap an honest replica process and distort its interaction
+// with the network — dropping, delaying, duplicating messages, or spamming peers with
+// forged traffic. The TEE integrity assumption means a Byzantine node still cannot forge
+// certificates; these shims exercise everything else the threat model allows.
+#ifndef SRC_HARNESS_BYZANTINE_H_
+#define SRC_HARNESS_BYZANTINE_H_
+
+#include <memory>
+
+#include "src/consensus/messages.h"
+#include "src/sim/network.h"
+
+namespace achilles {
+
+enum class ByzantineMode {
+  kNone,
+  kSilent,     // Drops every incoming message (crash-equivalent, strongest liveness attack).
+  kFlaky,      // Drops a fraction of incoming messages.
+  kDelayer,    // Re-delivers incoming messages after a random extra delay.
+  kDuplicator, // Processes every message twice (replay against idempotence).
+  kSpammer,    // Handles traffic honestly but floods peers with forged junk.
+};
+
+class ByzantineShim : public IProcess {
+ public:
+  ByzantineShim(std::unique_ptr<IProcess> inner, ByzantineMode mode, Host* host,
+                Network* net, uint32_t num_replicas, uint64_t seed);
+
+  void OnStart() override;
+  void OnMessage(uint32_t from, const MessageRef& msg) override;
+
+ private:
+  void SpamOnce();
+
+  std::unique_ptr<IProcess> inner_;
+  ByzantineMode mode_;
+  Host* host_;
+  Network* net_;
+  uint32_t num_replicas_;
+  Rng rng_;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_HARNESS_BYZANTINE_H_

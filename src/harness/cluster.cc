@@ -1,0 +1,219 @@
+#include "src/harness/cluster.h"
+
+#include "src/achilles/replica.h"
+#include "src/common/check.h"
+#include "src/damysus/replica.h"
+#include "src/hotstuff/replica.h"
+#include "src/minbft/replica.h"
+#include "src/flexibft/replica.h"
+#include "src/oneshot/replica.h"
+#include "src/raft/replica.h"
+
+namespace achilles {
+
+const char* ProtocolName(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kAchilles:
+      return "Achilles";
+    case Protocol::kAchillesC:
+      return "Achilles-C";
+    case Protocol::kDamysus:
+      return "Damysus";
+    case Protocol::kDamysusR:
+      return "Damysus-R";
+    case Protocol::kOneShot:
+      return "OneShot";
+    case Protocol::kOneShotR:
+      return "OneShot-R";
+    case Protocol::kFlexiBft:
+      return "FlexiBFT";
+    case Protocol::kRaft:
+      return "BRaft";
+    case Protocol::kMinBft:
+      return "MinBFT";
+    case Protocol::kHotStuff:
+      return "HotStuff";
+  }
+  return "?";
+}
+
+uint32_t ReplicasFor(Protocol protocol, uint32_t f) {
+  const bool three_f =
+      protocol == Protocol::kFlexiBft || protocol == Protocol::kHotStuff;
+  return three_f ? 3 * f + 1 : 2 * f + 1;
+}
+
+bool DefaultCounterEnabled(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kDamysusR:
+    case Protocol::kOneShotR:
+    case Protocol::kFlexiBft:
+    case Protocol::kMinBft:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config),
+      n_(ReplicasFor(config.protocol, config.f)),
+      sim_(config.seed),
+      net_(&sim_, config.net),
+      suite_(config.scheme, n_, config.seed ^ 0x5eedc0deULL),
+      tracker_(n_) {
+  TeeConfig tee = config_.tee;
+  tee.components_in_tee = config_.protocol != Protocol::kAchillesC &&
+                          config_.protocol != Protocol::kRaft &&
+                          config_.protocol != Protocol::kHotStuff;
+  tee.counter = DefaultCounterEnabled(config_.protocol) ? config_.counter : CounterSpec::None();
+
+  for (uint32_t i = 0; i < n_; ++i) {
+    hosts_.push_back(std::make_unique<Host>(&sim_, i));
+    net_.AddHost(hosts_.back().get());
+    platforms_.push_back(std::make_unique<NodePlatform>(hosts_.back().get(), &suite_,
+                                                        config_.costs, tee, config_.seed));
+  }
+  replica_ptrs_.assign(n_, nullptr);
+  byzantine_.assign(n_, ByzantineMode::kNone);
+  if (config_.with_client) {
+    hosts_.push_back(std::make_unique<Host>(&sim_, n_));
+    net_.AddHost(hosts_.back().get());
+  }
+}
+
+Cluster::~Cluster() = default;
+
+ReplicaContext Cluster::ContextFor(uint32_t id) {
+  ReplicaContext ctx;
+  ctx.platform = platforms_[id].get();
+  ctx.net = &net_;
+  ctx.tracker = &tracker_;
+  ctx.params.n = n_;
+  ctx.params.f = config_.f;
+  ctx.params.batch_size = config_.batch_size;
+  ctx.params.base_timeout = config_.base_timeout;
+  ctx.params.commit_fast_path = config_.commit_fast_path;
+  if (config_.with_client) {
+    ctx.client_ids = {n_};
+  }
+  return ctx;
+}
+
+std::unique_ptr<ReplicaBase> Cluster::MakeReplica(uint32_t id, bool initial_launch) {
+  const ReplicaContext ctx = ContextFor(id);
+  switch (config_.protocol) {
+    case Protocol::kAchilles:
+    case Protocol::kAchillesC:
+      return std::make_unique<AchillesReplica>(ctx, initial_launch);
+    case Protocol::kDamysus:
+    case Protocol::kDamysusR:
+      return std::make_unique<DamysusReplica>(ctx, initial_launch);
+    case Protocol::kOneShot:
+    case Protocol::kOneShotR:
+      return std::make_unique<OneShotReplica>(ctx, initial_launch);
+    case Protocol::kFlexiBft:
+      return std::make_unique<FlexiBftReplica>(ctx, initial_launch);
+    case Protocol::kRaft:
+      return std::make_unique<RaftReplica>(ctx, initial_launch);
+    case Protocol::kMinBft:
+      return std::make_unique<MinBftReplica>(ctx, initial_launch);
+    case Protocol::kHotStuff:
+      return std::make_unique<HotStuffReplica>(ctx, initial_launch);
+  }
+  ACHILLES_CHECK_MSG(false, "unknown protocol");
+  return nullptr;
+}
+
+void Cluster::SetByzantine(uint32_t id, ByzantineMode mode) {
+  ACHILLES_CHECK(!started_ && id < n_);
+  byzantine_[id] = mode;
+  if (mode != ByzantineMode::kNone) {
+    tracker_.MarkByzantine(id);
+  }
+}
+
+void Cluster::Start() {
+  ACHILLES_CHECK(!started_);
+  started_ = true;
+  for (uint32_t i = 0; i < n_; ++i) {
+    auto replica = MakeReplica(i, /*initial_launch=*/true);
+    replica_ptrs_[i] = replica.get();
+    if (byzantine_[i] != ByzantineMode::kNone) {
+      hosts_[i]->BindProcess(std::make_unique<ByzantineShim>(
+          std::move(replica), byzantine_[i], hosts_[i].get(), &net_, n_,
+          config_.seed ^ (0xb00b5ULL + i)));
+    } else {
+      hosts_[i]->BindProcess(std::move(replica));
+    }
+  }
+  if (config_.with_client) {
+    ClientConfig cc;
+    cc.payload_size = config_.payload_size;
+    cc.rate_tps = config_.client_rate_tps;
+    cc.chunk = std::max<size_t>(1, config_.batch_size / 2);
+    cc.max_outstanding = config_.client_max_outstanding != 0
+                             ? config_.client_max_outstanding
+                             : 10 * config_.batch_size;
+    cc.num_replicas = n_;
+    hosts_[n_]->BindProcess(
+        std::make_unique<ClientProcess>(hosts_[n_].get(), &net_, &tracker_, cc));
+  }
+}
+
+void Cluster::CrashReplica(uint32_t id) {
+  ACHILLES_CHECK(id < n_);
+  replica_ptrs_[id] = nullptr;
+  hosts_[id]->Crash();
+}
+
+SimDuration Cluster::ReplicaInitDelay() const {
+  const TeeConfig& tee = platforms_[0]->tee();
+  return tee.enclave_boot + static_cast<SimDuration>(n_ - 1) * tee.connect_per_peer;
+}
+
+void Cluster::RebootReplica(uint32_t id) {
+  ACHILLES_CHECK(id < n_);
+  auto replica = MakeReplica(id, /*initial_launch=*/false);
+  replica_ptrs_[id] = replica.get();
+  hosts_[id]->Reboot(std::move(replica), ReplicaInitDelay());
+}
+
+RunStats Cluster::RunMeasured(SimDuration warmup, SimDuration measure) {
+  if (!started_) {
+    Start();
+  }
+  sim_.RunFor(warmup);
+  tracker_.StartMeasurement(sim_.Now());
+  net_.ResetStats();
+  const uint64_t counter_before = TotalCounterWrites();
+  const uint64_t blocks_before = tracker_.total_committed_blocks();
+  sim_.RunFor(measure);
+  tracker_.EndMeasurement(sim_.Now());
+
+  RunStats stats;
+  stats.throughput_tps = tracker_.ThroughputTps();
+  stats.commit_latency_ms = tracker_.commit_latency().MeanMs();
+  stats.commit_p50_ms = tracker_.commit_latency().PercentileMs(50);
+  stats.commit_p99_ms = tracker_.commit_latency().PercentileMs(99);
+  stats.e2e_latency_ms = tracker_.e2e_latency().MeanMs();
+  stats.e2e_p99_ms = tracker_.e2e_latency().PercentileMs(99);
+  stats.committed_blocks = tracker_.total_committed_blocks() - blocks_before;
+  stats.committed_txs =
+      static_cast<uint64_t>(stats.throughput_tps * (static_cast<double>(measure) / kSecond));
+  stats.messages = net_.messages_sent();
+  stats.bytes = net_.bytes_sent();
+  stats.counter_writes = TotalCounterWrites() - counter_before;
+  stats.safety_ok = !tracker_.safety_violated();
+  return stats;
+}
+
+uint64_t Cluster::TotalCounterWrites() const {
+  uint64_t total = 0;
+  for (const auto& platform : platforms_) {
+    total += platform->counter().writes();
+  }
+  return total;
+}
+
+}  // namespace achilles

@@ -1,0 +1,130 @@
+// Experiment cluster: wires a simulation, network, platforms, replicas of a chosen
+// protocol, and a client population; provides crash/reboot fault injection and measured-run
+// statistics. Every bench and integration test builds on this.
+#ifndef SRC_HARNESS_CLUSTER_H_
+#define SRC_HARNESS_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/client.h"
+#include "src/consensus/replica_base.h"
+#include "src/harness/byzantine.h"
+
+namespace achilles {
+
+enum class Protocol {
+  kAchilles,   // The paper's contribution (trusted components in TEE, no counter).
+  kAchillesC,  // Achilles with components outside the TEE (Table 3).
+  kDamysus,    // Chained Damysus, no rollback prevention.
+  kDamysusR,   // Damysus + persistent counter on every checker update.
+  kOneShot,    // OneShot, no rollback prevention.
+  kOneShotR,   // OneShot + persistent counter.
+  kFlexiBft,   // 3f+1, leader-only counter, O(n^2) votes.
+  kRaft,       // CFT baseline (Table 3).
+  kMinBft,     // Classic USIG-based TEE-BFT (context; §2.2 of the paper).
+  kHotStuff,   // Non-TEE 3f+1 ancestor, 8 steps (context).
+};
+
+const char* ProtocolName(Protocol protocol);
+
+// Replica count: 3f+1 for FlexiBFT, 2f+1 otherwise.
+uint32_t ReplicasFor(Protocol protocol, uint32_t f);
+
+// True when the protocol uses persistent counters by default (the -R variants; FlexiBFT
+// uses one on the leader by design).
+bool DefaultCounterEnabled(Protocol protocol);
+
+struct ClusterConfig {
+  Protocol protocol = Protocol::kAchilles;
+  uint32_t f = 1;
+  size_t batch_size = 400;
+  uint32_t payload_size = 256;
+  NetworkConfig net = NetworkConfig::Lan();
+  CostModel costs = CostModel::Default();
+  // Counter used by counter-dependent protocols. Defaults to the paper's 20 ms write.
+  CounterSpec counter = CounterSpec::PaperDefault();
+  SimDuration base_timeout = Ms(500);
+  bool commit_fast_path = true;  // Achilles NEW-VIEW optimization (ablation knob).
+  uint64_t seed = 1;
+  SignatureScheme scheme = SignatureScheme::kFastHmac;
+  bool with_client = true;
+  double client_rate_tps = 0.0;     // 0 = saturating client.
+  size_t client_max_outstanding = 0;  // 0 = 10 * batch_size.
+  TeeConfig tee;                    // Boot costs; counter/in-TEE flags derived per protocol.
+};
+
+struct RunStats {
+  double throughput_tps = 0.0;
+  double commit_latency_ms = 0.0;
+  double commit_p50_ms = 0.0;
+  double commit_p99_ms = 0.0;
+  double e2e_latency_ms = 0.0;
+  double e2e_p99_ms = 0.0;
+  uint64_t committed_blocks = 0;
+  uint64_t committed_txs = 0;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t counter_writes = 0;
+  bool safety_ok = true;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Binds all replica processes (genesis launch) and the client.
+  void Start();
+
+  Simulation& sim() { return sim_; }
+  Network& net() { return net_; }
+  CommitTracker& tracker() { return tracker_; }
+  const ClusterConfig& config() const { return config_; }
+  uint32_t num_replicas() const { return n_; }
+  uint32_t client_host_id() const { return n_; }
+
+  // Current incarnation of replica `id` (nullptr while crashed).
+  ReplicaBase* replica(uint32_t id) { return replica_ptrs_[id]; }
+  NodePlatform& platform(uint32_t id) { return *platforms_[id]; }
+
+  // --- Fault injection ---
+  // Marks replica `id` Byzantine with the given behaviour (must be called before Start).
+  // Its commits are excluded from the safety audit.
+  void SetByzantine(uint32_t id, ByzantineMode mode);
+  void CrashReplica(uint32_t id);
+  // Reboots with a fresh (recovering) incarnation after the modeled init delay.
+  void RebootReplica(uint32_t id);
+  // Enclave relaunch + per-peer reconnection (Table 2 "Initialization").
+  SimDuration ReplicaInitDelay() const;
+
+  // --- Measurement ---
+  // Runs `warmup`, then measures for `measure` and returns aggregated statistics.
+  RunStats RunMeasured(SimDuration warmup, SimDuration measure);
+
+  uint64_t TotalCounterWrites() const;
+
+ private:
+  std::unique_ptr<ReplicaBase> MakeReplica(uint32_t id, bool initial_launch);
+  ReplicaContext ContextFor(uint32_t id);
+
+  ClusterConfig config_;
+  uint32_t n_;
+  Simulation sim_;
+  Network net_;
+  CryptoSuite suite_;
+  CommitTracker tracker_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<NodePlatform>> platforms_;
+  std::vector<ReplicaBase*> replica_ptrs_;
+  std::vector<ByzantineMode> byzantine_;
+  bool started_ = false;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_HARNESS_CLUSTER_H_

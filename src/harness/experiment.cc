@@ -1,0 +1,71 @@
+#include "src/harness/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace achilles {
+
+RunStats MeasureOnce(const ClusterConfig& config, SimDuration warmup, SimDuration measure) {
+  Cluster cluster(config);
+  const RunStats stats = cluster.RunMeasured(warmup, measure);
+  if (!stats.safety_ok) {
+    std::fprintf(stderr, "FATAL: safety violated during bench run (%s, f=%u): %s\n",
+                 ProtocolName(config.protocol), config.f,
+                 cluster.tracker().violation().c_str());
+    std::abort();
+  }
+  return stats;
+}
+
+SimDuration DefaultWarmup(const NetworkConfig& net) {
+  return net.one_way_base >= Ms(5) ? Sec(2) : Ms(500);
+}
+
+SimDuration DefaultMeasure(const NetworkConfig& net) {
+  return net.one_way_base >= Ms(5) ? Sec(10) : Sec(3);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::printf("|");
+  for (size_t c = 0; c < widths.size(); ++c) {
+    for (size_t i = 0; i < widths[c] + 2; ++i) {
+      std::printf("-");
+    }
+    std::printf("|");
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace achilles

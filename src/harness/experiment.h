@@ -1,0 +1,39 @@
+// Experiment helpers shared by the bench binaries: single measured runs, saturation
+// search, and aligned table printing.
+#ifndef SRC_HARNESS_EXPERIMENT_H_
+#define SRC_HARNESS_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/harness/cluster.h"
+
+namespace achilles {
+
+// Runs one cluster to completion of warmup+measure and returns the stats. Aborts the
+// process with a diagnostic if the run violated safety (a bench must never average over a
+// broken run).
+RunStats MeasureOnce(const ClusterConfig& config, SimDuration warmup, SimDuration measure);
+
+// Default measurement windows per network profile (WAN views are ~400x longer).
+SimDuration DefaultWarmup(const NetworkConfig& net);
+SimDuration DefaultMeasure(const NetworkConfig& net);
+
+// --- Table printing ---
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+  static std::string Num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_HARNESS_EXPERIMENT_H_

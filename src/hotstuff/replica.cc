@@ -1,0 +1,267 @@
+#include "src/hotstuff/replica.h"
+
+#include <algorithm>
+
+namespace achilles {
+
+namespace {
+constexpr View kPruneHorizon = 8;
+
+template <typename MapT>
+void PruneBelow(MapT& map, View horizon) {
+  while (!map.empty() && map.begin()->first + kPruneHorizon < horizon) {
+    map.erase(map.begin());
+  }
+}
+}  // namespace
+
+const char* HsPhaseDomain(HsPhase phase) {
+  switch (phase) {
+    case HsPhase::kPrepare:
+      return kHsPrepare;
+    case HsPhase::kPreCommit:
+      return kHsPreCommit;
+    case HsPhase::kCommit:
+      return kHsCommit;
+  }
+  return "?";
+}
+
+HotStuffReplica::HotStuffReplica(const ReplicaContext& ctx, bool /*initial_launch*/)
+    : ReplicaBase(ctx) {
+  // Genesis QC: empty certificate referencing the genesis block.
+  prepare_qc_.hash = Block::Genesis()->hash;
+  prepare_qc_.view = 0;
+  locked_qc_ = prepare_qc_;
+}
+
+void HotStuffReplica::OnStart() { EnterView(1); }
+
+void HotStuffReplica::EnterView(View view) {
+  if (view <= cur_view_ && view != 1) {
+    return;
+  }
+  cur_view_ = view;
+  ArmViewTimer(cur_view_, consecutive_timeouts_);
+  auto msg = std::make_shared<HsNewViewMsg>();
+  msg->view = view;
+  msg->prepare_qc = prepare_qc_;
+  ChargeSignPlain();
+  const Bytes digest = CertDigest(kHsNewView, prepare_qc_.hash, view);
+  msg->sig = platform().suite().Sign(id(), ByteView(digest.data(), digest.size()));
+  SendTo(LeaderOf(view), msg);
+}
+
+void HotStuffReplica::OnViewTimeout(View view) {
+  if (view != cur_view_) {
+    return;
+  }
+  ++consecutive_timeouts_;
+  EnterView(cur_view_ + 1);
+}
+
+void HotStuffReplica::HandleMessage(NodeId from, const MessageRef& msg) {
+  if (auto nv = std::dynamic_pointer_cast<const HsNewViewMsg>(msg)) {
+    OnNewView(*nv);
+  } else if (auto propose = std::dynamic_pointer_cast<const HsProposeMsg>(msg)) {
+    OnPropose(from, propose);
+  } else if (auto vote = std::dynamic_pointer_cast<const HsVoteMsg>(msg)) {
+    OnVote(*vote);
+  } else if (auto qc = std::dynamic_pointer_cast<const HsQcMsg>(msg)) {
+    OnQc(from, qc);
+  }
+}
+
+void HotStuffReplica::OnNewView(const HsNewViewMsg& msg) {
+  if (LeaderOf(msg.view) != id() || msg.view + kPruneHorizon < cur_view_ ||
+      proposed_hash_.count(msg.view) > 0) {
+    return;
+  }
+  ChargeVerifyPlain(1);
+  const Bytes digest = CertDigest(kHsNewView, msg.prepare_qc.hash, msg.view);
+  if (!platform().suite().Verify(msg.sig, ByteView(digest.data(), digest.size()))) {
+    return;
+  }
+  std::vector<HsNewViewMsg>& collected = new_views_[msg.view];
+  for (const HsNewViewMsg& existing : collected) {
+    if (existing.sig.signer == msg.sig.signer) {
+      return;
+    }
+  }
+  collected.push_back(msg);
+  TryPropose(msg.view);
+}
+
+void HotStuffReplica::TryPropose(View view) {
+  auto it = new_views_.find(view);
+  if (it == new_views_.end() || it->second.size() < VoteQuorum() || view < cur_view_ ||
+      proposed_hash_.count(view) > 0) {
+    return;
+  }
+  // Extend the highest prepare QC among the collected new-views (and our own).
+  const QuorumCert* high = &prepare_qc_;
+  for (const HsNewViewMsg& nv : it->second) {
+    if (nv.prepare_qc.view > high->view) {
+      high = &nv.prepare_qc;
+    }
+  }
+  if (!EnsureAncestry(high->hash, LeaderOf(high->view))) {
+    return;
+  }
+  const BlockPtr parent = store_.Get(high->hash);
+  std::vector<Transaction> batch = mempool_.TakeBatch(params().batch_size);
+  ChargeExecute(batch.size());
+  const BlockPtr block = Block::Create(view, parent, std::move(batch), LocalNow());
+  ChargeHashBytes(block->WireSize());
+  cur_view_ = std::max(cur_view_, view);
+  proposed_hash_[view] = block->hash;
+  store_.Add(block);
+  tracker().OnPropose(block);
+  PruneBelow(new_views_, cur_view_);
+  PruneBelow(proposed_hash_, cur_view_);
+  for (auto& votes : votes_) {
+    PruneBelow(votes, cur_view_);
+  }
+  PruneBelow(phase_done_, cur_view_);
+
+  auto msg = std::make_shared<HsProposeMsg>();
+  msg->block = block;
+  msg->justify = *high;
+  BroadcastToReplicas(msg, /*include_self=*/true);
+}
+
+bool HotStuffReplica::SafeToVote(const BlockPtr& block, const QuorumCert& justify) const {
+  // HotStuff safety rule: vote iff the block extends the locked block, or the justify QC
+  // is newer than the lock (liveness rule).
+  if (store_.Extends(block->hash, locked_qc_.hash)) {
+    return true;
+  }
+  return justify.view > locked_qc_.view;
+}
+
+void HotStuffReplica::OnPropose(NodeId from, const std::shared_ptr<const HsProposeMsg>& msg) {
+  if (msg->block == nullptr || msg->block->view < cur_view_ ||
+      LeaderOf(msg->block->view) != from) {
+    return;
+  }
+  // Verify the justify QC (genesis QC is empty and always accepted).
+  if (!msg->justify.sigs.empty()) {
+    ChargeVerifyPlain(msg->justify.sigs.size());
+    if (!msg->justify.Verify(platform().suite(), kHsPrepare, VoteQuorum())) {
+      return;
+    }
+  } else if (msg->justify.hash != Block::Genesis()->hash) {
+    return;
+  }
+  if (msg->block->parent != msg->justify.hash) {
+    return;
+  }
+  if (!AcceptBlock(msg->block)) {
+    return;
+  }
+  if (!EnsureAncestry(msg->block->hash, from)) {
+    pending_proposals_.emplace_back(from, msg);
+    return;
+  }
+  if (!SafeToVote(msg->block, msg->justify)) {
+    return;
+  }
+  cur_view_ = std::max(cur_view_, msg->block->view);
+  consecutive_timeouts_ = 0;
+  ArmViewTimer(cur_view_, 0);
+  SendVote(HsPhase::kPrepare, msg->block->hash, msg->block->view);
+}
+
+void HotStuffReplica::SendVote(HsPhase phase, const Hash256& hash, View view) {
+  auto msg = std::make_shared<HsVoteMsg>();
+  msg->phase = phase;
+  msg->vote.hash = hash;
+  msg->vote.view = view;
+  ChargeSignPlain();
+  const Bytes digest = msg->vote.Digest(HsPhaseDomain(phase));
+  msg->vote.sig = platform().suite().Sign(id(), ByteView(digest.data(), digest.size()));
+  SendTo(LeaderOf(view), msg);
+}
+
+void HotStuffReplica::OnVote(const HsVoteMsg& msg) {
+  const View v = msg.vote.view;
+  const auto phase_index = static_cast<size_t>(msg.phase);
+  if (LeaderOf(v) != id()) {
+    return;
+  }
+  auto proposed = proposed_hash_.find(v);
+  if (proposed == proposed_hash_.end() || msg.vote.hash != proposed->second) {
+    return;
+  }
+  if (phase_done_[v] > phase_index) {
+    return;  // This phase's QC already formed.
+  }
+  ChargeVerifyPlain(1);
+  const Bytes digest = msg.vote.Digest(HsPhaseDomain(msg.phase));
+  if (!platform().suite().Verify(msg.vote.sig, ByteView(digest.data(), digest.size()))) {
+    return;
+  }
+  std::vector<SignedCert>& votes = votes_[phase_index][v];
+  for (const SignedCert& existing : votes) {
+    if (existing.sig.signer == msg.vote.sig.signer) {
+      return;
+    }
+  }
+  votes.push_back(msg.vote);
+  if (votes.size() < VoteQuorum()) {
+    return;
+  }
+  phase_done_[v] = static_cast<uint8_t>(phase_index + 1);
+  auto out = std::make_shared<HsQcMsg>();
+  out->phase = msg.phase;
+  out->qc.hash = proposed->second;
+  out->qc.view = v;
+  for (const SignedCert& vote : votes) {
+    out->qc.sigs.push_back(vote.sig);
+  }
+  BroadcastToReplicas(out, /*include_self=*/true);
+}
+
+void HotStuffReplica::OnQc(NodeId from, const std::shared_ptr<const HsQcMsg>& msg) {
+  const QuorumCert& qc = msg->qc;
+  ChargeVerifyPlain(qc.sigs.size());
+  if (!qc.Verify(platform().suite(), HsPhaseDomain(msg->phase), VoteQuorum())) {
+    return;
+  }
+  switch (msg->phase) {
+    case HsPhase::kPrepare:
+      if (qc.view >= prepare_qc_.view) {
+        prepare_qc_ = qc;
+      }
+      SendVote(HsPhase::kPreCommit, qc.hash, qc.view);
+      return;
+    case HsPhase::kPreCommit:
+      if (qc.view >= locked_qc_.view) {
+        locked_qc_ = qc;  // Lock.
+      }
+      SendVote(HsPhase::kCommit, qc.hash, qc.view);
+      return;
+    case HsPhase::kCommit: {
+      const BlockPtr block = store_.Get(qc.hash);
+      if (block == nullptr) {
+        RequestBlock(from, qc.hash);
+        return;
+      }
+      CommitChain(block, qc.WireSize());
+      consecutive_timeouts_ = 0;
+      EnterView(qc.view + 1);
+      return;
+    }
+  }
+}
+
+void HotStuffReplica::OnBlocksSynced() {
+  auto proposals = std::move(pending_proposals_);
+  pending_proposals_.clear();
+  for (auto& [from, msg] : proposals) {
+    OnPropose(from, msg);
+  }
+  TryPropose(cur_view_);
+}
+
+}  // namespace achilles

@@ -1,0 +1,187 @@
+#include "src/minbft/replica.h"
+
+#include <algorithm>
+
+namespace achilles {
+
+MinBftReplica::MinBftReplica(const ReplicaContext& ctx, bool /*initial_launch*/)
+    : ReplicaBase(ctx), usig_(&enclave()), verifier_(ctx.params.n) {
+  last_proposed_ = Block::Genesis();
+}
+
+void MinBftReplica::OnStart() {
+  ArmViewTimer(epoch_, 0);
+  if (LeaderOfEpoch(epoch_) == id()) {
+    host().SetTimer(Ms(1), [this] { TryPropose(); });
+  }
+}
+
+void MinBftReplica::HandleMessage(NodeId from, const MessageRef& msg) {
+  if (auto prepare = std::dynamic_pointer_cast<const MinPrepareMsg>(msg)) {
+    OnPrepare(from, prepare);
+  } else if (auto commit = std::dynamic_pointer_cast<const MinCommitMsg>(msg)) {
+    OnCommit(from, *commit);
+  } else if (auto ec = std::dynamic_pointer_cast<const MinEpochChangeMsg>(msg)) {
+    OnEpochChange(from, *ec);
+  }
+}
+
+void MinBftReplica::TryPropose() {
+  if (LeaderOfEpoch(epoch_) != id()) {
+    return;
+  }
+  if (proposal_outstanding_) {
+    host().SetTimer(Ms(1), [this] { TryPropose(); });
+    return;
+  }
+  std::vector<Transaction> batch = mempool_.TakeBatch(params().batch_size);
+  ChargeExecute(batch.size());
+  const BlockPtr block =
+      Block::Create(/*view=*/epoch_, last_proposed_, std::move(batch), LocalNow());
+  ChargeHashBytes(block->WireSize());
+  proposal_outstanding_ = true;
+  last_proposed_ = block;
+  store_.Add(block);
+  tracker().OnPropose(block);
+  auto msg = std::make_shared<MinPrepareMsg>();
+  msg->block = block;
+  msg->epoch = epoch_;
+  msg->ui = usig_.CreateUi(block->hash);  // Counter write #1 on the critical path.
+  BroadcastToReplicas(msg, /*include_self=*/true);
+}
+
+void MinBftReplica::OnPrepare(NodeId from, const std::shared_ptr<const MinPrepareMsg>& msg) {
+  if (msg->block == nullptr || msg->epoch != epoch_ || from != LeaderOfEpoch(epoch_)) {
+    return;
+  }
+  if (!usig_.VerifyUi(msg->ui, msg->block->hash)) {
+    return;
+  }
+  // Monotonic acceptance of the leader's UI stream prevents PREPARE equivocation.
+  if (!verifier_.AcceptMonotonic(from, msg->ui)) {
+    return;
+  }
+  if (!AcceptBlock(msg->block) || !EnsureAncestry(msg->block->hash, from)) {
+    return;
+  }
+  Candidate& cand = candidates_[msg->block->hash];
+  cand.block = msg->block;
+  if (cand.self_committed) {
+    return;
+  }
+  cand.self_committed = true;
+  consecutive_timeouts_ = 0;
+  ArmViewTimer(epoch_, 0);
+
+  auto out = std::make_shared<MinCommitMsg>();
+  out->block_hash = msg->block->hash;
+  out->epoch = epoch_;
+  // Certify the commit with our own USIG: counter write #2 on the critical path (every
+  // backup pays it). Leader-side equivocation is excluded by the leader's UI stream.
+  out->ui = usig_.CreateUi(msg->block->hash);
+  BroadcastToReplicas(out, /*include_self=*/true);  // All-to-all: O(n^2).
+}
+
+void MinBftReplica::OnCommit(NodeId from, const MinCommitMsg& msg) {
+  if (msg.epoch != epoch_) {
+    return;
+  }
+  Candidate& cand = candidates_[msg.block_hash];
+  if (cand.committed) {
+    return;
+  }
+  if (msg.ui.sig.signer != from || !usig_.VerifyUi(msg.ui, msg.block_hash)) {
+    return;
+  }
+  if (!verifier_.AcceptMonotonic(from, msg.ui)) {
+    return;
+  }
+  cand.commits.insert(from);
+  TryFinalize(msg.block_hash);
+}
+
+void MinBftReplica::TryFinalize(const Hash256& hash) {
+  auto it = candidates_.find(hash);
+  if (it == candidates_.end() || it->second.committed || it->second.block == nullptr ||
+      it->second.commits.size() < quorum()) {  // f+1 of 2f+1.
+    return;
+  }
+  if (!EnsureAncestry(hash, LeaderOfEpoch(epoch_))) {
+    return;
+  }
+  it->second.committed = true;
+  const bool was_last_proposed = it->second.block == last_proposed_;
+  const size_t cert_wire = it->second.commits.size() * (4 + 64);
+  CommitChain(it->second.block, cert_wire);
+  consecutive_timeouts_ = 0;
+  ArmViewTimer(epoch_, 0);
+  std::erase_if(candidates_, [this](const auto& entry) {
+    return entry.second.block != nullptr &&
+           entry.second.block->height + 8 < last_committed_height_;
+  });
+  if (LeaderOfEpoch(epoch_) == id() && was_last_proposed) {
+    proposal_outstanding_ = false;
+    TryPropose();
+  }
+}
+
+void MinBftReplica::OnViewTimeout(View /*view*/) {
+  ++consecutive_timeouts_;
+  ++epoch_;
+  proposal_outstanding_ = false;
+  candidates_.clear();
+  ArmViewTimer(epoch_, consecutive_timeouts_);
+  auto msg = std::make_shared<MinEpochChangeMsg>();
+  msg->new_epoch = epoch_;
+  msg->committed_height = last_committed_height_;
+  msg->committed_hash = last_committed_hash_;
+  msg->committed_block = store_.Get(last_committed_hash_);
+  BroadcastToReplicas(msg, /*include_self=*/true);
+}
+
+void MinBftReplica::OnEpochChange(NodeId from, const MinEpochChangeMsg& msg) {
+  if (msg.new_epoch < epoch_ || LeaderOfEpoch(msg.new_epoch) != id()) {
+    return;
+  }
+  if (msg.committed_block != nullptr) {
+    AcceptBlock(msg.committed_block);
+  }
+  auto& collected = epoch_msgs_[msg.new_epoch];
+  collected[from] = {msg.committed_height, msg.committed_hash};
+  if (collected.size() < quorum()) {
+    return;
+  }
+  Height best_height = last_committed_height_;
+  Hash256 best_hash = last_committed_hash_;
+  for (const auto& [node, hh] : collected) {
+    if (hh.first > best_height) {
+      best_height = hh.first;
+      best_hash = hh.second;
+    }
+  }
+  const BlockPtr base = store_.Get(best_hash);
+  if (base == nullptr) {
+    return;
+  }
+  epoch_ = msg.new_epoch;
+  last_proposed_ = base;
+  proposal_outstanding_ = false;
+  candidates_.clear();
+  epoch_msgs_.erase(epoch_msgs_.begin(), epoch_msgs_.upper_bound(msg.new_epoch));
+  ArmViewTimer(epoch_, 0);
+  TryPropose();
+}
+
+void MinBftReplica::OnBlocksSynced() {
+  std::vector<Hash256> ready;
+  for (const auto& [hash, cand] : candidates_) {
+    if (!cand.committed && cand.commits.size() >= quorum()) {
+      ready.push_back(hash);
+    }
+  }
+  for (const Hash256& hash : ready) {
+    TryFinalize(hash);
+  }
+}
+
+}  // namespace achilles

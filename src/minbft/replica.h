@@ -1,0 +1,81 @@
+// MinBFT (Veronese et al., IEEE ToC 2013) — the classic USIG-based TEE-BFT the Achilles
+// paper positions itself against (§2.2): n = 2f+1, PBFT-style PREPARE + all-to-all COMMIT
+// (O(n²)), every certified message writes the persistent counter. Four steps end to end,
+// but with two counter-write stalls on the critical path (leader PREPARE + backup COMMIT).
+#ifndef SRC_MINBFT_REPLICA_H_
+#define SRC_MINBFT_REPLICA_H_
+
+#include <map>
+#include <unordered_map>
+
+#include "src/consensus/replica_base.h"
+#include "src/minbft/usig.h"
+#include "src/sim/process.h"
+
+namespace achilles {
+
+struct MinPrepareMsg : SimMessage {
+  BlockPtr block;
+  uint64_t epoch = 0;
+  UniqueIdentifier ui;  // Leader's UI over the block hash.
+  size_t WireSize() const override { return block->WireSize() + 8 + ui.WireSize(); }
+};
+
+struct MinCommitMsg : SimMessage {
+  Hash256 block_hash = ZeroHash();
+  uint64_t epoch = 0;
+  UniqueIdentifier ui;  // Sender's UI over the (block hash, leader UI counter) pair.
+  size_t WireSize() const override { return 32 + 8 + ui.WireSize(); }
+};
+
+struct MinEpochChangeMsg : SimMessage {
+  uint64_t new_epoch = 0;
+  Height committed_height = 0;
+  Hash256 committed_hash = ZeroHash();
+  BlockPtr committed_block;
+  size_t WireSize() const override {
+    return 8 + 8 + 32 + (committed_block != nullptr ? committed_block->WireSize() : 0);
+  }
+};
+
+class MinBftReplica : public ReplicaBase {
+ public:
+  MinBftReplica(const ReplicaContext& ctx, bool initial_launch);
+
+  void OnStart() override;
+  uint64_t epoch() const { return epoch_; }
+
+ protected:
+  void HandleMessage(NodeId from, const MessageRef& msg) override;
+  void OnViewTimeout(View view) override;
+  void OnBlocksSynced() override;
+
+ private:
+  void TryPropose();
+  void OnPrepare(NodeId from, const std::shared_ptr<const MinPrepareMsg>& msg);
+  void OnCommit(NodeId from, const MinCommitMsg& msg);
+  void OnEpochChange(NodeId from, const MinEpochChangeMsg& msg);
+  void TryFinalize(const Hash256& hash);
+  NodeId LeaderOfEpoch(uint64_t epoch) const { return static_cast<NodeId>(epoch % n()); }
+
+  Usig usig_;
+  UsigVerifier verifier_;
+  uint64_t epoch_ = 0;
+  uint32_t consecutive_timeouts_ = 0;
+
+  BlockPtr last_proposed_;
+  bool proposal_outstanding_ = false;
+
+  struct Candidate {
+    BlockPtr block;
+    std::set<NodeId> commits;
+    bool committed = false;
+    bool self_committed = false;
+  };
+  std::unordered_map<Hash256, Candidate, Hash256Hasher> candidates_;
+  std::map<uint64_t, std::map<NodeId, std::pair<Height, Hash256>>> epoch_msgs_;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_MINBFT_REPLICA_H_

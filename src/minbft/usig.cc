@@ -1,0 +1,53 @@
+#include "src/minbft/usig.h"
+
+namespace achilles {
+
+namespace {
+Bytes UiDigest(const Hash256& digest, uint64_t counter) {
+  return CertDigest(kUsigDomain, digest, counter);
+}
+}  // namespace
+
+UniqueIdentifier Usig::CreateUi(const Hash256& digest) {
+  enclave_->ChargeEcall();
+  UniqueIdentifier ui;
+  ui.digest = digest;
+  ui.counter = ++counter_;
+  // The USIG counter *is* the persistent counter: rollback prevention is inseparable from
+  // certification here (contrast with Achilles, which has no per-message persistence).
+  MonotonicCounter& counter = enclave_->platform().counter();
+  if (counter.spec().enabled()) {
+    counter.IncrementBlocking();
+  }
+  enclave_->ChargeSign();
+  const Bytes d = UiDigest(digest, ui.counter);
+  ui.sig = enclave_->Sign(ByteView(d.data(), d.size()));
+  return ui;
+}
+
+bool Usig::VerifyUi(const UniqueIdentifier& ui, const Hash256& digest) const {
+  if (ui.digest != digest) {
+    return false;
+  }
+  enclave_->ChargeVerify(1);
+  const Bytes d = UiDigest(ui.digest, ui.counter);
+  return enclave_->Verify(ui.sig, ByteView(d.data(), d.size()));
+}
+
+bool UsigVerifier::AcceptNext(NodeId sender, const UniqueIdentifier& ui) {
+  if (sender >= last_seen_.size() || ui.counter != last_seen_[sender] + 1) {
+    return false;
+  }
+  last_seen_[sender] = ui.counter;
+  return true;
+}
+
+bool UsigVerifier::AcceptMonotonic(NodeId sender, const UniqueIdentifier& ui) {
+  if (sender >= last_seen_.size() || ui.counter <= last_seen_[sender]) {
+    return false;
+  }
+  last_seen_[sender] = ui.counter;
+  return true;
+}
+
+}  // namespace achilles

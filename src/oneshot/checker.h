@@ -1,0 +1,72 @@
+// OneShot's trusted component: view-adapting. On the piggyback fast path (the leader holds
+// the previous view's commit QC) backups store-and-vote in a single phase — four steps end
+// to end, one counter write per node in -R. Entering a view through NEW-VIEW certificates
+// falls back to Damysus-style two-phase voting — six steps, two writes per node.
+#ifndef SRC_ONESHOT_CHECKER_H_
+#define SRC_ONESHOT_CHECKER_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/consensus/certificates.h"
+#include "src/consensus/types.h"
+#include "src/tee/enclave.h"
+
+namespace achilles {
+
+inline constexpr const char* kOsPrep = "oneshot/PREP";
+inline constexpr const char* kOsVote1 = "oneshot/VOTE1";
+inline constexpr const char* kOsCommit = "oneshot/COMMIT";  // Fast store votes AND slow vote2.
+inline constexpr const char* kOsNewView = "oneshot/NEW-VIEW";
+inline constexpr const char* kOsAcc = "oneshot/ACC";
+
+class OneShotChecker {
+ public:
+  OneShotChecker(EnclaveRuntime* enclave, uint32_t n, uint32_t f);
+
+  // Restore-from-seal after reboot (same semantics as DamysusChecker::Restore).
+  static std::unique_ptr<OneShotChecker> Restore(EnclaveRuntime* enclave, uint32_t n,
+                                                 uint32_t f);
+
+  View vi() const { return vi_; }
+  View prepv() const { return prepv_; }
+  const Hash256& preph() const { return preph_; }
+
+  // Leader, fast path: certify a block extending the block committed at commit_qc.view.
+  std::optional<SignedCert> ToPrepareFast(const Block& b, const QuorumCert& commit_qc);
+  // Leader, slow path: certify a block extending the accumulator's selection.
+  std::optional<SignedCert> ToPrepareSlow(const Block& b, const AccumulatorCert& acc);
+
+  // Backup, fast path: single-phase store+vote on the leader's certificate.
+  std::optional<SignedCert> ToStoreFast(const SignedCert& prep_cert);
+
+  // Slow path, two phases.
+  std::optional<SignedCert> ToVote(const SignedCert& prep_cert);
+  std::optional<SignedCert> ToStoreSlow(const QuorumCert& prepared_qc);
+
+  std::optional<SignedCert> ToNewView(View target);
+  std::optional<AccumulatorCert> ToAccum(const std::vector<SignedCert>& view_certs);
+
+ private:
+  OneShotChecker(EnclaveRuntime* enclave, uint32_t n, uint32_t f, bool restored);
+  void PersistState();
+  void AdvanceTo(View v);
+  SignedCert SignTuple(const char* domain, const Hash256& hash, View view, uint64_t aux = 0);
+
+  EnclaveRuntime* enclave_;
+  uint32_t n_;
+  uint32_t f_;
+
+  View vi_ = 0;
+  bool flag_ = false;
+  bool voted1_ = false;
+  bool voted2_ = false;
+  View prepv_ = 0;
+  Hash256 preph_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_ONESHOT_CHECKER_H_

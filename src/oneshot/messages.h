@@ -1,0 +1,44 @@
+// Wire messages of OneShot.
+#ifndef SRC_ONESHOT_MESSAGES_H_
+#define SRC_ONESHOT_MESSAGES_H_
+
+#include "src/consensus/certificates.h"
+#include "src/sim/process.h"
+
+namespace achilles {
+
+struct OsProposeMsg : SimMessage {
+  BlockPtr block;
+  SignedCert prep_cert;  // aux == 1 marks the fast path.
+  size_t WireSize() const override { return block->WireSize() + prep_cert.WireSize(); }
+};
+
+struct OsVote1Msg : SimMessage {
+  SignedCert vote;
+  size_t WireSize() const override { return vote.WireSize(); }
+};
+
+struct OsPreCommitMsg : SimMessage {
+  QuorumCert prepared_qc;
+  size_t WireSize() const override { return prepared_qc.WireSize(); }
+};
+
+// Second-phase (slow) or single-phase (fast) commit vote.
+struct OsCommitVoteMsg : SimMessage {
+  SignedCert vote;
+  size_t WireSize() const override { return vote.WireSize(); }
+};
+
+struct OsDecideMsg : SimMessage {
+  QuorumCert commit_qc;
+  size_t WireSize() const override { return commit_qc.WireSize(); }
+};
+
+struct OsNewViewMsg : SimMessage {
+  SignedCert view_cert;
+  size_t WireSize() const override { return view_cert.WireSize(); }
+};
+
+}  // namespace achilles
+
+#endif  // SRC_ONESHOT_MESSAGES_H_

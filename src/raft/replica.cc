@@ -1,0 +1,208 @@
+#include "src/raft/replica.h"
+
+#include <algorithm>
+
+namespace achilles {
+
+RaftReplica::RaftReplica(const ReplicaContext& ctx, bool /*initial_launch*/)
+    : ReplicaBase(ctx) {
+  head_ = Block::Genesis();
+  set_client_replies_enabled(false);  // Only the leader answers clients in Raft.
+}
+
+void RaftReplica::OnStart() {
+  term_ = 1;
+  if (id() == 0) {
+    // Node 0 bootstraps as the initial leader (deterministic start); elections take over on
+    // any failure.
+    BecomeLeader();
+  } else {
+    ArmElectionTimer();
+  }
+}
+
+void RaftReplica::ArmElectionTimer() {
+  if (election_timer_ != 0) {
+    host().CancelTimer(election_timer_);
+  }
+  const SimDuration base = params().base_timeout;
+  const SimDuration jitter = static_cast<SimDuration>(
+      host().sim().rng().UniformU64(static_cast<uint64_t>(base)));
+  election_timer_ = host().SetTimer(base + jitter, [this] {
+    if (role_ != Role::kLeader) {
+      StartElection();
+    }
+  });
+}
+
+void RaftReplica::OnViewTimeout(View /*view*/) {}
+
+void RaftReplica::StartElection() {
+  role_ = Role::kCandidate;
+  ++term_;
+  voted_in_term_ = term_;  // Vote for self.
+  votes_received_ = 1;
+  auto req = std::make_shared<RaftVoteReqMsg>();
+  req->term = term_;
+  req->last_height = head_->height;
+  BroadcastToReplicas(req, /*include_self=*/false);
+  ArmElectionTimer();
+}
+
+void RaftReplica::BecomeFollower(uint64_t term) {
+  role_ = Role::kFollower;
+  term_ = std::max(term_, term);
+  set_client_replies_enabled(false);
+  if (heartbeat_timer_ != 0) {
+    host().CancelTimer(heartbeat_timer_);
+    heartbeat_timer_ = 0;
+  }
+  ArmElectionTimer();
+}
+
+void RaftReplica::BecomeLeader() {
+  role_ = Role::kLeader;
+  set_client_replies_enabled(true);
+  if (election_timer_ != 0) {
+    host().CancelTimer(election_timer_);
+    election_timer_ = 0;
+  }
+  proposal_outstanding_ = false;
+  pending_.clear();
+  head_ = store_.Get(last_committed_hash_) != nullptr ? store_.Get(last_committed_hash_)
+                                                      : Block::Genesis();
+  SendHeartbeats();
+  TryPropose();
+}
+
+void RaftReplica::SendHeartbeats() {
+  if (role_ != Role::kLeader) {
+    return;
+  }
+  auto hb = std::make_shared<RaftAppendMsg>();
+  hb->term = term_;
+  hb->commit_height = last_committed_height_;
+  hb->commit_hash = last_committed_hash_;
+  BroadcastToReplicas(hb, /*include_self=*/false);
+  heartbeat_timer_ =
+      host().SetTimer(params().base_timeout / 4, [this] { SendHeartbeats(); });
+}
+
+void RaftReplica::TryPropose() {
+  if (role_ != Role::kLeader || proposal_outstanding_) {
+    return;
+  }
+  std::vector<Transaction> batch = mempool_.TakeBatch(params().batch_size);
+  ChargeExecute(batch.size());
+  const BlockPtr block = Block::Create(/*view=*/term_, head_, std::move(batch), LocalNow());
+  ChargeHashBytes(block->WireSize());
+  head_ = block;
+  store_.Add(block);
+  tracker().OnPropose(block);
+  host().ChargeCpu(platform().costs().log_fsync);  // Leader persists before replicating.
+  proposal_outstanding_ = true;
+  Pending& pending = pending_[block->hash];
+  pending.block = block;
+  pending.acks.insert(id());
+  auto msg = std::make_shared<RaftAppendMsg>();
+  msg->term = term_;
+  msg->block = block;
+  msg->commit_height = last_committed_height_;
+  msg->commit_hash = last_committed_hash_;
+  BroadcastToReplicas(msg, /*include_self=*/false);
+}
+
+void RaftReplica::HandleMessage(NodeId from, const MessageRef& msg) {
+  if (auto append = std::dynamic_pointer_cast<const RaftAppendMsg>(msg)) {
+    OnAppend(from, append);
+  } else if (auto ack = std::dynamic_pointer_cast<const RaftAckMsg>(msg)) {
+    OnAck(from, *ack);
+  } else if (auto req = std::dynamic_pointer_cast<const RaftVoteReqMsg>(msg)) {
+    OnVoteReq(from, *req);
+  } else if (auto rsp = std::dynamic_pointer_cast<const RaftVoteRspMsg>(msg)) {
+    OnVoteRsp(*rsp);
+  }
+}
+
+void RaftReplica::OnAppend(NodeId from, const std::shared_ptr<const RaftAppendMsg>& msg) {
+  if (msg->term < term_) {
+    return;
+  }
+  if (msg->term > term_ || role_ == Role::kCandidate) {
+    BecomeFollower(msg->term);
+  }
+  leader_hint_ = from;
+  ArmElectionTimer();
+
+  if (msg->block != nullptr) {
+    ChargeHashBytes(msg->block->WireSize());
+    if (AcceptBlock(msg->block) && EnsureAncestry(msg->block->hash, from)) {
+      if (msg->block->parent == head_->hash || msg->block->height > head_->height) {
+        head_ = msg->block;
+      }
+      host().ChargeCpu(platform().costs().log_fsync);  // Durable append before the ack.
+      auto ack = std::make_shared<RaftAckMsg>();
+      ack->term = term_;
+      ack->hash = msg->block->hash;
+      ack->height = msg->block->height;
+      SendTo(from, ack);
+    }
+  }
+  // Apply the leader's commit index.
+  if (msg->commit_height > last_committed_height_) {
+    const BlockPtr committed = store_.Get(msg->commit_hash);
+    if (committed != nullptr) {
+      CommitChain(committed, /*cert_wire_size=*/0);
+    } else {
+      RequestBlock(from, msg->commit_hash);
+    }
+  }
+}
+
+void RaftReplica::OnAck(NodeId from, const RaftAckMsg& msg) {
+  if (role_ != Role::kLeader || msg.term != term_) {
+    return;
+  }
+  auto it = pending_.find(msg.hash);
+  if (it == pending_.end()) {
+    return;
+  }
+  it->second.acks.insert(from);
+  if (it->second.acks.size() < quorum()) {
+    return;
+  }
+  const BlockPtr block = it->second.block;
+  pending_.erase(it);
+  CommitChain(block, /*cert_wire_size=*/0);
+  proposal_outstanding_ = false;
+  TryPropose();
+}
+
+void RaftReplica::OnVoteReq(NodeId from, const RaftVoteReqMsg& msg) {
+  if (msg.term <= term_ || msg.term <= voted_in_term_) {
+    return;
+  }
+  if (msg.last_height < last_committed_height_) {
+    return;  // Candidate's log is behind our committed prefix.
+  }
+  BecomeFollower(msg.term);
+  voted_in_term_ = msg.term;
+  auto rsp = std::make_shared<RaftVoteRspMsg>();
+  rsp->term = msg.term;
+  rsp->granted = true;
+  SendTo(from, rsp);
+}
+
+void RaftReplica::OnVoteRsp(const RaftVoteRspMsg& msg) {
+  if (role_ != Role::kCandidate || msg.term != term_ || !msg.granted) {
+    return;
+  }
+  ++votes_received_;
+  if (votes_received_ >= quorum()) {  // Majority: f+1 of 2f+1.
+    BecomeLeader();
+  }
+}
+
+void RaftReplica::OnBlocksSynced() {}
+
+}  // namespace achilles

@@ -1,0 +1,92 @@
+// Raft baseline (the paper benchmarks BRaft in Table 3): leader-based log replication with
+// majority commit, elections with randomized timeouts, batching identical to the BFT
+// protocols. No signatures, no TEE — the CFT performance ceiling the paper compares
+// Achilles against. Log repair reuses the content-addressed block store + fetch protocol
+// in place of nextIndex bookkeeping.
+#ifndef SRC_RAFT_REPLICA_H_
+#define SRC_RAFT_REPLICA_H_
+
+#include <set>
+#include <unordered_map>
+
+#include "src/consensus/replica_base.h"
+#include "src/sim/process.h"
+
+namespace achilles {
+
+struct RaftAppendMsg : SimMessage {
+  uint64_t term = 0;
+  BlockPtr block;            // nullptr = heartbeat.
+  Height commit_height = 0;  // Leader's commit index (piggybacked).
+  Hash256 commit_hash = ZeroHash();
+  size_t WireSize() const override {
+    return 8 + 8 + 32 + (block != nullptr ? block->WireSize() : 0);
+  }
+};
+
+struct RaftAckMsg : SimMessage {
+  uint64_t term = 0;
+  Hash256 hash = ZeroHash();
+  Height height = 0;
+  size_t WireSize() const override { return 8 + 32 + 8; }
+};
+
+struct RaftVoteReqMsg : SimMessage {
+  uint64_t term = 0;
+  Height last_height = 0;
+  size_t WireSize() const override { return 8 + 8; }
+};
+
+struct RaftVoteRspMsg : SimMessage {
+  uint64_t term = 0;
+  bool granted = false;
+  size_t WireSize() const override { return 8 + 1; }
+};
+
+class RaftReplica : public ReplicaBase {
+ public:
+  RaftReplica(const ReplicaContext& ctx, bool initial_launch);
+
+  void OnStart() override;
+
+  enum class Role { kFollower, kCandidate, kLeader };
+  Role role() const { return role_; }
+  uint64_t term() const { return term_; }
+
+ protected:
+  void HandleMessage(NodeId from, const MessageRef& msg) override;
+  void OnViewTimeout(View view) override;
+  void OnBlocksSynced() override;
+
+ private:
+  void BecomeFollower(uint64_t term);
+  void StartElection();
+  void BecomeLeader();
+  void TryPropose();
+  void SendHeartbeats();
+  void OnAppend(NodeId from, const std::shared_ptr<const RaftAppendMsg>& msg);
+  void OnAck(NodeId from, const RaftAckMsg& msg);
+  void OnVoteReq(NodeId from, const RaftVoteReqMsg& msg);
+  void OnVoteRsp(const RaftVoteRspMsg& msg);
+  void ArmElectionTimer();
+
+  Role role_ = Role::kFollower;
+  uint64_t term_ = 0;
+  uint64_t voted_in_term_ = 0;  // Highest term we granted a vote in.
+  NodeId leader_hint_ = kNoNode;
+
+  BlockPtr head_;  // Tail of the local log.
+  bool proposal_outstanding_ = false;
+  struct Pending {
+    BlockPtr block;
+    std::set<NodeId> acks;
+  };
+  std::unordered_map<Hash256, Pending, Hash256Hasher> pending_;
+  uint32_t votes_received_ = 0;
+  uint64_t heartbeat_timer_ = 0;
+  uint64_t election_timer_ = 0;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_RAFT_REPLICA_H_

@@ -1,0 +1,136 @@
+#include "src/sim/host.h"
+
+#include "src/common/check.h"
+
+namespace achilles {
+
+Host::Host(Simulation* sim, uint32_t id) : sim_(sim), id_(id) {}
+
+void Host::BindProcess(std::unique_ptr<IProcess> process) {
+  ACHILLES_CHECK(!process_);
+  process_ = std::move(process);
+  up_ = true;
+  cpu_free_at_ = sim_->Now();
+  const uint64_t epoch = epoch_;
+  sim_->ScheduleAfter(0, [this, epoch] {
+    if (epoch == epoch_ && up_ && process_) {
+      Enqueue([this] { process_->OnStart(); });
+    }
+  });
+}
+
+void Host::Crash() {
+  if (!up_) {
+    return;
+  }
+  up_ = false;
+  ++epoch_;
+  process_.reset();
+  queue_.clear();
+  drain_pending_ = false;
+  for (auto& [timer_id, event_id] : timers_) {
+    sim_->Cancel(event_id);
+  }
+  timers_.clear();
+}
+
+void Host::Reboot(std::unique_ptr<IProcess> process, SimDuration init_delay) {
+  ACHILLES_CHECK(!up_);
+  const uint64_t epoch = epoch_;
+  // Ownership of the fresh process transfers into the boot event.
+  auto shared = std::make_shared<std::unique_ptr<IProcess>>(std::move(process));
+  sim_->ScheduleAfter(init_delay, [this, epoch, shared] {
+    if (epoch != epoch_ || up_) {
+      return;  // Crashed again (or already rebooted) in the meantime.
+    }
+    BindProcess(std::move(*shared));
+  });
+}
+
+void Host::DeliverAt(SimTime arrival, uint32_t from, MessageRef msg) {
+  // Liveness of the *current* incarnation is checked at arrival time: messages that arrive
+  // while the host is down are lost, while messages still in flight across a reboot reach
+  // the new incarnation (the network layer has no per-connection state to tear down).
+  sim_->ScheduleAt(arrival, [this, from, msg] {
+    if (!up_ || !process_) {
+      return;
+    }
+    Enqueue([this, from, msg] { process_->OnMessage(from, msg); });
+  });
+}
+
+void Host::ChargeCpu(SimDuration d) {
+  ACHILLES_CHECK(d >= 0);
+  if (in_handler_) {
+    handler_charge_ += d;
+  } else {
+    // Charges outside a handler (e.g. setup) extend the CPU horizon directly.
+    cpu_free_at_ = std::max(cpu_free_at_, sim_->Now()) + d;
+  }
+  cpu_used_ += d;
+}
+
+SimTime Host::LocalNow() const {
+  return in_handler_ ? sim_->Now() + handler_charge_ : sim_->Now();
+}
+
+uint64_t Host::SetTimer(SimDuration delay, std::function<void()> fn) {
+  ACHILLES_CHECK(up_);
+  const uint64_t timer_id = next_timer_id_++;
+  const uint64_t epoch = epoch_;
+  const EventId event_id =
+      sim_->ScheduleAfter(delay, [this, epoch, timer_id, fn = std::move(fn)] {
+        if (epoch != epoch_ || !up_) {
+          return;
+        }
+        timers_.erase(timer_id);
+        Enqueue(fn);
+      });
+  timers_[timer_id] = event_id;
+  return timer_id;
+}
+
+void Host::CancelTimer(uint64_t timer_id) {
+  auto it = timers_.find(timer_id);
+  if (it != timers_.end()) {
+    sim_->Cancel(it->second);
+    timers_.erase(it);
+  }
+}
+
+void Host::Enqueue(std::function<void()> fn) {
+  queue_.push_back(Work{std::move(fn)});
+  ScheduleDrain();
+}
+
+void Host::ScheduleDrain() {
+  if (drain_pending_ || queue_.empty() || !up_) {
+    return;
+  }
+  drain_pending_ = true;
+  const SimTime start = std::max(cpu_free_at_, sim_->Now());
+  const uint64_t epoch = epoch_;
+  sim_->ScheduleAt(start, [this, epoch] {
+    if (epoch != epoch_ || !up_) {
+      return;
+    }
+    DrainOne();
+  });
+}
+
+void Host::DrainOne() {
+  drain_pending_ = false;
+  if (queue_.empty()) {
+    return;
+  }
+  Work work = std::move(queue_.front());
+  queue_.pop_front();
+  in_handler_ = true;
+  handler_charge_ = 0;
+  work.fn();
+  in_handler_ = false;
+  cpu_free_at_ = sim_->Now() + handler_charge_;
+  ScheduleDrain();
+}
+
+}  // namespace achilles

@@ -1,0 +1,88 @@
+// A simulated machine: single-CPU work queue, timers, crash/reboot lifecycle. Handlers run
+// to completion; CPU time charged during a handler delays everything queued behind it, which
+// is what makes leaders saturate under load (Fig. 4's knee).
+#ifndef SRC_SIM_HOST_H_
+#define SRC_SIM_HOST_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/sim/process.h"
+#include "src/sim/simulation.h"
+
+namespace achilles {
+
+class Host {
+ public:
+  Host(Simulation* sim, uint32_t id);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  uint32_t id() const { return id_; }
+  bool IsUp() const { return up_; }
+  Simulation& sim() { return *sim_; }
+
+  // Binds a process and starts it. The host must be up and process-less.
+  void BindProcess(std::unique_ptr<IProcess> process);
+
+  // Crashes the host: the process (and all its volatile state) is destroyed, queued work is
+  // dropped, timers die. Pending network deliveries to this host are discarded on arrival.
+  void Crash();
+
+  // Brings a crashed host back up with a fresh process after `init_delay` of virtual time
+  // (models OS boot + enclave launch).
+  void Reboot(std::unique_ptr<IProcess> process, SimDuration init_delay);
+
+  // Network entry point: schedules message processing at `arrival`, subject to CPU queueing.
+  void DeliverAt(SimTime arrival, uint32_t from, MessageRef msg);
+
+  // --- Callable from inside a handler running on this host ---
+
+  // Charges `d` of CPU time to the current handler. Everything the handler sends afterwards
+  // departs after the charge; queued work starts after the handler's total charge.
+  void ChargeCpu(SimDuration d);
+
+  // Virtual time as seen by the running handler (sim time + charges so far).
+  SimTime LocalNow() const;
+
+  // One-shot timer. Fires on this host's CPU; dies if the host crashes first.
+  uint64_t SetTimer(SimDuration delay, std::function<void()> fn);
+  void CancelTimer(uint64_t timer_id);
+
+  // Total CPU time this host has charged (for utilization reporting).
+  SimDuration cpu_time_used() const { return cpu_used_; }
+
+ private:
+  struct Work {
+    std::function<void()> fn;
+  };
+
+  void Enqueue(std::function<void()> fn);
+  void ScheduleDrain();
+  void DrainOne();
+
+  Simulation* sim_;
+  uint32_t id_;
+  bool up_ = false;
+  uint64_t epoch_ = 0;  // Incremented on crash; stale events check it.
+  std::unique_ptr<IProcess> process_;
+
+  std::deque<Work> queue_;
+  bool drain_pending_ = false;
+  SimTime cpu_free_at_ = 0;
+  bool in_handler_ = false;
+  SimDuration handler_charge_ = 0;
+  SimDuration cpu_used_ = 0;
+
+  uint64_t next_timer_id_ = 1;
+  // Timer ids map to simulation events; epoch guards invalidate them on crash.
+  std::unordered_map<uint64_t, EventId> timers_;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_SIM_HOST_H_

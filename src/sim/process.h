@@ -1,0 +1,33 @@
+// Interface between the simulator and application code (replicas, clients).
+#ifndef SRC_SIM_PROCESS_H_
+#define SRC_SIM_PROCESS_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace achilles {
+
+// Base class for anything sent over the simulated network. WireSize drives the bandwidth
+// model; actual payload bytes need not be materialized.
+struct SimMessage {
+  virtual ~SimMessage() = default;
+  virtual size_t WireSize() const = 0;
+};
+
+using MessageRef = std::shared_ptr<const SimMessage>;
+
+// A process bound to a Host. Destroyed on crash; a fresh instance is bound on reboot.
+class IProcess {
+ public:
+  virtual ~IProcess() = default;
+
+  // Invoked once when the process is bound and the host is up.
+  virtual void OnStart() {}
+
+  // Invoked for each delivered message, on the host's CPU.
+  virtual void OnMessage(uint32_t from, const MessageRef& msg) = 0;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_SIM_PROCESS_H_

@@ -1,0 +1,77 @@
+// Deterministic discrete-event simulation core: a virtual clock and an event queue. All
+// randomness flows from the simulation seed, so runs are exactly reproducible.
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+
+namespace achilles {
+
+using EventId = uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` at absolute virtual time `t` (>= Now). Returns a handle for Cancel.
+  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired or invalid id is a no-op.
+  void Cancel(EventId id);
+
+  // Runs the earliest pending event. Returns false when the queue is empty.
+  bool Step();
+
+  // Runs all events with time <= t; the clock finishes at exactly t.
+  void RunUntil(SimTime t);
+  void RunFor(SimDuration d) { RunUntil(Now() + d); }
+
+  // Runs until no events remain. `max_events` guards against runaway schedules.
+  void RunUntilIdle(uint64_t max_events = UINT64_MAX);
+
+  Rng& rng() { return rng_; }
+  size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // FIFO tie-break for equal times.
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  Rng rng_;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_SIM_SIMULATION_H_

@@ -1,0 +1,52 @@
+// CPU cost model charged to simulated hosts. Defaults approximate the paper's testbed
+// (8 vCPU cloud instances, OpenSSL ECDSA-P256). `bench_table4_counters` re-measures this
+// repo's own crypto so the model can be recalibrated; see EXPERIMENTS.md.
+#ifndef SRC_TEE_COST_MODEL_H_
+#define SRC_TEE_COST_MODEL_H_
+
+#include "src/common/sim_time.h"
+
+namespace achilles {
+
+struct CostModel {
+  SimDuration sign = Us(25);            // One signature creation.
+  SimDuration verify = Us(50);          // One signature verification.
+  double hash_ns_per_byte = 3.0;        // SHA-256 streaming cost.
+  SimDuration hash_fixed = Ns(500);     // Per-hash fixed cost.
+  SimDuration ecall_round_trip = Us(20); // Enclave transition in+out (incl. paging).
+  double enclave_crypto_factor = 2.5;   // Crypto slowdown inside the enclave (SGXSSL).
+  SimDuration per_tx_execute = Ns(500); // Executing one transaction (echo-style op).
+  SimDuration per_tx_client = Us(1);    // Client-side bookkeeping per transaction in a reply.
+  SimDuration per_msg_handling = Us(3); // Deserialize + dispatch of one message.
+  SimDuration seal_op = Us(15);         // Seal or unseal of a small state blob.
+  // Durable log append (CFT protocols must fsync their log before acknowledging; cloud
+  // block-storage latency). BFT protocols here rely on TEEs/recovery instead of fsync.
+  SimDuration log_fsync = Ms(1);
+
+  static CostModel Default() { return CostModel{}; }
+
+  // All-zero model: used by the step-counting experiment (Table 1), where latency must be a
+  // pure multiple of the network one-way delay.
+  static CostModel Zero() {
+    CostModel m;
+    m.sign = 0;
+    m.verify = 0;
+    m.hash_ns_per_byte = 0.0;
+    m.hash_fixed = 0;
+    m.ecall_round_trip = 0;
+    m.enclave_crypto_factor = 1.0;
+    m.per_tx_execute = 0;
+    m.per_tx_client = 0;
+    m.per_msg_handling = 0;
+    m.seal_op = 0;
+    return m;
+  }
+
+  SimDuration HashCost(size_t bytes) const {
+    return hash_fixed + static_cast<SimDuration>(hash_ns_per_byte * static_cast<double>(bytes));
+  }
+};
+
+}  // namespace achilles
+
+#endif  // SRC_TEE_COST_MODEL_H_

@@ -1,0 +1,56 @@
+// Simulated SGX enclave runtime. One instance per process incarnation: its in-memory state
+// dies with the process (crash == enclave teardown), while sealed blobs live in the
+// platform's untrusted storage. Provides cost accounting for the ECALL boundary and
+// authenticated sealing whose only weakness is freshness — exactly SGX's rollback surface.
+#ifndef SRC_TEE_ENCLAVE_H_
+#define SRC_TEE_ENCLAVE_H_
+
+#include <optional>
+#include <string>
+
+#include "src/tee/platform.h"
+
+namespace achilles {
+
+class EnclaveRuntime {
+ public:
+  explicit EnclaveRuntime(NodePlatform* platform);
+
+  NodePlatform& platform() { return *platform_; }
+  bool in_tee() const { return platform_->tee().components_in_tee; }
+
+  // --- Cost accounting (charged to the host CPU) ---
+  void ChargeEcall();               // One enclave transition round trip (no-op outside TEE).
+  void ChargeSign();                // One signature, scaled by the in-enclave factor.
+  void ChargeVerify(size_t count);  // `count` verifications, scaled likewise.
+  void ChargeHash(size_t bytes);
+
+  // --- Signing with the node's key (the private key never leaves the enclave) ---
+  Signature Sign(ByteView digest);
+  bool Verify(const Signature& sig, ByteView digest) const;
+
+  // --- Sealing (encrypt-then-MAC under the device sealing key) ---
+  // Stores a new version of `slot`; adversary may later serve any old version but cannot
+  // forge or read contents.
+  void Seal(const std::string& slot, ByteView plaintext);
+  // Returns the plaintext of whatever version the OS serves, or nullopt if absent/forged.
+  std::optional<Bytes> Unseal(const std::string& slot);
+
+  // Deterministic per-enclave nonce source (models RDRAND inside the enclave).
+  uint64_t FreshNonce();
+
+  // Stats.
+  uint64_t ecalls() const { return ecalls_; }
+
+ private:
+  Bytes Keystream(uint64_t iv, size_t len) const;
+
+  NodePlatform* platform_;
+  uint64_t seal_iv_ = 0;
+  uint64_t nonce_state_;
+  uint64_t ecalls_ = 0;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_TEE_ENCLAVE_H_

@@ -1,0 +1,39 @@
+#include "src/tee/monotonic_counter.h"
+
+namespace achilles {
+
+CounterSpec CounterSpec::For(CounterKind kind) {
+  switch (kind) {
+    case CounterKind::kNone:
+      return None();
+    case CounterKind::kTpm:
+      return CounterSpec{kind, Ms(97), Ms(35)};
+    case CounterKind::kSgx:
+      return CounterSpec{kind, Ms(160), Ms(61)};
+    case CounterKind::kNarratorLan:
+      return CounterSpec{kind, FromMs(9.0), FromMs(4.5)};
+    case CounterKind::kNarratorWan:
+      return CounterSpec{kind, Ms(45), Ms(25)};
+    case CounterKind::kCustom:
+      return PaperDefault();
+  }
+  return None();
+}
+
+uint64_t MonotonicCounter::IncrementBlocking() {
+  if (spec_.enabled()) {
+    host_->ChargeCpu(spec_.write_latency);
+  }
+  ++writes_;
+  return ++value_;
+}
+
+uint64_t MonotonicCounter::ReadBlocking() {
+  if (spec_.enabled()) {
+    host_->ChargeCpu(spec_.read_latency);
+  }
+  ++reads_;
+  return value_;
+}
+
+}  // namespace achilles

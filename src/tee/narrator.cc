@@ -1,0 +1,161 @@
+#include "src/tee/narrator.h"
+
+#include <memory>
+#include <vector>
+
+namespace achilles {
+
+namespace {
+
+struct NarratorMsg : SimMessage {
+  enum class Kind : uint8_t { kIncrement, kIncrementAck, kRead, kReadAck };
+  Kind kind = Kind::kIncrement;
+  uint64_t op_id = 0;
+  uint64_t value = 0;
+  size_t WireSize() const override { return 1 + 8 + 8 + 64; }  // Plus attestation tag.
+};
+
+// One state monitor: applies increments to its in-memory counter and acknowledges.
+class MonitorProcess : public IProcess {
+ public:
+  MonitorProcess(Host* host, Network* net, const NarratorParams& params)
+      : host_(host), net_(net), params_(params) {}
+
+  void OnMessage(uint32_t from, const MessageRef& msg) override {
+    auto m = std::dynamic_pointer_cast<const NarratorMsg>(msg);
+    if (m == nullptr) {
+      return;
+    }
+    auto reply = std::make_shared<NarratorMsg>();
+    reply->op_id = m->op_id;
+    if (m->kind == NarratorMsg::Kind::kIncrement) {
+      host_->ChargeCpu(params_.write_processing);
+      reply->kind = NarratorMsg::Kind::kIncrementAck;
+      reply->value = ++counter_;
+    } else if (m->kind == NarratorMsg::Kind::kRead) {
+      host_->ChargeCpu(params_.read_processing);
+      reply->kind = NarratorMsg::Kind::kReadAck;
+      reply->value = counter_;
+    } else {
+      return;
+    }
+    net_->Send(host_->id(), from, reply);
+  }
+
+ private:
+  Host* host_;
+  Network* net_;
+  NarratorParams params_;
+  uint64_t counter_ = 0;
+};
+
+// The client enclave: issues increments and reads back-to-back, completing each op on a
+// quorum of acknowledgements.
+class NarratorClient : public IProcess {
+ public:
+  NarratorClient(Host* host, Network* net, const NarratorParams& params, int ops)
+      : host_(host), net_(net), params_(params), remaining_ops_(ops) {}
+
+  void OnStart() override { IssueNext(); }
+
+  void OnMessage(uint32_t /*from*/, const MessageRef& msg) override {
+    auto m = std::dynamic_pointer_cast<const NarratorMsg>(msg);
+    if (m == nullptr || m->op_id != current_op_ || done_) {
+      return;
+    }
+    if (++acks_ < Quorum()) {
+      return;
+    }
+    const SimDuration latency = host_->LocalNow() - op_start_;
+    if (reading_) {
+      read_total_ += latency;
+      ++reads_done_;
+    } else {
+      write_total_ += latency;
+      ++writes_done_;
+    }
+    if (!reading_) {
+      reading_ = true;  // Follow each increment with a read.
+      Issue(NarratorMsg::Kind::kRead);
+    } else {
+      reading_ = false;
+      --remaining_ops_;
+      IssueNext();
+    }
+  }
+
+  double MeanWriteMs() const {
+    return writes_done_ == 0 ? 0.0 : ToMs(write_total_) / static_cast<double>(writes_done_);
+  }
+  double MeanReadMs() const {
+    return reads_done_ == 0 ? 0.0 : ToMs(read_total_) / static_cast<double>(reads_done_);
+  }
+  uint64_t writes_done() const { return writes_done_; }
+
+ private:
+  size_t Quorum() const { return params_.num_monitors / 2 + 1; }
+
+  void IssueNext() {
+    if (remaining_ops_ <= 0) {
+      done_ = true;
+      return;
+    }
+    Issue(NarratorMsg::Kind::kIncrement);
+  }
+
+  void Issue(NarratorMsg::Kind kind) {
+    ++current_op_;
+    acks_ = 0;
+    op_start_ = host_->LocalNow();
+    auto msg = std::make_shared<NarratorMsg>();
+    msg->kind = kind;
+    msg->op_id = current_op_;
+    for (uint32_t m = 1; m <= params_.num_monitors; ++m) {
+      net_->Send(host_->id(), m, msg);
+    }
+  }
+
+  Host* host_;
+  Network* net_;
+  NarratorParams params_;
+  int remaining_ops_;
+  uint64_t current_op_ = 0;
+  size_t acks_ = 0;
+  bool reading_ = false;
+  bool done_ = false;
+  SimTime op_start_ = 0;
+  SimDuration write_total_ = 0;
+  SimDuration read_total_ = 0;
+  uint64_t writes_done_ = 0;
+  uint64_t reads_done_ = 0;
+};
+
+}  // namespace
+
+NarratorResult MeasureNarrator(const NetworkConfig& net, const NarratorParams& params,
+                               int ops, uint64_t seed) {
+  Simulation sim(seed);
+  Network network(&sim, net);
+  std::vector<std::unique_ptr<Host>> hosts;
+  // Host 0: client; hosts 1..num_monitors: monitors.
+  hosts.push_back(std::make_unique<Host>(&sim, 0));
+  network.AddHost(hosts.back().get());
+  for (uint32_t m = 1; m <= params.num_monitors; ++m) {
+    hosts.push_back(std::make_unique<Host>(&sim, m));
+    network.AddHost(hosts.back().get());
+    hosts.back()->BindProcess(
+        std::make_unique<MonitorProcess>(hosts.back().get(), &network, params));
+  }
+  auto client = std::make_unique<NarratorClient>(hosts[0].get(), &network, params, ops);
+  NarratorClient* client_ptr = client.get();
+  hosts[0]->BindProcess(std::move(client));
+  sim.RunUntilIdle(/*max_events=*/10'000'000);
+
+  NarratorResult result;
+  result.write_ms = client_ptr->MeanWriteMs();
+  result.read_ms = client_ptr->MeanReadMs();
+  result.increments = client_ptr->writes_done();
+  return result;
+}
+
+}  // namespace achilles

@@ -1,0 +1,39 @@
+// Narrator-style software persistent counter (Niu et al., CCS'22), built as a real
+// simulated service rather than a latency constant: a cluster of 2f+1 small TEE "state
+// monitors" keeps the counter in replicated memory; an increment broadcasts to all
+// monitors and completes on f+1 attested acknowledgements (two communication steps), a
+// read queries a quorum without the heavy attestation. The emergent latencies land where
+// Table 4 places them (LAN ≈ 9/4.5 ms, WAN dominated by the RTT) and
+// `bench_table4_counters` prints them next to the configured device constants.
+#ifndef SRC_TEE_NARRATOR_H_
+#define SRC_TEE_NARRATOR_H_
+
+#include <cstdint>
+
+#include "src/sim/network.h"
+
+namespace achilles {
+
+struct NarratorParams {
+  uint32_t num_monitors = 10;  // Narrator's evaluation uses 10 nodes.
+  // In-enclave processing per increment on each monitor: state-hash chaining + attested
+  // signature inside SGX (the dominant term of Narrator's LAN latency).
+  SimDuration write_processing = FromMs(8.0);
+  // Reads skip the chaining; monitors answer from memory with a light MAC.
+  SimDuration read_processing = FromMs(4.0);
+};
+
+struct NarratorResult {
+  double write_ms = 0.0;  // Mean latency of an increment.
+  double read_ms = 0.0;   // Mean latency of a quorum read.
+  uint64_t increments = 0;
+};
+
+// Runs a Narrator cluster in its own simulation and measures `ops` increments and reads
+// issued back-to-back by one client enclave.
+NarratorResult MeasureNarrator(const NetworkConfig& net, const NarratorParams& params,
+                               int ops, uint64_t seed);
+
+}  // namespace achilles
+
+#endif  // SRC_TEE_NARRATOR_H_

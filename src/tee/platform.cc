@@ -1,0 +1,26 @@
+#include "src/tee/platform.h"
+
+#include "src/crypto/hmac.h"
+
+namespace achilles {
+
+NodePlatform::NodePlatform(Host* host, CryptoSuite* suite, const CostModel& costs,
+                           const TeeConfig& tee, uint64_t seed, uint32_t node_id)
+    : host_(host),
+      suite_(suite),
+      node_id_(node_id == UINT32_MAX ? host->id() : node_id),
+      costs_(costs),
+      tee_(tee),
+      counter_(host, tee.counter) {
+  Bytes ctx(12);
+  const uint32_t id = host->id();
+  for (int i = 0; i < 8; ++i) {
+    ctx[static_cast<size_t>(i)] = static_cast<uint8_t>(seed >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    ctx[static_cast<size_t>(8 + i)] = static_cast<uint8_t>(id >> (8 * i));
+  }
+  sealing_key_ = DeriveKey(AsBytes("device-fuse"), "sealing-key", ByteView(ctx.data(), ctx.size()));
+}
+
+}  // namespace achilles

@@ -1,0 +1,59 @@
+// Per-node persistent environment. Survives process crashes (it models the machine and its
+// devices), while enclaves and replicas are re-created per incarnation.
+#ifndef SRC_TEE_PLATFORM_H_
+#define SRC_TEE_PLATFORM_H_
+
+#include <memory>
+
+#include "src/crypto/signer.h"
+#include "src/sim/host.h"
+#include "src/tee/cost_model.h"
+#include "src/tee/monotonic_counter.h"
+#include "src/tee/sealed_storage.h"
+
+namespace achilles {
+
+struct TeeConfig {
+  // When false, "trusted" components run outside the enclave: ECALL cost and the in-enclave
+  // crypto factor vanish, but so do integrity guarantees. This is Achilles-C (Table 3).
+  bool components_in_tee = true;
+  CounterSpec counter = CounterSpec::None();
+  // Enclave (re)launch cost on boot, part of Table 2's "Initialization" row.
+  SimDuration enclave_boot = Ms(10);
+  // Connection re-establishment cost per peer on boot (the rest of initialization).
+  SimDuration connect_per_peer = FromUs(120.0);
+};
+
+class NodePlatform {
+ public:
+  // `node_id` is the node's protocol identity (signing key index). It defaults to the host
+  // id; the concurrent-instances extension runs several hosts per machine identity.
+  NodePlatform(Host* host, CryptoSuite* suite, const CostModel& costs, const TeeConfig& tee,
+               uint64_t seed, uint32_t node_id = UINT32_MAX);
+
+  Host& host() { return *host_; }
+  CryptoSuite& suite() { return *suite_; }
+  const CostModel& costs() const { return costs_; }
+  const TeeConfig& tee() const { return tee_; }
+  SealedStorage& storage() { return storage_; }
+  MonotonicCounter& counter() { return counter_; }
+
+  uint32_t node_id() const { return node_id_; }
+
+  // Device sealing key (fused into the CPU; adversary never learns it).
+  const Hash256& sealing_key() const { return sealing_key_; }
+
+ private:
+  Host* host_;
+  CryptoSuite* suite_;
+  uint32_t node_id_;
+  CostModel costs_;
+  TeeConfig tee_;
+  SealedStorage storage_;
+  MonotonicCounter counter_;
+  Hash256 sealing_key_;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_TEE_PLATFORM_H_

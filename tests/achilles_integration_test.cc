@@ -1,0 +1,223 @@
+// End-to-end protocol tests for Achilles on the simulated cluster: normal-case progress,
+// view changes under crashes, rollback-resilient recovery, and determinism.
+#include <gtest/gtest.h>
+
+#include "src/achilles/replica.h"
+#include "src/harness/cluster.h"
+
+namespace achilles {
+namespace {
+
+ClusterConfig BaseConfig(uint32_t f = 1, uint64_t seed = 42) {
+  ClusterConfig config;
+  config.protocol = Protocol::kAchilles;
+  config.f = f;
+  config.batch_size = 100;
+  config.payload_size = 64;
+  config.net = NetworkConfig::Lan();
+  config.base_timeout = Ms(100);
+  config.seed = seed;
+  return config;
+}
+
+AchillesReplica* AsAchilles(ReplicaBase* replica) {
+  return dynamic_cast<AchillesReplica*>(replica);
+}
+
+TEST(AchillesIntegrationTest, HappyPathCommitsTransactions) {
+  Cluster cluster(BaseConfig());
+  cluster.Start();
+  cluster.sim().RunFor(Sec(2));
+  EXPECT_FALSE(cluster.tracker().safety_violated()) << cluster.tracker().violation();
+  EXPECT_GT(cluster.tracker().max_committed_height(), 20u);
+  EXPECT_GT(cluster.tracker().total_committed_txs(), 1000u);
+}
+
+TEST(AchillesIntegrationTest, AllReplicasConverge) {
+  Cluster cluster(BaseConfig());
+  cluster.Start();
+  cluster.sim().RunFor(Sec(2));
+  const Height max_height = cluster.tracker().max_committed_height();
+  for (uint32_t i = 0; i < cluster.num_replicas(); ++i) {
+    EXPECT_GE(cluster.tracker().committed_height(i) + 5, max_height) << "replica " << i;
+  }
+}
+
+TEST(AchillesIntegrationTest, ZeroCounterWrites) {
+  // The headline property: Achilles never touches a persistent counter.
+  Cluster cluster(BaseConfig());
+  cluster.Start();
+  cluster.sim().RunFor(Sec(1));
+  EXPECT_EQ(cluster.TotalCounterWrites(), 0u);
+}
+
+TEST(AchillesIntegrationTest, CommitLatencyTracksWanRtt) {
+  ClusterConfig config = BaseConfig();
+  config.net = NetworkConfig::Wan();
+  config.base_timeout = Ms(500);
+  Cluster cluster(config);
+  const RunStats stats = cluster.RunMeasured(Sec(2), Sec(4));
+  EXPECT_TRUE(stats.safety_ok);
+  EXPECT_GT(stats.throughput_tps, 100.0);
+  // One-phase commit: proposal + vote ~= 1 RTT = 40 ms; decide delivery adds ~a half RTT.
+  EXPECT_GT(stats.commit_latency_ms, 35.0);
+  EXPECT_LT(stats.commit_latency_ms, 150.0);
+}
+
+TEST(AchillesIntegrationTest, ProgressDespiteCrashedMinority) {
+  // With n = 2f+1 = 5 and f = 2 crashed replicas, the remaining f+1 = 3 keep committing.
+  Cluster cluster(BaseConfig(/*f=*/2));
+  cluster.Start();
+  cluster.sim().RunFor(Ms(500));
+  cluster.CrashReplica(3);
+  cluster.CrashReplica(4);
+  const Height height_at_crash = cluster.tracker().max_committed_height();
+  cluster.sim().RunFor(Sec(3));
+  EXPECT_FALSE(cluster.tracker().safety_violated()) << cluster.tracker().violation();
+  EXPECT_GT(cluster.tracker().max_committed_height(), height_at_crash + 10);
+}
+
+TEST(AchillesIntegrationTest, NoProgressBeyondThreshold) {
+  // Crashing f+1 of 2f+1 removes the quorum: liveness is lost (expected; §6.3).
+  Cluster cluster(BaseConfig(/*f=*/1));
+  cluster.Start();
+  cluster.sim().RunFor(Ms(500));
+  cluster.CrashReplica(1);
+  cluster.CrashReplica(2);
+  cluster.sim().RunFor(Ms(200));  // Drain in-flight decides.
+  const Height stalled = cluster.tracker().max_committed_height();
+  cluster.sim().RunFor(Sec(2));
+  EXPECT_LE(cluster.tracker().max_committed_height(), stalled + 1);
+  EXPECT_FALSE(cluster.tracker().safety_violated());
+}
+
+TEST(AchillesIntegrationTest, RebootedReplicaRecoversAndRejoins) {
+  Cluster cluster(BaseConfig(/*f=*/1));
+  cluster.Start();
+  cluster.sim().RunFor(Ms(500));
+  cluster.CrashReplica(2);
+  cluster.sim().RunFor(Ms(300));
+  cluster.RebootReplica(2);
+  cluster.sim().RunFor(Sec(3));
+
+  EXPECT_FALSE(cluster.tracker().safety_violated()) << cluster.tracker().violation();
+  AchillesReplica* rejoined = AsAchilles(cluster.replica(2));
+  ASSERT_NE(rejoined, nullptr);
+  EXPECT_FALSE(rejoined->recovering());
+  EXPECT_GE(rejoined->recovery_completed_at(), 0);
+  // The rejoined replica catches up with the cluster.
+  EXPECT_GE(cluster.tracker().committed_height(2) + 10,
+            cluster.tracker().max_committed_height());
+}
+
+TEST(AchillesIntegrationTest, RecoveryJumpsPastCrashView) {
+  // No-equivocation across reboot: the recovered trusted view must be strictly beyond any
+  // view the node could have voted in before crashing.
+  Cluster cluster(BaseConfig(/*f=*/1));
+  cluster.Start();
+  cluster.sim().RunFor(Ms(500));
+  AchillesReplica* before = AsAchilles(cluster.replica(2));
+  ASSERT_NE(before, nullptr);
+  const View crash_view = before->checker().vi();
+  cluster.CrashReplica(2);
+  cluster.RebootReplica(2);
+  cluster.sim().RunFor(Sec(2));
+  AchillesReplica* after = AsAchilles(cluster.replica(2));
+  ASSERT_NE(after, nullptr);
+  ASSERT_FALSE(after->recovering());
+  EXPECT_GT(after->checker().vi(), crash_view);
+}
+
+TEST(AchillesIntegrationTest, RecoveryDefeatsRollbackAttack) {
+  // The adversary serves the oldest sealed blobs at reboot. Achilles ignores local state
+  // entirely during recovery, so this changes nothing: no equivocation, no safety loss.
+  Cluster cluster(BaseConfig(/*f=*/1, /*seed=*/7));
+  cluster.Start();
+  cluster.sim().RunFor(Ms(800));
+  cluster.CrashReplica(1);
+  cluster.platform(1).storage().SetRollbackMode(RollbackMode::kOldest);
+  cluster.RebootReplica(1);
+  cluster.sim().RunFor(Sec(3));
+  EXPECT_FALSE(cluster.tracker().safety_violated()) << cluster.tracker().violation();
+  AchillesReplica* rejoined = AsAchilles(cluster.replica(1));
+  ASSERT_NE(rejoined, nullptr);
+  EXPECT_FALSE(rejoined->recovering());
+  EXPECT_GE(cluster.tracker().committed_height(1) + 10,
+            cluster.tracker().max_committed_height());
+}
+
+TEST(AchillesIntegrationTest, RecoveryWithErasedStorage) {
+  // Full state erasure (reset attack) is just another rollback flavour.
+  Cluster cluster(BaseConfig(/*f=*/1, /*seed=*/9));
+  cluster.Start();
+  cluster.sim().RunFor(Ms(800));
+  cluster.CrashReplica(2);
+  cluster.platform(2).storage().SetRollbackMode(RollbackMode::kErase);
+  cluster.RebootReplica(2);
+  cluster.sim().RunFor(Sec(3));
+  EXPECT_FALSE(cluster.tracker().safety_violated());
+  AchillesReplica* rejoined = AsAchilles(cluster.replica(2));
+  ASSERT_NE(rejoined, nullptr);
+  EXPECT_FALSE(rejoined->recovering());
+}
+
+TEST(AchillesIntegrationTest, SequentialRebootsOfDifferentReplicas) {
+  Cluster cluster(BaseConfig(/*f=*/2, /*seed=*/11));
+  cluster.Start();
+  cluster.sim().RunFor(Ms(500));
+  for (uint32_t victim : {1u, 3u}) {
+    cluster.CrashReplica(victim);
+    cluster.sim().RunFor(Ms(200));
+    cluster.RebootReplica(victim);
+    cluster.sim().RunFor(Sec(2));
+    AchillesReplica* r = AsAchilles(cluster.replica(victim));
+    ASSERT_NE(r, nullptr);
+    EXPECT_FALSE(r->recovering()) << "victim " << victim;
+  }
+  EXPECT_FALSE(cluster.tracker().safety_violated()) << cluster.tracker().violation();
+}
+
+TEST(AchillesIntegrationTest, DeterministicRuns) {
+  auto run = [](uint64_t seed) {
+    Cluster cluster(BaseConfig(1, seed));
+    cluster.Start();
+    cluster.sim().RunFor(Sec(1));
+    return std::make_pair(cluster.tracker().max_committed_height(),
+                          cluster.tracker().total_committed_txs());
+  };
+  EXPECT_EQ(run(123), run(123));
+}
+
+TEST(AchillesIntegrationTest, AchillesCVariantAlsoCommits) {
+  ClusterConfig config = BaseConfig();
+  config.protocol = Protocol::kAchillesC;
+  Cluster cluster(config);
+  cluster.Start();
+  cluster.sim().RunFor(Sec(1));
+  EXPECT_FALSE(cluster.tracker().safety_violated());
+  EXPECT_GT(cluster.tracker().max_committed_height(), 20u);
+}
+
+TEST(AchillesIntegrationTest, AchillesCIsFasterThanAchilles) {
+  // The SGX overhead (ECALLs + in-enclave crypto) must be visible (Table 3's gap).
+  ClusterConfig in_tee = BaseConfig(1, 5);
+  ClusterConfig outside = BaseConfig(1, 5);
+  outside.protocol = Protocol::kAchillesC;
+  Cluster a(in_tee);
+  Cluster c(outside);
+  const RunStats sa = a.RunMeasured(Ms(500), Sec(2));
+  const RunStats sc = c.RunMeasured(Ms(500), Sec(2));
+  EXPECT_GT(sc.throughput_tps, sa.throughput_tps);
+}
+
+TEST(AchillesIntegrationTest, EndToEndLatencyMeasured) {
+  ClusterConfig config = BaseConfig();
+  config.client_rate_tps = 2000;  // Open loop, below saturation.
+  Cluster cluster(config);
+  const RunStats stats = cluster.RunMeasured(Ms(500), Sec(2));
+  EXPECT_GT(stats.e2e_latency_ms, 0.0);
+  EXPECT_GT(stats.throughput_tps, 1500.0);
+}
+
+}  // namespace
+}  // namespace achilles

@@ -1,0 +1,290 @@
+// Direct unit tests for the Damysus and OneShot trusted components: equivocation guards,
+// phase ordering, seal/restore semantics, and counter binding.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/damysus/checker.h"
+#include "src/oneshot/checker.h"
+
+namespace achilles {
+namespace {
+
+constexpr uint32_t kN = 5;
+constexpr uint32_t kF = 2;
+
+class BaselineCheckerFixture : public ::testing::Test {
+ protected:
+  BaselineCheckerFixture() : sim_(5), suite_(SignatureScheme::kFastHmac, kN, 23) {
+    TeeConfig tee;
+    tee.counter = CounterSpec::Custom(Ms(20), Ms(5));
+    for (uint32_t i = 0; i < kN; ++i) {
+      hosts_.push_back(std::make_unique<Host>(&sim_, i));
+      platforms_.push_back(std::make_unique<NodePlatform>(
+          hosts_.back().get(), &suite_, CostModel::Default(), tee, 8));
+      enclaves_.push_back(std::make_unique<EnclaveRuntime>(platforms_.back().get()));
+    }
+  }
+
+  Simulation sim_;
+  CryptoSuite suite_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<NodePlatform>> platforms_;
+  std::vector<std::unique_ptr<EnclaveRuntime>> enclaves_;
+};
+
+// --- Damysus checker ---
+
+class DamysusCheckerTest : public BaselineCheckerFixture {
+ protected:
+  DamysusCheckerTest() {
+    for (uint32_t i = 0; i < kN; ++i) {
+      checkers_.push_back(std::make_unique<DamysusChecker>(enclaves_[i].get(), kN, kF));
+    }
+  }
+
+  std::vector<SignedCert> NewViews(View v) {
+    std::vector<SignedCert> certs;
+    for (auto& checker : checkers_) {
+      auto cert = checker->TdNewView(v);
+      if (cert) {
+        certs.push_back(*cert);
+      }
+    }
+    return certs;
+  }
+
+  std::vector<std::unique_ptr<DamysusChecker>> checkers_;
+};
+
+TEST_F(DamysusCheckerTest, OneProposalPerView) {
+  auto certs = NewViews(1);
+  auto acc = checkers_[1]->TdAccum(certs);  // Leader of view 1.
+  ASSERT_TRUE(acc.has_value());
+  const BlockPtr a = Block::Create(1, Block::Genesis(), {}, 0);
+  const BlockPtr b = Block::Create(1, Block::Genesis(), {Transaction{1, 0, 4}}, 0);
+  EXPECT_TRUE(checkers_[1]->TdPrepare(*a, *acc).has_value());
+  EXPECT_FALSE(checkers_[1]->TdPrepare(*b, *acc).has_value());
+}
+
+TEST_F(DamysusCheckerTest, OneFirstPhaseVotePerView) {
+  auto certs = NewViews(1);
+  auto acc = checkers_[1]->TdAccum(certs);
+  const BlockPtr block = Block::Create(1, Block::Genesis(), {}, 0);
+  auto prep = checkers_[1]->TdPrepare(*block, *acc);
+  ASSERT_TRUE(prep.has_value());
+  EXPECT_TRUE(checkers_[0]->TdVote(*prep).has_value());
+  EXPECT_FALSE(checkers_[0]->TdVote(*prep).has_value());  // Second vote refused.
+}
+
+TEST_F(DamysusCheckerTest, StoreRecordsPreparedBlockOnce) {
+  auto certs = NewViews(1);
+  auto acc = checkers_[1]->TdAccum(certs);
+  const BlockPtr block = Block::Create(1, Block::Genesis(), {}, 0);
+  auto prep = checkers_[1]->TdPrepare(*block, *acc);
+  QuorumCert prepared;
+  prepared.hash = block->hash;
+  prepared.view = 1;
+  for (uint32_t i = 0; i < kF + 1; ++i) {
+    auto vote = checkers_[i]->TdVote(*prep);
+    if (vote) {
+      prepared.sigs.push_back(vote->sig);
+    } else {
+      // The leader's own checker refuses TdVote only if it already voted; craft quorum
+      // from the others.
+    }
+  }
+  ASSERT_GE(prepared.sigs.size(), kF + 1);
+  auto store = checkers_[3]->TdStore(prepared);
+  ASSERT_TRUE(store.has_value());
+  EXPECT_EQ(checkers_[3]->prepv(), 1u);
+  EXPECT_EQ(checkers_[3]->preph(), block->hash);
+  EXPECT_FALSE(checkers_[3]->TdStore(prepared).has_value());  // voted2 set.
+}
+
+TEST_F(DamysusCheckerTest, StoreRejectsSubQuorumOrWrongDomain) {
+  auto certs = NewViews(1);
+  auto acc = checkers_[1]->TdAccum(certs);
+  const BlockPtr block = Block::Create(1, Block::Genesis(), {}, 0);
+  auto prep = checkers_[1]->TdPrepare(*block, *acc);
+  QuorumCert thin;
+  thin.hash = block->hash;
+  thin.view = 1;
+  auto vote = checkers_[0]->TdVote(*prep);
+  thin.sigs.push_back(vote->sig);
+  EXPECT_FALSE(checkers_[3]->TdStore(thin).has_value());  // One sig < f+1.
+}
+
+TEST_F(DamysusCheckerTest, EveryMutationWritesCounter) {
+  auto certs = NewViews(1);  // One TdNewView per checker: kN writes (plus genesis seal).
+  uint64_t writes = 0;
+  for (auto& platform : platforms_) {
+    writes += platform->counter().writes();
+  }
+  EXPECT_GE(writes, static_cast<uint64_t>(kN));
+  auto acc = checkers_[1]->TdAccum(certs);  // Stateless: no write.
+  const uint64_t before = platforms_[1]->counter().writes();
+  const BlockPtr block = Block::Create(1, Block::Genesis(), {}, 0);
+  checkers_[1]->TdPrepare(*block, *acc);  // Mutation: +1 write.
+  EXPECT_EQ(platforms_[1]->counter().writes(), before + 1);
+}
+
+TEST_F(DamysusCheckerTest, RestoreRoundTripsSealedState) {
+  auto certs = NewViews(3);
+  EXPECT_EQ(checkers_[0]->vi(), 3u);
+  // Fresh enclave incarnation on the same platform restores the sealed state.
+  checkers_[0].reset();
+  enclaves_[0] = std::make_unique<EnclaveRuntime>(platforms_[0].get());
+  auto restored = DamysusChecker::Restore(enclaves_[0].get(), kN, kF);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->vi(), 3u);
+  EXPECT_EQ(restored->preph(), Block::Genesis()->hash);
+}
+
+TEST_F(DamysusCheckerTest, RestoreDetectsRollback) {
+  NewViews(2);
+  NewViews(4);  // Two sealed versions beyond genesis.
+  checkers_[0].reset();
+  platforms_[0]->storage().SetRollbackMode(RollbackMode::kOldest);
+  enclaves_[0] = std::make_unique<EnclaveRuntime>(platforms_[0].get());
+  EXPECT_EQ(DamysusChecker::Restore(enclaves_[0].get(), kN, kF), nullptr);
+}
+
+TEST_F(DamysusCheckerTest, RestoreWithErasedStorageFails) {
+  NewViews(2);
+  checkers_[0].reset();
+  platforms_[0]->storage().SetRollbackMode(RollbackMode::kErase);
+  enclaves_[0] = std::make_unique<EnclaveRuntime>(platforms_[0].get());
+  EXPECT_EQ(DamysusChecker::Restore(enclaves_[0].get(), kN, kF), nullptr);
+}
+
+// --- OneShot checker ---
+
+class OneShotCheckerTest : public BaselineCheckerFixture {
+ protected:
+  OneShotCheckerTest() {
+    for (uint32_t i = 0; i < kN; ++i) {
+      checkers_.push_back(std::make_unique<OneShotChecker>(enclaves_[i].get(), kN, kF));
+    }
+  }
+
+  // Drives a full fast-path view v committing `block`, returning the commit QC.
+  QuorumCert CommitView(View v, const BlockPtr& block, const QuorumCert& justify) {
+    auto prep = checkers_[LeaderOfView(v, kN)]->ToPrepareFast(*block, justify);
+    EXPECT_TRUE(prep.has_value());
+    QuorumCert qc;
+    qc.hash = block->hash;
+    qc.view = v;
+    for (uint32_t i = 0; i < kN && qc.sigs.size() < kF + 1; ++i) {
+      auto vote = checkers_[i]->ToStoreFast(*prep);
+      if (vote) {
+        qc.sigs.push_back(vote->sig);
+      }
+    }
+    return qc;
+  }
+
+  std::vector<std::unique_ptr<OneShotChecker>> checkers_;
+};
+
+TEST_F(OneShotCheckerTest, FastPathSinglePhaseCommit) {
+  // Bootstrap view 1 via the slow path machinery: gather NEW-VIEWs and accumulate.
+  std::vector<SignedCert> certs;
+  for (auto& checker : checkers_) {
+    certs.push_back(*checker->ToNewView(1));
+  }
+  auto acc = checkers_[1]->ToAccum(certs);
+  ASSERT_TRUE(acc.has_value());
+  const BlockPtr b1 = Block::Create(1, Block::Genesis(), {}, 0);
+  auto prep1 = checkers_[1]->ToPrepareSlow(*b1, *acc);
+  ASSERT_TRUE(prep1.has_value());
+  EXPECT_EQ(prep1->aux, 0u);  // Slow-path marker.
+
+  // Form a commit QC via slow-path two-phase voting.
+  QuorumCert prepared;
+  prepared.hash = b1->hash;
+  prepared.view = 1;
+  for (uint32_t i = 0; i < kN && prepared.sigs.size() < kF + 1; ++i) {
+    auto vote = checkers_[i]->ToVote(*prep1);
+    if (vote) {
+      prepared.sigs.push_back(vote->sig);
+    }
+  }
+  QuorumCert committed;
+  committed.hash = b1->hash;
+  committed.view = 1;
+  for (uint32_t i = 0; i < kN && committed.sigs.size() < kF + 1; ++i) {
+    auto vote = checkers_[i]->ToStoreSlow(prepared);
+    if (vote) {
+      committed.sigs.push_back(vote->sig);
+    }
+  }
+  ASSERT_GE(committed.sigs.size(), kF + 1);
+
+  // Fast path at view 2: one phase only.
+  const BlockPtr b2 = Block::Create(2, b1, {}, 0);
+  const QuorumCert qc2 = CommitView(2, b2, committed);
+  EXPECT_GE(qc2.sigs.size(), kF + 1);
+  EXPECT_EQ(checkers_[2]->vi(), 2u);
+}
+
+TEST_F(OneShotCheckerTest, FastStoreRefusesSlowPathCertificates) {
+  std::vector<SignedCert> certs;
+  for (auto& checker : checkers_) {
+    certs.push_back(*checker->ToNewView(1));
+  }
+  auto acc = checkers_[1]->ToAccum(certs);
+  const BlockPtr b1 = Block::Create(1, Block::Genesis(), {}, 0);
+  auto slow_prep = checkers_[1]->ToPrepareSlow(*b1, *acc);
+  ASSERT_TRUE(slow_prep.has_value());
+  // Single-phase store on a slow-path certificate would skip the prepared-QC round.
+  EXPECT_FALSE(checkers_[0]->ToStoreFast(*slow_prep).has_value());
+  EXPECT_TRUE(checkers_[0]->ToVote(*slow_prep).has_value());
+}
+
+TEST_F(OneShotCheckerTest, FastStoreOncePerView) {
+  std::vector<SignedCert> certs;
+  for (auto& checker : checkers_) {
+    certs.push_back(*checker->ToNewView(1));
+  }
+  auto acc = checkers_[1]->ToAccum(certs);
+  const BlockPtr b1 = Block::Create(1, Block::Genesis(), {}, 0);
+  auto prep = checkers_[1]->ToPrepareSlow(*b1, *acc);
+  QuorumCert prepared;
+  prepared.hash = b1->hash;
+  prepared.view = 1;
+  for (uint32_t i = 0; i < kN && prepared.sigs.size() < kF + 1; ++i) {
+    auto vote = checkers_[i]->ToVote(*prep);
+    if (vote) {
+      prepared.sigs.push_back(vote->sig);
+    }
+  }
+  QuorumCert committed;
+  committed.hash = b1->hash;
+  committed.view = 1;
+  for (uint32_t i = 0; i < kN && committed.sigs.size() < kF + 1; ++i) {
+    auto vote = checkers_[i]->ToStoreSlow(prepared);
+    if (vote) {
+      committed.sigs.push_back(vote->sig);
+    }
+  }
+  const BlockPtr b2 = Block::Create(2, b1, {}, 0);
+  auto prep2 = checkers_[2]->ToPrepareFast(*b2, committed);
+  ASSERT_TRUE(prep2.has_value());
+  EXPECT_TRUE(checkers_[0]->ToStoreFast(*prep2).has_value());
+  EXPECT_FALSE(checkers_[0]->ToStoreFast(*prep2).has_value());  // voted2 set.
+}
+
+TEST_F(OneShotCheckerTest, RestoreDetectsRollbackLikeDamysus) {
+  for (auto& checker : checkers_) {
+    checker->ToNewView(2);
+    checker->ToNewView(5);
+  }
+  checkers_[0].reset();
+  platforms_[0]->storage().SetRollbackMode(RollbackMode::kOldest);
+  enclaves_[0] = std::make_unique<EnclaveRuntime>(platforms_[0].get());
+  EXPECT_EQ(OneShotChecker::Restore(enclaves_[0].get(), kN, kF), nullptr);
+}
+
+}  // namespace
+}  // namespace achilles

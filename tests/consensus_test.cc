@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "src/consensus/block.h"
+#include "src/consensus/certificates.h"
+#include "src/consensus/commit_tracker.h"
+#include "src/consensus/mempool.h"
+#include "src/consensus/metrics.h"
+#include "src/consensus/types.h"
+
+namespace achilles {
+namespace {
+
+std::vector<Transaction> MakeTxs(uint32_t client, uint32_t count, SimTime t = 0) {
+  std::vector<Transaction> txs;
+  for (uint32_t i = 0; i < count; ++i) {
+    txs.push_back(Transaction{Transaction::MakeId(client, i), t, 256});
+  }
+  return txs;
+}
+
+// --- Blocks ---
+
+TEST(BlockTest, GenesisIsStable) {
+  const BlockPtr& g = Block::Genesis();
+  EXPECT_EQ(g->height, 0u);
+  EXPECT_EQ(g->view, 0u);
+  EXPECT_EQ(Block::Genesis()->hash, g->hash);
+}
+
+TEST(BlockTest, CreateLinksParentAndHeights) {
+  const BlockPtr b1 = Block::Create(1, Block::Genesis(), MakeTxs(1, 3), Ms(5));
+  EXPECT_EQ(b1->height, 1u);
+  EXPECT_EQ(b1->parent, Block::Genesis()->hash);
+  EXPECT_EQ(b1->propose_time, Ms(5));
+  const BlockPtr b2 = Block::Create(2, b1, MakeTxs(1, 2), Ms(6));
+  EXPECT_EQ(b2->height, 2u);
+  EXPECT_EQ(b2->parent, b1->hash);
+}
+
+TEST(BlockTest, HashCoversContent) {
+  const BlockPtr a = Block::Create(1, Block::Genesis(), MakeTxs(1, 3), 0);
+  const BlockPtr b = Block::Create(1, Block::Genesis(), MakeTxs(2, 3), 0);
+  const BlockPtr c = Block::Create(2, Block::Genesis(), MakeTxs(1, 3), 0);
+  EXPECT_NE(a->hash, b->hash);  // Different txs.
+  EXPECT_NE(a->hash, c->hash);  // Different view.
+}
+
+TEST(BlockTest, ProposeTimeNotPartOfHash) {
+  const BlockPtr a = Block::Create(1, Block::Genesis(), MakeTxs(1, 3), Ms(1));
+  const BlockPtr b = Block::Create(1, Block::Genesis(), MakeTxs(1, 3), Ms(99));
+  EXPECT_EQ(a->hash, b->hash);
+}
+
+TEST(BlockTest, ValidUnderDetectsForgedExecResult) {
+  const BlockPtr good = Block::Create(1, Block::Genesis(), MakeTxs(1, 3), 0);
+  EXPECT_TRUE(good->ValidUnder(Block::Genesis()->exec_result));
+
+  auto forged = std::make_shared<Block>(*good);
+  forged->exec_result = Sha256Digest(AsBytes("wrong"));
+  EXPECT_FALSE(forged->ValidUnder(Block::Genesis()->exec_result));
+}
+
+TEST(BlockTest, WireSizeScalesWithPayload) {
+  const BlockPtr small = Block::Create(1, Block::Genesis(), MakeTxs(1, 10), 0);
+  const BlockPtr big = Block::Create(1, Block::Genesis(), MakeTxs(1, 400), 0);
+  EXPECT_GT(big->WireSize(), small->WireSize());
+  // 400 txs * (8 + 256) bytes + header.
+  EXPECT_EQ(big->WireSize(), 400u * 264u + 112u);
+}
+
+// --- BlockStore ---
+
+TEST(BlockStoreTest, AncestryAndExtends) {
+  BlockStore store;
+  const BlockPtr b1 = Block::Create(1, Block::Genesis(), {}, 0);
+  const BlockPtr b2 = Block::Create(2, b1, {}, 0);
+  const BlockPtr b3 = Block::Create(3, b2, {}, 0);
+  store.Add(b1);
+  store.Add(b3);  // b2 missing.
+  EXPECT_FALSE(store.HasFullAncestry(b3->hash));
+  store.Add(b2);
+  EXPECT_TRUE(store.HasFullAncestry(b3->hash));
+  EXPECT_TRUE(store.Extends(b3->hash, b1->hash));
+  EXPECT_TRUE(store.Extends(b3->hash, Block::Genesis()->hash));
+  EXPECT_FALSE(store.Extends(b1->hash, b3->hash));
+}
+
+TEST(BlockStoreTest, ConflictingForksDoNotExtend) {
+  BlockStore store;
+  const BlockPtr left = Block::Create(1, Block::Genesis(), MakeTxs(1, 1), 0);
+  const BlockPtr right = Block::Create(1, Block::Genesis(), MakeTxs(2, 1), 0);
+  store.Add(left);
+  store.Add(right);
+  EXPECT_FALSE(store.Extends(left->hash, right->hash));
+  EXPECT_FALSE(store.Extends(right->hash, left->hash));
+}
+
+TEST(BlockStoreTest, PathBetweenReturnsOrderedChain) {
+  BlockStore store;
+  const BlockPtr b1 = Block::Create(1, Block::Genesis(), {}, 0);
+  const BlockPtr b2 = Block::Create(2, b1, {}, 0);
+  const BlockPtr b3 = Block::Create(3, b2, {}, 0);
+  store.Add(b1);
+  store.Add(b2);
+  store.Add(b3);
+  const auto path = store.PathBetween(b1->hash, b3->hash);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0]->hash, b2->hash);
+  EXPECT_EQ(path[1]->hash, b3->hash);
+  // Non-extending target yields empty path.
+  const BlockPtr fork = Block::Create(1, Block::Genesis(), MakeTxs(9, 1), 0);
+  store.Add(fork);
+  EXPECT_TRUE(store.PathBetween(b1->hash, fork->hash).empty());
+}
+
+// --- Mempool ---
+
+TEST(MempoolTest, FifoBatching) {
+  Mempool pool;
+  pool.AddBatch(MakeTxs(1, 10));
+  const auto batch = pool.TakeBatch(4);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0].id, Transaction::MakeId(1, 0));
+  EXPECT_EQ(batch[3].id, Transaction::MakeId(1, 3));
+  EXPECT_EQ(pool.pending(), 6u);
+}
+
+TEST(MempoolTest, DuplicatesDropped) {
+  Mempool pool;
+  pool.AddBatch(MakeTxs(1, 5));
+  pool.AddBatch(MakeTxs(1, 5));  // Same ids again.
+  EXPECT_EQ(pool.pending(), 5u);
+}
+
+TEST(MempoolTest, CommittedTxsNeverReenterOrLeave) {
+  Mempool pool;
+  const auto txs = MakeTxs(1, 5);
+  pool.AddBatch(txs);
+  pool.MarkCommitted({txs[0], txs[1]});
+  const auto batch = pool.TakeBatch(10);
+  ASSERT_EQ(batch.size(), 3u);  // Committed ones skipped.
+  EXPECT_EQ(batch[0].id, txs[2].id);
+  pool.AddBatch({txs[0]});  // Resubmission of committed tx.
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+// --- Certificates ---
+
+TEST(CertificatesTest, SignedCertDigestDomainSeparated) {
+  const Hash256 h = Sha256Digest(AsBytes("x"));
+  SignedCert cert;
+  cert.hash = h;
+  cert.view = 3;
+  EXPECT_NE(cert.Digest("achilles/PROP"), cert.Digest("achilles/COMMIT"));
+}
+
+TEST(CertificatesTest, QuorumCertVerify) {
+  CryptoSuite suite(SignatureScheme::kFastHmac, 5, 7);
+  QuorumCert qc;
+  qc.hash = Sha256Digest(AsBytes("block"));
+  qc.view = 9;
+  const Bytes digest = qc.Digest("proto/DECIDE");
+  for (uint32_t i = 0; i < 3; ++i) {
+    qc.sigs.push_back(suite.Sign(i, ByteView(digest.data(), digest.size())));
+  }
+  EXPECT_TRUE(qc.Verify(suite, "proto/DECIDE", 3));
+  EXPECT_FALSE(qc.Verify(suite, "proto/DECIDE", 4));
+  EXPECT_FALSE(qc.Verify(suite, "proto/OTHER", 3));  // Wrong domain.
+
+  QuorumCert dup = qc;
+  dup.sigs[2] = dup.sigs[0];
+  EXPECT_FALSE(dup.Verify(suite, "proto/DECIDE", 3));  // Duplicate signer.
+}
+
+TEST(CertificatesTest, AccumulatorDigestBindsEverything) {
+  AccumulatorCert a;
+  a.hash = Sha256Digest(AsBytes("parent"));
+  a.block_view = 4;
+  a.current_view = 7;
+  a.ids = {0, 1, 2};
+  AccumulatorCert b = a;
+  b.current_view = 8;  // Replay in a later view must change the digest.
+  EXPECT_NE(a.Digest("achilles/ACC"), b.Digest("achilles/ACC"));
+  AccumulatorCert c = a;
+  c.ids = {0, 1, 3};
+  EXPECT_NE(a.Digest("achilles/ACC"), c.Digest("achilles/ACC"));
+}
+
+// --- LatencyRecorder ---
+
+TEST(MetricsTest, PercentilesAndMean) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) {
+    rec.Record(Ms(i));
+  }
+  EXPECT_NEAR(rec.MeanMs(), 50.5, 0.01);
+  EXPECT_NEAR(rec.PercentileMs(50), 50.5, 1.0);
+  EXPECT_NEAR(rec.PercentileMs(99), 99.0, 1.1);
+  EXPECT_DOUBLE_EQ(rec.MaxMs(), 100.0);
+  EXPECT_EQ(rec.count(), 100u);
+}
+
+TEST(MetricsTest, EmptyRecorderIsZero) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.MeanMs(), 0.0);
+  EXPECT_EQ(rec.PercentileMs(50), 0.0);
+}
+
+// --- CommitTracker ---
+
+TEST(CommitTrackerTest, ThroughputAndCommitLatency) {
+  CommitTracker tracker(3);
+  tracker.StartMeasurement(0);
+  auto b1 = Block::Create(1, Block::Genesis(), MakeTxs(1, 100), Ms(10));
+  tracker.OnPropose(b1);
+  tracker.OnCommit(0, b1, Ms(30));
+  tracker.OnCommit(1, b1, Ms(31));  // Later commits of the same block don't re-count.
+  tracker.EndMeasurement(Sec(1));
+  EXPECT_DOUBLE_EQ(tracker.ThroughputTps(), 100.0);
+  EXPECT_EQ(tracker.commit_latency().count(), 1u);
+  EXPECT_NEAR(tracker.commit_latency().MeanMs(), 20.0, 0.01);
+}
+
+TEST(CommitTrackerTest, SafetyViolationDetected) {
+  CommitTracker tracker(3);
+  auto a = Block::Create(1, Block::Genesis(), MakeTxs(1, 1), 0);
+  auto b = Block::Create(1, Block::Genesis(), MakeTxs(2, 1), 0);
+  ASSERT_NE(a->hash, b->hash);
+  tracker.OnCommit(0, a, Ms(1));
+  EXPECT_FALSE(tracker.safety_violated());
+  tracker.OnCommit(1, b, Ms(2));  // Same height, different hash.
+  EXPECT_TRUE(tracker.safety_violated());
+}
+
+TEST(CommitTrackerTest, ByzantineCommitsIgnoredByAudit) {
+  CommitTracker tracker(3);
+  tracker.MarkByzantine(2);
+  auto a = Block::Create(1, Block::Genesis(), MakeTxs(1, 1), 0);
+  auto b = Block::Create(1, Block::Genesis(), MakeTxs(2, 1), 0);
+  tracker.OnCommit(0, a, Ms(1));
+  tracker.OnCommit(2, b, Ms(2));  // Byzantine replica "commits" a conflicting block.
+  EXPECT_FALSE(tracker.safety_violated());
+}
+
+TEST(CommitTrackerTest, EndToEndLatencyFromClientConfirm) {
+  CommitTracker tracker(3);
+  tracker.StartMeasurement(0);
+  auto b1 = Block::Create(1, Block::Genesis(), MakeTxs(1, 2, /*t=*/Ms(5)), Ms(10));
+  tracker.OnPropose(b1);
+  tracker.OnClientConfirm(b1, Ms(45));
+  tracker.OnClientConfirm(b1, Ms(60));  // Second reply ignored.
+  tracker.EndMeasurement(Sec(1));
+  EXPECT_EQ(tracker.e2e_latency().count(), 2u);  // Two txs.
+  EXPECT_NEAR(tracker.e2e_latency().MeanMs(), 40.0, 0.01);
+}
+
+TEST(CommitTrackerTest, HeightsTracked) {
+  CommitTracker tracker(2);
+  auto b1 = Block::Create(1, Block::Genesis(), {}, 0);
+  auto b2 = Block::Create(2, b1, {}, 0);
+  tracker.OnCommit(0, b1, Ms(1));
+  tracker.OnCommit(0, b2, Ms(2));
+  tracker.OnCommit(1, b1, Ms(3));
+  EXPECT_EQ(tracker.committed_height(0), 2u);
+  EXPECT_EQ(tracker.committed_height(1), 1u);
+  EXPECT_EQ(tracker.max_committed_height(), 2u);
+  EXPECT_EQ(tracker.committed_hash_at(2), b2->hash);
+}
+
+TEST(CommitTrackerTest, MeasurementWindowFiltersEarlyCommits) {
+  CommitTracker tracker(1);
+  auto warmup = Block::Create(1, Block::Genesis(), MakeTxs(1, 50), 0);
+  tracker.OnPropose(warmup);
+  tracker.OnCommit(0, warmup, Ms(1));  // Before the window starts.
+  tracker.StartMeasurement(Ms(100));
+  auto measured = Block::Create(2, warmup, MakeTxs(2, 70), Ms(150));
+  tracker.OnPropose(measured);
+  tracker.OnCommit(0, measured, Ms(160));
+  tracker.EndMeasurement(Ms(1100));
+  EXPECT_DOUBLE_EQ(tracker.ThroughputTps(), 70.0);
+}
+
+TEST(LeaderScheduleTest, RoundRobin) {
+  EXPECT_EQ(LeaderOfView(0, 5), 0u);
+  EXPECT_EQ(LeaderOfView(7, 5), 2u);
+  EXPECT_EQ(LeaderOfView(10, 5), 0u);
+}
+
+}  // namespace
+}  // namespace achilles

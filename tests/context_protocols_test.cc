@@ -1,0 +1,178 @@
+// Tests for the historical-context protocols: MinBFT (USIG) and HotStuff, plus the
+// lineage ordering HotStuff -> Damysus -> Achilles that motivates the paper.
+#include <gtest/gtest.h>
+
+#include "src/harness/cluster.h"
+#include "src/minbft/usig.h"
+
+namespace achilles {
+namespace {
+
+ClusterConfig Config(Protocol protocol, uint32_t f = 1, uint64_t seed = 61) {
+  ClusterConfig config;
+  config.protocol = protocol;
+  config.f = f;
+  config.batch_size = 100;
+  config.payload_size = 64;
+  config.net = NetworkConfig::Lan();
+  config.base_timeout = Ms(200);
+  config.seed = seed;
+  return config;
+}
+
+// --- USIG unit tests ---
+
+struct UsigFixture {
+  UsigFixture()
+      : sim(1), host(&sim, 0), suite(SignatureScheme::kFastHmac, 3, 9) {
+    TeeConfig tee;
+    tee.counter = CounterSpec::Custom(Ms(20), Ms(5));
+    platform = std::make_unique<NodePlatform>(&host, &suite, CostModel::Default(), tee, 4);
+    enclave = std::make_unique<EnclaveRuntime>(platform.get());
+  }
+  Simulation sim;
+  Host host;
+  CryptoSuite suite;
+  std::unique_ptr<NodePlatform> platform;
+  std::unique_ptr<EnclaveRuntime> enclave;
+};
+
+TEST(UsigTest, CountersAreSequentialAndSigned) {
+  UsigFixture f;
+  Usig usig(f.enclave.get());
+  const Hash256 d1 = Sha256Digest(AsBytes("m1"));
+  const Hash256 d2 = Sha256Digest(AsBytes("m2"));
+  const UniqueIdentifier u1 = usig.CreateUi(d1);
+  const UniqueIdentifier u2 = usig.CreateUi(d2);
+  EXPECT_EQ(u1.counter, 1u);
+  EXPECT_EQ(u2.counter, 2u);
+  EXPECT_TRUE(usig.VerifyUi(u1, d1));
+  EXPECT_FALSE(usig.VerifyUi(u1, d2));  // Digest mismatch.
+}
+
+TEST(UsigTest, EveryUiWritesThePersistentCounter) {
+  UsigFixture f;
+  Usig usig(f.enclave.get());
+  usig.CreateUi(Sha256Digest(AsBytes("a")));
+  usig.CreateUi(Sha256Digest(AsBytes("b")));
+  EXPECT_EQ(f.platform->counter().writes(), 2u);
+  EXPECT_EQ(f.host.cpu_time_used() >= Ms(40), true);  // Two 20 ms stalls.
+}
+
+TEST(UsigTest, VerifierRejectsReplayAndRegression) {
+  UsigFixture f;
+  Usig usig(f.enclave.get());
+  UsigVerifier verifier(3);
+  const UniqueIdentifier u1 = usig.CreateUi(Sha256Digest(AsBytes("a")));
+  const UniqueIdentifier u2 = usig.CreateUi(Sha256Digest(AsBytes("b")));
+  EXPECT_TRUE(verifier.AcceptNext(0, u1));
+  EXPECT_FALSE(verifier.AcceptNext(0, u1));  // Replay.
+  EXPECT_TRUE(verifier.AcceptNext(0, u2));
+  // Monotonic mode: skipping is fine, going backwards is not.
+  UsigVerifier mono(3);
+  EXPECT_TRUE(mono.AcceptMonotonic(1, u2));
+  EXPECT_FALSE(mono.AcceptMonotonic(1, u1));
+}
+
+TEST(UsigTest, GaplessModeRejectsSkips) {
+  UsigFixture f;
+  Usig usig(f.enclave.get());
+  UsigVerifier verifier(3);
+  usig.CreateUi(Sha256Digest(AsBytes("skipped")));
+  const UniqueIdentifier u2 = usig.CreateUi(Sha256Digest(AsBytes("b")));
+  EXPECT_FALSE(verifier.AcceptNext(0, u2));  // Counter 2 before 1.
+}
+
+// --- MinBFT / HotStuff cluster behaviour ---
+
+TEST(MinBftTest, CommitsAndStaysSafe) {
+  Cluster cluster(Config(Protocol::kMinBft));
+  cluster.Start();
+  cluster.sim().RunFor(Sec(3));
+  EXPECT_FALSE(cluster.tracker().safety_violated()) << cluster.tracker().violation();
+  EXPECT_GT(cluster.tracker().max_committed_height(), 5u);
+}
+
+TEST(MinBftTest, EveryNodePaysCounterWritesPerBlock) {
+  Cluster cluster(Config(Protocol::kMinBft));
+  cluster.Start();
+  cluster.sim().RunFor(Sec(2));
+  const uint64_t blocks = cluster.tracker().total_committed_blocks();
+  ASSERT_GT(blocks, 2u);
+  // Leader: 1 PREPARE UI + 1 COMMIT UI; backups: 1 COMMIT UI each => n+1 writes per block.
+  const double writes_per_block =
+      static_cast<double>(cluster.TotalCounterWrites()) / static_cast<double>(blocks);
+  EXPECT_NEAR(writes_per_block, static_cast<double>(cluster.num_replicas() + 1), 1.0);
+}
+
+TEST(MinBftTest, SurvivesLeaderCrash) {
+  Cluster cluster(Config(Protocol::kMinBft, 1, 62));
+  cluster.Start();
+  cluster.sim().RunFor(Sec(1));
+  const Height before = cluster.tracker().max_committed_height();
+  ASSERT_GT(before, 0u);
+  cluster.CrashReplica(0);
+  cluster.sim().RunFor(Sec(4));
+  EXPECT_GT(cluster.tracker().max_committed_height(), before);
+  EXPECT_FALSE(cluster.tracker().safety_violated());
+}
+
+TEST(HotStuffTest, CommitsAndStaysSafe) {
+  Cluster cluster(Config(Protocol::kHotStuff));
+  cluster.Start();
+  cluster.sim().RunFor(Sec(3));
+  EXPECT_FALSE(cluster.tracker().safety_violated()) << cluster.tracker().violation();
+  EXPECT_GT(cluster.tracker().max_committed_height(), 5u);
+}
+
+TEST(HotStuffTest, UsesThreeFPlusOneAndNoCounters) {
+  Cluster cluster(Config(Protocol::kHotStuff, 2));
+  EXPECT_EQ(cluster.num_replicas(), 7u);
+  cluster.Start();
+  cluster.sim().RunFor(Sec(1));
+  EXPECT_EQ(cluster.TotalCounterWrites(), 0u);
+}
+
+TEST(HotStuffTest, SurvivesCrashedMinority) {
+  Cluster cluster(Config(Protocol::kHotStuff, 1, 63));  // n = 4, tolerate 1.
+  cluster.Start();
+  cluster.sim().RunFor(Sec(1));
+  const Height before = cluster.tracker().max_committed_height();
+  cluster.CrashReplica(3);
+  cluster.sim().RunFor(Sec(4));
+  EXPECT_GT(cluster.tracker().max_committed_height(), before);
+  EXPECT_FALSE(cluster.tracker().safety_violated());
+}
+
+TEST(LineageTest, LatencyOrderingHotStuffDamysusAchilles) {
+  // The lineage claim: each TEE refinement removes communication steps. Measured on the
+  // zero-cost exact-step network (10 ms hops), commit latency must strictly improve.
+  auto commit_steps = [](Protocol protocol) {
+    ClusterConfig config;
+    config.protocol = protocol;
+    config.f = 1;
+    config.batch_size = 50;
+    config.payload_size = 16;
+    config.net.one_way_base = Ms(10);
+    config.net.one_way_jitter = 0;
+    config.net.bandwidth_bps = 1e15;
+    config.net.loopback_delay = 0;
+    config.costs = CostModel::Zero();
+    config.counter = CounterSpec::Custom(0, 0);
+    config.client_rate_tps = 300;
+    config.base_timeout = Sec(1);
+    config.seed = 64;
+    Cluster cluster(config);
+    const RunStats stats = cluster.RunMeasured(Sec(2), Sec(4));
+    return stats.commit_latency_ms / 10.0;
+  };
+  const double hotstuff = commit_steps(Protocol::kHotStuff);
+  const double damysus = commit_steps(Protocol::kDamysus);
+  const double achilles = commit_steps(Protocol::kAchilles);
+  EXPECT_NEAR(hotstuff, 6.0, 0.3);  // 8 e2e steps = 6 commit steps + submit + reply.
+  EXPECT_NEAR(damysus, 4.0, 0.3);   // 6 e2e steps.
+  EXPECT_NEAR(achilles, 2.0, 0.3);  // 4 e2e steps.
+}
+
+}  // namespace
+}  // namespace achilles

@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/schnorr.h"
+#include "src/crypto/secp256k1.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/signer.h"
+#include "src/crypto/uint256.h"
+
+namespace achilles {
+namespace {
+
+// --- SHA-256 known-answer tests (FIPS 180-4 / NIST vectors) ---
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HashToHex(Sha256Digest(ByteView())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HashToHex(Sha256Digest(AsBytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HashToHex(Sha256Digest(
+                AsBytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(AsBytes(chunk));
+  }
+  EXPECT_EQ(HashToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Rng rng(3);
+  Bytes data;
+  rng.Fill(data, 300);
+  Sha256 h;
+  h.Update(ByteView(data.data(), 100));
+  h.Update(ByteView(data.data() + 100, 1));
+  h.Update(ByteView(data.data() + 101, 199));
+  EXPECT_EQ(h.Finish(), Sha256Digest(ByteView(data.data(), data.size())));
+}
+
+TEST(Sha256Test, ReusableAfterFinish) {
+  Sha256 h;
+  h.Update(AsBytes("abc"));
+  const Hash256 first = h.Finish();
+  h.Update(AsBytes("abc"));
+  EXPECT_EQ(h.Finish(), first);
+}
+
+// --- HMAC-SHA-256 (RFC 4231) ---
+
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Hash256 tag = HmacSha256(ByteView(key.data(), key.size()), AsBytes("Hi There"));
+  EXPECT_EQ(HashToHex(tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  const Hash256 tag =
+      HmacSha256(AsBytes("Jefe"), AsBytes("what do ya want for nothing?"));
+  EXPECT_EQ(HashToHex(tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3LongKeyHashing) {
+  // Key longer than the block size must be hashed first (case 6 of RFC 4231).
+  const Bytes key(131, 0xaa);
+  const Hash256 tag = HmacSha256(ByteView(key.data(), key.size()),
+                                 AsBytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(HashToHex(tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DeriveKeyDomainSeparation) {
+  const Hash256 a = DeriveKey(AsBytes("seed"), "label-a", ByteView());
+  const Hash256 b = DeriveKey(AsBytes("seed"), "label-b", ByteView());
+  EXPECT_NE(a, b);
+}
+
+// --- UInt256 ---
+
+TEST(UInt256Test, BytesRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    UInt256 v;
+    for (auto& limb : v.limbs) {
+      limb = rng.NextU64();
+    }
+    const Bytes be = v.ToBytesBE();
+    EXPECT_EQ(UInt256::FromBytesBE(ByteView(be.data(), be.size())), v);
+  }
+}
+
+TEST(UInt256Test, HexRoundTrip) {
+  const UInt256 v = UInt256::FromHexStr("00000000000000000000000000000000000000000000000000000000deadbeef");
+  EXPECT_EQ(v.limbs[0], 0xdeadbeefULL);
+  EXPECT_EQ(v.ToHexStr(),
+            "00000000000000000000000000000000000000000000000000000000deadbeef");
+}
+
+TEST(UInt256Test, AddSubInverse) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    UInt256 a, b;
+    for (auto& limb : a.limbs) {
+      limb = rng.NextU64();
+    }
+    for (auto& limb : b.limbs) {
+      limb = rng.NextU64();
+    }
+    UInt256 sum, back;
+    const uint64_t carry = AddWithCarry(a, b, sum);
+    const uint64_t borrow = SubWithBorrow(sum, b, back);
+    EXPECT_EQ(back, a);
+    EXPECT_EQ(carry, borrow);  // Wrap on add implies wrap on sub.
+  }
+}
+
+TEST(UInt256Test, CmpOrdering) {
+  const UInt256 one = UInt256::FromU64(1);
+  const UInt256 two = UInt256::FromU64(2);
+  UInt256 big;
+  big.limbs[3] = 1;
+  EXPECT_EQ(Cmp(one, two), -1);
+  EXPECT_EQ(Cmp(two, one), 1);
+  EXPECT_EQ(Cmp(one, one), 0);
+  EXPECT_EQ(Cmp(big, two), 1);
+}
+
+TEST(UInt256Test, MulModSmallValues) {
+  const UInt256 m = UInt256::FromU64(1000000007ULL);
+  const UInt256 a = UInt256::FromU64(123456789ULL);
+  const UInt256 b = UInt256::FromU64(987654321ULL);
+  // 123456789 * 987654321 mod 1000000007 = 259106859963578712 mod 1e9+7.
+  const uint64_t expected =
+      static_cast<uint64_t>((static_cast<unsigned __int128>(123456789ULL) * 987654321ULL) %
+                            1000000007ULL);
+  EXPECT_EQ(MulMod(a, b, m).limbs[0], expected);
+}
+
+TEST(UInt256Test, Mod512MatchesModularIdentity) {
+  // (a * m + r) mod m == r for r < m.
+  Rng rng(9);
+  const UInt256 m = Secp256k1N();
+  for (int i = 0; i < 20; ++i) {
+    UInt256 r = UInt256::FromU64(rng.NextU64());
+    const UInt256 a = UInt256::FromU64(rng.NextU64() % 1000);
+    UInt512 prod = Mul256(a, m);
+    // prod += r.
+    unsigned __int128 carry = 0;
+    for (int limb = 0; limb < 4; ++limb) {
+      const unsigned __int128 cur =
+          static_cast<unsigned __int128>(prod[static_cast<size_t>(limb)]) + r.limbs[static_cast<size_t>(limb)] + carry;
+      prod[static_cast<size_t>(limb)] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    for (int limb = 4; limb < 8 && carry; ++limb) {
+      const unsigned __int128 cur =
+          static_cast<unsigned __int128>(prod[static_cast<size_t>(limb)]) + carry;
+      prod[static_cast<size_t>(limb)] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    EXPECT_EQ(Mod512(prod, m), r);
+  }
+}
+
+TEST(UInt256Test, BitLength) {
+  EXPECT_EQ(UInt256{}.BitLength(), 0);
+  EXPECT_EQ(UInt256::FromU64(1).BitLength(), 1);
+  EXPECT_EQ(UInt256::FromU64(0x80).BitLength(), 8);
+  UInt256 top;
+  top.limbs[3] = 0x8000000000000000ULL;
+  EXPECT_EQ(top.BitLength(), 256);
+}
+
+// --- secp256k1 ---
+
+TEST(Secp256k1Test, GeneratorOnCurve) { EXPECT_TRUE(IsOnCurve(Secp256k1G())); }
+
+TEST(Secp256k1Test, KnownDoubleG) {
+  const AffinePoint two_g = ScalarMul(UInt256::FromU64(2), Secp256k1G());
+  EXPECT_EQ(two_g.x.ToHexStr(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_TRUE(IsOnCurve(two_g));
+}
+
+TEST(Secp256k1Test, DoubleMatchesAdd) {
+  const JacobianPoint g = JacobianPoint::FromAffine(Secp256k1G());
+  const AffinePoint doubled = ToAffine(PointDouble(g));
+  const AffinePoint added = ToAffine(PointAdd(g, g));
+  EXPECT_EQ(doubled, added);
+}
+
+TEST(Secp256k1Test, OrderTimesGIsInfinity) {
+  EXPECT_TRUE(ScalarMul(Secp256k1N(), Secp256k1G()).infinity);
+}
+
+TEST(Secp256k1Test, OrderMinusOneIsNegation) {
+  UInt256 n_minus_1;
+  SubWithBorrow(Secp256k1N(), UInt256::FromU64(1), n_minus_1);
+  const AffinePoint p = ScalarMul(n_minus_1, Secp256k1G());
+  EXPECT_EQ(p.x, Secp256k1G().x);
+  EXPECT_EQ(p.y, FieldNeg(Secp256k1G().y));
+}
+
+TEST(Secp256k1Test, ScalarMulDistributive) {
+  Rng rng(21);
+  for (int i = 0; i < 4; ++i) {
+    const UInt256 a = UInt256::FromU64(rng.NextU64());
+    const UInt256 b = UInt256::FromU64(rng.NextU64());
+    const UInt256 sum = AddMod(a, b, Secp256k1N());
+    const AffinePoint lhs = ScalarMulBase(sum);
+    const JacobianPoint rhs_j =
+        PointAddMixed(JacobianPoint::FromAffine(ScalarMulBase(a)), ScalarMulBase(b));
+    EXPECT_EQ(lhs, ToAffine(rhs_j));
+  }
+}
+
+TEST(Secp256k1Test, FieldInverse) {
+  Rng rng(31);
+  for (int i = 0; i < 10; ++i) {
+    UInt256 a = UInt256::FromU64(rng.NextU64() | 1);
+    a.limbs[2] = rng.NextU64();
+    const UInt256 inv = FieldInv(a);
+    EXPECT_EQ(FieldMul(a, inv), UInt256::FromU64(1));
+  }
+}
+
+TEST(Secp256k1Test, PointEncodeDecodeRoundTrip) {
+  const AffinePoint p = ScalarMulBase(UInt256::FromU64(777));
+  const Bytes enc = EncodePoint(p);
+  AffinePoint out;
+  ASSERT_TRUE(DecodePoint(ByteView(enc.data(), enc.size()), out));
+  EXPECT_EQ(out, p);
+}
+
+TEST(Secp256k1Test, DecodeRejectsOffCurve) {
+  Bytes enc(64, 0);
+  enc[0] = 1;  // x=2^248-ish, y=0: not on curve.
+  AffinePoint out;
+  EXPECT_FALSE(DecodePoint(ByteView(enc.data(), enc.size()), out));
+}
+
+TEST(Secp256k1Test, InfinityEncoding) {
+  AffinePoint inf;
+  const Bytes enc = EncodePoint(inf);
+  AffinePoint out;
+  ASSERT_TRUE(DecodePoint(ByteView(enc.data(), enc.size()), out));
+  EXPECT_TRUE(out.infinity);
+}
+
+// --- Schnorr ---
+
+TEST(SchnorrTest, SignVerifyRoundTrip) {
+  const SchnorrKeyPair key = SchnorrKeyFromSeed(AsBytes("seed-material-0001"));
+  const Bytes sig = SchnorrSign(key, AsBytes("the quick brown fox"));
+  EXPECT_TRUE(SchnorrVerify(key.pub, AsBytes("the quick brown fox"),
+                            ByteView(sig.data(), sig.size())));
+}
+
+TEST(SchnorrTest, RejectsWrongMessage) {
+  const SchnorrKeyPair key = SchnorrKeyFromSeed(AsBytes("seed-material-0002"));
+  const Bytes sig = SchnorrSign(key, AsBytes("message A"));
+  EXPECT_FALSE(SchnorrVerify(key.pub, AsBytes("message B"), ByteView(sig.data(), sig.size())));
+}
+
+TEST(SchnorrTest, RejectsWrongKey) {
+  const SchnorrKeyPair key1 = SchnorrKeyFromSeed(AsBytes("seed-material-0003"));
+  const SchnorrKeyPair key2 = SchnorrKeyFromSeed(AsBytes("seed-material-0004"));
+  const Bytes sig = SchnorrSign(key1, AsBytes("msg"));
+  EXPECT_FALSE(SchnorrVerify(key2.pub, AsBytes("msg"), ByteView(sig.data(), sig.size())));
+}
+
+TEST(SchnorrTest, RejectsTamperedSignature) {
+  const SchnorrKeyPair key = SchnorrKeyFromSeed(AsBytes("seed-material-0005"));
+  Bytes sig = SchnorrSign(key, AsBytes("msg"));
+  for (size_t pos : {0u, 63u, 64u, 95u}) {
+    Bytes bad = sig;
+    bad[pos] ^= 0x01;
+    EXPECT_FALSE(SchnorrVerify(key.pub, AsBytes("msg"), ByteView(bad.data(), bad.size())))
+        << "tampered byte " << pos;
+  }
+}
+
+TEST(SchnorrTest, RejectsTruncatedSignature) {
+  const SchnorrKeyPair key = SchnorrKeyFromSeed(AsBytes("seed-material-0006"));
+  const Bytes sig = SchnorrSign(key, AsBytes("msg"));
+  EXPECT_FALSE(SchnorrVerify(key.pub, AsBytes("msg"), ByteView(sig.data(), sig.size() - 1)));
+}
+
+TEST(SchnorrTest, DeterministicSignature) {
+  const SchnorrKeyPair key = SchnorrKeyFromSeed(AsBytes("seed-material-0007"));
+  EXPECT_EQ(SchnorrSign(key, AsBytes("m")), SchnorrSign(key, AsBytes("m")));
+}
+
+// --- CryptoSuite ---
+
+class CryptoSuiteTest : public ::testing::TestWithParam<SignatureScheme> {};
+
+TEST_P(CryptoSuiteTest, SignVerify) {
+  CryptoSuite suite(GetParam(), 5, 1234);
+  for (uint32_t i = 0; i < 5; ++i) {
+    const Signature sig = suite.Sign(i, AsBytes("payload"));
+    EXPECT_EQ(sig.signer, i);
+    EXPECT_TRUE(suite.Verify(sig, AsBytes("payload")));
+    EXPECT_FALSE(suite.Verify(sig, AsBytes("other")));
+  }
+}
+
+TEST_P(CryptoSuiteTest, RejectsForgedSignerId) {
+  CryptoSuite suite(GetParam(), 5, 1234);
+  Signature sig = suite.Sign(0, AsBytes("payload"));
+  sig.signer = 1;  // Claim a different identity with node 0's blob.
+  EXPECT_FALSE(suite.Verify(sig, AsBytes("payload")));
+}
+
+TEST_P(CryptoSuiteTest, RejectsOutOfRangeSigner) {
+  CryptoSuite suite(GetParam(), 3, 1);
+  Signature sig = suite.Sign(0, AsBytes("x"));
+  sig.signer = 99;
+  EXPECT_FALSE(suite.Verify(sig, AsBytes("x")));
+}
+
+TEST_P(CryptoSuiteTest, QuorumVerification) {
+  CryptoSuite suite(GetParam(), 5, 77);
+  std::vector<Signature> sigs;
+  for (uint32_t i = 0; i < 3; ++i) {
+    sigs.push_back(suite.Sign(i, AsBytes("q")));
+  }
+  EXPECT_TRUE(suite.VerifyQuorum(sigs, AsBytes("q"), 3));
+  EXPECT_FALSE(suite.VerifyQuorum(sigs, AsBytes("q"), 4));  // Too few.
+
+  std::vector<Signature> dup = sigs;
+  dup[2] = dup[0];  // Duplicate signer must not count twice.
+  EXPECT_FALSE(suite.VerifyQuorum(dup, AsBytes("q"), 3));
+}
+
+TEST_P(CryptoSuiteTest, SignatureWireSizeIsStable) {
+  CryptoSuite suite(GetParam(), 2, 5);
+  const Signature a = suite.Sign(0, AsBytes("a"));
+  const Signature b = suite.Sign(1, AsBytes("some longer message body"));
+  EXPECT_EQ(a.WireSize(), b.WireSize());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, CryptoSuiteTest,
+                         ::testing::Values(SignatureScheme::kSchnorr,
+                                           SignatureScheme::kFastHmac));
+
+}  // namespace
+}  // namespace achilles

@@ -1,0 +1,74 @@
+// Tests for the concurrent-consensus-instances extension (§6.1 future work).
+#include <gtest/gtest.h>
+
+#include "src/harness/parallel.h"
+
+namespace achilles {
+namespace {
+
+TEST(ParallelInstancesTest, SingleInstanceMatchesClusterShape) {
+  ParallelConfig config;
+  config.f = 1;
+  config.instances = 1;
+  config.seed = 42;
+  const ParallelStats stats = RunParallelAchilles(config, Ms(300), Sec(1));
+  EXPECT_TRUE(stats.safety_ok);
+  EXPECT_GT(stats.total_throughput_tps, 10'000.0);
+  ASSERT_EQ(stats.per_instance_tps.size(), 1u);
+}
+
+TEST(ParallelInstancesTest, TwoInstancesBeatOne) {
+  auto run = [](uint32_t k) {
+    ParallelConfig config;
+    config.f = 2;
+    config.instances = k;
+    config.seed = 43;
+    return RunParallelAchilles(config, Ms(300), Sec(1));
+  };
+  const ParallelStats one = run(1);
+  const ParallelStats two = run(2);
+  EXPECT_TRUE(two.safety_ok);
+  EXPECT_GT(two.total_throughput_tps, 1.3 * one.total_throughput_tps);
+}
+
+TEST(ParallelInstancesTest, InstancesAreLoadBalanced) {
+  ParallelConfig config;
+  config.f = 1;
+  config.instances = 3;
+  config.seed = 44;
+  const ParallelStats stats = RunParallelAchilles(config, Ms(300), Sec(1));
+  ASSERT_EQ(stats.per_instance_tps.size(), 3u);
+  double lo = stats.per_instance_tps[0];
+  double hi = stats.per_instance_tps[0];
+  for (double t : stats.per_instance_tps) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_GT(lo, 0.7 * hi);  // No instance starves on the shared NIC.
+}
+
+TEST(ParallelInstancesTest, SafetyAuditedPerInstance) {
+  ParallelConfig config;
+  config.f = 1;
+  config.instances = 2;
+  config.seed = 45;
+  const ParallelStats stats = RunParallelAchilles(config, Ms(300), Sec(1));
+  EXPECT_TRUE(stats.safety_ok);
+}
+
+TEST(ParallelInstancesTest, ScalingSaturatesAtSharedNic) {
+  auto run = [](uint32_t k) {
+    ParallelConfig config;
+    config.f = 1;
+    config.instances = k;
+    config.seed = 46;
+    return RunParallelAchilles(config, Ms(300), Sec(1)).total_throughput_tps;
+  };
+  const double k1 = run(1);
+  const double k4 = run(4);
+  EXPECT_GT(k4, 1.5 * k1);  // Parallelism helps...
+  EXPECT_LT(k4, 4.0 * k1);  // ...but the shared NIC caps it below linear.
+}
+
+}  // namespace
+}  // namespace achilles

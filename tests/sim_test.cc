@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/host.h"
+#include "src/sim/network.h"
+#include "src/sim/simulation.h"
+
+namespace achilles {
+namespace {
+
+struct TestMsg : SimMessage {
+  explicit TestMsg(size_t size, int tag = 0) : size_(size), tag_(tag) {}
+  size_t WireSize() const override { return size_; }
+  size_t size_;
+  int tag_;
+};
+
+MessageRef MakeMsg(size_t size, int tag = 0) { return std::make_shared<TestMsg>(size, tag); }
+
+// --- Simulation core ---
+
+TEST(SimulationTest, EventsRunInTimeOrder) {
+  Simulation sim(1);
+  std::vector<int> order;
+  sim.ScheduleAt(Ms(30), [&] { order.push_back(3); });
+  sim.ScheduleAt(Ms(10), [&] { order.push_back(1); });
+  sim.ScheduleAt(Ms(20), [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Ms(30));
+}
+
+TEST(SimulationTest, EqualTimesAreFifo) {
+  Simulation sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(Ms(5), [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim(1);
+  bool ran = false;
+  const EventId id = sim.ScheduleAt(Ms(1), [&] { ran = true; });
+  sim.Cancel(id);
+  sim.RunUntilIdle();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundary) {
+  Simulation sim(1);
+  int count = 0;
+  sim.ScheduleAt(Ms(1), [&] { ++count; });
+  sim.ScheduleAt(Ms(2), [&] { ++count; });
+  sim.ScheduleAt(Ms(5), [&] { ++count; });
+  sim.RunUntil(Ms(2));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.Now(), Ms(2));
+  sim.RunUntilIdle();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim(1);
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 5) {
+      sim.ScheduleAfter(Ms(1), hop);
+    }
+  };
+  sim.ScheduleAfter(Ms(1), hop);
+  sim.RunUntilIdle();
+  EXPECT_EQ(hops, 5);
+  EXPECT_EQ(sim.Now(), Ms(5));
+}
+
+TEST(SimulationTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Simulation sim(seed);
+    std::vector<uint64_t> vals;
+    for (int i = 0; i < 5; ++i) {
+      sim.ScheduleAfter(Ms(i), [&] { vals.push_back(sim.rng().NextU64()); });
+    }
+    sim.RunUntilIdle();
+    return vals;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+// --- Host CPU model ---
+
+class RecordingProcess : public IProcess {
+ public:
+  RecordingProcess(Host* host, SimDuration charge_per_msg, std::vector<SimTime>* times)
+      : host_(host), charge_(charge_per_msg), times_(times) {}
+
+  void OnMessage(uint32_t /*from*/, const MessageRef& /*msg*/) override {
+    times_->push_back(host_->sim().Now());
+    host_->ChargeCpu(charge_);
+  }
+
+ private:
+  Host* host_;
+  SimDuration charge_;
+  std::vector<SimTime>* times_;
+};
+
+TEST(HostTest, CpuSerializesWork) {
+  Simulation sim(1);
+  Host host(&sim, 0);
+  std::vector<SimTime> starts;
+  host.BindProcess(std::make_unique<RecordingProcess>(&host, Ms(10), &starts));
+  // Two messages arrive at the same instant; the second must wait for the first's charge.
+  host.DeliverAt(Ms(1), 1, MakeMsg(10));
+  host.DeliverAt(Ms(1), 1, MakeMsg(10));
+  sim.RunUntilIdle();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0], Ms(1));
+  EXPECT_EQ(starts[1], Ms(11));
+}
+
+TEST(HostTest, LocalNowReflectsCharges) {
+  Simulation sim(1);
+  Host host(&sim, 0);
+  struct Probe : IProcess {
+    explicit Probe(Host* h) : host(h) {}
+    void OnMessage(uint32_t, const MessageRef&) override {
+      start_local = host->LocalNow();
+      host->ChargeCpu(Us(500));
+      after_local = host->LocalNow();
+    }
+    Host* host;
+    SimTime start_local = -1;
+    SimTime after_local = -1;
+  };
+  auto probe = std::make_unique<Probe>(&host);
+  Probe* p = probe.get();
+  host.BindProcess(std::move(probe));
+  host.DeliverAt(Ms(2), 1, MakeMsg(1));
+  sim.RunUntilIdle();
+  EXPECT_EQ(p->start_local, Ms(2));
+  EXPECT_EQ(p->after_local, Ms(2) + Us(500));
+}
+
+TEST(HostTest, TimerFiresAndCancels) {
+  Simulation sim(1);
+  Host host(&sim, 0);
+  std::vector<SimTime> unused;
+  host.BindProcess(std::make_unique<RecordingProcess>(&host, 0, &unused));
+  int fired = 0;
+  host.SetTimer(Ms(5), [&] { ++fired; });
+  const uint64_t cancelled = host.SetTimer(Ms(6), [&] { ++fired; });
+  host.CancelTimer(cancelled);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(HostTest, CrashDropsQueuedWorkAndTimers) {
+  Simulation sim(1);
+  Host host(&sim, 0);
+  std::vector<SimTime> starts;
+  host.BindProcess(std::make_unique<RecordingProcess>(&host, Ms(10), &starts));
+  int timer_fired = 0;
+  host.SetTimer(Ms(100), [&] { ++timer_fired; });
+  host.DeliverAt(Ms(1), 1, MakeMsg(1));  // Will start at 1ms, occupy CPU until 11ms.
+  host.DeliverAt(Ms(2), 1, MakeMsg(1));  // Queued behind; host crashes first.
+  sim.ScheduleAt(Ms(5), [&] { host.Crash(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(starts.size(), 1u);
+  EXPECT_EQ(timer_fired, 0);
+  EXPECT_FALSE(host.IsUp());
+}
+
+TEST(HostTest, DeliveryToCrashedHostIsDropped) {
+  Simulation sim(1);
+  Host host(&sim, 0);
+  std::vector<SimTime> starts;
+  host.BindProcess(std::make_unique<RecordingProcess>(&host, 0, &starts));
+  host.DeliverAt(Ms(10), 1, MakeMsg(1));
+  sim.ScheduleAt(Ms(5), [&] { host.Crash(); });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(starts.empty());
+}
+
+TEST(HostTest, RebootBindsFreshProcessAfterDelay) {
+  Simulation sim(1);
+  Host host(&sim, 0);
+  std::vector<SimTime> first_starts;
+  host.BindProcess(std::make_unique<RecordingProcess>(&host, 0, &first_starts));
+  sim.ScheduleAt(Ms(5), [&] { host.Crash(); });
+  std::vector<SimTime> second_starts;
+  sim.ScheduleAt(Ms(6), [&] {
+    host.Reboot(std::make_unique<RecordingProcess>(&host, 0, &second_starts), Ms(10));
+  });
+  // Message arriving while down (at 8 ms) must vanish; message at 20 ms reaches incarnation 2.
+  host.DeliverAt(Ms(8), 1, MakeMsg(1));
+  host.DeliverAt(Ms(20), 1, MakeMsg(1));
+  sim.RunUntilIdle();
+  EXPECT_TRUE(first_starts.empty());
+  ASSERT_EQ(second_starts.size(), 1u);
+  EXPECT_EQ(second_starts[0], Ms(20));
+}
+
+// --- Network ---
+
+struct NetFixture {
+  explicit NetFixture(NetworkConfig config, size_t n = 3, uint64_t seed = 7)
+      : sim(seed), net(&sim, config) {
+    for (size_t i = 0; i < n; ++i) {
+      hosts.push_back(std::make_unique<Host>(&sim, static_cast<uint32_t>(i)));
+      net.AddHost(hosts.back().get());
+      auto proc = std::make_unique<RecordingProcess>(hosts.back().get(), 0, &arrivals[i]);
+      hosts.back()->BindProcess(std::move(proc));
+    }
+  }
+  Simulation sim;
+  Network net;
+  std::vector<std::unique_ptr<Host>> hosts;
+  std::vector<SimTime> arrivals[8];
+};
+
+TEST(NetworkTest, LatencyWithinExpectedRange) {
+  NetworkConfig config;
+  config.one_way_base = Ms(20);
+  config.one_way_jitter = Us(100);
+  NetFixture f(config);
+  for (int i = 0; i < 100; ++i) {
+    f.net.Send(0, 1, MakeMsg(100));
+  }
+  f.sim.RunUntilIdle();
+  ASSERT_EQ(f.arrivals[1].size(), 100u);
+  for (SimTime t : f.arrivals[1]) {
+    EXPECT_GT(t, Ms(19));
+    EXPECT_LT(t, Ms(21));
+  }
+}
+
+TEST(NetworkTest, BandwidthDelaysLargeMessages) {
+  NetworkConfig config;
+  config.one_way_base = Ms(1);
+  config.one_way_jitter = 0;
+  config.bandwidth_bps = 1e9;  // 1 Gbps -> 1 MB takes 8 ms.
+  NetFixture f(config);
+  f.net.Send(0, 1, MakeMsg(1'000'000));
+  f.sim.RunUntilIdle();
+  ASSERT_EQ(f.arrivals[1].size(), 1u);
+  EXPECT_NEAR(static_cast<double>(f.arrivals[1][0]), static_cast<double>(Ms(9)),
+              static_cast<double>(Us(10)));
+}
+
+TEST(NetworkTest, LoopbackUsesLoopbackDelay) {
+  NetFixture f(NetworkConfig::Lan());
+  f.net.Send(0, 0, MakeMsg(100));
+  f.sim.RunUntilIdle();
+  ASSERT_EQ(f.arrivals[0].size(), 1u);
+  EXPECT_EQ(f.arrivals[0][0], Us(1));
+}
+
+TEST(NetworkTest, PartitionBlocksAcrossGroups) {
+  NetFixture f(NetworkConfig::Lan());
+  f.net.Partition({{0}, {1, 2}});
+  f.net.Send(0, 1, MakeMsg(10));
+  f.net.Send(1, 2, MakeMsg(10));
+  f.sim.RunUntilIdle();
+  EXPECT_TRUE(f.arrivals[1].empty());
+  EXPECT_EQ(f.arrivals[2].size(), 1u);
+  f.net.ClearPartition();
+  f.net.Send(0, 1, MakeMsg(10));
+  f.sim.RunUntilIdle();
+  EXPECT_EQ(f.arrivals[1].size(), 1u);
+}
+
+TEST(NetworkTest, BlockedLinkIsDirectional) {
+  NetFixture f(NetworkConfig::Lan());
+  f.net.SetLinkBlocked(0, 1, true);
+  f.net.Send(0, 1, MakeMsg(10));
+  f.net.Send(1, 0, MakeMsg(10));
+  f.sim.RunUntilIdle();
+  EXPECT_TRUE(f.arrivals[1].empty());
+  EXPECT_EQ(f.arrivals[0].size(), 1u);
+}
+
+TEST(NetworkTest, DropRateLosesRoughlyThatFraction) {
+  NetworkConfig config = NetworkConfig::Lan();
+  config.drop_rate = 0.5;
+  NetFixture f(config);
+  for (int i = 0; i < 1000; ++i) {
+    f.net.Send(0, 1, MakeMsg(10));
+  }
+  f.sim.RunUntilIdle();
+  EXPECT_GT(f.arrivals[1].size(), 400u);
+  EXPECT_LT(f.arrivals[1].size(), 600u);
+}
+
+TEST(NetworkTest, MulticastReachesAllListed) {
+  NetFixture f(NetworkConfig::Lan());
+  f.net.Multicast(0, {1, 2}, MakeMsg(10));
+  f.sim.RunUntilIdle();
+  EXPECT_EQ(f.arrivals[1].size(), 1u);
+  EXPECT_EQ(f.arrivals[2].size(), 1u);
+  EXPECT_TRUE(f.arrivals[0].empty());
+}
+
+TEST(NetworkTest, StatsCountMessagesAndBytes) {
+  NetFixture f(NetworkConfig::Lan());
+  f.net.Send(0, 1, MakeMsg(100));
+  f.net.Send(0, 2, MakeMsg(50));
+  EXPECT_EQ(f.net.messages_sent(), 2u);
+  EXPECT_EQ(f.net.bytes_sent(), 150u);
+  f.net.ResetStats();
+  EXPECT_EQ(f.net.messages_sent(), 0u);
+}
+
+TEST(NetworkTest, SenderCpuChargeDelaysDeparture) {
+  // A process that charges CPU then sends: the send departs after the charge.
+  Simulation sim(3);
+  NetworkConfig config;
+  config.one_way_base = Ms(1);
+  config.one_way_jitter = 0;
+  Network net(&sim, config);
+  Host h0(&sim, 0);
+  Host h1(&sim, 1);
+  net.AddHost(&h0);
+  net.AddHost(&h1);
+
+  struct Sender : IProcess {
+    Sender(Host* h, Network* n) : host(h), net(n) {}
+    void OnMessage(uint32_t, const MessageRef&) override {
+      host->ChargeCpu(Ms(7));
+      net->Send(0, 1, MakeMsg(10));
+    }
+    Host* host;
+    Network* net;
+  };
+  std::vector<SimTime> arrivals;
+  h0.BindProcess(std::make_unique<Sender>(&h0, &net));
+  h1.BindProcess(std::make_unique<RecordingProcess>(&h1, 0, &arrivals));
+  h0.DeliverAt(Ms(1), 1, MakeMsg(1));
+  sim.RunUntilIdle();
+  ASSERT_EQ(arrivals.size(), 1u);
+  // 1 ms arrival + 7 ms CPU charge + 1 ms propagation (plus nanoseconds of serialization).
+  EXPECT_NEAR(static_cast<double>(arrivals[0]), static_cast<double>(Ms(9)),
+              static_cast<double>(Us(1)));
+}
+
+}  // namespace
+}  // namespace achilles

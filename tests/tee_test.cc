@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/tee/enclave.h"
+#include "src/tee/monotonic_counter.h"
+#include "src/tee/platform.h"
+#include "src/tee/sealed_storage.h"
+
+namespace achilles {
+namespace {
+
+struct TeeFixture {
+  TeeFixture(bool in_tee = true, CounterSpec counter = CounterSpec::None())
+      : sim(11), host(&sim, 0), suite(SignatureScheme::kFastHmac, 4, 99) {
+    TeeConfig tee;
+    tee.components_in_tee = in_tee;
+    tee.counter = counter;
+    platform = std::make_unique<NodePlatform>(&host, &suite, CostModel::Default(), tee, 7);
+  }
+  Simulation sim;
+  Host host;
+  CryptoSuite suite;
+  std::unique_ptr<NodePlatform> platform;
+};
+
+// --- SealedStorage (raw, no crypto) ---
+
+TEST(SealedStorageTest, HonestModeServesLatest) {
+  SealedStorage s;
+  s.Put("k", Bytes{1});
+  s.Put("k", Bytes{2});
+  s.Put("k", Bytes{3});
+  EXPECT_EQ(s.Get("k").value(), Bytes{3});
+  EXPECT_EQ(s.NumVersions("k"), 3u);
+}
+
+TEST(SealedStorageTest, OldestModeRollsBack) {
+  SealedStorage s;
+  s.Put("k", Bytes{1});
+  s.Put("k", Bytes{2});
+  s.SetRollbackMode(RollbackMode::kOldest);
+  EXPECT_EQ(s.Get("k").value(), Bytes{1});
+}
+
+TEST(SealedStorageTest, PinnedModeServesChosenVersion) {
+  SealedStorage s;
+  s.Put("k", Bytes{1});
+  s.Put("k", Bytes{2});
+  s.Put("k", Bytes{3});
+  s.SetRollbackMode(RollbackMode::kPinned);
+  s.PinServedVersion("k", 1);
+  EXPECT_EQ(s.Get("k").value(), Bytes{2});
+}
+
+TEST(SealedStorageTest, EraseModeHidesEverything) {
+  SealedStorage s;
+  s.Put("k", Bytes{1});
+  s.SetRollbackMode(RollbackMode::kErase);
+  EXPECT_FALSE(s.Get("k").has_value());
+}
+
+TEST(SealedStorageTest, MissingKeyIsEmpty) {
+  SealedStorage s;
+  EXPECT_FALSE(s.Get("nope").has_value());
+  EXPECT_EQ(s.NumVersions("nope"), 0u);
+}
+
+// --- MonotonicCounter ---
+
+TEST(MonotonicCounterTest, IncrementChargesWriteLatency) {
+  TeeFixture f(true, CounterSpec::Custom(Ms(20), Ms(5)));
+  MonotonicCounter& counter = f.platform->counter();
+  EXPECT_EQ(counter.IncrementBlocking(), 1u);
+  EXPECT_EQ(counter.IncrementBlocking(), 2u);
+  EXPECT_EQ(f.host.cpu_time_used(), Ms(40));
+  EXPECT_EQ(counter.writes(), 2u);
+}
+
+TEST(MonotonicCounterTest, ReadChargesReadLatency) {
+  TeeFixture f(true, CounterSpec::Custom(Ms(20), Ms(5)));
+  MonotonicCounter& counter = f.platform->counter();
+  counter.IncrementBlocking();
+  EXPECT_EQ(counter.ReadBlocking(), 1u);
+  EXPECT_EQ(f.host.cpu_time_used(), Ms(25));
+}
+
+TEST(MonotonicCounterTest, DisabledCounterIsFree) {
+  TeeFixture f(true, CounterSpec::None());
+  f.platform->counter().IncrementBlocking();
+  EXPECT_EQ(f.host.cpu_time_used(), 0);
+}
+
+TEST(MonotonicCounterTest, SpecPresetsMatchTable4) {
+  EXPECT_EQ(CounterSpec::For(CounterKind::kTpm).write_latency, Ms(97));
+  EXPECT_EQ(CounterSpec::For(CounterKind::kTpm).read_latency, Ms(35));
+  EXPECT_EQ(CounterSpec::For(CounterKind::kSgx).write_latency, Ms(160));
+  EXPECT_EQ(CounterSpec::For(CounterKind::kNarratorLan).write_latency, FromMs(9.0));
+  EXPECT_EQ(CounterSpec::For(CounterKind::kNarratorWan).write_latency, Ms(45));
+  EXPECT_FALSE(CounterSpec::None().enabled());
+}
+
+// --- EnclaveRuntime: sealing ---
+
+TEST(EnclaveTest, SealUnsealRoundTrip) {
+  TeeFixture f;
+  EnclaveRuntime enclave(f.platform.get());
+  const Bytes state = {9, 8, 7, 6, 5};
+  enclave.Seal("checker", ByteView(state.data(), state.size()));
+  EXPECT_EQ(enclave.Unseal("checker").value(), state);
+}
+
+TEST(EnclaveTest, SealedBlobIsEncrypted) {
+  TeeFixture f;
+  EnclaveRuntime enclave(f.platform.get());
+  const Bytes state = {'s', 'e', 'c', 'r', 'e', 't'};
+  enclave.Seal("slot", ByteView(state.data(), state.size()));
+  const Bytes blob = f.platform->storage().Get("slot").value();
+  // The plaintext must not appear in the stored blob.
+  const std::string blob_str(blob.begin(), blob.end());
+  EXPECT_EQ(blob_str.find("secret"), std::string::npos);
+}
+
+TEST(EnclaveTest, TamperedBlobRejected) {
+  TeeFixture f;
+  EnclaveRuntime enclave(f.platform.get());
+  const Bytes state = {1, 2, 3};
+  enclave.Seal("slot", ByteView(state.data(), state.size()));
+  Bytes blob = f.platform->storage().Get("slot").value();
+  blob[blob.size() / 2] ^= 0xff;
+  f.platform->storage().Put("slot", blob);  // Adversary writes a forged version.
+  EXPECT_FALSE(enclave.Unseal("slot").has_value());
+}
+
+TEST(EnclaveTest, RollbackServesStaleButAuthenticState) {
+  // The essence of the rollback attack: the old blob still unseals fine.
+  TeeFixture f;
+  EnclaveRuntime enclave(f.platform.get());
+  const Bytes v1 = {1};
+  const Bytes v2 = {2};
+  enclave.Seal("slot", ByteView(v1.data(), v1.size()));
+  enclave.Seal("slot", ByteView(v2.data(), v2.size()));
+  f.platform->storage().SetRollbackMode(RollbackMode::kOldest);
+  EXPECT_EQ(enclave.Unseal("slot").value(), v1);  // Stale state accepted!
+}
+
+TEST(EnclaveTest, BlobBoundToSlotName) {
+  TeeFixture f;
+  EnclaveRuntime enclave(f.platform.get());
+  const Bytes state = {1, 2, 3};
+  enclave.Seal("slot-a", ByteView(state.data(), state.size()));
+  // Adversary copies slot-a's blob into slot-b.
+  f.platform->storage().Put("slot-b", f.platform->storage().Get("slot-a").value());
+  EXPECT_FALSE(enclave.Unseal("slot-b").has_value());
+}
+
+TEST(EnclaveTest, UnsealSurvivesEnclaveRestart) {
+  // A fresh enclave incarnation on the same platform derives the same sealing key.
+  TeeFixture f;
+  {
+    EnclaveRuntime first(f.platform.get());
+    const Bytes state = {4, 2};
+    first.Seal("slot", ByteView(state.data(), state.size()));
+  }
+  EnclaveRuntime second(f.platform.get());
+  EXPECT_EQ(second.Unseal("slot").value(), (Bytes{4, 2}));
+}
+
+// --- EnclaveRuntime: cost accounting ---
+
+TEST(EnclaveTest, EcallChargedOnlyInsideTee) {
+  TeeFixture inside(true);
+  EnclaveRuntime e1(inside.platform.get());
+  e1.ChargeEcall();
+  EXPECT_EQ(inside.host.cpu_time_used(), CostModel::Default().ecall_round_trip);
+  EXPECT_EQ(e1.ecalls(), 1u);
+
+  TeeFixture outside(false);
+  EnclaveRuntime e2(outside.platform.get());
+  e2.ChargeEcall();
+  EXPECT_EQ(outside.host.cpu_time_used(), 0);
+  EXPECT_EQ(e2.ecalls(), 0u);
+}
+
+TEST(EnclaveTest, InEnclaveCryptoCostsMore) {
+  TeeFixture inside(true);
+  EnclaveRuntime e1(inside.platform.get());
+  e1.ChargeSign();
+  const SimDuration in_cost = inside.host.cpu_time_used();
+
+  TeeFixture outside(false);
+  EnclaveRuntime e2(outside.platform.get());
+  e2.ChargeSign();
+  const SimDuration out_cost = outside.host.cpu_time_used();
+  EXPECT_GT(in_cost, out_cost);
+  EXPECT_EQ(out_cost, CostModel::Default().sign);
+}
+
+TEST(EnclaveTest, SignVerifyUsesNodeKey) {
+  TeeFixture f;
+  EnclaveRuntime enclave(f.platform.get());
+  const Signature sig = enclave.Sign(AsBytes("digest"));
+  EXPECT_EQ(sig.signer, 0u);
+  EXPECT_TRUE(enclave.Verify(sig, AsBytes("digest")));
+  EXPECT_FALSE(enclave.Verify(sig, AsBytes("other")));
+}
+
+TEST(EnclaveTest, FreshNoncesAreUnique) {
+  TeeFixture f;
+  EnclaveRuntime enclave(f.platform.get());
+  const uint64_t a = enclave.FreshNonce();
+  const uint64_t b = enclave.FreshNonce();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace achilles
