@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_achilles.dir/bench_ablation_achilles.cc.o"
+  "CMakeFiles/bench_ablation_achilles.dir/bench_ablation_achilles.cc.o.d"
+  "bench_ablation_achilles"
+  "bench_ablation_achilles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_achilles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

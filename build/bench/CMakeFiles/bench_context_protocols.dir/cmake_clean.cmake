@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_context_protocols.dir/bench_context_protocols.cc.o"
+  "CMakeFiles/bench_context_protocols.dir/bench_context_protocols.cc.o.d"
+  "bench_context_protocols"
+  "bench_context_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_context_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_instances.dir/bench_parallel_instances.cc.o"
+  "CMakeFiles/bench_parallel_instances.dir/bench_parallel_instances.cc.o.d"
+  "bench_parallel_instances"
+  "bench_parallel_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

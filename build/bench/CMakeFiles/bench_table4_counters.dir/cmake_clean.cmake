@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_counters.dir/bench_table4_counters.cc.o"
+  "CMakeFiles/bench_table4_counters.dir/bench_table4_counters.cc.o.d"
+  "bench_table4_counters"
+  "bench_table4_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

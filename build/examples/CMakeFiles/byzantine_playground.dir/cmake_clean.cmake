@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_playground.dir/byzantine_playground.cc.o"
+  "CMakeFiles/byzantine_playground.dir/byzantine_playground.cc.o.d"
+  "byzantine_playground"
+  "byzantine_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollback_recovery_demo.dir/rollback_recovery_demo.cc.o"
+  "CMakeFiles/rollback_recovery_demo.dir/rollback_recovery_demo.cc.o.d"
+  "rollback_recovery_demo"
+  "rollback_recovery_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollback_recovery_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/achilles_achilles.dir/achilles/checker.cc.o"
+  "CMakeFiles/achilles_achilles.dir/achilles/checker.cc.o.d"
+  "CMakeFiles/achilles_achilles.dir/achilles/replica.cc.o"
+  "CMakeFiles/achilles_achilles.dir/achilles/replica.cc.o.d"
+  "libachilles_achilles.a"
+  "libachilles_achilles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/achilles_achilles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

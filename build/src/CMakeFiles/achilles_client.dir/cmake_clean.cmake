@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/achilles_client.dir/client/client.cc.o"
+  "CMakeFiles/achilles_client.dir/client/client.cc.o.d"
+  "libachilles_client.a"
+  "libachilles_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/achilles_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/achilles_common.dir/common/bytes.cc.o"
+  "CMakeFiles/achilles_common.dir/common/bytes.cc.o.d"
+  "CMakeFiles/achilles_common.dir/common/log.cc.o"
+  "CMakeFiles/achilles_common.dir/common/log.cc.o.d"
+  "CMakeFiles/achilles_common.dir/common/rng.cc.o"
+  "CMakeFiles/achilles_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/achilles_common.dir/common/serde.cc.o"
+  "CMakeFiles/achilles_common.dir/common/serde.cc.o.d"
+  "libachilles_common.a"
+  "libachilles_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/achilles_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

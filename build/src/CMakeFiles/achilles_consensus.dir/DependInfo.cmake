@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/block.cc" "src/CMakeFiles/achilles_consensus.dir/consensus/block.cc.o" "gcc" "src/CMakeFiles/achilles_consensus.dir/consensus/block.cc.o.d"
+  "/root/repo/src/consensus/certificates.cc" "src/CMakeFiles/achilles_consensus.dir/consensus/certificates.cc.o" "gcc" "src/CMakeFiles/achilles_consensus.dir/consensus/certificates.cc.o.d"
+  "/root/repo/src/consensus/commit_tracker.cc" "src/CMakeFiles/achilles_consensus.dir/consensus/commit_tracker.cc.o" "gcc" "src/CMakeFiles/achilles_consensus.dir/consensus/commit_tracker.cc.o.d"
+  "/root/repo/src/consensus/mempool.cc" "src/CMakeFiles/achilles_consensus.dir/consensus/mempool.cc.o" "gcc" "src/CMakeFiles/achilles_consensus.dir/consensus/mempool.cc.o.d"
+  "/root/repo/src/consensus/metrics.cc" "src/CMakeFiles/achilles_consensus.dir/consensus/metrics.cc.o" "gcc" "src/CMakeFiles/achilles_consensus.dir/consensus/metrics.cc.o.d"
+  "/root/repo/src/consensus/replica_base.cc" "src/CMakeFiles/achilles_consensus.dir/consensus/replica_base.cc.o" "gcc" "src/CMakeFiles/achilles_consensus.dir/consensus/replica_base.cc.o.d"
+  "/root/repo/src/consensus/transaction.cc" "src/CMakeFiles/achilles_consensus.dir/consensus/transaction.cc.o" "gcc" "src/CMakeFiles/achilles_consensus.dir/consensus/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/achilles_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_tee.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

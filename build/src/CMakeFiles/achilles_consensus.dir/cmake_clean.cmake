@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/achilles_consensus.dir/consensus/block.cc.o"
+  "CMakeFiles/achilles_consensus.dir/consensus/block.cc.o.d"
+  "CMakeFiles/achilles_consensus.dir/consensus/certificates.cc.o"
+  "CMakeFiles/achilles_consensus.dir/consensus/certificates.cc.o.d"
+  "CMakeFiles/achilles_consensus.dir/consensus/commit_tracker.cc.o"
+  "CMakeFiles/achilles_consensus.dir/consensus/commit_tracker.cc.o.d"
+  "CMakeFiles/achilles_consensus.dir/consensus/mempool.cc.o"
+  "CMakeFiles/achilles_consensus.dir/consensus/mempool.cc.o.d"
+  "CMakeFiles/achilles_consensus.dir/consensus/metrics.cc.o"
+  "CMakeFiles/achilles_consensus.dir/consensus/metrics.cc.o.d"
+  "CMakeFiles/achilles_consensus.dir/consensus/replica_base.cc.o"
+  "CMakeFiles/achilles_consensus.dir/consensus/replica_base.cc.o.d"
+  "CMakeFiles/achilles_consensus.dir/consensus/transaction.cc.o"
+  "CMakeFiles/achilles_consensus.dir/consensus/transaction.cc.o.d"
+  "libachilles_consensus.a"
+  "libachilles_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/achilles_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/hmac.cc" "src/CMakeFiles/achilles_crypto.dir/crypto/hmac.cc.o" "gcc" "src/CMakeFiles/achilles_crypto.dir/crypto/hmac.cc.o.d"
+  "/root/repo/src/crypto/schnorr.cc" "src/CMakeFiles/achilles_crypto.dir/crypto/schnorr.cc.o" "gcc" "src/CMakeFiles/achilles_crypto.dir/crypto/schnorr.cc.o.d"
+  "/root/repo/src/crypto/secp256k1.cc" "src/CMakeFiles/achilles_crypto.dir/crypto/secp256k1.cc.o" "gcc" "src/CMakeFiles/achilles_crypto.dir/crypto/secp256k1.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/achilles_crypto.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/achilles_crypto.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/crypto/signer.cc" "src/CMakeFiles/achilles_crypto.dir/crypto/signer.cc.o" "gcc" "src/CMakeFiles/achilles_crypto.dir/crypto/signer.cc.o.d"
+  "/root/repo/src/crypto/uint256.cc" "src/CMakeFiles/achilles_crypto.dir/crypto/uint256.cc.o" "gcc" "src/CMakeFiles/achilles_crypto.dir/crypto/uint256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/achilles_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/achilles_crypto.dir/crypto/hmac.cc.o"
+  "CMakeFiles/achilles_crypto.dir/crypto/hmac.cc.o.d"
+  "CMakeFiles/achilles_crypto.dir/crypto/schnorr.cc.o"
+  "CMakeFiles/achilles_crypto.dir/crypto/schnorr.cc.o.d"
+  "CMakeFiles/achilles_crypto.dir/crypto/secp256k1.cc.o"
+  "CMakeFiles/achilles_crypto.dir/crypto/secp256k1.cc.o.d"
+  "CMakeFiles/achilles_crypto.dir/crypto/sha256.cc.o"
+  "CMakeFiles/achilles_crypto.dir/crypto/sha256.cc.o.d"
+  "CMakeFiles/achilles_crypto.dir/crypto/signer.cc.o"
+  "CMakeFiles/achilles_crypto.dir/crypto/signer.cc.o.d"
+  "CMakeFiles/achilles_crypto.dir/crypto/uint256.cc.o"
+  "CMakeFiles/achilles_crypto.dir/crypto/uint256.cc.o.d"
+  "libachilles_crypto.a"
+  "libachilles_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/achilles_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

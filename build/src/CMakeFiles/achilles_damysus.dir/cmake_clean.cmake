@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/achilles_damysus.dir/damysus/checker.cc.o"
+  "CMakeFiles/achilles_damysus.dir/damysus/checker.cc.o.d"
+  "CMakeFiles/achilles_damysus.dir/damysus/replica.cc.o"
+  "CMakeFiles/achilles_damysus.dir/damysus/replica.cc.o.d"
+  "libachilles_damysus.a"
+  "libachilles_damysus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/achilles_damysus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for achilles_damysus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/achilles_flexibft.dir/flexibft/replica.cc.o"
+  "CMakeFiles/achilles_flexibft.dir/flexibft/replica.cc.o.d"
+  "libachilles_flexibft.a"
+  "libachilles_flexibft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/achilles_flexibft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for achilles_flexibft.
+# This may be replaced when dependencies are built.

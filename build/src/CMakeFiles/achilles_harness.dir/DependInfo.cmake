@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/byzantine.cc" "src/CMakeFiles/achilles_harness.dir/harness/byzantine.cc.o" "gcc" "src/CMakeFiles/achilles_harness.dir/harness/byzantine.cc.o.d"
+  "/root/repo/src/harness/cluster.cc" "src/CMakeFiles/achilles_harness.dir/harness/cluster.cc.o" "gcc" "src/CMakeFiles/achilles_harness.dir/harness/cluster.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/achilles_harness.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/achilles_harness.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/parallel.cc" "src/CMakeFiles/achilles_harness.dir/harness/parallel.cc.o" "gcc" "src/CMakeFiles/achilles_harness.dir/harness/parallel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/achilles_achilles.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_damysus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_oneshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_flexibft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_minbft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_hotstuff.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

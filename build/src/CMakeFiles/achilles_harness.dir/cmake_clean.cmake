@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/achilles_harness.dir/harness/byzantine.cc.o"
+  "CMakeFiles/achilles_harness.dir/harness/byzantine.cc.o.d"
+  "CMakeFiles/achilles_harness.dir/harness/cluster.cc.o"
+  "CMakeFiles/achilles_harness.dir/harness/cluster.cc.o.d"
+  "CMakeFiles/achilles_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/achilles_harness.dir/harness/experiment.cc.o.d"
+  "CMakeFiles/achilles_harness.dir/harness/parallel.cc.o"
+  "CMakeFiles/achilles_harness.dir/harness/parallel.cc.o.d"
+  "libachilles_harness.a"
+  "libachilles_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/achilles_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

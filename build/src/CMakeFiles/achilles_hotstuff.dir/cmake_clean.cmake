@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/achilles_hotstuff.dir/hotstuff/replica.cc.o"
+  "CMakeFiles/achilles_hotstuff.dir/hotstuff/replica.cc.o.d"
+  "libachilles_hotstuff.a"
+  "libachilles_hotstuff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/achilles_hotstuff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/achilles_minbft.dir/minbft/replica.cc.o"
+  "CMakeFiles/achilles_minbft.dir/minbft/replica.cc.o.d"
+  "CMakeFiles/achilles_minbft.dir/minbft/usig.cc.o"
+  "CMakeFiles/achilles_minbft.dir/minbft/usig.cc.o.d"
+  "libachilles_minbft.a"
+  "libachilles_minbft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/achilles_minbft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

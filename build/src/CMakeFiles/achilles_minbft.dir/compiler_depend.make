@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for achilles_minbft.
+# This may be replaced when dependencies are built.

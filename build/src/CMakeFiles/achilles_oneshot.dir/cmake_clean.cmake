@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/achilles_oneshot.dir/oneshot/checker.cc.o"
+  "CMakeFiles/achilles_oneshot.dir/oneshot/checker.cc.o.d"
+  "CMakeFiles/achilles_oneshot.dir/oneshot/replica.cc.o"
+  "CMakeFiles/achilles_oneshot.dir/oneshot/replica.cc.o.d"
+  "libachilles_oneshot.a"
+  "libachilles_oneshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/achilles_oneshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/achilles_raft.dir/raft/replica.cc.o"
+  "CMakeFiles/achilles_raft.dir/raft/replica.cc.o.d"
+  "libachilles_raft.a"
+  "libachilles_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/achilles_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for achilles_raft.
+# This may be replaced when dependencies are built.

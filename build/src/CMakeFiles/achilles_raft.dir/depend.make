@@ -1,0 +1,2 @@
+# Empty dependencies file for achilles_raft.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/achilles_sim.dir/sim/host.cc.o"
+  "CMakeFiles/achilles_sim.dir/sim/host.cc.o.d"
+  "CMakeFiles/achilles_sim.dir/sim/network.cc.o"
+  "CMakeFiles/achilles_sim.dir/sim/network.cc.o.d"
+  "CMakeFiles/achilles_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/achilles_sim.dir/sim/simulation.cc.o.d"
+  "libachilles_sim.a"
+  "libachilles_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/achilles_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libachilles_sim.a"
+)

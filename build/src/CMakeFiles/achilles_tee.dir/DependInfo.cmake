@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tee/enclave.cc" "src/CMakeFiles/achilles_tee.dir/tee/enclave.cc.o" "gcc" "src/CMakeFiles/achilles_tee.dir/tee/enclave.cc.o.d"
+  "/root/repo/src/tee/monotonic_counter.cc" "src/CMakeFiles/achilles_tee.dir/tee/monotonic_counter.cc.o" "gcc" "src/CMakeFiles/achilles_tee.dir/tee/monotonic_counter.cc.o.d"
+  "/root/repo/src/tee/narrator.cc" "src/CMakeFiles/achilles_tee.dir/tee/narrator.cc.o" "gcc" "src/CMakeFiles/achilles_tee.dir/tee/narrator.cc.o.d"
+  "/root/repo/src/tee/platform.cc" "src/CMakeFiles/achilles_tee.dir/tee/platform.cc.o" "gcc" "src/CMakeFiles/achilles_tee.dir/tee/platform.cc.o.d"
+  "/root/repo/src/tee/sealed_storage.cc" "src/CMakeFiles/achilles_tee.dir/tee/sealed_storage.cc.o" "gcc" "src/CMakeFiles/achilles_tee.dir/tee/sealed_storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/achilles_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

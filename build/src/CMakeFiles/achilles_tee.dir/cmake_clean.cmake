@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/achilles_tee.dir/tee/enclave.cc.o"
+  "CMakeFiles/achilles_tee.dir/tee/enclave.cc.o.d"
+  "CMakeFiles/achilles_tee.dir/tee/monotonic_counter.cc.o"
+  "CMakeFiles/achilles_tee.dir/tee/monotonic_counter.cc.o.d"
+  "CMakeFiles/achilles_tee.dir/tee/narrator.cc.o"
+  "CMakeFiles/achilles_tee.dir/tee/narrator.cc.o.d"
+  "CMakeFiles/achilles_tee.dir/tee/platform.cc.o"
+  "CMakeFiles/achilles_tee.dir/tee/platform.cc.o.d"
+  "CMakeFiles/achilles_tee.dir/tee/sealed_storage.cc.o"
+  "CMakeFiles/achilles_tee.dir/tee/sealed_storage.cc.o.d"
+  "libachilles_tee.a"
+  "libachilles_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/achilles_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/achilles_checker_test.dir/achilles_checker_test.cc.o"
+  "CMakeFiles/achilles_checker_test.dir/achilles_checker_test.cc.o.d"
+  "achilles_checker_test"
+  "achilles_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/achilles_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/achilles_integration_test.dir/achilles_integration_test.cc.o"
+  "CMakeFiles/achilles_integration_test.dir/achilles_integration_test.cc.o.d"
+  "achilles_integration_test"
+  "achilles_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/achilles_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

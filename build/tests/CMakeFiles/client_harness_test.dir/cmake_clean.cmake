@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_harness_test.dir/client_harness_test.cc.o"
+  "CMakeFiles/client_harness_test.dir/client_harness_test.cc.o.d"
+  "client_harness_test"
+  "client_harness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

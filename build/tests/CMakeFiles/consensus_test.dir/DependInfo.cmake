@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/consensus_test.cc" "tests/CMakeFiles/consensus_test.dir/consensus_test.cc.o" "gcc" "tests/CMakeFiles/consensus_test.dir/consensus_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/achilles_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/achilles_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

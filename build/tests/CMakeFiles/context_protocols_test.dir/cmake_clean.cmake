@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_protocols_test.dir/context_protocols_test.cc.o"
+  "CMakeFiles/context_protocols_test.dir/context_protocols_test.cc.o.d"
+  "context_protocols_test"
+  "context_protocols_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narrator_test.dir/narrator_test.cc.o"
+  "CMakeFiles/narrator_test.dir/narrator_test.cc.o.d"
+  "narrator_test"
+  "narrator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
