@@ -4,6 +4,7 @@
 //   (c) ECALL-cost sweep: what Table 3's SGX gap is made of;
 //   (d) real Schnorr vs fast-HMAC signature backend (results must be identical: the
 //       simulator charges modeled costs either way).
+#include "src/harness/bench_report.h"
 #include "src/harness/experiment.h"
 
 namespace achilles {
@@ -85,4 +86,7 @@ int Main() {
 }  // namespace
 }  // namespace achilles
 
-int main() { return achilles::Main(); }
+int main(int argc, char** argv) {
+  achilles::BenchIo io("ablation_achilles", argc, argv);
+  return io.Finish(achilles::Main());
+}

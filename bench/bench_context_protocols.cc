@@ -2,6 +2,7 @@
 // 3f+1, 8 steps) -> MinBFT (USIG counter per message, 2f+1, O(n²)) -> Damysus(-R)
 // (chained, 6 steps) -> OneShot(-R) (4/6 steps) -> Achilles (4 steps, no counter).
 // Quantifies what each generation of trusted-hardware support buys.
+#include "src/harness/bench_report.h"
 #include "src/harness/experiment.h"
 
 namespace achilles {
@@ -52,4 +53,7 @@ int Main() {
 }  // namespace
 }  // namespace achilles
 
-int main() { return achilles::Main(); }
+int main(int argc, char** argv) {
+  achilles::BenchIo io("context_protocols", argc, argv);
+  return io.Finish(achilles::Main());
+}

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/harness/bench_report.h"
 #include "src/harness/experiment.h"
 
 namespace achilles {
@@ -144,4 +145,7 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace achilles
 
-int main(int argc, char** argv) { return achilles::Main(argc, argv); }
+int main(int argc, char** argv) {
+  achilles::BenchIo io("fig3_main", argc, argv);
+  return io.Finish(achilles::Main(argc, argv));
+}

@@ -1,5 +1,6 @@
 // Reproduces Figure 4: end-to-end latency vs throughput in LAN (f=10, batch 400, payload
 // 256 B), sweeping offered load per protocol until saturation.
+#include "src/harness/bench_report.h"
 #include "src/harness/experiment.h"
 
 namespace achilles {
@@ -48,4 +49,7 @@ int Main() {
 }  // namespace
 }  // namespace achilles
 
-int main() { return achilles::Main(); }
+int main(int argc, char** argv) {
+  achilles::BenchIo io("fig4_saturation", argc, argv);
+  return io.Finish(achilles::Main());
+}

@@ -1,6 +1,7 @@
 // Reproduces Figure 5: throughput and latency of the counter-dependent protocols
 // (Damysus-R, FlexiBFT, OneShot-R) as the counter write latency sweeps 0..80 ms (LAN,
 // f=10). 0 ms corresponds to running without rollback prevention.
+#include "src/harness/bench_report.h"
 #include "src/harness/experiment.h"
 
 namespace achilles {
@@ -38,4 +39,7 @@ int Main() {
 }  // namespace
 }  // namespace achilles
 
-int main() { return achilles::Main(); }
+int main(int argc, char** argv) {
+  achilles::BenchIo io("fig5_counter_sweep", argc, argv);
+  return io.Finish(achilles::Main());
+}

@@ -2,6 +2,7 @@
 // instances share the same n machines (one replica each per machine, contending on the
 // machine NIC); clients stripe transactions across instances. Throughput scales with k
 // until the shared NIC saturates.
+#include "src/harness/bench_report.h"
 #include "src/harness/experiment.h"
 #include "src/harness/parallel.h"
 
@@ -38,4 +39,7 @@ int Main() {
 }  // namespace
 }  // namespace achilles
 
-int main() { return achilles::Main(); }
+int main(int argc, char** argv) {
+  achilles::BenchIo io("parallel_instances", argc, argv);
+  return io.Finish(achilles::Main());
+}

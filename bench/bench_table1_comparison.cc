@@ -7,6 +7,7 @@
 // 10 ms is the number of communication steps on its path.
 #include <cmath>
 
+#include "src/harness/bench_report.h"
 #include "src/harness/experiment.h"
 
 namespace achilles {
@@ -126,4 +127,7 @@ int Main() {
 }  // namespace
 }  // namespace achilles
 
-int main() { return achilles::Main(); }
+int main(int argc, char** argv) {
+  achilles::BenchIo io("table1_comparison", argc, argv);
+  return io.Finish(achilles::Main());
+}

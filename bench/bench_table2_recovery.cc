@@ -2,6 +2,7 @@
 // sizes. "Initialization" covers enclave relaunch + per-peer reconnection; "Recovery" is
 // Algorithm 3 (request -> f+1 replies -> TEErecover -> rejoin).
 #include "src/achilles/replica.h"
+#include "src/harness/bench_report.h"
 #include "src/harness/experiment.h"
 
 namespace achilles {
@@ -62,4 +63,7 @@ int Main() {
 }  // namespace
 }  // namespace achilles
 
-int main() { return achilles::Main(); }
+int main(int argc, char** argv) {
+  achilles::BenchIo io("table2_recovery", argc, argv);
+  return io.Finish(achilles::Main());
+}

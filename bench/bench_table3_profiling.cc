@@ -1,5 +1,6 @@
 // Reproduces Table 3: SGX overhead profiling — Achilles vs Achilles-C (trusted components
 // outside the enclave) vs BRaft (CFT ceiling), max throughput and latency in LAN.
+#include "src/harness/bench_report.h"
 #include "src/harness/experiment.h"
 
 namespace achilles {
@@ -57,4 +58,7 @@ int Main() {
 }  // namespace
 }  // namespace achilles
 
-int main() { return achilles::Main(); }
+int main(int argc, char** argv) {
+  achilles::BenchIo io("table3_profiling", argc, argv);
+  return io.Finish(achilles::Main());
+}

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/crypto/schnorr.h"
+#include "src/harness/bench_report.h"
 #include "src/harness/experiment.h"
 #include "src/tee/narrator.h"
 
@@ -100,4 +101,7 @@ int Main() {
 }  // namespace
 }  // namespace achilles
 
-int main() { return achilles::Main(); }
+int main(int argc, char** argv) {
+  achilles::BenchIo io("table4_counters", argc, argv);
+  return io.Finish(achilles::Main());
+}

@@ -2,12 +2,21 @@
 // transactions, and print what it committed.
 //
 //   $ ./build/examples/quickstart
+//   $ ./build/examples/quickstart --trace-out=trace.json   # + span trace for Perfetto
 #include <cstdio>
+#include <cstring>
 
 #include "src/harness/cluster.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace achilles;
+
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_path = argv[i] + 12;
+    }
+  }
 
   // 1. Describe the deployment: protocol, fault threshold, workload, network.
   ClusterConfig config;
@@ -17,6 +26,11 @@ int main() {
   config.payload_size = 256;          // Bytes per transaction.
   config.net = NetworkConfig::Lan();  // RTT 0.1 ms; try NetworkConfig::Wan() for 40 ms.
   config.seed = 2024;                 // Every run with this seed is bit-identical.
+  if (!trace_path.empty()) {
+    // Tracing is memory-only: the printed stats below are bit-identical with it on or off.
+    config.tracing = true;
+    config.trace_capacity = 4096;  // Keep the exported file small (last ~4k events).
+  }
 
   // 2. Build and run. The saturating client keeps the mempool full.
   Cluster cluster(config);
@@ -41,5 +55,15 @@ int main() {
   std::printf("  persistent counter writes: %llu (Achilles never uses one)\n",
               static_cast<unsigned long long>(cluster.TotalCounterWrites()));
   std::printf("  safety: %s\n", tracker.safety_violated() ? "VIOLATED" : "ok");
+
+  // 4. Optionally export the span trace — open it in https://ui.perfetto.dev.
+  if (!trace_path.empty()) {
+    if (cluster.tracer().WriteChromeTrace(trace_path)) {
+      std::printf("  trace written to %s (load it in Perfetto)\n", trace_path.c_str());
+    } else {
+      std::printf("  FAILED to write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
   return tracker.safety_violated() ? 1 : 0;
 }

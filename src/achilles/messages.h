@@ -11,6 +11,7 @@ namespace achilles {
 // justification — backups need no quorum certificate because TEEprepare already enforced
 // the parent-selection rules (this is what removes Damysus' PREPARE phase).
 struct AchProposeMsg : SimMessage {
+  const char* TraceName() const override { return "ach_propose"; }
   BlockPtr block;
   SignedCert block_cert;
 
@@ -19,6 +20,7 @@ struct AchProposeMsg : SimMessage {
 
 // Backup -> leader: store certificate φ_s.
 struct AchVoteMsg : SimMessage {
+  const char* TraceName() const override { return "ach_vote"; }
   SignedCert store_cert;
 
   size_t WireSize() const override { return store_cert.WireSize(); }
@@ -26,6 +28,7 @@ struct AchVoteMsg : SimMessage {
 
 // Leader -> all (and every node -> next leader): commitment certificate φ_c.
 struct AchDecideMsg : SimMessage {
+  const char* TraceName() const override { return "ach_decide"; }
   QuorumCert commit_cert;
 
   size_t WireSize() const override { return commit_cert.WireSize(); }
@@ -33,6 +36,7 @@ struct AchDecideMsg : SimMessage {
 
 // Node -> leader of the new view: φ_v.
 struct AchNewViewMsg : SimMessage {
+  const char* TraceName() const override { return "ach_new_view"; }
   SignedCert view_cert;
 
   size_t WireSize() const override { return view_cert.WireSize(); }
@@ -40,6 +44,7 @@ struct AchNewViewMsg : SimMessage {
 
 // Recovering node -> all: ⟨REQ, nonce⟩.
 struct AchRecoveryRequestMsg : SimMessage {
+  const char* TraceName() const override { return "ach_recovery_req"; }
   SignedCert request;
 
   size_t WireSize() const override { return request.WireSize(); }
@@ -48,6 +53,7 @@ struct AchRecoveryRequestMsg : SimMessage {
 // Peer -> recovering node: reply certificate plus the latest stored block and its
 // certificates (Algorithm 3 step 2).
 struct AchRecoveryReplyMsg : SimMessage {
+  const char* TraceName() const override { return "ach_recovery_reply"; }
   SignedCert reply;
   BlockPtr block;           // May be genesis.
   SignedCert block_cert;    // φ_b for `block` (may be empty if unknown).

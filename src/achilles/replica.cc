@@ -170,7 +170,7 @@ void AchillesReplica::BuildAndBroadcastProposal(View w, const BlockPtr& parent,
   cur_view_ = std::max(cur_view_, w);
   proposed_hash_[w] = block->hash;
   store_.Add(block);
-  tracker().OnPropose(block);
+  MarkProposed(block);
   PruneBelow(proposed_hash_, cur_view_);
   PruneBelow(view_certs_, cur_view_);
   PruneBelow(store_votes_, cur_view_);

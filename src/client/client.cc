@@ -59,7 +59,8 @@ void ClientProcess::OnMessage(uint32_t /*from*/, const MessageRef& msg) {
   // client must not become a simulated bottleneck.
   host_->ChargeCpu(Us(2));
   confirmed_txs_ += reply->block->txs.size();
-  tracker_->OnClientConfirm(reply->block, host_->LocalNow());
+  // The reply's causal chain attributes this block's confirmation latency.
+  tracker_->OnClientConfirm(reply->block, host_->LocalNow(), &host_->current_path());
 }
 
 }  // namespace achilles

@@ -50,7 +50,8 @@ void CommitTracker::OnCommit(NodeId replica, const BlockPtr& block, SimTime now)
   }
 }
 
-void CommitTracker::OnClientConfirm(const BlockPtr& block, SimTime now) {
+void CommitTracker::OnClientConfirm(const BlockPtr& block, SimTime now,
+                                    const obs::Path* path) {
   if (!client_confirmed_.insert(block->hash).second) {
     return;
   }
@@ -58,8 +59,15 @@ void CommitTracker::OnClientConfirm(const BlockPtr& block, SimTime now) {
   if (!in_window) {
     return;
   }
+  int64_t submit_sum = 0;
   for (const Transaction& tx : block->txs) {
     e2e_latency_.Record(now - tx.submit_time);
+    submit_sum += tx.submit_time;
+  }
+  // Attribution mirrors the e2e recorder exactly (same gating, same per-tx weighting), so
+  // component means sum to the reported mean e2e latency.
+  if (breakdown_ != nullptr && path != nullptr) {
+    breakdown_->OnConfirm(*path, now, submit_sum, block->txs.size());
   }
 }
 
@@ -70,6 +78,9 @@ void CommitTracker::StartMeasurement(SimTime now) {
   txs_in_window_ = 0;
   commit_latency_.Reset();
   e2e_latency_.Reset();
+  if (breakdown_ != nullptr) {
+    breakdown_->Reset();
+  }
 }
 
 void CommitTracker::EndMeasurement(SimTime now) {

@@ -12,6 +12,7 @@
 
 #include "src/consensus/block.h"
 #include "src/consensus/metrics.h"
+#include "src/obs/breakdown.h"
 
 namespace achilles {
 
@@ -27,11 +28,16 @@ class CommitTracker {
   using CommitListener = std::function<void(NodeId, const BlockPtr&, SimTime)>;
   void SetCommitListener(CommitListener listener) { listener_ = std::move(listener); }
 
+  // Attribution sink for confirmed-block latency decomposition; measurement-window gating
+  // happens here so attribution and the e2e recorder always agree.
+  void SetBreakdown(obs::BreakdownAttributor* breakdown) { breakdown_ = breakdown; }
+
   // --- Called by replicas / clients ---
   void OnPropose(const BlockPtr& block);
   void OnCommit(NodeId replica, const BlockPtr& block, SimTime now);
   // First client-visible confirmation of a block (reply responsiveness: one valid reply).
-  void OnClientConfirm(const BlockPtr& block, SimTime now);
+  // `path` (optional) is the causal chain that delivered the confirming reply.
+  void OnClientConfirm(const BlockPtr& block, SimTime now, const obs::Path* path = nullptr);
 
   // --- Measurement window ---
   void StartMeasurement(SimTime now);
@@ -66,6 +72,7 @@ class CommitTracker {
 
   std::string violation_;
   CommitListener listener_;
+  obs::BreakdownAttributor* breakdown_ = nullptr;
 
   SimTime window_start_ = 0;
   SimTime window_end_ = -1;

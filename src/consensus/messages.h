@@ -11,6 +11,7 @@ namespace achilles {
 
 // Client -> replicas: a batch of fresh transactions.
 struct ClientSubmitMsg : SimMessage {
+  const char* TraceName() const override { return "client_submit"; }
   std::vector<Transaction> txs;
 
   size_t WireSize() const override { return 8 + TotalWireSize(txs); }
@@ -19,6 +20,7 @@ struct ClientSubmitMsg : SimMessage {
 // Replica -> client: a committed block together with its commitment certificate (the client
 // validates one reply — reply responsiveness).
 struct ClientReplyMsg : SimMessage {
+  const char* TraceName() const override { return "client_reply"; }
   BlockPtr block;
   size_t cert_wire_size = 0;
 
@@ -27,11 +29,13 @@ struct ClientReplyMsg : SimMessage {
 
 // Block synchronization: pull a block (and unknown ancestors) from a peer.
 struct BlockFetchRequest : SimMessage {
+  const char* TraceName() const override { return "block_fetch_req"; }
   Hash256 want = ZeroHash();
   size_t WireSize() const override { return 32; }
 };
 
 struct BlockFetchResponse : SimMessage {
+  const char* TraceName() const override { return "block_fetch_resp"; }
   std::vector<BlockPtr> blocks;  // Oldest first.
   size_t WireSize() const override {
     size_t total = 8;

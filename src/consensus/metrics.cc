@@ -5,30 +5,26 @@
 namespace achilles {
 
 void LatencyRecorder::Record(SimDuration latency) {
+  histogram_.Record(latency);
   samples_.push_back(latency);
   sorted_ = false;
 }
 
 void LatencyRecorder::Reset() {
+  histogram_.Reset();
   samples_.clear();
   sorted_ = true;
 }
 
 double LatencyRecorder::MeanMs() const {
-  if (samples_.empty()) {
-    return 0.0;
-  }
-  double sum = 0.0;
-  for (SimDuration s : samples_) {
-    sum += static_cast<double>(s);
-  }
-  return sum / static_cast<double>(samples_.size()) / kMillisecond;
+  return histogram_.Mean() / kMillisecond;
 }
 
 double LatencyRecorder::PercentileMs(double p) const {
   if (samples_.empty()) {
     return 0.0;
   }
+  p = std::clamp(p, 0.0, 100.0);
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
@@ -43,11 +39,7 @@ double LatencyRecorder::PercentileMs(double p) const {
 }
 
 double LatencyRecorder::MaxMs() const {
-  if (samples_.empty()) {
-    return 0.0;
-  }
-  return static_cast<double>(*std::max_element(samples_.begin(), samples_.end())) /
-         kMillisecond;
+  return static_cast<double>(histogram_.max()) / kMillisecond;
 }
 
 }  // namespace achilles

@@ -1,4 +1,7 @@
-// Latency statistics and per-run counters.
+// Latency statistics per run. LatencyRecorder is a thin compatibility shim over
+// obs::Histogram: recordings feed the fixed log-scale buckets (exported by the metrics
+// registry / --json-out), while a raw sample vector is retained so the percentile API keeps
+// the exact interpolated semantics the benches were calibrated against.
 #ifndef SRC_CONSENSUS_METRICS_H_
 #define SRC_CONSENSUS_METRICS_H_
 
@@ -6,6 +9,7 @@
 #include <vector>
 
 #include "src/common/sim_time.h"
+#include "src/obs/metrics.h"
 
 namespace achilles {
 
@@ -14,12 +18,17 @@ class LatencyRecorder {
   void Record(SimDuration latency);
   void Reset();
 
-  uint64_t count() const { return samples_.size(); }
+  uint64_t count() const { return histogram_.count(); }
   double MeanMs() const;
-  double PercentileMs(double p) const;  // p in [0, 100].
+  // p is clamped to [0, 100]; empty recorders report 0 for every statistic.
+  double PercentileMs(double p) const;
   double MaxMs() const;
 
+  // Bucketed view of the same samples (for registry snapshots and JSON export).
+  const obs::Histogram& histogram() const { return histogram_; }
+
  private:
+  obs::Histogram histogram_;
   mutable std::vector<SimDuration> samples_;
   mutable bool sorted_ = true;
 };

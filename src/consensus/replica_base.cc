@@ -63,10 +63,26 @@ void ReplicaBase::ChargeExecute(size_t tx_count) {
 }
 
 void ReplicaBase::ChargeVerifyPlain(size_t count) {
-  host().ChargeCpu(static_cast<SimDuration>(count) * ctx_.platform->costs().verify);
+  host().ChargeCpuAs(obs::Component::kCrypto,
+                     static_cast<SimDuration>(count) * ctx_.platform->costs().verify);
 }
 
-void ReplicaBase::ChargeSignPlain() { host().ChargeCpu(ctx_.platform->costs().sign); }
+void ReplicaBase::ChargeSignPlain() {
+  host().ChargeCpuAs(obs::Component::kCrypto, ctx_.platform->costs().sign);
+}
+
+void ReplicaBase::MarkProposed(const BlockPtr& block) {
+  tracker().OnPropose(block);
+  host().RestartPathAt(block->propose_time);
+  TraceInstant("propose", block->height);
+}
+
+void ReplicaBase::TraceInstant(const char* name, uint64_t arg) {
+  obs::SpanTracer* tracer = host().tracer();
+  if (tracer != nullptr && tracer->enabled()) {
+    tracer->Instant(name, host().id(), LocalNow(), host().current_span(), arg);
+  }
+}
 
 namespace {
 // Retention below the committed prefix: enough to serve lagging peers' fetches, small
@@ -93,6 +109,7 @@ bool ReplicaBase::CommitChain(const BlockPtr& block, size_t cert_wire_size) {
     last_committed_height_ = b->height;
     last_committed_hash_ = b->hash;
     tracker().OnCommit(id(), b, LocalNow());
+    TraceInstant("commit", b->height);
     if (client_replies_enabled_) {
       for (uint32_t client : ctx_.client_ids) {
         auto reply = std::make_shared<ClientReplyMsg>();
@@ -119,6 +136,7 @@ void ReplicaBase::AdoptCheckpoint(const BlockPtr& block, size_t cert_wire_size) 
   last_committed_height_ = block->height;
   last_committed_hash_ = block->hash;
   tracker().OnCommit(id(), block, LocalNow());
+  TraceInstant("adopt_checkpoint", block->height);
   if (client_replies_enabled_) {
     for (uint32_t client : ctx_.client_ids) {
       auto reply = std::make_shared<ClientReplyMsg>();

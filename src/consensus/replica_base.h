@@ -93,6 +93,15 @@ class ReplicaBase : public IProcess {
   void ChargeVerifyPlain(size_t count);
   void ChargeSignPlain();
 
+  // --- Observability ---
+  // Announces a freshly built proposal: informs the tracker and restarts the latency
+  // attribution path at the block's propose time, making this block the origin of every
+  // chain that flows out of the proposal (src/obs/breakdown.h). Protocols call this once
+  // per block they create, right after Block::Create.
+  void MarkProposed(const BlockPtr& block);
+  // Emits a trace instant on this replica's track (no virtual-time cost).
+  void TraceInstant(const char* name, uint64_t arg = 0);
+
   // --- Chained commit (commits `block` and all uncommitted ancestors, oldest first) ---
   // Informs the tracker, marks the mempool, replies to clients with `cert_wire_size`. If
   // the chain between the committed prefix and `block` is not locally available (deep lag,

@@ -8,34 +8,40 @@
 namespace achilles {
 
 struct DamProposeMsg : SimMessage {
+  const char* TraceName() const override { return "dam_propose"; }
   BlockPtr block;
   SignedCert prep_cert;
   size_t WireSize() const override { return block->WireSize() + prep_cert.WireSize(); }
 };
 
 struct DamVote1Msg : SimMessage {
+  const char* TraceName() const override { return "dam_vote1"; }
   SignedCert vote;
   size_t WireSize() const override { return vote.WireSize(); }
 };
 
 // Leader -> all: prepared QC (f+1 first-phase votes).
 struct DamPreCommitMsg : SimMessage {
+  const char* TraceName() const override { return "dam_precommit"; }
   QuorumCert prepared_qc;
   size_t WireSize() const override { return prepared_qc.WireSize(); }
 };
 
 struct DamVote2Msg : SimMessage {
+  const char* TraceName() const override { return "dam_vote2"; }
   SignedCert vote;
   size_t WireSize() const override { return vote.WireSize(); }
 };
 
 // Leader -> all (and node -> next leader): commit QC (f+1 second-phase votes).
 struct DamDecideMsg : SimMessage {
+  const char* TraceName() const override { return "dam_decide"; }
   QuorumCert commit_qc;
   size_t WireSize() const override { return commit_qc.WireSize(); }
 };
 
 struct DamNewViewMsg : SimMessage {
+  const char* TraceName() const override { return "dam_new_view"; }
   SignedCert view_cert;
   size_t WireSize() const override { return view_cert.WireSize(); }
 };

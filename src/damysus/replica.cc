@@ -157,7 +157,7 @@ void DamysusReplica::BuildAndBroadcastProposal(View w, const BlockPtr& parent,
   cur_view_ = std::max(cur_view_, w);
   proposed_hash_[w] = block->hash;
   store_.Add(block);
-  tracker().OnPropose(block);
+  MarkProposed(block);
   PruneBelow(proposed_hash_, cur_view_);
   PruneBelow(view_certs_, cur_view_);
   PruneBelow(vote1_, cur_view_);

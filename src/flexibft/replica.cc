@@ -82,7 +82,7 @@ void FlexiBftReplica::TryPropose() {
   proposal_outstanding_ = true;
   last_proposed_ = block;
   store_.Add(block);
-  tracker().OnPropose(block);
+  MarkProposed(block);
   auto msg = std::make_shared<FbProposeMsg>();
   msg->block = block;
   msg->order_cert = *cert;

@@ -21,17 +21,20 @@ inline constexpr const char* kFbVote = "flexibft/VOTE";
 inline constexpr const char* kFbEpoch = "flexibft/EPOCH";
 
 struct FbProposeMsg : SimMessage {
+  const char* TraceName() const override { return "fb_propose"; }
   BlockPtr block;
   SignedCert order_cert;  // ⟨ORD, h, seq, epoch⟩ from the leader's TEE sequencer.
   size_t WireSize() const override { return block->WireSize() + order_cert.WireSize(); }
 };
 
 struct FbVoteMsg : SimMessage {
+  const char* TraceName() const override { return "fb_vote"; }
   SignedCert vote;  // ⟨VOTE, h, seq, epoch⟩, broadcast to everyone.
   size_t WireSize() const override { return vote.WireSize(); }
 };
 
 struct FbEpochChangeMsg : SimMessage {
+  const char* TraceName() const override { return "fb_epoch_change"; }
   SignedCert cert;   // ⟨EPOCH, committed_hash, committed_height, new_epoch⟩.
   BlockPtr committed_block;
   size_t WireSize() const override {

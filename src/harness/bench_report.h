@@ -1,0 +1,70 @@
+// Machine-readable bench output. Every bench binary wraps its Main in a BenchIo, which
+// parses two flags shared across all benches:
+//
+//   --json-out[=path]   write BENCH_<name>.json (run configs, stats, latency breakdown,
+//                       metric snapshots) next to the human-readable tables
+//   --trace-out[=path]  run the first measured cluster with span tracing on and export it
+//                       as Chrome trace_event JSON (opens in Perfetto / chrome://tracing)
+//
+// MeasureOnce feeds every measured run into the process-wide BenchReport; benches need no
+// further changes beyond the three-line main() wrapper.
+#ifndef SRC_HARNESS_BENCH_REPORT_H_
+#define SRC_HARNESS_BENCH_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/harness/cluster.h"
+
+namespace achilles {
+
+class BenchReport {
+ public:
+  static BenchReport& Instance();
+
+  // Called once by BenchIo before Main runs.
+  void Configure(std::string bench_name, std::string json_path, std::string trace_path);
+
+  bool json_enabled() const { return !json_path_.empty(); }
+  // True until the first traced run has been exported; MeasureOnce checks this to decide
+  // whether to enable tracing on the cluster it builds.
+  bool trace_wanted() const { return !trace_path_.empty() && !trace_written_; }
+
+  // Serializes one measured run (config + stats + metric snapshot) into the report and, if
+  // a trace is still wanted and the cluster recorded one, writes it out.
+  void RecordRun(const ClusterConfig& config, const RunStats& stats, Cluster& cluster);
+
+  // Captures a printed table (TablePrinter::Print feeds every table through here), so
+  // benches that drive clusters manually (recovery, parallel instances, counter devices)
+  // still emit their results machine-readably.
+  void RecordTable(const std::vector<std::string>& headers,
+                   const std::vector<std::vector<std::string>>& rows);
+
+  // Writes the report file when --json-out was given. Returns `rc` unchanged on success,
+  // nonzero on IO failure.
+  int Finish(int rc);
+
+ private:
+  std::string name_;
+  std::string json_path_;
+  std::string trace_path_;
+  bool trace_written_ = false;
+  std::vector<std::string> runs_;    // Pre-serialized JSON objects, one per measured run.
+  std::vector<std::string> tables_;  // Pre-serialized JSON objects, one per printed table.
+};
+
+// Flag parsing + report finalization for bench main()s:
+//
+//   int main(int argc, char** argv) {
+//     achilles::BenchIo io("fig4_saturation", argc, argv);
+//     return io.Finish(achilles::Main());
+//   }
+class BenchIo {
+ public:
+  BenchIo(const char* bench_name, int argc, char** argv);
+  int Finish(int rc) { return BenchReport::Instance().Finish(rc); }
+};
+
+}  // namespace achilles
+
+#endif  // SRC_HARNESS_BENCH_REPORT_H_

@@ -58,6 +58,7 @@ bool DefaultCounterEnabled(Protocol protocol) {
 Cluster::Cluster(const ClusterConfig& config)
     : config_(config),
       n_(ReplicasFor(config.protocol, config.f)),
+      tracer_(config.trace_capacity),
       sim_(config.seed),
       net_(&sim_, config.net),
       suite_(config.scheme, n_, config.seed ^ 0x5eedc0deULL),
@@ -67,6 +68,10 @@ Cluster::Cluster(const ClusterConfig& config)
                           config_.protocol != Protocol::kRaft &&
                           config_.protocol != Protocol::kHotStuff;
   tee.counter = DefaultCounterEnabled(config_.protocol) ? config_.counter : CounterSpec::None();
+
+  tracer_.set_enabled(config_.tracing);
+  tracker_.SetBreakdown(&breakdown_);
+  net_.AttachMetrics(&metrics_);
 
   for (uint32_t i = 0; i < n_; ++i) {
     hosts_.push_back(std::make_unique<Host>(&sim_, i));
@@ -79,6 +84,10 @@ Cluster::Cluster(const ClusterConfig& config)
   if (config_.with_client) {
     hosts_.push_back(std::make_unique<Host>(&sim_, n_));
     net_.AddHost(hosts_.back().get());
+  }
+  for (auto& host : hosts_) {
+    host->set_tracer(&tracer_);
+    host->AttachMetrics(&metrics_);
   }
 }
 
@@ -205,6 +214,7 @@ RunStats Cluster::RunMeasured(SimDuration warmup, SimDuration measure) {
   stats.bytes = net_.bytes_sent();
   stats.counter_writes = TotalCounterWrites() - counter_before;
   stats.safety_ok = !tracker_.safety_violated();
+  stats.breakdown = breakdown_.MeanPerTx();
   return stats;
 }
 

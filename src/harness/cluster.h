@@ -11,6 +11,9 @@
 #include "src/client/client.h"
 #include "src/consensus/replica_base.h"
 #include "src/harness/byzantine.h"
+#include "src/obs/breakdown.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace achilles {
 
@@ -53,6 +56,11 @@ struct ClusterConfig {
   double client_rate_tps = 0.0;     // 0 = saturating client.
   size_t client_max_outstanding = 0;  // 0 = 10 * batch_size.
   TeeConfig tee;                    // Boot costs; counter/in-TEE flags derived per protocol.
+  // Span tracing (src/obs/trace.h). Off by default; recording is memory-only and never
+  // perturbs virtual time, so RunStats are bit-identical either way. The ring keeps the
+  // last `trace_capacity` events (smaller rings keep exported traces small).
+  bool tracing = false;
+  size_t trace_capacity = obs::SpanTracer::kDefaultCapacity;
 };
 
 struct RunStats {
@@ -68,6 +76,9 @@ struct RunStats {
   uint64_t bytes = 0;
   uint64_t counter_writes = 0;
   bool safety_ok = true;
+  // Mean per-tx decomposition of e2e latency; breakdown.TotalMs() == e2e_latency_ms up to
+  // floating-point rounding (see src/obs/breakdown.h).
+  obs::BreakdownMs breakdown;
 };
 
 class Cluster {
@@ -108,12 +119,20 @@ class Cluster {
 
   uint64_t TotalCounterWrites() const;
 
+  // --- Observability (src/obs) ---
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::SpanTracer& tracer() { return tracer_; }
+  const obs::BreakdownAttributor& breakdown() const { return breakdown_; }
+
  private:
   std::unique_ptr<ReplicaBase> MakeReplica(uint32_t id, bool initial_launch);
   ReplicaContext ContextFor(uint32_t id);
 
   ClusterConfig config_;
   uint32_t n_;
+  obs::MetricsRegistry metrics_;
+  obs::SpanTracer tracer_;
+  obs::BreakdownAttributor breakdown_;
   Simulation sim_;
   Network net_;
   CryptoSuite suite_;

@@ -3,10 +3,17 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/harness/bench_report.h"
+
 namespace achilles {
 
 RunStats MeasureOnce(const ClusterConfig& config, SimDuration warmup, SimDuration measure) {
-  Cluster cluster(config);
+  BenchReport& report = BenchReport::Instance();
+  ClusterConfig effective = config;
+  // First measured run of the process carries the trace when --trace-out was given.
+  // Tracing records to memory only, so stats are unaffected (tested bit-identical).
+  effective.tracing = config.tracing || report.trace_wanted();
+  Cluster cluster(effective);
   const RunStats stats = cluster.RunMeasured(warmup, measure);
   if (!stats.safety_ok) {
     std::fprintf(stderr, "FATAL: safety violated during bench run (%s, f=%u): %s\n",
@@ -14,6 +21,7 @@ RunStats MeasureOnce(const ClusterConfig& config, SimDuration warmup, SimDuratio
                  cluster.tracker().violation().c_str());
     std::abort();
   }
+  report.RecordRun(effective, stats, cluster);
   return stats;
 }
 
@@ -36,6 +44,7 @@ std::string TablePrinter::Num(double v, int precision) {
 }
 
 void TablePrinter::Print() const {
+  BenchReport::Instance().RecordTable(headers_, rows_);
   std::vector<size_t> widths(headers_.size(), 0);
   for (size_t c = 0; c < headers_.size(); ++c) {
     widths[c] = headers_[c].size();

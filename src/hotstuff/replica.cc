@@ -116,7 +116,7 @@ void HotStuffReplica::TryPropose(View view) {
   cur_view_ = std::max(cur_view_, view);
   proposed_hash_[view] = block->hash;
   store_.Add(block);
-  tracker().OnPropose(block);
+  MarkProposed(block);
   PruneBelow(new_views_, cur_view_);
   PruneBelow(proposed_hash_, cur_view_);
   for (auto& votes : votes_) {

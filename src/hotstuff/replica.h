@@ -24,6 +24,7 @@ enum class HsPhase : uint8_t { kPrepare, kPreCommit, kCommit };
 const char* HsPhaseDomain(HsPhase phase);
 
 struct HsNewViewMsg : SimMessage {
+  const char* TraceName() const override { return "hs_new_view"; }
   View view = 0;             // View being entered.
   QuorumCert prepare_qc;     // Sender's highest prepare QC (may be empty at genesis).
   Signature sig;             // Sender authentication.
@@ -31,18 +32,21 @@ struct HsNewViewMsg : SimMessage {
 };
 
 struct HsProposeMsg : SimMessage {
+  const char* TraceName() const override { return "hs_propose"; }
   BlockPtr block;
   QuorumCert justify;  // The high QC the proposal extends.
   size_t WireSize() const override { return block->WireSize() + justify.WireSize(); }
 };
 
 struct HsVoteMsg : SimMessage {
+  const char* TraceName() const override { return "hs_vote"; }
   HsPhase phase = HsPhase::kPrepare;
   SignedCert vote;  // ⟨phase-domain, block hash, view⟩.
   size_t WireSize() const override { return 1 + vote.WireSize(); }
 };
 
 struct HsQcMsg : SimMessage {
+  const char* TraceName() const override { return "hs_qc"; }
   HsPhase phase = HsPhase::kPrepare;
   QuorumCert qc;
   size_t WireSize() const override { return 1 + qc.WireSize(); }

@@ -42,7 +42,7 @@ void MinBftReplica::TryPropose() {
   proposal_outstanding_ = true;
   last_proposed_ = block;
   store_.Add(block);
-  tracker().OnPropose(block);
+  MarkProposed(block);
   auto msg = std::make_shared<MinPrepareMsg>();
   msg->block = block;
   msg->epoch = epoch_;

@@ -15,6 +15,7 @@
 namespace achilles {
 
 struct MinPrepareMsg : SimMessage {
+  const char* TraceName() const override { return "min_prepare"; }
   BlockPtr block;
   uint64_t epoch = 0;
   UniqueIdentifier ui;  // Leader's UI over the block hash.
@@ -22,6 +23,7 @@ struct MinPrepareMsg : SimMessage {
 };
 
 struct MinCommitMsg : SimMessage {
+  const char* TraceName() const override { return "min_commit"; }
   Hash256 block_hash = ZeroHash();
   uint64_t epoch = 0;
   UniqueIdentifier ui;  // Sender's UI over the (block hash, leader UI counter) pair.
@@ -29,6 +31,7 @@ struct MinCommitMsg : SimMessage {
 };
 
 struct MinEpochChangeMsg : SimMessage {
+  const char* TraceName() const override { return "min_epoch_change"; }
   uint64_t new_epoch = 0;
   Height committed_height = 0;
   Hash256 committed_hash = ZeroHash();

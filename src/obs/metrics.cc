@@ -1,0 +1,159 @@
+#include "src/obs/metrics.h"
+
+#include <bit>
+
+#include "src/obs/json.h"
+
+namespace achilles {
+namespace obs {
+
+size_t Histogram::BucketIndex(int64_t value) {
+  if (value <= 0) {
+    return 0;
+  }
+  return static_cast<size_t>(std::bit_width(static_cast<uint64_t>(value)));
+}
+
+int64_t Histogram::BucketLowerBound(size_t i) {
+  return i == 0 ? 0 : static_cast<int64_t>(1ULL << (i - 1));
+}
+
+int64_t Histogram::BucketUpperBound(size_t i) {
+  if (i == 0) {
+    return 1;
+  }
+  if (i >= kNumBuckets - 1) {
+    return INT64_MAX;
+  }
+  return static_cast<int64_t>(1ULL << i);
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) {
+    value = 0;  // Durations are non-negative; clamp defensively.
+  }
+  ++buckets_[BucketIndex(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const uint64_t in_bucket = buckets_[i];
+    if (rank < static_cast<double>(seen + in_bucket)) {
+      // Interpolate within the bucket, clamped to the observed extremes so single-bucket
+      // distributions report exact values.
+      const double frac =
+          in_bucket == 1 ? 0.0 : (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket - 1);
+      const double lo = std::max<double>(static_cast<double>(BucketLowerBound(i)),
+                                         static_cast<double>(min_));
+      const double hi = std::min<double>(static_cast<double>(BucketUpperBound(i)),
+                                         static_cast<double>(max_) + 1.0);
+      return lo + frac * (hi - 1.0 - lo);
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string MetricsRegistry::Key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) {
+    return name;
+  }
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name + "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) {
+      key += ',';
+    }
+    key += sorted[i].first + "=" + sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, const Labels& labels) {
+  auto& slot = counters_[Key(name, labels)];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const Labels& labels) {
+  auto& slot = gauges_[Key(name, labels)];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name, const Labels& labels) {
+  auto& slot = histograms_[Key(name, labels)];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::ResetAll() {
+  for (auto& [key, c] : counters_) {
+    c->Reset();
+  }
+  for (auto& [key, g] : gauges_) {
+    g->Reset();
+  }
+  for (auto& [key, h] : histograms_) {
+    h->Reset();
+  }
+}
+
+void MetricsRegistry::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  for (const auto& [key, c] : counters_) {
+    w->Field(key, c->value());
+  }
+  for (const auto& [key, g] : gauges_) {
+    w->Field(key, g->value());
+  }
+  for (const auto& [key, h] : histograms_) {
+    w->KeyBeginObject(key)
+        .Field("count", h->count())
+        .Field("sum", h->sum())
+        .Field("min", h->min())
+        .Field("max", h->max())
+        .Field("mean", h->Mean())
+        .Field("p50", h->Percentile(50))
+        .Field("p99", h->Percentile(99))
+        .EndObject();
+  }
+  w->EndObject();
+}
+
+}  // namespace obs
+}  // namespace achilles

@@ -1,0 +1,112 @@
+// Labeled metrics registry: counters, gauges, and fixed log-scale-bucket histograms.
+// Instruments record into plain memory with no effect on virtual time, so measurement can
+// stay on in every bench without perturbing simulated results. Registry iteration order is
+// deterministic (sorted by key) so exports are reproducible run-to-run.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace achilles {
+namespace obs {
+
+class JsonWriter;
+
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double v) { value_ += v; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Histogram over non-negative int64 values (typically virtual-time nanoseconds) with fixed
+// base-2 log-scale buckets: bucket 0 holds value 0, bucket i>=1 holds [2^(i-1), 2^i).
+// Recording is a couple of integer ops and never allocates.
+class Histogram {
+ public:
+  // Bucket 0 (zero) + one bucket per bit position of a positive int64.
+  static constexpr size_t kNumBuckets = 64;
+
+  void Record(int64_t value);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
+
+  // Approximate percentile (p in [0,100], clamped) by linear interpolation inside the
+  // bucket containing the target rank. Exact for the recorded min/max endpoints.
+  double Percentile(double p) const;
+
+  uint64_t bucket_count(size_t i) const { return buckets_[i]; }
+  // Inclusive lower bound of bucket i (0, then 2^(i-1)).
+  static int64_t BucketLowerBound(size_t i);
+  // Exclusive upper bound of bucket i.
+  static int64_t BucketUpperBound(size_t i);
+  // The bucket a value falls into.
+  static size_t BucketIndex(int64_t value);
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+// Create-or-get registry keyed by "name{label=value,...}". Handles returned are stable for
+// the registry's lifetime; lookups are cold-path (instruments cache the handle).
+class MetricsRegistry {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {});
+
+  // Canonical key: name{k1=v1,k2=v2} with labels sorted by key.
+  static std::string Key(const std::string& name, const Labels& labels);
+
+  // Zeroes every metric (counters/gauges/histograms), keeping registrations.
+  void ResetAll();
+
+  // Serializes every metric into `w` as one JSON object keyed by metric key. Counters and
+  // gauges become numbers; histograms become {count,sum,min,max,mean,p50,p99}.
+  void ToJson(JsonWriter* w) const;
+
+  size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace achilles
+
+#endif  // SRC_OBS_METRICS_H_

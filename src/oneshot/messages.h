@@ -8,33 +8,39 @@
 namespace achilles {
 
 struct OsProposeMsg : SimMessage {
+  const char* TraceName() const override { return "os_propose"; }
   BlockPtr block;
   SignedCert prep_cert;  // aux == 1 marks the fast path.
   size_t WireSize() const override { return block->WireSize() + prep_cert.WireSize(); }
 };
 
 struct OsVote1Msg : SimMessage {
+  const char* TraceName() const override { return "os_vote1"; }
   SignedCert vote;
   size_t WireSize() const override { return vote.WireSize(); }
 };
 
 struct OsPreCommitMsg : SimMessage {
+  const char* TraceName() const override { return "os_precommit"; }
   QuorumCert prepared_qc;
   size_t WireSize() const override { return prepared_qc.WireSize(); }
 };
 
 // Second-phase (slow) or single-phase (fast) commit vote.
 struct OsCommitVoteMsg : SimMessage {
+  const char* TraceName() const override { return "os_commit_vote"; }
   SignedCert vote;
   size_t WireSize() const override { return vote.WireSize(); }
 };
 
 struct OsDecideMsg : SimMessage {
+  const char* TraceName() const override { return "os_decide"; }
   QuorumCert commit_qc;
   size_t WireSize() const override { return commit_qc.WireSize(); }
 };
 
 struct OsNewViewMsg : SimMessage {
+  const char* TraceName() const override { return "os_new_view"; }
   SignedCert view_cert;
   size_t WireSize() const override { return view_cert.WireSize(); }
 };

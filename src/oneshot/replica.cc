@@ -156,7 +156,7 @@ void OneShotReplica::FinishProposal(View w, const BlockPtr& block, const SignedC
   cur_view_ = std::max(cur_view_, w);
   proposed_hash_[w] = block->hash;
   store_.Add(block);
-  tracker().OnPropose(block);
+  MarkProposed(block);
   PruneBelow(proposed_hash_, cur_view_);
   PruneBelow(view_certs_, cur_view_);
   PruneBelow(vote1_, cur_view_);

@@ -98,7 +98,7 @@ void RaftReplica::TryPropose() {
   ChargeHashBytes(block->WireSize());
   head_ = block;
   store_.Add(block);
-  tracker().OnPropose(block);
+  MarkProposed(block);
   host().ChargeCpu(platform().costs().log_fsync);  // Leader persists before replicating.
   proposal_outstanding_ = true;
   Pending& pending = pending_[block->hash];

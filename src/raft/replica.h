@@ -15,6 +15,7 @@
 namespace achilles {
 
 struct RaftAppendMsg : SimMessage {
+  const char* TraceName() const override { return "raft_append"; }
   uint64_t term = 0;
   BlockPtr block;            // nullptr = heartbeat.
   Height commit_height = 0;  // Leader's commit index (piggybacked).
@@ -25,6 +26,7 @@ struct RaftAppendMsg : SimMessage {
 };
 
 struct RaftAckMsg : SimMessage {
+  const char* TraceName() const override { return "raft_ack"; }
   uint64_t term = 0;
   Hash256 hash = ZeroHash();
   Height height = 0;
@@ -32,12 +34,14 @@ struct RaftAckMsg : SimMessage {
 };
 
 struct RaftVoteReqMsg : SimMessage {
+  const char* TraceName() const override { return "raft_vote_req"; }
   uint64_t term = 0;
   Height last_height = 0;
   size_t WireSize() const override { return 8 + 8; }
 };
 
 struct RaftVoteRspMsg : SimMessage {
+  const char* TraceName() const override { return "raft_vote_rsp"; }
   uint64_t term = 0;
   bool granted = false;
   size_t WireSize() const override { return 8 + 1; }

@@ -6,6 +6,11 @@ namespace achilles {
 
 Host::Host(Simulation* sim, uint32_t id) : sim_(sim), id_(id) {}
 
+void Host::AttachMetrics(obs::MetricsRegistry* registry) {
+  handler_ns_ = registry->GetHistogram("host.handler_ns");
+  queue_wait_ns_ = registry->GetHistogram("host.queue_wait_ns");
+}
+
 void Host::BindProcess(std::unique_ptr<IProcess> process) {
   ACHILLES_CHECK(!process_);
   process_ = std::move(process);
@@ -14,7 +19,7 @@ void Host::BindProcess(std::unique_ptr<IProcess> process) {
   const uint64_t epoch = epoch_;
   sim_->ScheduleAfter(0, [this, epoch] {
     if (epoch == epoch_ && up_ && process_) {
-      Enqueue([this] { process_->OnStart(); });
+      Enqueue([this] { process_->OnStart(); }, "start");
     }
   });
 }
@@ -47,22 +52,33 @@ void Host::Reboot(std::unique_ptr<IProcess> process, SimDuration init_delay) {
   });
 }
 
-void Host::DeliverAt(SimTime arrival, uint32_t from, MessageRef msg) {
+void Host::DeliverAt(SimTime arrival, uint32_t from, MessageRef msg, const obs::Path* path) {
   // Liveness of the *current* incarnation is checked at arrival time: messages that arrive
   // while the host is down are lost, while messages still in flight across a reboot reach
   // the new incarnation (the network layer has no per-connection state to tear down).
-  sim_->ScheduleAt(arrival, [this, from, msg] {
+  const auto deliver = [this, from, msg](const obs::Path* p) {
     if (!up_ || !process_) {
       return;
     }
-    Enqueue([this, from, msg] { process_->OnMessage(from, msg); });
-  });
+    auto fn = [this, from, msg] { process_->OnMessage(from, msg); };
+    if (p != nullptr) {
+      EnqueueWithPath(std::move(fn), msg->TraceName(), *p);
+    } else {
+      Enqueue(std::move(fn), msg->TraceName());
+    }
+  };
+  if (path != nullptr) {
+    sim_->ScheduleAt(arrival, [deliver, p = *path] { deliver(&p); });
+  } else {
+    sim_->ScheduleAt(arrival, [deliver] { deliver(nullptr); });
+  }
 }
 
-void Host::ChargeCpu(SimDuration d) {
+void Host::ChargeCpuAs(obs::Component c, SimDuration d) {
   ACHILLES_CHECK(d >= 0);
   if (in_handler_) {
     handler_charge_ += d;
+    cur_path_.Extend(c, d);
   } else {
     // Charges outside a handler (e.g. setup) extend the CPU horizon directly.
     cpu_free_at_ = std::max(cpu_free_at_, sim_->Now()) + d;
@@ -72,6 +88,23 @@ void Host::ChargeCpu(SimDuration d) {
 
 SimTime Host::LocalNow() const {
   return in_handler_ ? sim_->Now() + handler_charge_ : sim_->Now();
+}
+
+obs::Path Host::SendPath() const {
+  if (in_handler_) {
+    return cur_path_;  // Invariant: covered_until == LocalNow().
+  }
+  obs::Path fresh;
+  fresh.Restart(sim_->Now());
+  return fresh;
+}
+
+void Host::RestartPathAt(SimTime origin) {
+  const uint64_t span = cur_path_.span;
+  cur_path_.Restart(origin, span);
+  // Any handler time already spent past `origin` (e.g. building the block that defines the
+  // proposal point) is CPU service; re-covering it keeps sum(parts) == LocalNow - origin.
+  cur_path_.CoverUntil(obs::Component::kCpu, LocalNow());
 }
 
 uint64_t Host::SetTimer(SimDuration delay, std::function<void()> fn) {
@@ -84,7 +117,7 @@ uint64_t Host::SetTimer(SimDuration delay, std::function<void()> fn) {
           return;
         }
         timers_.erase(timer_id);
-        Enqueue(fn);
+        Enqueue(fn, "timer");
       });
   timers_[timer_id] = event_id;
   return timer_id;
@@ -98,8 +131,13 @@ void Host::CancelTimer(uint64_t timer_id) {
   }
 }
 
-void Host::Enqueue(std::function<void()> fn) {
-  queue_.push_back(Work{std::move(fn)});
+void Host::Enqueue(std::function<void()> fn, const char* name) {
+  queue_.push_back(Work{std::move(fn), name, obs::Path{}, /*has_path=*/false});
+  ScheduleDrain();
+}
+
+void Host::EnqueueWithPath(std::function<void()> fn, const char* name, const obs::Path& path) {
+  queue_.push_back(Work{std::move(fn), name, path, /*has_path=*/true});
   ScheduleDrain();
 }
 
@@ -127,7 +165,30 @@ void Host::DrainOne() {
   queue_.pop_front();
   in_handler_ = true;
   handler_charge_ = 0;
+  const SimTime start = sim_->Now();
+  if (work.has_path) {
+    cur_path_ = work.path;
+  } else {
+    cur_path_.Restart(start);  // Timer/start handlers begin a fresh causal chain.
+  }
+  // Run-queue wait between arrival (the path frontier) and handler start.
+  if (queue_wait_ns_ != nullptr && start > cur_path_.covered_until) {
+    queue_wait_ns_->Record(start - cur_path_.covered_until);
+  }
+  cur_path_.CoverUntil(obs::Component::kCpu, start);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    cur_path_.span = tracer_->Begin(work.name, id_, start, cur_path_.span);
+  } else {
+    cur_path_.span = 0;
+  }
+  const uint64_t span = cur_path_.span;
   work.fn();
+  if (span != 0 && tracer_ != nullptr) {
+    tracer_->End(span, id_, start + handler_charge_);
+  }
+  if (handler_ns_ != nullptr) {
+    handler_ns_->Record(handler_charge_);
+  }
   in_handler_ = false;
   cpu_free_at_ = sim_->Now() + handler_charge_;
   ScheduleDrain();

@@ -1,6 +1,11 @@
 // A simulated machine: single-CPU work queue, timers, crash/reboot lifecycle. Handlers run
 // to completion; CPU time charged during a handler delays everything queued behind it, which
 // is what makes leaders saturate under load (Fig. 4's knee).
+//
+// Observability: every CPU charge carries an obs::Component tag and every queued handler
+// carries the obs::Path of the causal chain that triggered it, so committed-block latency
+// can be attributed without touching virtual time (see src/obs/breakdown.h). An optional
+// SpanTracer records one span per handler, parent-linked across hosts.
 #ifndef SRC_SIM_HOST_H_
 #define SRC_SIM_HOST_H_
 
@@ -10,6 +15,9 @@
 #include <memory>
 #include <unordered_map>
 
+#include "src/obs/breakdown.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/process.h"
 #include "src/sim/simulation.h"
 
@@ -38,13 +46,17 @@ class Host {
   void Reboot(std::unique_ptr<IProcess> process, SimDuration init_delay);
 
   // Network entry point: schedules message processing at `arrival`, subject to CPU queueing.
-  void DeliverAt(SimTime arrival, uint32_t from, MessageRef msg);
+  // `path` (optional) is the sender-side attribution chain, already extended to `arrival`.
+  void DeliverAt(SimTime arrival, uint32_t from, MessageRef msg,
+                 const obs::Path* path = nullptr);
 
   // --- Callable from inside a handler running on this host ---
 
   // Charges `d` of CPU time to the current handler. Everything the handler sends afterwards
   // departs after the charge; queued work starts after the handler's total charge.
-  void ChargeCpu(SimDuration d);
+  // The charge is attributed to `c` on the current path (default: generic CPU service).
+  void ChargeCpu(SimDuration d) { ChargeCpuAs(obs::Component::kCpu, d); }
+  void ChargeCpuAs(obs::Component c, SimDuration d);
 
   // Virtual time as seen by the running handler (sim time + charges so far).
   SimTime LocalNow() const;
@@ -56,12 +68,34 @@ class Host {
   // Total CPU time this host has charged (for utilization reporting).
   SimDuration cpu_time_used() const { return cpu_used_; }
 
+  // --- Observability (all zero-cost in virtual time) ---
+  // The attribution path of the running handler. Outside a handler this is a stale copy;
+  // use SendPath() for snapshots.
+  const obs::Path& current_path() const { return cur_path_; }
+  // Snapshot a path for an outgoing message: the current handler's chain, or a fresh path
+  // when called outside a handler (setup code, tests).
+  obs::Path SendPath() const;
+  // Restarts attribution at `origin` (a proposal point); time already spent in the handler
+  // since `origin` is booked as CPU so the invariant holds.
+  void RestartPathAt(SimTime origin);
+  // Span id of the running handler (parent for nested protocol spans); 0 when untraced.
+  uint64_t current_span() const { return cur_path_.span; }
+
+  void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+  obs::SpanTracer* tracer() const { return tracer_; }
+  // Registers this host's hot-path instruments (shared across hosts by metric name).
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   struct Work {
     std::function<void()> fn;
+    const char* name;  // Trace span label (static string).
+    obs::Path path;
+    bool has_path;
   };
 
-  void Enqueue(std::function<void()> fn);
+  void Enqueue(std::function<void()> fn, const char* name);
+  void EnqueueWithPath(std::function<void()> fn, const char* name, const obs::Path& path);
   void ScheduleDrain();
   void DrainOne();
 
@@ -77,6 +111,11 @@ class Host {
   bool in_handler_ = false;
   SimDuration handler_charge_ = 0;
   SimDuration cpu_used_ = 0;
+
+  obs::Path cur_path_;
+  obs::SpanTracer* tracer_ = nullptr;
+  obs::Histogram* handler_ns_ = nullptr;    // Per-handler CPU charge distribution.
+  obs::Histogram* queue_wait_ns_ = nullptr; // Arrival -> handler-start wait distribution.
 
   uint64_t next_timer_id_ = 1;
   // Timer ids map to simulation events; epoch guards invalidate them on crash.

@@ -41,10 +41,18 @@ SimTime Network::Send(uint32_t from, uint32_t to, MessageRef msg) {
   ACHILLES_CHECK(from < hosts_.size() && to < hosts_.size());
   ++messages_sent_;
   bytes_sent_ += msg->WireSize();
+  if (messages_metric_ != nullptr) {
+    messages_metric_->Inc();
+    bytes_metric_->Inc(msg->WireSize());
+  }
   const SimTime departure = hosts_[from]->LocalNow();
+  // Attribution: the sender's causal chain rides along with the delivery, extended by the
+  // wire-level components computed below.
+  obs::Path path = hosts_[from]->SendPath();
   if (from == to) {
     const SimTime arrival = departure + config_.loopback_delay;
-    hosts_[to]->DeliverAt(arrival, from, std::move(msg));
+    path.CoverUntil(obs::Component::kNetPropagation, arrival);
+    hosts_[to]->DeliverAt(arrival, from, std::move(msg), &path);
     return arrival;
   }
   if (!CanReach(from, to)) {
@@ -61,12 +69,17 @@ SimTime Network::Send(uint32_t from, uint32_t to, MessageRef msg) {
   const SimTime tx_start = std::max(departure, nic_free_at_[nic]);
   const SimTime tx_end = tx_start + serialize;
   nic_free_at_[nic] = tx_end;
+  if (nic_wait_ns_ != nullptr) {
+    nic_wait_ns_->Record(tx_start - departure);
+  }
   const double jitter =
       sim_->rng().Gaussian(0.0, static_cast<double>(config_.one_way_jitter));
   const SimDuration propagation =
       std::max<SimDuration>(0, config_.one_way_base + static_cast<SimDuration>(jitter));
   const SimTime arrival = tx_end + propagation;
-  hosts_[to]->DeliverAt(arrival, from, std::move(msg));
+  path.CoverUntil(obs::Component::kNicSerialization, tx_end);
+  path.CoverUntil(obs::Component::kNetPropagation, arrival);
+  hosts_[to]->DeliverAt(arrival, from, std::move(msg), &path);
   return arrival;
 }
 
@@ -112,6 +125,12 @@ bool Network::CanReach(uint32_t from, uint32_t to) const {
 void Network::ResetStats() {
   messages_sent_ = 0;
   bytes_sent_ = 0;
+}
+
+void Network::AttachMetrics(obs::MetricsRegistry* registry) {
+  messages_metric_ = registry->GetCounter("net.messages");
+  bytes_metric_ = registry->GetCounter("net.bytes");
+  nic_wait_ns_ = registry->GetHistogram("net.nic_wait_ns");
 }
 
 }  // namespace achilles

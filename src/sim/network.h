@@ -61,6 +61,10 @@ class Network {
   uint64_t bytes_sent() const { return bytes_sent_; }
   void ResetStats();
 
+  // Registers wire-level instruments (message/byte counters, NIC-wait histogram) in
+  // `registry`. Observability only — no effect on simulated timing.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   Simulation* sim_;
   NetworkConfig config_;
@@ -71,6 +75,9 @@ class Network {
   std::set<std::pair<uint32_t, uint32_t>> blocked_links_;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
+  obs::Counter* messages_metric_ = nullptr;
+  obs::Counter* bytes_metric_ = nullptr;
+  obs::Histogram* nic_wait_ns_ = nullptr;  // Departure -> wire (egress queueing) per message.
 };
 
 }  // namespace achilles

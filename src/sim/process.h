@@ -12,6 +12,8 @@ namespace achilles {
 struct SimMessage {
   virtual ~SimMessage() = default;
   virtual size_t WireSize() const = 0;
+  // Static label for trace spans (handler names in Perfetto); override per message type.
+  virtual const char* TraceName() const { return "msg"; }
 };
 
 using MessageRef = std::shared_ptr<const SimMessage>;

@@ -24,7 +24,7 @@ EnclaveRuntime::EnclaveRuntime(NodePlatform* platform) : platform_(platform) {
 
 void EnclaveRuntime::ChargeEcall() {
   if (in_tee()) {
-    platform_->host().ChargeCpu(platform_->costs().ecall_round_trip);
+    platform_->host().ChargeCpuAs(obs::Component::kEcall, platform_->costs().ecall_round_trip);
     ++ecalls_;
   }
 }
@@ -32,19 +32,22 @@ void EnclaveRuntime::ChargeEcall() {
 void EnclaveRuntime::ChargeSign() {
   const CostModel& costs = platform_->costs();
   const double factor = in_tee() ? costs.enclave_crypto_factor : 1.0;
-  platform_->host().ChargeCpu(
+  platform_->host().ChargeCpuAs(
+      obs::Component::kCrypto,
       static_cast<SimDuration>(static_cast<double>(costs.sign) * factor));
 }
 
 void EnclaveRuntime::ChargeVerify(size_t count) {
   const CostModel& costs = platform_->costs();
   const double factor = in_tee() ? costs.enclave_crypto_factor : 1.0;
-  platform_->host().ChargeCpu(static_cast<SimDuration>(
-      static_cast<double>(costs.verify) * factor * static_cast<double>(count)));
+  platform_->host().ChargeCpuAs(
+      obs::Component::kCrypto,
+      static_cast<SimDuration>(static_cast<double>(costs.verify) * factor *
+                               static_cast<double>(count)));
 }
 
 void EnclaveRuntime::ChargeHash(size_t bytes) {
-  platform_->host().ChargeCpu(platform_->costs().HashCost(bytes));
+  platform_->host().ChargeCpuAs(obs::Component::kCrypto, platform_->costs().HashCost(bytes));
 }
 
 Signature EnclaveRuntime::Sign(ByteView digest) {
@@ -73,7 +76,7 @@ Bytes EnclaveRuntime::Keystream(uint64_t iv, size_t len) const {
 }
 
 void EnclaveRuntime::Seal(const std::string& slot, ByteView plaintext) {
-  platform_->host().ChargeCpu(platform_->costs().seal_op);
+  platform_->host().ChargeCpuAs(obs::Component::kCrypto, platform_->costs().seal_op);
   ChargeHash(plaintext.size());
   const uint64_t iv = ++seal_iv_ ^ (nonce_state_ << 16);
   const Bytes stream = Keystream(iv, plaintext.size());
@@ -96,7 +99,7 @@ void EnclaveRuntime::Seal(const std::string& slot, ByteView plaintext) {
 }
 
 std::optional<Bytes> EnclaveRuntime::Unseal(const std::string& slot) {
-  platform_->host().ChargeCpu(platform_->costs().seal_op);
+  platform_->host().ChargeCpuAs(obs::Component::kCrypto, platform_->costs().seal_op);
   const std::optional<Bytes> blob = platform_->storage().Get(slot);
   if (!blob) {
     return std::nullopt;

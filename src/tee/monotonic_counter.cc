@@ -22,7 +22,7 @@ CounterSpec CounterSpec::For(CounterKind kind) {
 
 uint64_t MonotonicCounter::IncrementBlocking() {
   if (spec_.enabled()) {
-    host_->ChargeCpu(spec_.write_latency);
+    host_->ChargeCpuAs(obs::Component::kCounter, spec_.write_latency);
   }
   ++writes_;
   return ++value_;
@@ -30,7 +30,7 @@ uint64_t MonotonicCounter::IncrementBlocking() {
 
 uint64_t MonotonicCounter::ReadBlocking() {
   if (spec_.enabled()) {
-    host_->ChargeCpu(spec_.read_latency);
+    host_->ChargeCpuAs(obs::Component::kCounter, spec_.read_latency);
   }
   ++reads_;
   return value_;
