@@ -41,8 +41,11 @@ class AchillesChecker {
  public:
   // `initial_launch` is true only at the cluster genesis ceremony: the enclave starts
   // active at view 0. Every later (re)boot starts in recovering state and must complete
-  // TeeRecover before any other function works.
-  AchillesChecker(EnclaveRuntime* enclave, uint32_t n, uint32_t f, bool initial_launch);
+  // TeeRecover before any other function works. `break_nonce_check` disables the reply
+  // freshness check — a deliberately-broken variant that exists solely so the chaos
+  // harness can prove its oracles catch the resulting stale-reply recovery.
+  AchillesChecker(EnclaveRuntime* enclave, uint32_t n, uint32_t f, bool initial_launch,
+                  bool break_nonce_check = false);
 
   bool recovering() const { return recovering_; }
   View vi() const { return vi_; }
@@ -107,6 +110,7 @@ class AchillesChecker {
   Hash256 preph_;
   uint64_t expected_nonce_ = 0;
   bool nonce_armed_ = false;
+  bool break_nonce_check_ = false;  // Broken variant (oracle self-test); see constructor.
   uint64_t state_updates_ = 0;
 };
 

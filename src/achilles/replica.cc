@@ -18,7 +18,9 @@ void PruneBelow(MapT& map, View horizon) {
 }  // namespace
 
 AchillesReplica::AchillesReplica(const ReplicaContext& ctx, bool initial_launch)
-    : ReplicaBase(ctx), checker_(&enclave(), ctx.params.n, ctx.params.f, initial_launch) {
+    : ReplicaBase(ctx),
+      checker_(&enclave(), ctx.params.n, ctx.params.f, initial_launch,
+               ctx.params.break_recovery_nonce) {
   preb_.block = Block::Genesis();
 }
 
@@ -364,7 +366,8 @@ void AchillesReplica::OnRecoveryRequest(NodeId from, const AchRecoveryRequestMsg
 }
 
 void AchillesReplica::OnRecoveryReply(NodeId from, const AchRecoveryReplyMsg& msg) {
-  if (!checker_.recovering() || msg.reply.aux2 != last_request_nonce_) {
+  if (!checker_.recovering() ||
+      (!params().break_recovery_nonce && msg.reply.aux2 != last_request_nonce_)) {
     return;  // Not recovering, or a reply from a superseded request round.
   }
   if (msg.block != nullptr) {
@@ -429,6 +432,7 @@ void AchillesReplica::TryFinishRecovery() {
     return;
   }
   recovery_completed_at_ = LocalNow();
+  recovery_completed_nonce_ = leader_reply->aux2;
   cur_view_ = checker_.vi();
   consecutive_timeouts_ = 0;
   // State transfer: adopt the best certified committed checkpoint from the replies.

@@ -26,6 +26,16 @@ class AchillesReplica : public ReplicaBase {
   View current_view() const { return cur_view_; }
   const AchillesChecker& checker() const { return checker_; }
   SimTime recovery_completed_at() const { return recovery_completed_at_; }
+  // Nonce carried by the replies the last completed recovery actually consumed (the
+  // chaos freshness oracle compares it against the final TeeRequest nonce on the wire).
+  uint64_t recovery_completed_nonce() const { return recovery_completed_nonce_; }
+
+  InvariantSnapshot Invariants() const override {
+    InvariantSnapshot snap = ReplicaBase::Invariants();
+    snap.view = checker_.vi();
+    snap.recovering = checker_.recovering();
+    return snap;
+  }
 
  protected:
   void HandleMessage(NodeId from, const MessageRef& msg) override;
@@ -88,6 +98,7 @@ class AchillesReplica : public ReplicaBase {
   std::map<NodeId, NodeId> reply_source_;  // Reply signer -> host that sent it (for sync).
   uint64_t last_request_nonce_ = 0;        // Pre-filter for superseded reply rounds.
   SimTime recovery_completed_at_ = -1;
+  uint64_t recovery_completed_nonce_ = 0;
 };
 
 }  // namespace achilles

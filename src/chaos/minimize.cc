@@ -1,0 +1,90 @@
+#include "src/chaos/minimize.h"
+
+#include <algorithm>
+
+namespace achilles::chaos {
+
+MinimizeResult MinimizeScript(const ChaosOptions& options, uint64_t seed, Protocol protocol,
+                              uint32_t f, const FaultScript& failing,
+                              const MinimizeOptions& minimize_options) {
+  MinimizeResult result;
+  result.script = failing;
+  result.original_events = failing.events.size();
+  result.original_byzantine = failing.ByzantineCount();
+
+  auto still_fails = [&](const FaultScript& candidate, std::string* violation) {
+    if (result.runs >= minimize_options.max_runs) {
+      return false;
+    }
+    ++result.runs;
+    ChaosResult run = RunChaosScript(options, seed, protocol, f, candidate);
+    if (!run.ok && violation != nullptr) {
+      *violation = run.violation;
+    }
+    return !run.ok;
+  };
+
+  if (!still_fails(result.script, &result.violation)) {
+    // Not reproducible under this (options, seed) — report the original untouched.
+    result.minimized_events = result.original_events;
+    result.minimized_byzantine = result.original_byzantine;
+    return result;
+  }
+  result.reproduced = true;
+
+  // ddmin over the event list: remove one chunk at a time, halving chunk size when no
+  // removal keeps the failure alive.
+  size_t granularity = 2;
+  while (result.script.events.size() >= 2 && result.runs < minimize_options.max_runs) {
+    const size_t total = result.script.events.size();
+    granularity = std::min(granularity, total);
+    const size_t chunk = (total + granularity - 1) / granularity;
+    bool reduced = false;
+    for (size_t start = 0; start < total && result.runs < minimize_options.max_runs;
+         start += chunk) {
+      FaultScript candidate = result.script;
+      const auto begin = candidate.events.begin() + static_cast<ptrdiff_t>(start);
+      const auto end = candidate.events.begin() +
+                       static_cast<ptrdiff_t>(std::min(start + chunk, total));
+      candidate.events.erase(begin, end);
+      if (candidate.events.size() == total) {
+        continue;
+      }
+      std::string violation;
+      if (still_fails(candidate, &violation)) {
+        result.script = candidate;
+        result.violation = violation;
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) {
+      granularity = std::max<size_t>(2, granularity - 1);
+    } else if (chunk == 1) {
+      break;  // Already at single-event granularity and nothing removable.
+    } else {
+      granularity = std::min(granularity * 2, result.script.events.size());
+    }
+  }
+
+  // Byzantine weakening: flip each assignment to honest if the failure survives.
+  for (size_t i = 0;
+       i < result.script.byzantine.size() && result.runs < minimize_options.max_runs; ++i) {
+    if (result.script.byzantine[i] == ByzantineMode::kNone) {
+      continue;
+    }
+    FaultScript candidate = result.script;
+    candidate.byzantine[i] = ByzantineMode::kNone;
+    std::string violation;
+    if (still_fails(candidate, &violation)) {
+      result.script = candidate;
+      result.violation = violation;
+    }
+  }
+
+  result.minimized_events = result.script.events.size();
+  result.minimized_byzantine = result.script.ByzantineCount();
+  return result;
+}
+
+}  // namespace achilles::chaos

@@ -1,0 +1,37 @@
+// Delta-minimization of failing fault scripts (ddmin over the event list, then Byzantine
+// weakening). Acceptance is "the rerun still violates *some* oracle" — a shrunk script
+// that exposes a different violation is just as good a reproducer. Only removals are ever
+// attempted, so the minimized script is never longer than the original.
+#ifndef SRC_CHAOS_MINIMIZE_H_
+#define SRC_CHAOS_MINIMIZE_H_
+
+#include <string>
+
+#include "src/chaos/runner.h"
+
+namespace achilles::chaos {
+
+struct MinimizeOptions {
+  // Hard cap on re-executions (each is a full chaos run).
+  int max_runs = 150;
+};
+
+struct MinimizeResult {
+  FaultScript script;       // Minimized script (a subset of the original's events).
+  std::string violation;    // Violation the minimized script still triggers.
+  bool reproduced = false;  // False if the original script did not fail on re-run.
+  int runs = 0;             // Re-executions spent.
+  size_t original_events = 0;
+  size_t minimized_events = 0;
+  uint32_t original_byzantine = 0;
+  uint32_t minimized_byzantine = 0;
+};
+
+// Shrinks `failing` while RunChaosScript(options, seed, protocol, f, ·) keeps failing.
+MinimizeResult MinimizeScript(const ChaosOptions& options, uint64_t seed, Protocol protocol,
+                              uint32_t f, const FaultScript& failing,
+                              const MinimizeOptions& minimize_options = {});
+
+}  // namespace achilles::chaos
+
+#endif  // SRC_CHAOS_MINIMIZE_H_

@@ -1,0 +1,124 @@
+#include "src/chaos/oracles.h"
+
+#include <cstdio>
+
+#include "src/common/bytes.h"
+#include "src/common/check.h"
+
+namespace achilles::chaos {
+namespace {
+
+std::string HashPrefix(const Hash256& hash) {
+  return ToHex(ByteView(hash.data(), 4));
+}
+
+std::string TimeTag(SimTime now) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "T%lld ", static_cast<long long>(now));
+  return buf;
+}
+
+}  // namespace
+
+OracleSuite::OracleSuite(const OracleConfig& config) : config_(config) {
+  last_counter_.assign(config_.n, 0);
+}
+
+void OracleSuite::MarkByzantine(NodeId id) {
+  byzantine_.insert(id);
+}
+
+void OracleSuite::Fail(SimTime now, const std::string& what) {
+  if (violation_.empty()) {
+    violation_ = TimeTag(now) + what;
+  }
+}
+
+void OracleSuite::OnCommit(NodeId id, Height height, const Hash256& hash, SimTime now) {
+  if (!Honest(id) || !ok()) {
+    return;
+  }
+  auto [it, inserted] = committed_.emplace(height, hash);
+  if (!inserted && it->second != hash) {
+    Fail(now, "agreement: node " + std::to_string(id) + " committed " + HashPrefix(hash) +
+                  " at height " + std::to_string(height) + " but " +
+                  HashPrefix(it->second) + " was committed there first");
+  }
+}
+
+void OracleSuite::OnSnapshot(NodeId id, const InvariantSnapshot& snap, SimTime now) {
+  if (!Honest(id) || !ok()) {
+    return;
+  }
+  // Counter monotonicity (across reboots too: the device is persistent).
+  if (snap.counter_value < last_counter_[id]) {
+    Fail(now, "counter: node " + std::to_string(id) + " counter regressed " +
+                  std::to_string(last_counter_[id]) + " -> " +
+                  std::to_string(snap.counter_value));
+    return;
+  }
+  last_counter_[id] = snap.counter_value;
+  // Lockstep integrity: a live (-R) checker's trusted version tracks the counter exactly.
+  // A broken Restore that accepts a stale sealed blob leaves version < counter forever.
+  if (config_.counter_lockstep && !snap.halted &&
+      snap.trusted_version != snap.counter_value) {
+    Fail(now, "counter: node " + std::to_string(id) + " trusted version " +
+                  std::to_string(snap.trusted_version) + " != counter " +
+                  std::to_string(snap.counter_value) + " (stale sealed state accepted)");
+    return;
+  }
+  // Durability: the snapshot head must match what the cluster committed at that height.
+  if (snap.committed_height > 0) {
+    auto it = committed_.find(snap.committed_height);
+    if (it != committed_.end() && it->second != snap.committed_hash) {
+      Fail(now, "durability: node " + std::to_string(id) + " head " +
+                    HashPrefix(snap.committed_hash) + " at height " +
+                    std::to_string(snap.committed_height) + " diverges from committed " +
+                    HashPrefix(it->second));
+    }
+  }
+}
+
+void OracleSuite::OnRecoveryComplete(NodeId id, size_t fresh_replies, bool nonce_fresh,
+                                     SimTime now) {
+  if (!Honest(id) || !ok()) {
+    return;
+  }
+  if (!nonce_fresh) {
+    Fail(now, "freshness: node " + std::to_string(id) +
+                  " finished recovery on replies of a superseded nonce round "
+                  "(stale replay accepted)");
+    return;
+  }
+  if (fresh_replies < static_cast<size_t>(config_.f) + 1) {
+    Fail(now, "freshness: node " + std::to_string(id) + " finished recovery on " +
+                  std::to_string(fresh_replies) + " fresh replies (< f+1 = " +
+                  std::to_string(config_.f + 1) + "); stale replies were accepted");
+  }
+}
+
+void OracleSuite::OnHeal(SimTime now) {
+  (void)now;
+  ACHILLES_CHECK(!healed_);
+  healed_ = true;
+  height_at_heal_ = max_honest_height();
+}
+
+void OracleSuite::OnRunEnd(SimTime now) {
+  if (!ok()) {
+    return;
+  }
+  ACHILLES_CHECK(healed_);
+  const Height end = max_honest_height();
+  if (end <= height_at_heal_) {
+    Fail(now, "liveness: max honest height " + std::to_string(end) +
+                  " did not advance after heal (was " + std::to_string(height_at_heal_) +
+                  ")");
+  }
+}
+
+Height OracleSuite::max_honest_height() const {
+  return committed_.empty() ? 0 : committed_.rbegin()->first;
+}
+
+}  // namespace achilles::chaos

@@ -1,0 +1,82 @@
+// Global correctness oracles for the chaos harness. One OracleSuite audits a single chaos
+// run from outside the simulated machines (zero virtual cost): the runner feeds it every
+// honest-relevant observation (commits, periodic invariant snapshots, Achilles recovery
+// completions) and asks for a verdict at the end. The first violation wins and is kept
+// verbatim; everything after it is ignored so event logs stay deterministic and minimal.
+//
+// Oracles (ISSUE 3):
+//   agreement    — no two honest replicas commit different blocks at the same height. The
+//                  height->hash map is write-once and never cleared, so it doubles as the
+//                  certified-prefix durability audit: a rebooted replica whose recovered
+//                  prefix diverges from what anyone committed pre-crash trips it.
+//   durability   — an honest replica's snapshot head (committed_height, committed_hash)
+//                  must match the audit map at that height.
+//   counter      — per-replica persistent counter values never regress, and for the
+//                  lockstep (-R) protocols a non-halted replica's trusted checker version
+//                  always equals its counter (PersistState bumps both in the same handler,
+//                  so any divergence means stale sealed state was accepted).
+//   freshness    — an Achilles recovery must complete on >= f+1 replies of its *final*
+//                  nonce round (replayed stale replies are not fresh; see runner.cc).
+//   liveness     — the max honest committed height strictly advances between heal_at and
+//                  the horizon (bounded-time progress after all faults lift).
+#ifndef SRC_CHAOS_ORACLES_H_
+#define SRC_CHAOS_ORACLES_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/consensus/replica_base.h"
+
+namespace achilles::chaos {
+
+struct OracleConfig {
+  uint32_t n = 3;
+  uint32_t f = 1;
+  // True for Damysus-R / OneShot-R: the checker persists state under a counter increment in
+  // the same handler, so trusted_version == counter_value whenever the replica is not
+  // halted. Plain/broken variants skip the rollback compare and violate this after a stale
+  // restore — which is exactly what the oracle is for.
+  bool counter_lockstep = false;
+};
+
+class OracleSuite {
+ public:
+  explicit OracleSuite(const OracleConfig& config);
+
+  // Excludes a replica from all audits (its behaviour is adversary-controlled).
+  void MarkByzantine(NodeId id);
+
+  // --- Feeds (each may record the run's first violation) ---
+  void OnCommit(NodeId id, Height height, const Hash256& hash, SimTime now);
+  void OnSnapshot(NodeId id, const InvariantSnapshot& snap, SimTime now);
+  // `fresh_replies` = distinct-signer replies of the final request round delivered over
+  // the network before completion; `nonce_fresh` = the replies the driver consumed carried
+  // the final round's nonce (false means a replayed stale round was accepted).
+  void OnRecoveryComplete(NodeId id, size_t fresh_replies, bool nonce_fresh, SimTime now);
+  // Called once when the heal point is reached, then once at the horizon.
+  void OnHeal(SimTime now);
+  void OnRunEnd(SimTime now);
+
+  bool ok() const { return violation_.empty(); }
+  const std::string& violation() const { return violation_; }
+  // Highest height committed by any honest replica so far (from the audit map).
+  Height max_honest_height() const;
+
+ private:
+  bool Honest(NodeId id) const { return byzantine_.count(id) == 0; }
+  void Fail(SimTime now, const std::string& what);
+
+  OracleConfig config_;
+  std::set<NodeId> byzantine_;
+  std::map<Height, Hash256> committed_;  // Write-once agreement + durability audit.
+  std::vector<uint64_t> last_counter_;   // Per-replica high-water counter mark.
+  bool healed_ = false;
+  Height height_at_heal_ = 0;
+  std::string violation_;
+};
+
+}  // namespace achilles::chaos
+
+#endif  // SRC_CHAOS_ORACLES_H_

@@ -1,0 +1,363 @@
+#include "src/chaos/runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "src/achilles/messages.h"
+#include "src/achilles/replica.h"
+#include "src/chaos/oracles.h"
+#include "src/common/bytes.h"
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/crypto/sha256.h"
+
+namespace achilles::chaos {
+
+namespace {
+
+// Per-replica bookkeeping for the Achilles recovery-freshness oracle and the targeted
+// stale-reply replay attack. Filled from the network delivery tap, which observes real
+// traffic only — replies the runner itself injects are never recorded, so they can never
+// count as "fresh".
+struct RecoveryRecord {
+  // Distinct request nonces broadcast by this node, with the first tapped arrival.
+  std::vector<std::pair<SimTime, uint64_t>> requests;
+  struct Reply {
+    SimTime arrival;
+    uint64_t nonce;
+    uint32_t signer;
+  };
+  std::vector<Reply> replies;
+  // Recorded reply messages (sender, message) for the replay attack; bounded.
+  std::vector<std::pair<uint32_t, MessageRef>> stash;
+  bool pending_replay = false;
+  SimTime last_reported = -1;  // recovery_completed_at already audited.
+};
+
+// The nonce of the final request round on the wire at completion time: the latest tapped
+// request whose first delivery precedes the completion instant. Returns false when no
+// request had even been delivered yet — a completion without a delivered request can never
+// have consumed fresh replies.
+bool FinalRequestNonce(const RecoveryRecord& record, SimTime completed_at,
+                       uint64_t* nonce) {
+  for (auto it = record.requests.rbegin(); it != record.requests.rend(); ++it) {
+    if (it->first <= completed_at) {
+      *nonce = it->second;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Distinct signers of replies carrying the final request nonce that were delivered (over
+// the network) no later than the completion instant. The honest checker needs f+1 such
+// replies; fewer means recovery finished on replayed stale state.
+size_t CountFreshReplies(const RecoveryRecord& record, SimTime completed_at) {
+  uint64_t final_nonce = 0;
+  if (!FinalRequestNonce(record, completed_at, &final_nonce)) {
+    return 0;
+  }
+  std::set<uint32_t> signers;
+  for (const RecoveryRecord::Reply& reply : record.replies) {
+    if (reply.nonce == final_nonce && reply.arrival <= completed_at) {
+      signers.insert(reply.signer);
+    }
+  }
+  return signers.size();
+}
+
+// Under a broken variant every seed must exercise the planted bug, so if the sampled
+// script happens to lack the triggering fault pattern it is replaced by the canonical one
+// (honest replicas, a single victim). This keeps "flagged within the first N seeds"
+// a guarantee instead of a probability.
+void EnsureBrokenTrigger(BrokenVariant broken, FaultScript* script) {
+  const uint32_t n = static_cast<uint32_t>(script->byzantine.size());
+  ACHILLES_CHECK(n >= 3);
+  const uint32_t victim = 1;
+  if (broken == BrokenVariant::kRecoveryNonce) {
+    for (const FaultEvent& event : script->events) {
+      if (event.kind == FaultKind::kStaleRecoveryReplay) {
+        return;
+      }
+    }
+    std::fill(script->byzantine.begin(), script->byzantine.end(), ByzantineMode::kNone);
+    script->events.clear();
+    const uint64_t latest = static_cast<uint64_t>(RollbackMode::kLatest);
+    script->events.push_back({Ms(300), FaultKind::kCrash, victim, 0, 0});
+    script->events.push_back({Ms(420), FaultKind::kReboot, victim, 0, latest});
+    script->events.push_back({Ms(900), FaultKind::kCrash, victim, 0, 0});
+    script->events.push_back({Ms(901), FaultKind::kStaleRecoveryReplay, victim, 0, 0});
+    script->events.push_back({Ms(905), FaultKind::kReboot, victim, 0, latest});
+  } else if (broken == BrokenVariant::kCounterCompare) {
+    for (const FaultEvent& event : script->events) {
+      if (event.kind == FaultKind::kReboot &&
+          event.arg == static_cast<uint64_t>(RollbackMode::kOldest)) {
+        return;
+      }
+    }
+    std::fill(script->byzantine.begin(), script->byzantine.end(), ByzantineMode::kNone);
+    script->events.clear();
+    script->events.push_back({Ms(400), FaultKind::kCrash, victim, 0, 0});
+    script->events.push_back({Ms(520), FaultKind::kReboot, victim, 0,
+                              static_cast<uint64_t>(RollbackMode::kOldest)});
+  }
+}
+
+std::string FmtTime(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "T%lld ", static_cast<long long>(t));
+  return buf;
+}
+
+}  // namespace
+
+const char* BrokenVariantName(BrokenVariant variant) {
+  switch (variant) {
+    case BrokenVariant::kNone:
+      return "none";
+    case BrokenVariant::kRecoveryNonce:
+      return "recovery-nonce";
+    case BrokenVariant::kCounterCompare:
+      return "counter-compare";
+  }
+  return "?";
+}
+
+bool BrokenVariantFromName(std::string_view name, BrokenVariant* out) {
+  for (int i = 0; i <= static_cast<int>(BrokenVariant::kCounterCompare); ++i) {
+    const BrokenVariant variant = static_cast<BrokenVariant>(i);
+    if (name == BrokenVariantName(variant)) {
+      *out = variant;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ChaosResult::LogText() const {
+  std::string out;
+  for (const std::string& line : event_log) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+ScriptArtifact ChaosResult::Artifact() const {
+  ScriptArtifact artifact;
+  artifact.protocol = ProtocolName(protocol);
+  artifact.f = f;
+  artifact.seed = seed;
+  artifact.script = script;
+  return artifact;
+}
+
+ChaosResult RunChaosSeed(const ChaosOptions& options, uint64_t seed) {
+  Protocol protocol;
+  if (options.broken == BrokenVariant::kRecoveryNonce) {
+    protocol = Protocol::kAchilles;
+  } else if (options.broken == BrokenVariant::kCounterCompare) {
+    protocol = Protocol::kDamysusR;
+  } else if (options.protocol_all) {
+    protocol = static_cast<Protocol>(seed % kNumProtocols);
+  } else {
+    protocol = options.protocol;
+  }
+
+  Rng rng(seed ^ 0xc4a05c0ffee5eedULL);
+  const uint32_t f = 1 + (rng.UniformU64(4) == 0 ? 1u : 0u);
+  ScriptParams params;
+  params.protocol = protocol;
+  params.f = f;
+  params.heal_at = options.heal_at;
+  params.liveness_window = options.liveness_window;
+  FaultScript script = SampleFaultScript(params, rng);
+  if (options.broken != BrokenVariant::kNone) {
+    EnsureBrokenTrigger(options.broken, &script);
+  }
+  return RunChaosScript(options, seed, protocol, f, script);
+}
+
+ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol protocol,
+                           uint32_t f, const FaultScript& script) {
+  ACHILLES_CHECK(script.heal_at > 0 && script.horizon > script.heal_at);
+
+  ChaosResult result;
+  result.seed = seed;
+  result.protocol = protocol;
+  result.f = f;
+  result.script = script;
+
+  ClusterConfig config;
+  config.protocol = protocol;
+  config.f = f;
+  config.batch_size = options.batch_size;
+  config.payload_size = 16;
+  config.net = NetworkConfig::Lan();
+  config.base_timeout = Ms(100);
+  config.seed = seed;
+  config.client_rate_tps = options.client_rate_tps;
+  config.break_recovery_nonce = options.broken == BrokenVariant::kRecoveryNonce;
+  config.break_counter_compare = options.broken == BrokenVariant::kCounterCompare;
+  Cluster cluster(config);
+  const uint32_t n = cluster.num_replicas();
+  ACHILLES_CHECK(script.byzantine.size() == n);
+  Simulation& sim = cluster.sim();
+
+  OracleConfig oracle_config;
+  oracle_config.n = n;
+  oracle_config.f = f;
+  oracle_config.counter_lockstep =
+      protocol == Protocol::kDamysusR || protocol == Protocol::kOneShotR;
+  OracleSuite oracles(oracle_config);
+
+  auto log = [&result](SimTime t, const std::string& line) {
+    result.event_log.push_back(FmtTime(t) + line);
+  };
+
+  for (uint32_t i = 0; i < n; ++i) {
+    if (script.byzantine[i] != ByzantineMode::kNone) {
+      oracles.MarkByzantine(i);
+      log(0, "byz node=" + std::to_string(i) +
+                 " mode=" + ByzantineModeName(script.byzantine[i]));
+    }
+  }
+
+  // --- Oracle feeds ---
+  cluster.tracker().SetCommitListener(
+      [&](NodeId id, const BlockPtr& block, SimTime now) {
+        log(now, "commit node=" + std::to_string(id) +
+                     " h=" + std::to_string(block->height) +
+                     " hash=" + ToHex(ByteView(block->hash.data(), 4)));
+        oracles.OnCommit(id, block->height, block->hash, now);
+      });
+
+  std::vector<RecoveryRecord> recovery(n);
+  const bool uses_recovery = ProtocolUsesRecovery(protocol);
+  if (uses_recovery) {
+    cluster.net().SetDeliveryTap(
+        [&](uint32_t from, uint32_t to, const MessageRef& msg, SimTime arrival) {
+          if (from < n) {
+            if (auto req = std::dynamic_pointer_cast<const AchRecoveryRequestMsg>(msg)) {
+              RecoveryRecord& record = recovery[from];
+              if (record.requests.empty() ||
+                  record.requests.back().second != req->request.aux) {
+                record.requests.emplace_back(arrival, req->request.aux);
+              }
+              return;
+            }
+          }
+          if (to < n) {
+            if (auto reply = std::dynamic_pointer_cast<const AchRecoveryReplyMsg>(msg)) {
+              RecoveryRecord& record = recovery[to];
+              record.replies.push_back(
+                  {arrival, reply->reply.aux2, reply->reply.sig.signer});
+              if (record.stash.size() < 64) {
+                record.stash.emplace_back(from, msg);
+              }
+            }
+          }
+        });
+  }
+
+  // Lifecycle tap: logs boot/crash transitions and fires the pending stale-reply
+  // injection right after a victim's reboot — scheduled a hair after BindProcess so the
+  // new incarnation's OnStart (which arms the fresh recovery nonce) runs first, yet far
+  // ahead of any genuine network reply (>= one RTT away).
+  for (uint32_t i = 0; i < n; ++i) {
+    cluster.net().host(i).SetLifecycleListener(
+        [&](uint32_t id, const char* event) {
+          log(sim.Now(), std::string(event) + " node=" + std::to_string(id));
+          if (std::string_view(event) == "boot" && recovery[id].pending_replay) {
+            recovery[id].pending_replay = false;
+            sim.ScheduleAt(sim.Now() + Us(10), [&, id] {
+              Host& host = cluster.net().host(id);
+              if (!host.IsUp()) {
+                return;
+              }
+              for (const auto& [from, msg] : recovery[id].stash) {
+                host.DeliverAt(sim.Now(), from, msg);
+              }
+              log(sim.Now(), "stale-replay-injected node=" + std::to_string(id) +
+                                 " count=" + std::to_string(recovery[id].stash.size()));
+            });
+          }
+        });
+  }
+
+  cluster.InstallFaultScript(script, [&](const FaultEvent& event) {
+    log(event.at, std::string("fault ") + FaultKindName(event.kind) +
+                      " node=" + std::to_string(event.node) +
+                      " peer=" + std::to_string(event.peer) +
+                      " arg=" + std::to_string(event.arg));
+    if (event.kind == FaultKind::kStaleRecoveryReplay && event.node < n) {
+      recovery[event.node].pending_replay = true;
+    }
+  });
+
+  cluster.Start();
+
+  // --- Run with periodic invariant polling ---
+  auto poll = [&](SimTime t) {
+    for (uint32_t i = 0; i < n; ++i) {
+      ReplicaBase* replica = cluster.replica(i);
+      if (replica == nullptr) {
+        continue;
+      }
+      oracles.OnSnapshot(i, replica->Invariants(), t);
+      if (uses_recovery) {
+        if (auto* ach = dynamic_cast<AchillesReplica*>(replica)) {
+          const SimTime done = ach->recovery_completed_at();
+          if (done >= 0 && done != recovery[i].last_reported) {
+            recovery[i].last_reported = done;
+            const size_t fresh = CountFreshReplies(recovery[i], done);
+            uint64_t expected_nonce = 0;
+            const bool nonce_fresh =
+                FinalRequestNonce(recovery[i], done, &expected_nonce) &&
+                ach->recovery_completed_nonce() == expected_nonce;
+            log(t, "recovery-complete node=" + std::to_string(i) +
+                       " at=" + std::to_string(done) +
+                       " fresh=" + std::to_string(fresh) +
+                       " nonce_fresh=" + (nonce_fresh ? "1" : "0"));
+            oracles.OnRecoveryComplete(i, fresh, nonce_fresh, t);
+          }
+        }
+      }
+    }
+  };
+
+  constexpr SimDuration kPollStep = Ms(25);
+  bool healed = false;
+  SimTime t = 0;
+  while (t < script.horizon && oracles.ok()) {
+    t = std::min<SimTime>(t + kPollStep, script.horizon);
+    sim.RunUntil(t);
+    if (!healed && t >= script.heal_at) {
+      healed = true;
+      oracles.OnHeal(t);
+      log(t, "heal maxh=" + std::to_string(oracles.max_honest_height()));
+    }
+    poll(t);
+  }
+  if (oracles.ok() && healed) {
+    oracles.OnRunEnd(script.horizon);
+  }
+  log(sim.Now(), "end maxh=" + std::to_string(oracles.max_honest_height()));
+
+  result.ok = oracles.ok();
+  result.violation = oracles.violation();
+  result.final_height = oracles.max_honest_height();
+  if (!result.ok) {
+    result.event_log.push_back("VIOLATION " + result.violation);
+  }
+  const std::string joined = result.LogText();
+  const Hash256 digest =
+      Sha256Digest(ByteView(reinterpret_cast<const uint8_t*>(joined.data()), joined.size()));
+  result.log_digest_hex = ToHex(ByteView(digest.data(), digest.size()));
+  return result;
+}
+
+}  // namespace achilles::chaos

@@ -1,0 +1,75 @@
+// Chaos runner: executes one seeded adversarial run end to end. A seed deterministically
+// selects a protocol (or uses a fixed one), an f, and a sampled FaultScript; the runner
+// builds a Cluster, installs the script, wires the OracleSuite to commit/lifecycle/network
+// taps, implements the targeted stale-recovery-replay attack, and produces a deterministic
+// per-run event log whose SHA-256 digest makes bit-identical replay checkable.
+//
+// Everything here is driven only by virtual time and the per-run PRNG, so
+// RunChaosSeed(options, seed) is a pure function of its arguments: same seed, same log,
+// same digest — the property the CI artifacts and the minimizer rely on.
+#ifndef SRC_CHAOS_RUNNER_H_
+#define SRC_CHAOS_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/harness/cluster.h"
+#include "src/harness/fault_script.h"
+
+namespace achilles::chaos {
+
+// Which deliberately-broken protocol variant to run (oracle self-test; ISSUE 3). The
+// harness must FLAG these — a broken run that passes the oracles is the failure.
+enum class BrokenVariant {
+  kNone,
+  kRecoveryNonce,    // Achilles driver+checker skip the recovery-nonce freshness check.
+  kCounterCompare,   // -R checker skips the sealed-version vs counter rollback compare.
+};
+
+const char* BrokenVariantName(BrokenVariant variant);
+bool BrokenVariantFromName(std::string_view name, BrokenVariant* out);
+
+struct ChaosOptions {
+  // When true (default) the seed also picks the protocol (round-robin over all ten);
+  // otherwise `protocol` is used for every seed.
+  bool protocol_all = true;
+  Protocol protocol = Protocol::kAchilles;
+  BrokenVariant broken = BrokenVariant::kNone;
+  // Fault window end / post-heal liveness budget. The window must absorb the pacemaker's
+  // accumulated exponential backoff after heal, so keep it generous.
+  SimTime heal_at = Ms(1400);
+  SimDuration liveness_window = Sec(12);
+  // Cluster load knobs (small batches commit fast, which sharpens the liveness oracle).
+  size_t batch_size = 20;
+  double client_rate_tps = 500.0;
+};
+
+struct ChaosResult {
+  uint64_t seed = 0;
+  Protocol protocol = Protocol::kAchilles;
+  uint32_t f = 1;
+  bool ok = true;
+  std::string violation;            // First oracle violation (empty when ok).
+  FaultScript script;               // The script that was executed.
+  std::vector<std::string> event_log;
+  std::string log_digest_hex;       // SHA-256 over the joined event log.
+  Height final_height = 0;          // Max honest committed height at run end.
+
+  std::string LogText() const;      // event_log joined with newlines.
+  ScriptArtifact Artifact() const;  // Self-contained reproducer for this run.
+};
+
+// Derives (protocol, f, script) from `seed` and runs it. Under a broken variant the
+// protocol is forced to the variant's target and the script is guaranteed to contain the
+// triggering fault pattern, so every seed exercises the planted bug.
+ChaosResult RunChaosSeed(const ChaosOptions& options, uint64_t seed);
+
+// Runs an explicit script (replay of an artifact, minimization probes). `seed` feeds the
+// cluster PRNG exactly as in RunChaosSeed.
+ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol protocol,
+                           uint32_t f, const FaultScript& script);
+
+}  // namespace achilles::chaos
+
+#endif  // SRC_CHAOS_RUNNER_H_

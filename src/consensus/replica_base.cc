@@ -12,6 +12,14 @@ ReplicaBase::ReplicaBase(const ReplicaContext& ctx)
   last_committed_hash_ = Block::Genesis()->hash;
 }
 
+InvariantSnapshot ReplicaBase::Invariants() const {
+  InvariantSnapshot snap;
+  snap.committed_height = last_committed_height_;
+  snap.committed_hash = last_committed_hash_;
+  snap.counter_value = ctx_.platform->counter().value();
+  return snap;
+}
+
 NodeId ReplicaBase::ReplicaOfHost(uint32_t host) const {
   if (ctx_.replica_hosts.empty()) {
     return host;

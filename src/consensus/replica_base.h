@@ -26,8 +26,28 @@ struct ProtocolParams {
   // leader instead of running the NEW-VIEW collection. Off only for the ablation bench.
   bool commit_fast_path = true;
 
+  // --- Deliberately-broken variants (chaos-harness oracle self-tests ONLY) ---
+  // Disables Achilles' recovery-reply nonce freshness check (checker and untrusted driver
+  // alike): replies recorded during an earlier recovery round become acceptable again.
+  bool break_recovery_nonce = false;
+  // Disables the -R checkers' sealed-version == persistent-counter compare on restore:
+  // stale sealed state is installed silently instead of crash-stopping.
+  bool break_counter_compare = false;
+
   // Quorum used by the 2f+1 TEE protocols is f+1; FlexiBFT (3f+1) overrides with 2f+1.
   size_t quorum() const { return static_cast<size_t>(f) + 1; }
+};
+
+// Cross-protocol state digest polled by the chaos harness's oracles (src/chaos). Fields a
+// protocol has no equivalent of keep their zero defaults.
+struct InvariantSnapshot {
+  View view = 0;                 // Trusted/pacemaker view (Raft term, MinBFT/FlexiBFT epoch).
+  Height committed_height = 0;   // Committed-prefix head.
+  Hash256 committed_hash{};
+  uint64_t counter_value = 0;    // Persistent monotonic counter reading (0 when disabled).
+  uint64_t trusted_version = 0;  // Sealed trusted-state version (0 = protocol keeps none).
+  bool recovering = false;       // Achilles: recovery (Algorithm 3) still in flight.
+  bool halted = false;           // -R variants: crash-stopped after detecting a rollback.
 };
 
 struct ReplicaContext {
@@ -53,6 +73,10 @@ class ReplicaBase : public IProcess {
   Height last_committed_height() const { return last_committed_height_; }
   const BlockStore& store() const { return store_; }
   size_t mempool_pending() const { return mempool_.pending(); }
+
+  // Invariant digest for the chaos oracles. The base fills the committed prefix and the
+  // platform counter; each protocol overrides to add its trusted view/version/fault state.
+  virtual InvariantSnapshot Invariants() const;
 
  protected:
   virtual void HandleMessage(NodeId from, const MessageRef& msg) = 0;

@@ -21,7 +21,8 @@ DamysusChecker::DamysusChecker(EnclaveRuntime* enclave, uint32_t n, uint32_t f,
 }
 
 std::unique_ptr<DamysusChecker> DamysusChecker::Restore(EnclaveRuntime* enclave, uint32_t n,
-                                                        uint32_t f) {
+                                                        uint32_t f,
+                                                        bool break_counter_compare) {
   enclave->ChargeEcall();
   const std::optional<Bytes> blob = enclave->Unseal(kSealSlot);
   if (!blob) {
@@ -37,7 +38,7 @@ std::unique_ptr<DamysusChecker> DamysusChecker::Restore(EnclaveRuntime* enclave,
     return nullptr;
   }
   MonotonicCounter& counter = enclave->platform().counter();
-  if (counter.spec().enabled()) {
+  if (counter.spec().enabled() && !break_counter_compare) {
     // Rollback detection: the sealed version must match the counter exactly. A stale blob
     // (version < counter) means the OS rolled the state back -> refuse to run.
     const uint64_t expected = counter.ReadBlocking();

@@ -34,13 +34,20 @@ class DamysusChecker {
   // Restores a checker from sealed storage after a reboot. Returns nullptr when the state
   // is unusable: missing/forged seal, or (-R only) seal version != persistent counter —
   // i.e. a detected rollback, upon which Damysus-R refuses to participate.
+  // `break_counter_compare` skips that version check — a deliberately-broken variant used
+  // only by the chaos harness to prove its counter-integrity oracle catches the
+  // silently-accepted rollback.
   static std::unique_ptr<DamysusChecker> Restore(EnclaveRuntime* enclave, uint32_t n,
-                                                 uint32_t f);
+                                                 uint32_t f,
+                                                 bool break_counter_compare = false);
 
   View vi() const { return vi_; }
   View prepv() const { return prepv_; }
   const Hash256& preph() const { return preph_; }
   bool proposed_flag() const { return flag_; }
+  // Sealed-state version; in -R this equals the persistent counter after every mutation
+  // (the invariant the chaos harness's counter oracle checks).
+  uint64_t version() const { return version_; }
 
   // Leader: certify a block for the current view. Justified either by an accumulator over
   // f+1 NEW-VIEW certificates or by a commit QC of the previous view (chained fast path).

@@ -21,7 +21,8 @@ DamysusReplica::DamysusReplica(const ReplicaContext& ctx, bool initial_launch)
     checker_ = std::make_unique<DamysusChecker>(&enclave(), ctx.params.n, ctx.params.f);
   } else {
     // Local restore: sealed state (+ counter check in -R). nullptr => crash-stop.
-    checker_ = DamysusChecker::Restore(&enclave(), ctx.params.n, ctx.params.f);
+    checker_ = DamysusChecker::Restore(&enclave(), ctx.params.n, ctx.params.f,
+                                       ctx.params.break_counter_compare);
   }
 }
 

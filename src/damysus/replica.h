@@ -25,6 +25,16 @@ class DamysusReplica : public ReplicaBase {
   View current_view() const { return cur_view_; }
   const DamysusChecker* checker() const { return checker_.get(); }
 
+  InvariantSnapshot Invariants() const override {
+    InvariantSnapshot snap = ReplicaBase::Invariants();
+    snap.halted = halted();
+    if (checker_ != nullptr) {
+      snap.view = checker_->vi();
+      snap.trusted_version = checker_->version();
+    }
+    return snap;
+  }
+
  protected:
   void HandleMessage(NodeId from, const MessageRef& msg) override;
   void OnViewTimeout(View view) override;

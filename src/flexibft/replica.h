@@ -65,6 +65,12 @@ class FlexiBftReplica : public ReplicaBase {
   void OnStart() override;
   uint64_t epoch() const { return epoch_; }
 
+  InvariantSnapshot Invariants() const override {
+    InvariantSnapshot snap = ReplicaBase::Invariants();
+    snap.view = epoch_;
+    return snap;
+  }
+
   // FlexiBFT's quorum is 2f+1 of 3f+1.
   size_t VoteQuorum() const { return 2 * static_cast<size_t>(f()) + 1; }
 

@@ -1,5 +1,7 @@
 #include "src/harness/byzantine.h"
 
+#include <algorithm>
+
 #include "src/consensus/certificates.h"
 
 namespace achilles {
@@ -24,6 +26,41 @@ MessageRef MakeJunk(Rng& rng) {
 
 }  // namespace
 
+const char* ByzantineModeName(ByzantineMode mode) {
+  switch (mode) {
+    case ByzantineMode::kNone:
+      return "none";
+    case ByzantineMode::kSilent:
+      return "silent";
+    case ByzantineMode::kFlaky:
+      return "flaky";
+    case ByzantineMode::kDelayer:
+      return "delayer";
+    case ByzantineMode::kDuplicator:
+      return "duplicator";
+    case ByzantineMode::kSpammer:
+      return "spammer";
+    case ByzantineMode::kStaleReplay:
+      return "stale-replay";
+    case ByzantineMode::kSelectiveSend:
+      return "selective-send";
+    case ByzantineMode::kReorderBurst:
+      return "reorder-burst";
+  }
+  return "?";
+}
+
+bool ByzantineModeFromName(std::string_view name, ByzantineMode* out) {
+  for (int i = 0; i < kNumByzantineModes; ++i) {
+    const ByzantineMode mode = static_cast<ByzantineMode>(i);
+    if (name == ByzantineModeName(mode)) {
+      *out = mode;
+      return true;
+    }
+  }
+  return false;
+}
+
 ByzantineShim::ByzantineShim(std::unique_ptr<IProcess> inner, ByzantineMode mode, Host* host,
                              Network* net, uint32_t num_replicas, uint64_t seed)
     : inner_(std::move(inner)),
@@ -37,8 +74,34 @@ void ByzantineShim::OnStart() {
   if (mode_ != ByzantineMode::kSilent) {
     inner_->OnStart();
   }
-  if (mode_ == ByzantineMode::kSpammer) {
-    SpamOnce();
+  switch (mode_) {
+    case ByzantineMode::kSpammer:
+      SpamOnce();
+      break;
+    case ByzantineMode::kStaleReplay:
+      host_->SetTimer(Ms(3), [this] { ReplayOnce(); });
+      break;
+    case ByzantineMode::kSelectiveSend: {
+      // Mute this node's own links to roughly half its peers: the rest of the cluster sees
+      // an apparently-live replica whose votes never reach some quorum collectors.
+      const uint32_t mute = std::max<uint32_t>(1, (num_replicas_ - 1) / 2);
+      const uint32_t rot = static_cast<uint32_t>(rng_.UniformU64(num_replicas_));
+      uint32_t muted = 0;
+      for (uint32_t i = 0; i < num_replicas_ && muted < mute; ++i) {
+        const uint32_t peer = (rot + i) % num_replicas_;
+        if (peer == host_->id()) {
+          continue;
+        }
+        net_->SetLinkBlocked(host_->id(), peer, true);
+        ++muted;
+      }
+      break;
+    }
+    case ByzantineMode::kReorderBurst:
+      host_->SetTimer(Ms(8), [this] { FlushReorderBuffer(); });
+      break;
+    default:
+      break;
   }
 }
 
@@ -66,6 +129,22 @@ void ByzantineShim::OnMessage(uint32_t from, const MessageRef& msg) {
     case ByzantineMode::kSpammer:
       inner_->OnMessage(from, msg);
       return;
+    case ByzantineMode::kStaleReplay:
+      inner_->OnMessage(from, msg);
+      // Keep a bounded ring of everything seen; ReplayOnce re-sends from it later.
+      if (stash_.size() < 64) {
+        stash_.push_back(msg);
+      } else {
+        stash_[stash_next_] = msg;
+        stash_next_ = (stash_next_ + 1) % stash_.size();
+      }
+      return;
+    case ByzantineMode::kSelectiveSend:
+      inner_->OnMessage(from, msg);
+      return;
+    case ByzantineMode::kReorderBurst:
+      reorder_buffer_.emplace_back(from, msg);
+      return;
   }
 }
 
@@ -75,6 +154,28 @@ void ByzantineShim::SpamOnce() {
     net_->Send(host_->id(), target, MakeJunk(rng_));
   }
   host_->SetTimer(Ms(2), [this] { SpamOnce(); });
+}
+
+void ByzantineShim::ReplayOnce() {
+  if (!stash_.empty()) {
+    // Replay a stashed (possibly very old) message to a random peer. Signatures inside it
+    // are still genuine, so this probes every receiver's freshness/idempotence checks.
+    const MessageRef& old = stash_[rng_.UniformU64(stash_.size())];
+    const uint32_t target = static_cast<uint32_t>(rng_.UniformU64(num_replicas_));
+    if (target != host_->id()) {
+      net_->Send(host_->id(), target, old);
+    }
+  }
+  host_->SetTimer(Ms(3), [this] { ReplayOnce(); });
+}
+
+void ByzantineShim::FlushReorderBuffer() {
+  // Deliver the burst to the inner replica in reverse arrival order.
+  for (auto it = reorder_buffer_.rbegin(); it != reorder_buffer_.rend(); ++it) {
+    inner_->OnMessage(it->first, it->second);
+  }
+  reorder_buffer_.clear();
+  host_->SetTimer(Ms(8), [this] { FlushReorderBuffer(); });
 }
 
 }  // namespace achilles

@@ -6,6 +6,9 @@
 #define SRC_HARNESS_BYZANTINE_H_
 
 #include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "src/consensus/messages.h"
 #include "src/sim/network.h"
@@ -14,12 +17,24 @@ namespace achilles {
 
 enum class ByzantineMode {
   kNone,
-  kSilent,     // Drops every incoming message (crash-equivalent, strongest liveness attack).
-  kFlaky,      // Drops a fraction of incoming messages.
-  kDelayer,    // Re-delivers incoming messages after a random extra delay.
-  kDuplicator, // Processes every message twice (replay against idempotence).
-  kSpammer,    // Handles traffic honestly but floods peers with forged junk.
+  kSilent,        // Drops every incoming message (crash-equivalent, strongest liveness attack).
+  kFlaky,         // Drops a fraction of incoming messages.
+  kDelayer,       // Re-delivers incoming messages after a random extra delay.
+  kDuplicator,    // Processes every message twice (replay against idempotence).
+  kSpammer,       // Handles traffic honestly but floods peers with forged junk.
+  kStaleReplay,   // Handles traffic honestly but re-sends stashed old messages to peers
+                  // (stale-vote/stale-cert replay; certificates stay valid, freshness not).
+  kSelectiveSend, // Honest protocol logic, but mutes its own links to a subset of peers
+                  // (equivocation-by-omission: different peers see different behaviour).
+  kReorderBurst,  // Buffers incoming messages and processes them in reverse-order bursts.
 };
+
+// Number of enum values including kNone (for protocol x mode sweeps).
+inline constexpr int kNumByzantineModes = 9;
+
+const char* ByzantineModeName(ByzantineMode mode);
+// Inverse of ByzantineModeName; returns false on unknown names.
+bool ByzantineModeFromName(std::string_view name, ByzantineMode* out);
 
 class ByzantineShim : public IProcess {
  public:
@@ -31,6 +46,8 @@ class ByzantineShim : public IProcess {
 
  private:
   void SpamOnce();
+  void ReplayOnce();
+  void FlushReorderBuffer();
 
   std::unique_ptr<IProcess> inner_;
   ByzantineMode mode_;
@@ -38,6 +55,9 @@ class ByzantineShim : public IProcess {
   Network* net_;
   uint32_t num_replicas_;
   Rng rng_;
+  std::vector<MessageRef> stash_;  // kStaleReplay: ring of old messages to re-send.
+  size_t stash_next_ = 0;
+  std::vector<std::pair<uint32_t, MessageRef>> reorder_buffer_;  // kReorderBurst.
 };
 
 }  // namespace achilles

@@ -37,6 +37,17 @@ const char* ProtocolName(Protocol protocol) {
   return "?";
 }
 
+bool ProtocolFromName(std::string_view name, Protocol* out) {
+  for (int i = 0; i < kNumProtocols; ++i) {
+    const Protocol protocol = static_cast<Protocol>(i);
+    if (name == ProtocolName(protocol)) {
+      *out = protocol;
+      return true;
+    }
+  }
+  return false;
+}
+
 uint32_t ReplicasFor(Protocol protocol, uint32_t f) {
   const bool three_f =
       protocol == Protocol::kFlexiBft || protocol == Protocol::kHotStuff;
@@ -103,6 +114,8 @@ ReplicaContext Cluster::ContextFor(uint32_t id) {
   ctx.params.batch_size = config_.batch_size;
   ctx.params.base_timeout = config_.base_timeout;
   ctx.params.commit_fast_path = config_.commit_fast_path;
+  ctx.params.break_recovery_nonce = config_.break_recovery_nonce;
+  ctx.params.break_counter_compare = config_.break_counter_compare;
   if (config_.with_client) {
     ctx.client_ids = {n_};
   }

@@ -4,8 +4,10 @@
 #ifndef SRC_HARNESS_CLUSTER_H_
 #define SRC_HARNESS_CLUSTER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/client/client.h"
@@ -31,6 +33,10 @@ enum class Protocol {
 };
 
 const char* ProtocolName(Protocol protocol);
+// Inverse of ProtocolName; returns false on unknown names.
+bool ProtocolFromName(std::string_view name, Protocol* out);
+// Number of Protocol enum values (for sweeps).
+inline constexpr int kNumProtocols = 10;
 
 // Replica count: 3f+1 for FlexiBFT, 2f+1 otherwise.
 uint32_t ReplicasFor(Protocol protocol, uint32_t f);
@@ -61,7 +67,13 @@ struct ClusterConfig {
   // last `trace_capacity` events (smaller rings keep exported traces small).
   bool tracing = false;
   size_t trace_capacity = obs::SpanTracer::kDefaultCapacity;
+  // Deliberately-broken protocol variants (ProtocolParams docs); chaos self-tests only.
+  bool break_recovery_nonce = false;
+  bool break_counter_compare = false;
 };
+
+struct FaultScript;
+struct FaultEvent;
 
 struct RunStats {
   double throughput_tps = 0.0;
@@ -112,6 +124,16 @@ class Cluster {
   void RebootReplica(uint32_t id);
   // Enclave relaunch + per-peer reconnection (Table 2 "Initialization").
   SimDuration ReplicaInitDelay() const;
+
+  // --- Scripted fault injection (src/harness/fault_script.h) ---
+  // Applies the script's Byzantine assignments (must precede Start) and schedules every
+  // timed fault event on the simulation. `on_event` (optional) observes each event at its
+  // scheduled time, before it is applied — the chaos runner logs there and implements the
+  // events (like kStaleRecoveryReplay) that need runner-held state.
+  void InstallFaultScript(const FaultScript& script,
+                          std::function<void(const FaultEvent&)> on_event = {});
+  // Applies a single fault event now (exposed for tests; InstallFaultScript schedules it).
+  void ApplyFaultEvent(const FaultEvent& event);
 
   // --- Measurement ---
   // Runs `warmup`, then measures for `measure` and returns aggregated statistics.

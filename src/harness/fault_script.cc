@@ -1,0 +1,400 @@
+#include "src/harness/fault_script.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace achilles {
+
+namespace {
+
+// Fisher-Yates over 0..n-1 driven by the script RNG (distinct picks without retry loops).
+std::vector<uint32_t> ShuffledIds(uint32_t n, Rng& rng) {
+  std::vector<uint32_t> ids(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ids[i] = i;
+  }
+  for (uint32_t i = n; i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.UniformU64(i)]);
+  }
+  return ids;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kReboot:
+      return "reboot";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHealPartition:
+      return "heal-partition";
+    case FaultKind::kJitterOn:
+      return "jitter-on";
+    case FaultKind::kJitterOff:
+      return "jitter-off";
+    case FaultKind::kBlockLink:
+      return "block-link";
+    case FaultKind::kUnblockLink:
+      return "unblock-link";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kStaleRecoveryReplay:
+      return "stale-recovery-replay";
+  }
+  return "?";
+}
+
+bool FaultKindFromName(std::string_view name, FaultKind* out) {
+  for (int i = 0; i <= static_cast<int>(FaultKind::kStaleRecoveryReplay); ++i) {
+    const FaultKind kind = static_cast<FaultKind>(i);
+    if (name == FaultKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint32_t FaultScript::ByzantineCount() const {
+  uint32_t count = 0;
+  for (ByzantineMode mode : byzantine) {
+    if (mode != ByzantineMode::kNone) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint32_t FaultScript::CrashedCount() const {
+  std::set<uint32_t> crashed;
+  for (const FaultEvent& event : events) {
+    if (event.kind == FaultKind::kCrash) {
+      crashed.insert(event.node);
+    }
+  }
+  return static_cast<uint32_t>(crashed.size());
+}
+
+bool ProtocolSupportsReboot(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kAchilles:
+    case Protocol::kAchillesC:
+    case Protocol::kDamysus:
+    case Protocol::kDamysusR:
+    case Protocol::kOneShot:
+    case Protocol::kOneShotR:
+      return true;
+    // HotStuff's safety lock, FlexiBFT's leader sequencer, BRaft's log/term/votedFor, and
+    // MinBFT's message log are volatile: a rebooted incarnation can legitimately violate
+    // agreement (the chaos swarm found exactly that for BRaft — an empty-log voter elects
+    // a stale leader — and for MinBFT, where an amnesiac replica restarts from genesis;
+    // real MinBFT assumes stable storage for its log). So the swarm never reboots them
+    // (crash-only faults). Recorded in ROADMAP "Open items".
+    case Protocol::kFlexiBft:
+    case Protocol::kRaft:
+    case Protocol::kMinBft:
+    case Protocol::kHotStuff:
+      return false;
+  }
+  return false;
+}
+
+bool ProtocolRollbackProtected(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kAchilles:
+    case Protocol::kAchillesC:  // Same recovery protocol, components outside the TEE.
+    case Protocol::kDamysusR:
+    case Protocol::kOneShotR:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ProtocolUsesRecovery(Protocol protocol) {
+  return protocol == Protocol::kAchilles || protocol == Protocol::kAchillesC;
+}
+
+std::vector<ByzantineMode> AllowedByzantineModes(Protocol protocol) {
+  if (protocol == Protocol::kRaft) {
+    // CFT fault model: omission and timing faults only.
+    return {ByzantineMode::kSilent, ByzantineMode::kFlaky, ByzantineMode::kDelayer};
+  }
+  return {ByzantineMode::kSilent,      ByzantineMode::kFlaky,
+          ByzantineMode::kDelayer,     ByzantineMode::kDuplicator,
+          ByzantineMode::kSpammer,     ByzantineMode::kStaleReplay,
+          ByzantineMode::kSelectiveSend, ByzantineMode::kReorderBurst};
+}
+
+FaultScript SampleFaultScript(const ScriptParams& params, Rng& rng) {
+  ACHILLES_CHECK(params.heal_at >= Ms(1200));
+  const uint32_t n = ReplicasFor(params.protocol, params.f);
+  FaultScript script;
+  script.byzantine.assign(n, ByzantineMode::kNone);
+  script.heal_at = params.heal_at;
+  script.horizon = params.heal_at + params.liveness_window;
+
+  // Fault budget: Byzantine + crashing replicas together stay within f, which keeps every
+  // quorum (and Achilles' f+1 recovery repliers) reachable — the liveness oracle's
+  // soundness condition.
+  uint32_t budget = params.f;
+
+  const std::vector<ByzantineMode> modes = AllowedByzantineModes(params.protocol);
+  std::vector<uint32_t> order = ShuffledIds(n, rng);
+  size_t next_victim = 0;
+  if (!modes.empty() && budget > 0 && rng.Chance(0.55)) {
+    const uint32_t count = 1 + static_cast<uint32_t>(rng.UniformU64(budget));
+    for (uint32_t i = 0; i < count; ++i) {
+      script.byzantine[order[next_victim++]] = modes[rng.UniformU64(modes.size())];
+    }
+    budget -= count;
+  }
+
+  if (budget > 0 && ProtocolSupportsReboot(params.protocol) && rng.Chance(0.65)) {
+    const uint32_t count = 1 + static_cast<uint32_t>(rng.UniformU64(budget));
+    bool attack_placed = false;
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint32_t node = order[next_victim++];
+      const SimTime crash_at =
+          Ms(200) + static_cast<SimTime>(rng.UniformU64(params.heal_at - Ms(1100) - Ms(200)));
+      const SimTime reboot_at =
+          crash_at + Ms(80) + static_cast<SimTime>(rng.UniformU64(Ms(400)));
+      FaultEvent reboot{reboot_at, FaultKind::kReboot, node, 0,
+                       static_cast<uint64_t>(RollbackMode::kLatest)};
+      if (ProtocolRollbackProtected(params.protocol) && rng.Chance(0.5)) {
+        // Adversarial storage at reboot: full rollback or a wiped disk. Achilles recovers
+        // over the network regardless; the -R checkers must detect it and halt.
+        reboot.arg = static_cast<uint64_t>(rng.Chance(0.5) ? RollbackMode::kOldest
+                                                           : RollbackMode::kErase);
+      }
+      script.events.push_back({crash_at, FaultKind::kCrash, node, 0, 0});
+      script.events.push_back(reboot);
+      // Targeted nonce-freshness attack (Achilles only): crash the same node a second time
+      // and have the runner re-inject the first round's recorded recovery replies the
+      // moment the second incarnation boots. An honest checker rejects them (nonce
+      // mismatch); the break_recovery_nonce variant completes recovery on stale state.
+      if (!attack_placed && ProtocolUsesRecovery(params.protocol) &&
+          reboot_at + Ms(700) <= params.heal_at - Ms(350) && rng.Chance(0.35)) {
+        attack_placed = true;
+        const SimTime again = reboot_at + Ms(450) + static_cast<SimTime>(rng.UniformU64(Ms(200)));
+        script.events.push_back({again, FaultKind::kCrash, node, 0, 0});
+        script.events.push_back({again + Ms(1), FaultKind::kStaleRecoveryReplay, node, 0, 0});
+        script.events.push_back({again + Ms(5), FaultKind::kReboot, node, 0,
+                                 static_cast<uint64_t>(RollbackMode::kLatest)});
+      }
+    }
+  }
+
+  if (rng.Chance(0.45)) {
+    const SimTime start =
+        Ms(150) + static_cast<SimTime>(rng.UniformU64(params.heal_at - Ms(800)));
+    const SimTime end = std::min<SimTime>(
+        start + Ms(120) + static_cast<SimTime>(rng.UniformU64(Ms(480))),
+        params.heal_at - Ms(100));
+    if (end > start) {
+      const uint32_t offset = static_cast<uint32_t>(rng.UniformU64(n));
+      const uint32_t size_a = 1 + static_cast<uint32_t>(rng.UniformU64(n - 1));
+      script.events.push_back({start, FaultKind::kPartition, offset, size_a, 0});
+      script.events.push_back({end, FaultKind::kHealPartition, 0, 0, 0});
+    }
+  }
+
+  if (rng.Chance(0.6)) {
+    const SimTime start = static_cast<SimTime>(rng.UniformU64(params.heal_at / 2));
+    const uint64_t extra = Us(100) + rng.UniformU64(Ms(2));
+    script.events.push_back({start, FaultKind::kJitterOn, 0, 0, extra});
+    script.events.push_back({params.heal_at - Ms(1), FaultKind::kJitterOff, 0, 0, 0});
+  }
+
+  if (rng.Chance(0.35)) {
+    const uint32_t node = static_cast<uint32_t>(rng.UniformU64(n));
+    const SimTime at =
+        Ms(200) + static_cast<SimTime>(rng.UniformU64(params.heal_at - Ms(700)));
+    const uint64_t dur = Ms(20) + rng.UniformU64(Ms(280));
+    script.events.push_back({at, FaultKind::kStall, node, 0, dur});
+  }
+
+  std::stable_sort(script.events.begin(), script.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return script;
+}
+
+std::string ScriptArtifact::ToText() const {
+  std::ostringstream out;
+  out << "chaos-script v1\n";
+  out << "protocol " << protocol << "\n";
+  out << "f " << f << "\n";
+  out << "seed " << seed << "\n";
+  for (size_t i = 0; i < script.byzantine.size(); ++i) {
+    if (script.byzantine[i] != ByzantineMode::kNone) {
+      out << "byz " << i << " " << ByzantineModeName(script.byzantine[i]) << "\n";
+    }
+  }
+  for (const FaultEvent& event : script.events) {
+    out << "event " << event.at << " " << FaultKindName(event.kind) << " " << event.node
+        << " " << event.peer << " " << event.arg << "\n";
+  }
+  out << "heal " << script.heal_at << "\n";
+  out << "horizon " << script.horizon << "\n";
+  return out.str();
+}
+
+bool ScriptArtifact::FromText(const std::string& text, ScriptArtifact* out) {
+  *out = ScriptArtifact{};
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "chaos-script v1") {
+    return false;
+  }
+  Protocol proto;
+  bool have_protocol = false;
+  std::vector<std::pair<uint32_t, ByzantineMode>> byz;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "protocol") {
+      fields >> out->protocol;
+      if (!ProtocolFromName(out->protocol, &proto)) {
+        return false;
+      }
+      have_protocol = true;
+    } else if (key == "f") {
+      fields >> out->f;
+    } else if (key == "seed") {
+      fields >> out->seed;
+    } else if (key == "byz") {
+      uint32_t id = 0;
+      std::string mode_name;
+      fields >> id >> mode_name;
+      ByzantineMode mode;
+      if (!ByzantineModeFromName(mode_name, &mode)) {
+        return false;
+      }
+      byz.emplace_back(id, mode);
+    } else if (key == "event") {
+      FaultEvent event;
+      std::string kind_name;
+      fields >> event.at >> kind_name >> event.node >> event.peer >> event.arg;
+      if (fields.fail() || !FaultKindFromName(kind_name, &event.kind)) {
+        return false;
+      }
+      out->script.events.push_back(event);
+    } else if (key == "heal") {
+      fields >> out->script.heal_at;
+    } else if (key == "horizon") {
+      fields >> out->script.horizon;
+    } else {
+      return false;
+    }
+    if (fields.fail()) {
+      return false;
+    }
+  }
+  if (!have_protocol || out->script.horizon <= 0) {
+    return false;
+  }
+  out->script.byzantine.assign(ReplicasFor(proto, out->f), ByzantineMode::kNone);
+  for (const auto& [id, mode] : byz) {
+    if (id >= out->script.byzantine.size()) {
+      return false;
+    }
+    out->script.byzantine[id] = mode;
+  }
+  return true;
+}
+
+// --- Cluster integration (declared in cluster.h; lives here so cluster.cc stays free of
+// script types) ---
+
+void Cluster::InstallFaultScript(const FaultScript& script,
+                                 std::function<void(const FaultEvent&)> on_event) {
+  ACHILLES_CHECK(!started_);
+  ACHILLES_CHECK(script.byzantine.size() <= n_);
+  for (uint32_t i = 0; i < script.byzantine.size(); ++i) {
+    if (script.byzantine[i] != ByzantineMode::kNone) {
+      SetByzantine(i, script.byzantine[i]);
+    }
+  }
+  for (const FaultEvent& event : script.events) {
+    sim_.ScheduleAt(event.at, [this, event, on_event] {
+      if (on_event) {
+        on_event(event);
+      }
+      ApplyFaultEvent(event);
+    });
+  }
+}
+
+void Cluster::ApplyFaultEvent(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      if (event.node < n_ && hosts_[event.node]->IsUp()) {
+        CrashReplica(event.node);
+      }
+      break;
+    case FaultKind::kReboot: {
+      if (event.node >= n_ || hosts_[event.node]->IsUp()) {
+        break;  // Minimization may have dropped the matching crash.
+      }
+      // The adversarial OS chooses what the new enclave unseals. Local restore happens in
+      // the replica constructor (inside RebootReplica), so the mode can be lifted
+      // immediately afterwards: later seals of the new incarnation behave honestly.
+      SealedStorage& storage = platforms_[event.node]->storage();
+      storage.SetRollbackMode(static_cast<RollbackMode>(event.arg));
+      RebootReplica(event.node);
+      storage.SetRollbackMode(RollbackMode::kLatest);
+      break;
+    }
+    case FaultKind::kPartition: {
+      const uint32_t size_a = std::min(std::max<uint32_t>(event.peer, 1), n_ - 1);
+      std::vector<uint32_t> group_a, group_b;
+      for (uint32_t i = 0; i < n_; ++i) {
+        const uint32_t id = (event.node + i) % n_;
+        (i < size_a ? group_a : group_b).push_back(id);
+      }
+      net_.Partition({group_a, group_b});
+      break;
+    }
+    case FaultKind::kHealPartition:
+      net_.ClearPartition();
+      break;
+    case FaultKind::kJitterOn: {
+      NetworkChaos chaos;
+      chaos.extra_delay_max = static_cast<SimDuration>(event.arg);
+      chaos.reorder_prob = 0.25;
+      chaos.reorder_delay_max = static_cast<SimDuration>(event.arg);
+      chaos.dup_prob = 0.1;
+      chaos.dup_delay_max = Ms(200);
+      net_.SetChaos(chaos);
+      break;
+    }
+    case FaultKind::kJitterOff:
+      net_.SetChaos(NetworkChaos{});
+      break;
+    case FaultKind::kBlockLink:
+      net_.SetLinkBlocked(event.node, event.peer, true);
+      break;
+    case FaultKind::kUnblockLink:
+      net_.SetLinkBlocked(event.node, event.peer, false);
+      break;
+    case FaultKind::kStall:
+      if (event.node < n_) {
+        hosts_[event.node]->InjectStall(static_cast<SimDuration>(event.arg));
+      }
+      break;
+    case FaultKind::kStaleRecoveryReplay:
+      break;  // Implemented by the chaos runner (needs its recorded reply tap).
+  }
+}
+
+}  // namespace achilles

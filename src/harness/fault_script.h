@@ -1,0 +1,97 @@
+// Fault scripts: the unit of adversarial scheduling for the chaos harness (src/chaos). A
+// script is a per-run sampled list of timed fault events (crashes, reboots with adversarial
+// sealed storage, partitions, link blocks, schedule jitter, CPU stalls, a targeted
+// stale-recovery-reply replay) plus per-replica Byzantine mode assignments, a heal time by
+// which every fault has been lifted, and a run horizon. Scripts serialize to a small text
+// format so a failing run can be stored as a CI artifact, replayed bit-identically, and
+// delta-minimized.
+#ifndef SRC_HARNESS_FAULT_SCRIPT_H_
+#define SRC_HARNESS_FAULT_SCRIPT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/harness/cluster.h"
+#include "src/tee/sealed_storage.h"
+
+namespace achilles {
+
+enum class FaultKind : uint8_t {
+  kCrash,         // node: crash the replica host.
+  kReboot,        // node, arg = RollbackMode the sealed storage serves to the new enclave.
+  kPartition,     // node = rotation offset, peer = size of the first group.
+  kHealPartition,
+  kJitterOn,      // arg = extra one-way delay ceiling (ns); also enables reorder + dup.
+  kJitterOff,
+  kBlockLink,     // node -> peer directed link blocked.
+  kUnblockLink,
+  kStall,         // node, arg = CPU stall duration (ns).
+  kStaleRecoveryReplay,  // node: chaos runner re-injects recorded recovery replies at the
+                         // node's next boot (targeted nonce-freshness attack; no-op here).
+};
+
+const char* FaultKindName(FaultKind kind);
+bool FaultKindFromName(std::string_view name, FaultKind* out);
+
+struct FaultEvent {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kCrash;
+  uint32_t node = 0;  // Primary operand (crash/reboot/stall target, link source, offset).
+  uint32_t peer = 0;  // Secondary operand (link target, partition group size).
+  uint64_t arg = 0;   // Kind-specific payload (rollback mode, nanoseconds).
+};
+
+struct FaultScript {
+  std::vector<ByzantineMode> byzantine;  // Per-replica assignment (kNone = honest).
+  std::vector<FaultEvent> events;        // Sorted by `at`.
+  SimTime heal_at = 0;   // All faults lifted; the liveness clock starts here.
+  SimTime horizon = 0;   // Run end.
+
+  uint32_t ByzantineCount() const;
+  // Replicas that crash at least once (distinct). Samplers keep
+  // ByzantineCount() + CrashedCount() <= f so the liveness oracle stays sound.
+  uint32_t CrashedCount() const;
+};
+
+// Protocol capability traits consulted by the sampler (and by tests):
+// whether a crashed replica can be rebooted at all in this codebase's model...
+bool ProtocolSupportsReboot(Protocol protocol);
+// ...whether it stays safe when the rebooted enclave is served *stale* sealed state
+// (Achilles recovers over the network; the -R variants detect the rollback and halt)...
+bool ProtocolRollbackProtected(Protocol protocol);
+// ...and whether reboot runs Achilles' networked recovery (Algorithm 3), making the node a
+// target for the stale-reply replay attack.
+bool ProtocolUsesRecovery(Protocol protocol);
+// Byzantine modes the sampler may assign under this protocol's fault model (Raft is CFT:
+// only omission/timing modes).
+std::vector<ByzantineMode> AllowedByzantineModes(Protocol protocol);
+
+struct ScriptParams {
+  Protocol protocol = Protocol::kAchilles;
+  uint32_t f = 1;
+  SimTime heal_at = Ms(1800);
+  SimDuration liveness_window = Sec(8);
+};
+
+// Samples a random fault script from `rng`. The sample respects the soundness constraints
+// the oracles assume: at most f faulty-or-crashing replicas combined, every reboot
+// completes before heal_at, stale sealed storage only against rollback-protected
+// protocols, and all chaos jitter off from heal_at on.
+FaultScript SampleFaultScript(const ScriptParams& params, Rng& rng);
+
+// A self-contained failing-run reproducer: everything needed to re-run one seed.
+struct ScriptArtifact {
+  std::string protocol;  // ProtocolName() string.
+  uint32_t f = 1;
+  uint64_t seed = 0;
+  FaultScript script;
+
+  std::string ToText() const;
+  static bool FromText(const std::string& text, ScriptArtifact* out);
+};
+
+}  // namespace achilles
+
+#endif  // SRC_HARNESS_FAULT_SCRIPT_H_

@@ -60,6 +60,12 @@ class HotStuffReplica : public ReplicaBase {
   View current_view() const { return cur_view_; }
   size_t VoteQuorum() const { return 2 * static_cast<size_t>(f()) + 1; }
 
+  InvariantSnapshot Invariants() const override {
+    InvariantSnapshot snap = ReplicaBase::Invariants();
+    snap.view = cur_view_;
+    return snap;
+  }
+
  protected:
   void HandleMessage(NodeId from, const MessageRef& msg) override;
   void OnViewTimeout(View view) override;

@@ -1,6 +1,7 @@
 #include "src/minbft/replica.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace achilles {
 
@@ -39,6 +40,10 @@ void MinBftReplica::TryPropose() {
   const BlockPtr block =
       Block::Create(/*view=*/epoch_, last_proposed_, std::move(batch), LocalNow());
   ChargeHashBytes(block->WireSize());
+  ProposeBlock(block);
+}
+
+void MinBftReplica::ProposeBlock(const BlockPtr& block) {
   proposal_outstanding_ = true;
   last_proposed_ = block;
   store_.Add(block);
@@ -70,6 +75,8 @@ void MinBftReplica::OnPrepare(NodeId from, const std::shared_ptr<const MinPrepar
     return;
   }
   cand.self_committed = true;
+  voted_block_ = msg->block;  // Latest vote supersedes; reported in epoch changes.
+  voted_epoch_ = epoch_;
   consecutive_timeouts_ = 0;
   ArmViewTimer(epoch_, 0);
 
@@ -136,27 +143,44 @@ void MinBftReplica::OnViewTimeout(View /*view*/) {
   msg->committed_height = last_committed_height_;
   msg->committed_hash = last_committed_hash_;
   msg->committed_block = store_.Get(last_committed_hash_);
+  msg->voted_epoch = voted_epoch_;
+  msg->voted_block = voted_block_;
   BroadcastToReplicas(msg, /*include_self=*/true);
 }
 
 void MinBftReplica::OnEpochChange(NodeId from, const MinEpochChangeMsg& msg) {
-  if (msg.new_epoch < epoch_ || LeaderOfEpoch(msg.new_epoch) != id()) {
+  if (msg.new_epoch < epoch_ || LeaderOfEpoch(msg.new_epoch) != id() ||
+      msg.new_epoch + 1 <= ec_done_epoch_plus1_) {
     return;
   }
   if (msg.committed_block != nullptr) {
     AcceptBlock(msg.committed_block);
   }
+  if (msg.voted_block != nullptr) {
+    AcceptBlock(msg.voted_block);
+  }
   auto& collected = epoch_msgs_[msg.new_epoch];
-  collected[from] = {msg.committed_height, msg.committed_hash};
+  collected[from] = {msg.committed_height, msg.committed_hash, msg.voted_epoch,
+                     msg.voted_block};
   if (collected.size() < quorum()) {
     return;
   }
   Height best_height = last_committed_height_;
   Hash256 best_hash = last_committed_hash_;
-  for (const auto& [node, hh] : collected) {
-    if (hh.first > best_height) {
-      best_height = hh.first;
-      best_hash = hh.second;
+  // Our own state participates alongside the quorum's reports.
+  uint64_t best_voted_epoch = voted_epoch_;
+  BlockPtr best_voted = voted_block_;
+  for (const auto& [node, info] : collected) {
+    if (info.committed_height > best_height) {
+      best_height = info.committed_height;
+      best_hash = info.committed_hash;
+    }
+    if (info.voted_block != nullptr &&
+        (best_voted == nullptr ||
+         std::pair(info.voted_epoch, info.voted_block->height) >
+             std::pair(best_voted_epoch, best_voted->height))) {
+      best_voted_epoch = info.voted_epoch;
+      best_voted = info.voted_block;
     }
   }
   const BlockPtr base = store_.Get(best_hash);
@@ -164,12 +188,19 @@ void MinBftReplica::OnEpochChange(NodeId from, const MinEpochChangeMsg& msg) {
     return;
   }
   epoch_ = msg.new_epoch;
+  ec_done_epoch_plus1_ = epoch_ + 1;
   last_proposed_ = base;
   proposal_outstanding_ = false;
   candidates_.clear();
   epoch_msgs_.erase(epoch_msgs_.begin(), epoch_msgs_.upper_bound(msg.new_epoch));
   ArmViewTimer(epoch_, 0);
-  TryPropose();
+  if (best_voted != nullptr && best_voted->height > best_height) {
+    // A vote beyond the committed prefix may back a block that already gathered a commit
+    // quorum somewhere: re-propose that exact block rather than forking past it.
+    ProposeBlock(best_voted);
+  } else {
+    TryPropose();
+  }
 }
 
 void MinBftReplica::OnBlocksSynced() {

@@ -36,8 +36,15 @@ struct MinEpochChangeMsg : SimMessage {
   Height committed_height = 0;
   Hash256 committed_hash = ZeroHash();
   BlockPtr committed_block;
+  // Highest block this replica COMMIT-voted for and the epoch of that vote. A block with a
+  // commit quorum is known (voted) by at least one member of any f+1 epoch-change quorum,
+  // so the new leader can re-propose it instead of forking past it (PBFT view-change rule;
+  // the chaos swarm found the fork when only committed prefixes were exchanged).
+  uint64_t voted_epoch = 0;
+  BlockPtr voted_block;
   size_t WireSize() const override {
-    return 8 + 8 + 32 + (committed_block != nullptr ? committed_block->WireSize() : 0);
+    return 8 + 8 + 32 + 8 + (committed_block != nullptr ? committed_block->WireSize() : 0) +
+           (voted_block != nullptr ? voted_block->WireSize() : 0);
   }
 };
 
@@ -48,6 +55,12 @@ class MinBftReplica : public ReplicaBase {
   void OnStart() override;
   uint64_t epoch() const { return epoch_; }
 
+  InvariantSnapshot Invariants() const override {
+    InvariantSnapshot snap = ReplicaBase::Invariants();
+    snap.view = epoch_;
+    return snap;
+  }
+
  protected:
   void HandleMessage(NodeId from, const MessageRef& msg) override;
   void OnViewTimeout(View view) override;
@@ -55,6 +68,7 @@ class MinBftReplica : public ReplicaBase {
 
  private:
   void TryPropose();
+  void ProposeBlock(const BlockPtr& block);
   void OnPrepare(NodeId from, const std::shared_ptr<const MinPrepareMsg>& msg);
   void OnCommit(NodeId from, const MinCommitMsg& msg);
   void OnEpochChange(NodeId from, const MinEpochChangeMsg& msg);
@@ -76,7 +90,20 @@ class MinBftReplica : public ReplicaBase {
     bool self_committed = false;
   };
   std::unordered_map<Hash256, Candidate, Hash256Hasher> candidates_;
-  std::map<uint64_t, std::map<NodeId, std::pair<Height, Hash256>>> epoch_msgs_;
+  struct EpochInfo {
+    Height committed_height = 0;
+    Hash256 committed_hash = ZeroHash();
+    uint64_t voted_epoch = 0;
+    BlockPtr voted_block;
+  };
+  std::map<uint64_t, std::map<NodeId, EpochInfo>> epoch_msgs_;
+
+  // Our own highest commit-phase vote (survives epoch changes; reported in ECs).
+  BlockPtr voted_block_;
+  uint64_t voted_epoch_ = 0;
+  // Epoch of the last epoch-change quorum we acted on, plus one (0 = none). Guards
+  // against re-proposing twice in the same epoch when late ECs rebuild a quorum.
+  uint64_t ec_done_epoch_plus1_ = 0;
 };
 
 }  // namespace achilles

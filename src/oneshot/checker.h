@@ -32,6 +32,8 @@ class OneShotChecker {
   View vi() const { return vi_; }
   View prepv() const { return prepv_; }
   const Hash256& preph() const { return preph_; }
+  // Sealed-state version; equals the persistent counter in -R (chaos counter oracle).
+  uint64_t version() const { return version_; }
 
   // Leader, fast path: certify a block extending the block committed at commit_qc.view.
   std::optional<SignedCert> ToPrepareFast(const Block& b, const QuorumCert& commit_qc);

@@ -23,6 +23,16 @@ class OneShotReplica : public ReplicaBase {
   uint64_t fast_views() const { return fast_views_; }
   uint64_t slow_views() const { return slow_views_; }
 
+  InvariantSnapshot Invariants() const override {
+    InvariantSnapshot snap = ReplicaBase::Invariants();
+    snap.halted = halted();
+    if (checker_ != nullptr) {
+      snap.view = checker_->vi();
+      snap.trusted_version = checker_->version();
+    }
+    return snap;
+  }
+
  protected:
   void HandleMessage(NodeId from, const MessageRef& msg) override;
   void OnViewTimeout(View view) override;

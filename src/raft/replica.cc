@@ -44,6 +44,7 @@ void RaftReplica::StartElection() {
   votes_received_ = 1;
   auto req = std::make_shared<RaftVoteReqMsg>();
   req->term = term_;
+  req->last_term = head_->view;
   req->last_height = head_->height;
   BroadcastToReplicas(req, /*include_self=*/false);
   ArmElectionTimer();
@@ -69,8 +70,14 @@ void RaftReplica::BecomeLeader() {
   }
   proposal_outstanding_ = false;
   pending_.clear();
-  head_ = store_.Get(last_committed_hash_) != nullptr ? store_.Get(last_committed_hash_)
-                                                      : Block::Genesis();
+  // A new leader never discards its own log tail (§5.4.1): acked-but-uncommitted entries
+  // must be re-replicated, not overwritten — proposing on top of the newest entry we hold
+  // lets CommitChain re-commit them once a descendant commits. (The chaos swarm caught the
+  // fork this causes when the tail is truncated to the commit index instead.)
+  const BlockPtr committed = store_.Get(last_committed_hash_);
+  if (committed != nullptr && committed->height > head_->height) {
+    head_ = committed;
+  }
   SendHeartbeats();
   TryPropose();
 }
@@ -83,6 +90,12 @@ void RaftReplica::SendHeartbeats() {
   hb->term = term_;
   hb->commit_height = last_committed_height_;
   hb->commit_hash = last_committed_hash_;
+  if (proposal_outstanding_ && !pending_.empty()) {
+    // Replication is at-least-once: re-send the in-flight block with every heartbeat so a
+    // dropped append or ack cannot wedge the term (acks are idempotent; AcceptBlock
+    // returns true for blocks already stored).
+    hb->block = pending_.begin()->second.block;
+  }
   BroadcastToReplicas(hb, /*include_self=*/false);
   heartbeat_timer_ =
       host().SetTimer(params().base_timeout / 4, [this] { SendHeartbeats(); });
@@ -182,8 +195,16 @@ void RaftReplica::OnVoteReq(NodeId from, const RaftVoteReqMsg& msg) {
   if (msg.term <= term_ || msg.term <= voted_in_term_) {
     return;
   }
-  if (msg.last_height < last_committed_height_) {
-    return;  // Candidate's log is behind our committed prefix.
+  // Election restriction (§5.4.1): grant only if the candidate's log is at least as
+  // up-to-date as OUR LOG, comparing (term, height) of the log tails. Comparing against
+  // the commit index instead lets a candidate that is missing acked-but-uncommitted
+  // entries win and overwrite a quorum-replicated entry (a fork the chaos swarm found).
+  if (msg.last_term < head_->view ||
+      (msg.last_term == head_->view && msg.last_height < head_->height)) {
+    // Adopt the newer term even when rejecting (§5.1): the candidate must not stay wedged
+    // above a leader that never hears of its term.
+    BecomeFollower(msg.term);
+    return;
   }
   BecomeFollower(msg.term);
   voted_in_term_ = msg.term;

@@ -36,8 +36,9 @@ struct RaftAckMsg : SimMessage {
 struct RaftVoteReqMsg : SimMessage {
   const char* TraceName() const override { return "raft_vote_req"; }
   uint64_t term = 0;
+  uint64_t last_term = 0;    // Term of the candidate's last log entry (§5.4.1).
   Height last_height = 0;
-  size_t WireSize() const override { return 8 + 8; }
+  size_t WireSize() const override { return 8 + 8 + 8; }
 };
 
 struct RaftVoteRspMsg : SimMessage {
@@ -56,6 +57,12 @@ class RaftReplica : public ReplicaBase {
   enum class Role { kFollower, kCandidate, kLeader };
   Role role() const { return role_; }
   uint64_t term() const { return term_; }
+
+  InvariantSnapshot Invariants() const override {
+    InvariantSnapshot snap = ReplicaBase::Invariants();
+    snap.view = term_;
+    return snap;
+  }
 
  protected:
   void HandleMessage(NodeId from, const MessageRef& msg) override;

@@ -16,6 +16,9 @@ void Host::BindProcess(std::unique_ptr<IProcess> process) {
   process_ = std::move(process);
   up_ = true;
   cpu_free_at_ = sim_->Now();
+  if (lifecycle_) {
+    lifecycle_(id_, "boot");
+  }
   const uint64_t epoch = epoch_;
   sim_->ScheduleAfter(0, [this, epoch] {
     if (epoch == epoch_ && up_ && process_) {
@@ -37,6 +40,19 @@ void Host::Crash() {
     sim_->Cancel(event_id);
   }
   timers_.clear();
+  if (lifecycle_) {
+    lifecycle_(id_, "crash");
+  }
+}
+
+void Host::InjectStall(SimDuration d) {
+  ACHILLES_CHECK(d >= 0);
+  if (!up_) {
+    return;
+  }
+  // A stall is just a handler that burns CPU: everything queued behind it (and any arrival
+  // during the stall) waits it out, exactly like a long GC pause would behave.
+  Enqueue([this, d] { ChargeCpu(d); }, "stall");
 }
 
 void Host::Reboot(std::unique_ptr<IProcess> process, SimDuration init_delay) {

@@ -45,6 +45,18 @@ class Host {
   // (models OS boot + enclave launch).
   void Reboot(std::unique_ptr<IProcess> process, SimDuration init_delay);
 
+  // Scripted fault hook: freezes this host's CPU for `d` (a GC pause / scheduling stall).
+  // Queued work and later arrivals drain only after the stall. No-op while down.
+  void InjectStall(SimDuration d);
+
+  // Lifecycle tap for the chaos harness: invoked with "boot" when a process is bound (both
+  // genesis and post-reboot, before its OnStart runs) and "crash" when the host goes down.
+  // Observability + scripted-fault timing only; must not destroy the host.
+  using LifecycleListener = std::function<void(uint32_t host_id, const char* event)>;
+  void SetLifecycleListener(LifecycleListener listener) {
+    lifecycle_ = std::move(listener);
+  }
+
   // Network entry point: schedules message processing at `arrival`, subject to CPU queueing.
   // `path` (optional) is the sender-side attribution chain, already extended to `arrival`.
   void DeliverAt(SimTime arrival, uint32_t from, MessageRef msg,
@@ -113,6 +125,7 @@ class Host {
   SimDuration cpu_used_ = 0;
 
   obs::Path cur_path_;
+  LifecycleListener lifecycle_;
   obs::SpanTracer* tracer_ = nullptr;
   obs::Histogram* handler_ns_ = nullptr;    // Per-handler CPU charge distribution.
   obs::Histogram* queue_wait_ns_ = nullptr; // Arrival -> handler-start wait distribution.

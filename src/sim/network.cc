@@ -52,6 +52,9 @@ SimTime Network::Send(uint32_t from, uint32_t to, MessageRef msg) {
   if (from == to) {
     const SimTime arrival = departure + config_.loopback_delay;
     path.CoverUntil(obs::Component::kNetPropagation, arrival);
+    if (tap_) {
+      tap_(from, to, msg, arrival);
+    }
     hosts_[to]->DeliverAt(arrival, from, std::move(msg), &path);
     return arrival;
   }
@@ -76,10 +79,39 @@ SimTime Network::Send(uint32_t from, uint32_t to, MessageRef msg) {
       sim_->rng().Gaussian(0.0, static_cast<double>(config_.one_way_jitter));
   const SimDuration propagation =
       std::max<SimDuration>(0, config_.one_way_base + static_cast<SimDuration>(jitter));
-  const SimTime arrival = tx_end + propagation;
+  SimTime arrival = tx_end + propagation;
+  // Chaos perturbation (loopback is exempt: self-pipes are process-local). Extra delay and
+  // reorder bumps stretch the propagation component; both draws come from the sim RNG so
+  // the schedule stays seed-deterministic.
+  if (chaos_.enabled()) {
+    if (chaos_.extra_delay_max > 0) {
+      arrival += static_cast<SimDuration>(
+          sim_->rng().UniformU64(static_cast<uint64_t>(chaos_.extra_delay_max) + 1));
+    }
+    if (chaos_.reorder_prob > 0.0 && sim_->rng().Chance(chaos_.reorder_prob)) {
+      arrival += static_cast<SimDuration>(
+          sim_->rng().UniformU64(static_cast<uint64_t>(chaos_.reorder_delay_max) + 1));
+    }
+  }
   path.CoverUntil(obs::Component::kNicSerialization, tx_end);
   path.CoverUntil(obs::Component::kNetPropagation, arrival);
-  hosts_[to]->DeliverAt(arrival, from, std::move(msg), &path);
+  if (tap_) {
+    tap_(from, to, msg, arrival);
+  }
+  hosts_[to]->DeliverAt(arrival, from, msg, &path);
+  // Delayed duplicate: the network re-delivers the same packet later (stale replay).
+  if (chaos_.dup_prob > 0.0 && sim_->rng().Chance(chaos_.dup_prob)) {
+    const SimTime dup_arrival =
+        arrival + 1 +
+        static_cast<SimDuration>(
+            sim_->rng().UniformU64(static_cast<uint64_t>(chaos_.dup_delay_max) + 1));
+    obs::Path dup_path = path;
+    dup_path.CoverUntil(obs::Component::kNetPropagation, dup_arrival);
+    if (tap_) {
+      tap_(from, to, msg, dup_arrival);
+    }
+    hosts_[to]->DeliverAt(dup_arrival, from, std::move(msg), &dup_path);
+  }
   return arrival;
 }
 

@@ -5,6 +5,7 @@
 #define SRC_SIM_NETWORK_H_
 
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <vector>
 
@@ -23,6 +24,22 @@ struct NetworkConfig {
   static NetworkConfig Wan();
 };
 
+// Scripted schedule perturbation (the chaos harness's "jitter" fault). All randomness is
+// drawn from the simulation RNG inside Send(), so a given seed still yields a bit-identical
+// schedule. Delayed duplicates model the network replaying an old packet — the classic
+// stale-message attack surface that rollback-resilient recovery must tolerate.
+struct NetworkChaos {
+  SimDuration extra_delay_max = 0;    // Uniform extra one-way delay in [0, max].
+  double reorder_prob = 0.0;          // Chance of an additional bump (lets later msgs overtake).
+  SimDuration reorder_delay_max = 0;  // Size of that bump, uniform in [0, max].
+  double dup_prob = 0.0;              // Chance the message is delivered a second time...
+  SimDuration dup_delay_max = 0;      // ...this much later (uniform), as a stale replay.
+
+  bool enabled() const {
+    return extra_delay_max > 0 || reorder_prob > 0.0 || dup_prob > 0.0;
+  }
+};
+
 class Network {
  public:
   Network(Simulation* sim, NetworkConfig config);
@@ -39,6 +56,17 @@ class Network {
 
   const NetworkConfig& config() const { return config_; }
   void set_config(const NetworkConfig& config) { config_ = config; }
+
+  // Enables/disables scripted schedule perturbation ({} turns it off).
+  void SetChaos(const NetworkChaos& chaos) { chaos_ = chaos; }
+  const NetworkChaos& chaos() const { return chaos_; }
+
+  // Observability tap: invoked once per scheduled delivery (including chaos duplicates)
+  // with (from, to, msg, arrival). Never called for dropped/blocked messages. The tap runs
+  // outside any host handler and must not mutate simulation state that affects timing —
+  // the chaos runner uses it to audit recovery traffic and to record replayable messages.
+  using DeliveryTap = std::function<void(uint32_t, uint32_t, const MessageRef&, SimTime)>;
+  void SetDeliveryTap(DeliveryTap tap) { tap_ = std::move(tap); }
 
   // Sends msg from -> to. Departure time is the sender's LocalNow (so CPU charges delay
   // sends). Returns the computed arrival time (for tracing); dropped messages return -1.
@@ -68,6 +96,8 @@ class Network {
  private:
   Simulation* sim_;
   NetworkConfig config_;
+  NetworkChaos chaos_;
+  DeliveryTap tap_;
   std::vector<Host*> hosts_;
   std::vector<SimTime> nic_free_at_;  // Per-machine egress NIC: broadcasts serialize here.
   std::vector<uint32_t> machine_of_;  // Host -> NIC (machine) index.

@@ -3,7 +3,11 @@
 // never break safety, and (except where they control leadership forever) not liveness.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <string>
+
 #include "src/harness/cluster.h"
+#include "src/harness/fault_script.h"
 
 namespace achilles {
 namespace {
@@ -59,8 +63,48 @@ INSTANTIATE_TEST_SUITE_P(Modes, ByzantineModes,
                                            ByzCase{ByzantineMode::kFlaky, "Flaky"},
                                            ByzCase{ByzantineMode::kDelayer, "Delayer"},
                                            ByzCase{ByzantineMode::kDuplicator, "Duplicator"},
-                                           ByzCase{ByzantineMode::kSpammer, "Spammer"}),
+                                           ByzCase{ByzantineMode::kSpammer, "Spammer"},
+                                           ByzCase{ByzantineMode::kStaleReplay, "StaleReplay"},
+                                           ByzCase{ByzantineMode::kSelectiveSend,
+                                                   "SelectiveSend"},
+                                           ByzCase{ByzantineMode::kReorderBurst,
+                                                   "ReorderBurst"}),
                          [](const auto& param_info) { return param_info.param.name; });
+
+// Full protocol x ByzantineMode matrix at f = 1: every protocol must tolerate every mode
+// its fault model admits (Raft is CFT, so it only faces omission/timing faults). One
+// short run per combination; safety is absolute, liveness a low bar (leader slots owned
+// by the Byzantine replica burn view timeouts).
+class ProtocolByzantineMatrix : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(ProtocolByzantineMatrix, ToleratesEveryAllowedModeAtF1) {
+  const Protocol protocol = GetParam();
+  for (ByzantineMode mode : AllowedByzantineModes(protocol)) {
+    SCOPED_TRACE(ByzantineModeName(mode));
+    Cluster cluster(Config(protocol, 1, 55));
+    cluster.SetByzantine(1, mode);  // Never the initial leader (replica 0).
+    cluster.Start();
+    cluster.sim().RunFor(Sec(2));
+    EXPECT_FALSE(cluster.tracker().safety_violated()) << cluster.tracker().violation();
+    EXPECT_GT(cluster.tracker().max_committed_height(), 2u) << "liveness lost";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ProtocolByzantineMatrix,
+    ::testing::Values(Protocol::kAchilles, Protocol::kAchillesC, Protocol::kDamysus,
+                      Protocol::kDamysusR, Protocol::kOneShot, Protocol::kOneShotR,
+                      Protocol::kFlexiBft, Protocol::kRaft, Protocol::kMinBft,
+                      Protocol::kHotStuff),
+    [](const auto& param_info) {
+      std::string sanitized;
+      for (const char c : std::string(ProtocolName(param_info.param))) {
+        if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+          sanitized += c;
+        }
+      }
+      return sanitized;
+    });
 
 TEST(ByzantineMixTest, MixedBehavioursUnderChurn) {
   Cluster cluster(Config(Protocol::kAchilles, 3, 53));  // n = 7.

@@ -1,0 +1,242 @@
+// Tests for the chaos harness itself (ISSUE 3): oracle units, seed determinism /
+// bit-identical replay, broken-variant self-tests, delta-minimization, and artifact
+// round-trips. The oracles are the product here, so they get direct unit coverage — a
+// chaos harness whose checkers are wrong is worse than none.
+#include <gtest/gtest.h>
+
+#include "src/chaos/minimize.h"
+#include "src/chaos/oracles.h"
+#include "src/chaos/runner.h"
+
+namespace achilles {
+namespace {
+
+using chaos::BrokenVariant;
+using chaos::ChaosOptions;
+using chaos::ChaosResult;
+using chaos::MinimizeResult;
+using chaos::OracleConfig;
+using chaos::OracleSuite;
+
+Hash256 TestHash(uint8_t tag) {
+  Hash256 h{};
+  h.fill(tag);
+  return h;
+}
+
+// --- Oracle units ---
+
+TEST(OracleTest, AgreementViolationDetected) {
+  OracleSuite oracles(OracleConfig{});
+  oracles.OnCommit(0, 7, TestHash(0xaa), Ms(1));
+  oracles.OnCommit(1, 7, TestHash(0xaa), Ms(2));  // Same block: fine.
+  EXPECT_TRUE(oracles.ok());
+  oracles.OnCommit(2, 7, TestHash(0xbb), Ms(3));  // Conflicting block at height 7.
+  EXPECT_FALSE(oracles.ok());
+  EXPECT_NE(oracles.violation().find("agreement"), std::string::npos)
+      << oracles.violation();
+}
+
+TEST(OracleTest, ByzantineReplicasAreNotAudited) {
+  OracleSuite oracles(OracleConfig{});
+  oracles.MarkByzantine(2);
+  oracles.OnCommit(0, 7, TestHash(0xaa), Ms(1));
+  oracles.OnCommit(2, 7, TestHash(0xbb), Ms(2));  // Adversary-controlled: ignored.
+  EXPECT_TRUE(oracles.ok());
+}
+
+TEST(OracleTest, CounterRegressionDetected) {
+  OracleSuite oracles(OracleConfig{});
+  InvariantSnapshot snap;
+  snap.counter_value = 5;
+  oracles.OnSnapshot(1, snap, Ms(1));
+  EXPECT_TRUE(oracles.ok());
+  snap.counter_value = 3;  // The persistent device never goes backwards.
+  oracles.OnSnapshot(1, snap, Ms(2));
+  EXPECT_FALSE(oracles.ok());
+  EXPECT_NE(oracles.violation().find("counter"), std::string::npos);
+}
+
+TEST(OracleTest, CounterLockstepViolationDetected) {
+  OracleConfig config;
+  config.counter_lockstep = true;
+  OracleSuite oracles(config);
+  InvariantSnapshot snap;
+  snap.counter_value = 9;
+  snap.trusted_version = 9;
+  oracles.OnSnapshot(0, snap, Ms(1));
+  EXPECT_TRUE(oracles.ok());
+  snap.halted = true;  // A halted -R replica legitimately lags its counter.
+  snap.trusted_version = 4;
+  oracles.OnSnapshot(0, snap, Ms(2));
+  EXPECT_TRUE(oracles.ok());
+  snap.halted = false;  // Live with version != counter: stale seal was accepted.
+  oracles.OnSnapshot(0, snap, Ms(3));
+  EXPECT_FALSE(oracles.ok());
+  EXPECT_NE(oracles.violation().find("stale sealed state"), std::string::npos);
+}
+
+TEST(OracleTest, DurabilityViolationDetected) {
+  OracleSuite oracles(OracleConfig{});
+  oracles.OnCommit(0, 4, TestHash(0xaa), Ms(1));
+  InvariantSnapshot snap;
+  snap.committed_height = 4;
+  snap.committed_hash = TestHash(0xcc);  // Recovered prefix diverges from the audit map.
+  oracles.OnSnapshot(1, snap, Ms(2));
+  EXPECT_FALSE(oracles.ok());
+  EXPECT_NE(oracles.violation().find("durability"), std::string::npos);
+}
+
+TEST(OracleTest, RecoveryFreshnessViolations) {
+  {
+    OracleSuite oracles(OracleConfig{});  // f = 1: needs >= 2 fresh replies.
+    oracles.OnRecoveryComplete(1, 2, true, Ms(1));
+    EXPECT_TRUE(oracles.ok());
+    oracles.OnRecoveryComplete(1, 1, true, Ms(2));
+    EXPECT_FALSE(oracles.ok());
+    EXPECT_NE(oracles.violation().find("freshness"), std::string::npos);
+  }
+  {
+    OracleSuite oracles(OracleConfig{});
+    oracles.OnRecoveryComplete(1, 2, false, Ms(1));  // Completed on a superseded nonce.
+    EXPECT_FALSE(oracles.ok());
+    EXPECT_NE(oracles.violation().find("stale replay"), std::string::npos);
+  }
+}
+
+TEST(OracleTest, LivenessViolationDetected) {
+  OracleSuite oracles(OracleConfig{});
+  oracles.OnCommit(0, 5, TestHash(0x11), Ms(1));
+  oracles.OnHeal(Ms(10));
+  oracles.OnRunEnd(Ms(100));  // No honest commit after heal.
+  EXPECT_FALSE(oracles.ok());
+  EXPECT_NE(oracles.violation().find("liveness"), std::string::npos);
+}
+
+TEST(OracleTest, ProgressAfterHealPasses) {
+  OracleSuite oracles(OracleConfig{});
+  oracles.OnCommit(0, 5, TestHash(0x11), Ms(1));
+  oracles.OnHeal(Ms(10));
+  oracles.OnCommit(0, 6, TestHash(0x12), Ms(50));
+  oracles.OnRunEnd(Ms(100));
+  EXPECT_TRUE(oracles.ok()) << oracles.violation();
+  EXPECT_EQ(oracles.max_honest_height(), 6u);
+}
+
+TEST(OracleTest, FirstViolationWins) {
+  OracleSuite oracles(OracleConfig{});
+  oracles.OnCommit(0, 7, TestHash(0xaa), Ms(1));
+  oracles.OnCommit(1, 7, TestHash(0xbb), Ms(2));
+  const std::string first = oracles.violation();
+  InvariantSnapshot snap;
+  snap.counter_value = 9;
+  oracles.OnSnapshot(0, snap, Ms(3));
+  snap.counter_value = 1;
+  oracles.OnSnapshot(0, snap, Ms(4));
+  EXPECT_EQ(oracles.violation(), first);  // Later violations never overwrite the first.
+}
+
+// --- Seed determinism / bit-identical replay ---
+
+TEST(ChaosRunnerTest, SameSeedIsBitIdentical) {
+  ChaosOptions options;
+  const ChaosResult a = chaos::RunChaosSeed(options, 5);
+  const ChaosResult b = chaos::RunChaosSeed(options, 5);
+  ASSERT_FALSE(a.log_digest_hex.empty());
+  EXPECT_EQ(a.log_digest_hex, b.log_digest_hex);
+  EXPECT_EQ(a.event_log, b.event_log);  // Not just the digest: the whole log.
+  EXPECT_EQ(a.final_height, b.final_height);
+  EXPECT_TRUE(a.ok) << a.violation;
+}
+
+TEST(ChaosRunnerTest, ReplayFromArtifactMatchesOriginal) {
+  ChaosOptions options;
+  const ChaosResult original = chaos::RunChaosSeed(options, 9);
+  const ScriptArtifact artifact = original.Artifact();
+  Protocol protocol = Protocol::kAchilles;
+  ASSERT_TRUE(ProtocolFromName(artifact.protocol, &protocol));
+  const ChaosResult replayed = chaos::RunChaosScript(options, artifact.seed, protocol,
+                                                     artifact.f, artifact.script);
+  EXPECT_EQ(replayed.log_digest_hex, original.log_digest_hex);
+}
+
+TEST(ChaosRunnerTest, ArtifactTextRoundTrips) {
+  const ChaosResult result = chaos::RunChaosSeed(ChaosOptions{}, 12);
+  const ScriptArtifact artifact = result.Artifact();
+  const std::string text = artifact.ToText();
+  ScriptArtifact parsed;
+  ASSERT_TRUE(ScriptArtifact::FromText(text, &parsed));
+  EXPECT_EQ(parsed.protocol, artifact.protocol);
+  EXPECT_EQ(parsed.f, artifact.f);
+  EXPECT_EQ(parsed.seed, artifact.seed);
+  EXPECT_EQ(parsed.script.events.size(), artifact.script.events.size());
+  EXPECT_EQ(parsed.script.byzantine, artifact.script.byzantine);
+  EXPECT_EQ(parsed.script.heal_at, artifact.script.heal_at);
+  EXPECT_EQ(parsed.script.horizon, artifact.script.horizon);
+  EXPECT_EQ(parsed.ToText(), text);  // Canonical form is a fixed point.
+}
+
+// --- Broken-variant self-tests: the oracles must flag the planted bugs ---
+
+TEST(ChaosBrokenVariantTest, RecoveryNonceBypassIsFlagged) {
+  ChaosOptions options;
+  options.broken = BrokenVariant::kRecoveryNonce;
+  const ChaosResult result = chaos::RunChaosSeed(options, 1);
+  ASSERT_FALSE(result.ok) << "broken recovery-nonce variant passed the oracles";
+  EXPECT_NE(result.violation.find("freshness"), std::string::npos) << result.violation;
+}
+
+TEST(ChaosBrokenVariantTest, CounterCompareBypassIsFlagged) {
+  ChaosOptions options;
+  options.broken = BrokenVariant::kCounterCompare;
+  const ChaosResult result = chaos::RunChaosSeed(options, 1);
+  ASSERT_FALSE(result.ok) << "broken counter-compare variant passed the oracles";
+  EXPECT_NE(result.violation.find("counter"), std::string::npos) << result.violation;
+}
+
+// --- Minimization ---
+
+TEST(ChaosMinimizeTest, ShrinksFailingScriptAndStaysFailing) {
+  ChaosOptions options;
+  options.broken = BrokenVariant::kCounterCompare;
+  const ChaosResult failing = chaos::RunChaosSeed(options, 1);
+  ASSERT_FALSE(failing.ok);
+  const MinimizeResult minimized = chaos::MinimizeScript(
+      options, failing.seed, failing.protocol, failing.f, failing.script);
+  EXPECT_TRUE(minimized.reproduced);
+  EXPECT_FALSE(minimized.violation.empty());
+  EXPECT_LE(minimized.minimized_events, minimized.original_events);
+  EXPECT_LE(minimized.script.events.size(), failing.script.events.size());
+  EXPECT_LE(minimized.minimized_byzantine, minimized.original_byzantine);
+  // The minimized script is a genuine reproducer on its own.
+  const ChaosResult rerun = chaos::RunChaosScript(options, failing.seed, failing.protocol,
+                                                  failing.f, minimized.script);
+  EXPECT_FALSE(rerun.ok);
+}
+
+TEST(ChaosMinimizeTest, PassingScriptReportsNotReproduced) {
+  ChaosOptions options;
+  const ChaosResult passing = chaos::RunChaosSeed(options, 5);
+  ASSERT_TRUE(passing.ok);
+  const MinimizeResult result = chaos::MinimizeScript(
+      options, passing.seed, passing.protocol, passing.f, passing.script);
+  EXPECT_FALSE(result.reproduced);
+  EXPECT_EQ(result.script.events.size(), passing.script.events.size());  // Untouched.
+}
+
+// --- Name tables ---
+
+TEST(ChaosNamesTest, BrokenVariantNamesRoundTrip) {
+  for (const BrokenVariant variant :
+       {BrokenVariant::kNone, BrokenVariant::kRecoveryNonce,
+        BrokenVariant::kCounterCompare}) {
+    BrokenVariant parsed = BrokenVariant::kNone;
+    ASSERT_TRUE(chaos::BrokenVariantFromName(chaos::BrokenVariantName(variant), &parsed));
+    EXPECT_EQ(parsed, variant);
+  }
+  BrokenVariant parsed = BrokenVariant::kNone;
+  EXPECT_FALSE(chaos::BrokenVariantFromName("no-such-variant", &parsed));
+}
+
+}  // namespace
+}  // namespace achilles

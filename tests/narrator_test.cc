@@ -1,7 +1,12 @@
 // Tests for the Narrator software-counter service (emergent Table 4 latencies).
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "src/damysus/checker.h"
+#include "src/tee/enclave.h"
 #include "src/tee/narrator.h"
+#include "src/tee/platform.h"
 
 namespace achilles {
 namespace {
@@ -46,6 +51,37 @@ TEST(NarratorTest, MonitorCountChangesQuorumDepth) {
   const NarratorResult result = MeasureNarrator(NetworkConfig::Lan(), small, 20, 6);
   EXPECT_GT(result.write_ms, 0.0);
   EXPECT_EQ(result.increments, 20u);
+}
+
+// A Narrator-backed persistent counter is a drop-in rollback detector: a checker bound to
+// it refuses any rolled-back sealed blob at reboot, exactly like a hardware counter —
+// just with the software service's (higher) write latency charged per mutation.
+TEST(NarratorTest, NarratorCounterDetectsSealRollback) {
+  Simulation sim(31);
+  Host host(&sim, 0);
+  CryptoSuite suite(SignatureScheme::kFastHmac, 4, 17);
+  TeeConfig tee;
+  tee.components_in_tee = true;
+  tee.counter = CounterSpec::For(CounterKind::kNarratorLan);
+  NodePlatform platform(&host, &suite, CostModel::Default(), tee, 9);
+  auto enclave = std::make_unique<EnclaveRuntime>(&platform);
+  {
+    DamysusChecker checker(enclave.get(), 4, 1);
+    ASSERT_TRUE(checker.TdNewView(1).has_value());
+    ASSERT_TRUE(checker.TdNewView(2).has_value());
+  }
+  // Each persisted mutation paid the Narrator write path on the host clock.
+  EXPECT_GE(host.cpu_time_used(), 2 * tee.counter.write_latency);
+  // Reboot against the oldest sealed blob: version < counter, the checker refuses to run.
+  platform.storage().SetRollbackMode(RollbackMode::kOldest);
+  enclave = std::make_unique<EnclaveRuntime>(&platform);
+  EXPECT_EQ(DamysusChecker::Restore(enclave.get(), 4, 1), nullptr);
+  // The honest latest blob restores.
+  platform.storage().SetRollbackMode(RollbackMode::kLatest);
+  enclave = std::make_unique<EnclaveRuntime>(&platform);
+  auto restored = DamysusChecker::Restore(enclave.get(), 4, 1);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->vi(), 2u);
 }
 
 TEST(NarratorTest, Deterministic) {

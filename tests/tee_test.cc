@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "src/damysus/checker.h"
 #include "src/tee/enclave.h"
 #include "src/tee/monotonic_counter.h"
 #include "src/tee/platform.h"
@@ -211,6 +212,60 @@ TEST(EnclaveTest, FreshNoncesAreUnique) {
   const uint64_t a = enclave.FreshNonce();
   const uint64_t b = enclave.FreshNonce();
   EXPECT_NE(a, b);
+}
+
+// --- Rollback attack: every historical sealed blob, replayed at reboot ---
+
+// Drives a counter-bound Damysus-R checker through several persisted mutations, then
+// reboots it against *each* historical sealed blob in turn (kPinned serves version i).
+// Every stale blob must be refused; only the latest one restores.
+TEST(RollbackSweepTest, DamysusRRejectsEveryHistoricalBlob) {
+  TeeFixture f(true, CounterSpec::Custom(Ms(1), Ms(1)));
+  auto enclave = std::make_unique<EnclaveRuntime>(f.platform.get());
+  {
+    DamysusChecker checker(enclave.get(), 4, 1);
+    for (View v = 1; v <= 4; ++v) {
+      ASSERT_TRUE(checker.TdNewView(v).has_value());  // One sealed version per mutation.
+    }
+  }
+  SealedStorage& storage = f.platform->storage();
+  const size_t versions = storage.NumVersions("damysus-checker");
+  ASSERT_GE(versions, 5u);  // Genesis seal + 4 NEW-VIEW mutations.
+  storage.SetRollbackMode(RollbackMode::kPinned);
+  for (size_t i = 0; i + 1 < versions; ++i) {
+    storage.PinServedVersion("damysus-checker", i);
+    enclave = std::make_unique<EnclaveRuntime>(f.platform.get());
+    EXPECT_EQ(DamysusChecker::Restore(enclave.get(), 4, 1), nullptr)
+        << "stale sealed blob #" << i << " was accepted";
+  }
+  // The genuine latest blob still restores (the counter matches its bound version).
+  storage.PinServedVersion("damysus-checker", versions - 1);
+  enclave = std::make_unique<EnclaveRuntime>(f.platform.get());
+  auto restored = DamysusChecker::Restore(enclave.get(), 4, 1);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->vi(), 4u);
+}
+
+// The deliberately-broken variant (counter compare skipped) accepts the same stale blobs
+// silently — the exact gap the chaos harness's counter-lockstep oracle exists to catch.
+TEST(RollbackSweepTest, BrokenCounterCompareAcceptsStaleBlob) {
+  TeeFixture f(true, CounterSpec::Custom(Ms(1), Ms(1)));
+  auto enclave = std::make_unique<EnclaveRuntime>(f.platform.get());
+  {
+    DamysusChecker checker(enclave.get(), 4, 1);
+    for (View v = 1; v <= 3; ++v) {
+      ASSERT_TRUE(checker.TdNewView(v).has_value());
+    }
+  }
+  SealedStorage& storage = f.platform->storage();
+  storage.SetRollbackMode(RollbackMode::kOldest);
+  enclave = std::make_unique<EnclaveRuntime>(f.platform.get());
+  ASSERT_EQ(DamysusChecker::Restore(enclave.get(), 4, 1), nullptr);  // -R refuses...
+  auto broken = DamysusChecker::Restore(enclave.get(), 4, 1,
+                                        /*break_counter_compare=*/true);
+  ASSERT_NE(broken, nullptr);  // ...the broken build runs on rolled-back state.
+  const uint64_t counter = f.platform->counter().ReadBlocking();
+  EXPECT_LT(broken->version(), counter);  // Divergence the lockstep oracle flags.
 }
 
 }  // namespace

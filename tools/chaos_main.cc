@@ -1,0 +1,310 @@
+// Chaos swarm CLI (ISSUE 3): drives thousands of short seeded adversarial runs against a
+// protocol (or all of them), checks the global oracles, and on failure writes a replayable
+// script artifact plus the run's event log, then delta-minimizes the script.
+//
+//   chaos_main --protocol all --seeds 1000            # the standard swarm sweep
+//   chaos_main --protocol Achilles --seeds 250 --shard 2/4
+//   chaos_main --broken recovery-nonce --seeds 200    # oracle self-test: MUST flag
+//   chaos_main --replay 1234                          # re-run one seed, print the log,
+//                                                     # verify bit-identical re-execution
+//   chaos_main --replay-file chaos_seed_1234.script.txt
+//   chaos_main --minimize 1234
+//
+// Exit status: honest sweeps fail (1) on any oracle violation; --broken sweeps invert —
+// they fail unless a violation IS found (the planted bug must be caught).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/chaos/minimize.h"
+#include "src/chaos/runner.h"
+
+namespace achilles::chaos {
+namespace {
+
+struct CliArgs {
+  ChaosOptions options;
+  uint64_t seeds = 1000;
+  uint64_t seed_base = 1;
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+  long long replay_seed = -1;
+  long long minimize_seed = -1;
+  std::string replay_file;
+  std::string out_dir = ".";
+  bool verbose = false;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: chaos_main [--protocol NAME|all] [--seeds N] [--seed-base N]\n"
+               "                  [--shard I/K] [--broken none|recovery-nonce|counter-compare]\n"
+               "                  [--replay SEED] [--replay-file PATH] [--minimize SEED]\n"
+               "                  [--out-dir DIR] [--verbose]\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "chaos_main: %s needs a value\n", flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--protocol") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      if (std::string(value) == "all") {
+        args->options.protocol_all = true;
+      } else if (ProtocolFromName(value, &args->options.protocol)) {
+        args->options.protocol_all = false;
+      } else {
+        std::fprintf(stderr, "chaos_main: unknown protocol '%s'\n", value);
+        return false;
+      }
+    } else if (flag == "--seeds") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->seeds = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--seed-base") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->seed_base = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--shard") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      unsigned index = 0, count = 0;
+      if (std::sscanf(value, "%u/%u", &index, &count) != 2 || count == 0 ||
+          index >= count) {
+        std::fprintf(stderr, "chaos_main: --shard wants I/K with I<K, got '%s'\n", value);
+        return false;
+      }
+      args->shard_index = index;
+      args->shard_count = count;
+    } else if (flag == "--broken") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      if (!BrokenVariantFromName(value, &args->options.broken)) {
+        std::fprintf(stderr, "chaos_main: unknown broken variant '%s'\n", value);
+        return false;
+      }
+    } else if (flag == "--replay") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->replay_seed = std::strtoll(value, nullptr, 10);
+    } else if (flag == "--replay-file") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->replay_file = value;
+    } else if (flag == "--minimize") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->minimize_seed = std::strtoll(value, nullptr, 10);
+    } else if (flag == "--out-dir") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->out_dir = value;
+    } else if (flag == "--verbose") {
+      args->verbose = true;
+    } else {
+      std::fprintf(stderr, "chaos_main: unknown flag '%s'\n", flag.c_str());
+      Usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "chaos_main: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return static_cast<bool>(out);
+}
+
+void DumpFailure(const CliArgs& args, const ChaosResult& result) {
+  const std::string stem =
+      args.out_dir + "/chaos_seed_" + std::to_string(result.seed);
+  WriteFile(stem + ".script.txt", result.Artifact().ToText());
+  WriteFile(stem + ".log.txt", result.LogText());
+  std::printf("  artifacts: %s.script.txt, %s.log.txt\n", stem.c_str(), stem.c_str());
+}
+
+void MinimizeAndDump(const CliArgs& args, const ChaosResult& failure) {
+  std::printf("minimizing seed %llu (%zu events)...\n",
+              static_cast<unsigned long long>(failure.seed),
+              failure.script.events.size());
+  const MinimizeResult minimized = MinimizeScript(args.options, failure.seed,
+                                                  failure.protocol, failure.f,
+                                                  failure.script);
+  std::printf("  %zu -> %zu events, %u -> %u byzantine (%d reruns)\n",
+              minimized.original_events, minimized.minimized_events,
+              minimized.original_byzantine, minimized.minimized_byzantine,
+              minimized.runs);
+  if (!minimized.reproduced) {
+    std::printf("  (original failure did not reproduce; keeping full script)\n");
+    return;
+  }
+  ScriptArtifact artifact;
+  artifact.protocol = ProtocolName(failure.protocol);
+  artifact.f = failure.f;
+  artifact.seed = failure.seed;
+  artifact.script = minimized.script;
+  const std::string path = args.out_dir + "/chaos_seed_" +
+                           std::to_string(failure.seed) + ".min.script.txt";
+  WriteFile(path, artifact.ToText());
+  std::printf("  minimized violation: %s\n  minimized artifact: %s\n",
+              minimized.violation.c_str(), path.c_str());
+}
+
+void PrintResult(const ChaosResult& result, bool with_log) {
+  std::printf("seed %llu protocol=%s f=%u events=%zu byz=%u -> %s\n",
+              static_cast<unsigned long long>(result.seed),
+              ProtocolName(result.protocol), result.f, result.script.events.size(),
+              result.script.ByzantineCount(),
+              result.ok ? "ok" : result.violation.c_str());
+  std::printf("  final height %llu, log digest %s\n",
+              static_cast<unsigned long long>(result.final_height),
+              result.log_digest_hex.c_str());
+  if (with_log) {
+    std::fputs(result.LogText().c_str(), stdout);
+  }
+}
+
+int ReplaySeed(const CliArgs& args, uint64_t seed) {
+  ChaosResult first = RunChaosSeed(args.options, seed);
+  PrintResult(first, args.verbose);
+  // Replay determinism check: a second execution must produce a bit-identical event log.
+  ChaosResult second = RunChaosSeed(args.options, seed);
+  if (first.log_digest_hex != second.log_digest_hex) {
+    std::printf("REPLAY MISMATCH: %s vs %s — the harness is nondeterministic\n",
+                first.log_digest_hex.c_str(), second.log_digest_hex.c_str());
+    return 1;
+  }
+  std::printf("replay digest matches (%s)\n", first.log_digest_hex.c_str());
+  if (!first.ok) {
+    DumpFailure(args, first);
+    return 1;
+  }
+  return 0;
+}
+
+int ReplayFile(const CliArgs& args) {
+  std::ifstream in(args.replay_file, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "chaos_main: cannot read %s\n", args.replay_file.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ScriptArtifact artifact;
+  if (!ScriptArtifact::FromText(buffer.str(), &artifact)) {
+    std::fprintf(stderr, "chaos_main: %s is not a valid chaos script\n",
+                 args.replay_file.c_str());
+    return 2;
+  }
+  Protocol protocol;
+  if (!ProtocolFromName(artifact.protocol, &protocol)) {
+    return 2;
+  }
+  ChaosResult result = RunChaosScript(args.options, artifact.seed, protocol, artifact.f,
+                                      artifact.script);
+  PrintResult(result, args.verbose);
+  return result.ok ? 0 : 1;
+}
+
+int MinimizeSeed(const CliArgs& args, uint64_t seed) {
+  ChaosResult result = RunChaosSeed(args.options, seed);
+  PrintResult(result, false);
+  if (result.ok) {
+    std::printf("seed %llu passes; nothing to minimize\n",
+                static_cast<unsigned long long>(seed));
+    return 0;
+  }
+  DumpFailure(args, result);
+  MinimizeAndDump(args, result);
+  return 1;
+}
+
+int Sweep(const CliArgs& args) {
+  const bool expect_violation = args.options.broken != BrokenVariant::kNone;
+  uint64_t ran = 0;
+  std::vector<ChaosResult> failures;
+  for (uint64_t i = 0; i < args.seeds; ++i) {
+    if (i % args.shard_count != args.shard_index) {
+      continue;
+    }
+    const uint64_t seed = args.seed_base + i;
+    ChaosResult result = RunChaosSeed(args.options, seed);
+    ++ran;
+    if (args.verbose || !result.ok) {
+      PrintResult(result, false);
+    }
+    if (!result.ok) {
+      if (expect_violation) {
+        std::printf("broken variant '%s' flagged after %llu run(s) (seed %llu)\n",
+                    BrokenVariantName(args.options.broken),
+                    static_cast<unsigned long long>(ran),
+                    static_cast<unsigned long long>(seed));
+        return 0;
+      }
+      DumpFailure(args, result);
+      failures.push_back(std::move(result));
+      if (failures.size() >= 3) {
+        std::printf("stopping after %zu failures\n", failures.size());
+        break;
+      }
+    } else if (ran % 100 == 0) {
+      std::printf("...%llu runs, 0 violations\n", static_cast<unsigned long long>(ran));
+      std::fflush(stdout);
+    }
+  }
+  if (expect_violation) {
+    std::printf("broken variant '%s' was NOT flagged in %llu run(s) — oracle gap!\n",
+                BrokenVariantName(args.options.broken),
+                static_cast<unsigned long long>(ran));
+    return 1;
+  }
+  if (failures.empty()) {
+    std::printf("swarm clean: %llu run(s), 0 violations\n",
+                static_cast<unsigned long long>(ran));
+    return 0;
+  }
+  MinimizeAndDump(args, failures.front());
+  std::printf("swarm FAILED: %zu violation(s) in %llu run(s)\n", failures.size(),
+              static_cast<unsigned long long>(ran));
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) {
+    return 2;
+  }
+  if (!args.replay_file.empty()) {
+    return ReplayFile(args);
+  }
+  if (args.replay_seed >= 0) {
+    return ReplaySeed(args, static_cast<uint64_t>(args.replay_seed));
+  }
+  if (args.minimize_seed >= 0) {
+    return MinimizeSeed(args, static_cast<uint64_t>(args.minimize_seed));
+  }
+  return Sweep(args);
+}
+
+}  // namespace
+}  // namespace achilles::chaos
+
+int main(int argc, char** argv) {
+  return achilles::chaos::Main(argc, argv);
+}
