@@ -26,6 +26,7 @@ AchillesReplica::AchillesReplica(const ReplicaContext& ctx, bool initial_launch)
 
 void AchillesReplica::OnStart() {
   if (checker_.recovering()) {
+    JournalEvent(obs::JournalKind::kRecoveryEnter, checker_.vi());
     StartRecoveryRound();
     return;
   }
@@ -56,7 +57,10 @@ void AchillesReplica::AdvanceViaTeeView(View target) {
   if (!cert) {
     return;
   }
-  cur_view_ = std::max(cur_view_, target);
+  if (target > cur_view_) {
+    cur_view_ = target;
+    JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
+  }
   ArmViewTimer(cur_view_, consecutive_timeouts_);
   auto msg = std::make_shared<AchNewViewMsg>();
   msg->view_cert = *cert;
@@ -77,6 +81,7 @@ void AchillesReplica::EnterViewAfterCommit(View new_view,
     return;
   }
   cur_view_ = new_view;
+  JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
   consecutive_timeouts_ = 0;
   ArmViewTimer(cur_view_, 0);
   if (!params().commit_fast_path) {
@@ -169,7 +174,10 @@ void AchillesReplica::BuildAndBroadcastProposal(View w, const BlockPtr& parent,
   if (!block_cert) {
     return;
   }
-  cur_view_ = std::max(cur_view_, w);
+  if (w > cur_view_) {
+    cur_view_ = w;
+    JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
+  }
   proposed_hash_[w] = block->hash;
   store_.Add(block);
   MarkProposed(block);
@@ -210,7 +218,10 @@ void AchillesReplica::OnPropose(NodeId from,
   if (preb_.block == nullptr || msg->block->view >= preb_.block->view) {
     preb_ = StoredBlock{msg->block, msg->block_cert, QuorumCert{}};
   }
-  cur_view_ = std::max(cur_view_, v);
+  if (v > cur_view_) {
+    cur_view_ = v;
+    JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
+  }
   consecutive_timeouts_ = 0;
   ArmViewTimer(cur_view_, 0);  // Progress: reset the pacemaker.
 
@@ -336,6 +347,7 @@ void AchillesReplica::StartRecoveryRound() {
   recovery_replies_.clear();
   reply_source_.clear();
   last_request_nonce_ = request->aux;
+  JournalEvent(obs::JournalKind::kRecoveryRound, request->aux);
   auto msg = std::make_shared<AchRecoveryRequestMsg>();
   msg->request = *request;
   BroadcastToReplicas(msg, /*include_self=*/false);
@@ -434,6 +446,10 @@ void AchillesReplica::TryFinishRecovery() {
   recovery_completed_at_ = LocalNow();
   recovery_completed_nonce_ = leader_reply->aux2;
   cur_view_ = checker_.vi();
+  // a = nonce echoed by the accepted round, b = the view recovery lands in. Forensics
+  // compares a against the last kRecoveryRound nonce to detect a stale-round acceptance.
+  JournalEvent(obs::JournalKind::kRecoveryExit, leader_reply->aux2, cur_view_);
+  JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
   consecutive_timeouts_ = 0;
   // State transfer: adopt the best certified committed checkpoint from the replies.
   if (best_recovery_checkpoint_.block != nullptr) {

@@ -28,9 +28,11 @@ void OracleSuite::MarkByzantine(NodeId id) {
   byzantine_.insert(id);
 }
 
-void OracleSuite::Fail(SimTime now, const std::string& what) {
+void OracleSuite::Fail(SimTime now, const std::string& what, const std::string& oracle,
+                       NodeId node, Height height) {
   if (violation_.empty()) {
     violation_ = TimeTag(now) + what;
+    incident_ = Incident{oracle, node, height, now};
   }
 }
 
@@ -40,9 +42,11 @@ void OracleSuite::OnCommit(NodeId id, Height height, const Hash256& hash, SimTim
   }
   auto [it, inserted] = committed_.emplace(height, hash);
   if (!inserted && it->second != hash) {
-    Fail(now, "agreement: node " + std::to_string(id) + " committed " + HashPrefix(hash) +
-                  " at height " + std::to_string(height) + " but " +
-                  HashPrefix(it->second) + " was committed there first");
+    Fail(now,
+         "agreement: node " + std::to_string(id) + " committed " + HashPrefix(hash) +
+             " at height " + std::to_string(height) + " but " + HashPrefix(it->second) +
+             " was committed there first",
+         "agreement", id, height);
   }
 }
 
@@ -52,9 +56,10 @@ void OracleSuite::OnSnapshot(NodeId id, const InvariantSnapshot& snap, SimTime n
   }
   // Counter monotonicity (across reboots too: the device is persistent).
   if (snap.counter_value < last_counter_[id]) {
-    Fail(now, "counter: node " + std::to_string(id) + " counter regressed " +
-                  std::to_string(last_counter_[id]) + " -> " +
-                  std::to_string(snap.counter_value));
+    Fail(now,
+         "counter: node " + std::to_string(id) + " counter regressed " +
+             std::to_string(last_counter_[id]) + " -> " + std::to_string(snap.counter_value),
+         "counter", id);
     return;
   }
   last_counter_[id] = snap.counter_value;
@@ -62,19 +67,23 @@ void OracleSuite::OnSnapshot(NodeId id, const InvariantSnapshot& snap, SimTime n
   // A broken Restore that accepts a stale sealed blob leaves version < counter forever.
   if (config_.counter_lockstep && !snap.halted &&
       snap.trusted_version != snap.counter_value) {
-    Fail(now, "counter: node " + std::to_string(id) + " trusted version " +
-                  std::to_string(snap.trusted_version) + " != counter " +
-                  std::to_string(snap.counter_value) + " (stale sealed state accepted)");
+    Fail(now,
+         "counter: node " + std::to_string(id) + " trusted version " +
+             std::to_string(snap.trusted_version) + " != counter " +
+             std::to_string(snap.counter_value) + " (stale sealed state accepted)",
+         "counter", id);
     return;
   }
   // Durability: the snapshot head must match what the cluster committed at that height.
   if (snap.committed_height > 0) {
     auto it = committed_.find(snap.committed_height);
     if (it != committed_.end() && it->second != snap.committed_hash) {
-      Fail(now, "durability: node " + std::to_string(id) + " head " +
-                    HashPrefix(snap.committed_hash) + " at height " +
-                    std::to_string(snap.committed_height) + " diverges from committed " +
-                    HashPrefix(it->second));
+      Fail(now,
+           "durability: node " + std::to_string(id) + " head " +
+               HashPrefix(snap.committed_hash) + " at height " +
+               std::to_string(snap.committed_height) + " diverges from committed " +
+               HashPrefix(it->second),
+           "durability", id, snap.committed_height);
     }
   }
 }
@@ -85,15 +94,19 @@ void OracleSuite::OnRecoveryComplete(NodeId id, size_t fresh_replies, bool nonce
     return;
   }
   if (!nonce_fresh) {
-    Fail(now, "freshness: node " + std::to_string(id) +
-                  " finished recovery on replies of a superseded nonce round "
-                  "(stale replay accepted)");
+    Fail(now,
+         "freshness: node " + std::to_string(id) +
+             " finished recovery on replies of a superseded nonce round "
+             "(stale replay accepted)",
+         "freshness", id);
     return;
   }
   if (fresh_replies < static_cast<size_t>(config_.f) + 1) {
-    Fail(now, "freshness: node " + std::to_string(id) + " finished recovery on " +
-                  std::to_string(fresh_replies) + " fresh replies (< f+1 = " +
-                  std::to_string(config_.f + 1) + "); stale replies were accepted");
+    Fail(now,
+         "freshness: node " + std::to_string(id) + " finished recovery on " +
+             std::to_string(fresh_replies) + " fresh replies (< f+1 = " +
+             std::to_string(config_.f + 1) + "); stale replies were accepted",
+         "freshness", id);
   }
 }
 
@@ -111,9 +124,10 @@ void OracleSuite::OnRunEnd(SimTime now) {
   ACHILLES_CHECK(healed_);
   const Height end = max_honest_height();
   if (end <= height_at_heal_) {
-    Fail(now, "liveness: max honest height " + std::to_string(end) +
-                  " did not advance after heal (was " + std::to_string(height_at_heal_) +
-                  ")");
+    Fail(now,
+         "liveness: max honest height " + std::to_string(end) +
+             " did not advance after heal (was " + std::to_string(height_at_heal_) + ")",
+         "liveness", kNoNode, end);
   }
 }
 

@@ -41,6 +41,16 @@ struct OracleConfig {
   bool counter_lockstep = false;
 };
 
+// Structured form of the run's first violation, kept alongside the verbatim text so the
+// forensics analyzer (src/obs/forensics.h) can seed its journal walk without re-parsing.
+struct Incident {
+  std::string oracle;       // Family: "agreement", "durability", "counter", "freshness",
+                            // "liveness".
+  NodeId node = kNoNode;    // Replica the violation was observed on (kNoNode = global).
+  Height height = 0;        // Block height involved (0 = n/a).
+  SimTime at = 0;           // Virtual time of the observation.
+};
+
 class OracleSuite {
  public:
   explicit OracleSuite(const OracleConfig& config);
@@ -61,12 +71,17 @@ class OracleSuite {
 
   bool ok() const { return violation_.empty(); }
   const std::string& violation() const { return violation_; }
+  // Structured view of the first violation (fields zeroed while ok()).
+  const Incident& incident() const { return incident_; }
+  // Replicas excluded from the audits (adversary-controlled).
+  const std::set<NodeId>& byzantine() const { return byzantine_; }
   // Highest height committed by any honest replica so far (from the audit map).
   Height max_honest_height() const;
 
  private:
   bool Honest(NodeId id) const { return byzantine_.count(id) == 0; }
-  void Fail(SimTime now, const std::string& what);
+  void Fail(SimTime now, const std::string& what, const std::string& oracle,
+            NodeId node = kNoNode, Height height = 0);
 
   OracleConfig config_;
   std::set<NodeId> byzantine_;
@@ -75,6 +90,7 @@ class OracleSuite {
   bool healed_ = false;
   Height height_at_heal_ = 0;
   std::string violation_;
+  Incident incident_;
 };
 
 }  // namespace achilles::chaos

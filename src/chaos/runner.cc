@@ -13,6 +13,7 @@
 #include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/crypto/sha256.h"
+#include "src/obs/forensics.h"
 
 namespace achilles::chaos {
 
@@ -202,6 +203,7 @@ ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol 
   config.client_rate_tps = options.client_rate_tps;
   config.break_recovery_nonce = options.broken == BrokenVariant::kRecoveryNonce;
   config.break_counter_compare = options.broken == BrokenVariant::kCounterCompare;
+  config.journaling = options.journal;
   Cluster cluster(config);
   const uint32_t n = cluster.num_replicas();
   ACHILLES_CHECK(script.byzantine.size() == n);
@@ -352,6 +354,34 @@ ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol 
   result.final_height = oracles.max_honest_height();
   if (!result.ok) {
     result.event_log.push_back("VIOLATION " + result.violation);
+  }
+  if (options.journal) {
+    obs::Journal& journal = cluster.journal();
+    if (!result.ok) {
+      const Incident& incident = oracles.incident();
+      // Stamp the verdict into the journal so the dump itself records why the run failed,
+      // then run the forensics analyzer over it.
+      journal.Record(incident.node == kNoNode ? 0 : incident.node,
+                     obs::JournalKind::kOracleViolation, incident.at, /*parent=*/0,
+                     incident.height, 0, result.violation);
+      obs::IncidentQuery query;
+      query.oracle = incident.oracle;
+      query.description = result.violation;
+      query.node = incident.node == kNoNode ? UINT32_MAX : incident.node;
+      query.height = incident.height;
+      query.at = incident.at;
+      query.protocol = ProtocolName(protocol);
+      query.seed = seed;
+      query.exclude.assign(oracles.byzantine().begin(), oracles.byzantine().end());
+      result.incident_report = obs::AnalyzeIncident(journal, query).text;
+      // Perfetto view of the incident: the journal's control events as instants.
+      obs::SpanTracer annotated;
+      annotated.set_enabled(true);
+      journal.AnnotateTracer(&annotated);
+      result.journal_trace_json = annotated.ExportChromeTrace();
+    }
+    result.journal_text = journal.ToText();
+    result.journal_digest_hex = journal.DigestHex();
   }
   const std::string joined = result.LogText();
   const Hash256 digest =

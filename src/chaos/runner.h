@@ -43,6 +43,9 @@ struct ChaosOptions {
   // Cluster load knobs (small batches commit fast, which sharpens the liveness oracle).
   size_t batch_size = 20;
   double client_rate_tps = 500.0;
+  // Flight recorder + forensics. Journaling never perturbs virtual time, so the event-log
+  // digest is bit-identical with it on or off; the journal digest is its own replay check.
+  bool journal = false;
 };
 
 struct ChaosResult {
@@ -55,6 +58,13 @@ struct ChaosResult {
   std::vector<std::string> event_log;
   std::string log_digest_hex;       // SHA-256 over the joined event log.
   Height final_height = 0;          // Max honest committed height at run end.
+  // Filled when options.journal is set.
+  std::string journal_text;         // Full flight-recorder dump (obs::Journal::ToText).
+  std::string journal_digest_hex;   // SHA-256 over journal_text (replay fingerprint).
+  std::string incident_report;      // Forensics report (only on violation).
+  // Chrome trace_event JSON of the journal's control events as Perfetto instants (only on
+  // violation; opens in Perfetto / chrome://tracing).
+  std::string journal_trace_json;
 
   std::string LogText() const;      // event_log joined with newlines.
   ScriptArtifact Artifact() const;  // Self-contained reproducer for this run.

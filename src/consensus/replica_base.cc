@@ -83,6 +83,7 @@ void ReplicaBase::MarkProposed(const BlockPtr& block) {
   tracker().OnPropose(block);
   host().RestartPathAt(block->propose_time);
   TraceInstant("propose", block->height);
+  JournalEvent(obs::JournalKind::kPropose, block->height, block->view);
 }
 
 void ReplicaBase::TraceInstant(const char* name, uint64_t arg) {
@@ -90,6 +91,19 @@ void ReplicaBase::TraceInstant(const char* name, uint64_t arg) {
   if (tracer != nullptr && tracer->enabled()) {
     tracer->Instant(name, host().id(), LocalNow(), host().current_span(), arg);
   }
+}
+
+uint64_t ReplicaBase::JournalEvent(obs::JournalKind kind, uint64_t a, uint64_t b,
+                                   std::string detail) {
+  return host().JournalEvent(kind, a, b, std::move(detail));
+}
+
+uint64_t ReplicaBase::JournalHash(const Hash256& hash) {
+  uint64_t h = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    h = (h << 8) | hash[i];
+  }
+  return h;
 }
 
 namespace {
@@ -118,6 +132,7 @@ bool ReplicaBase::CommitChain(const BlockPtr& block, size_t cert_wire_size) {
     last_committed_hash_ = b->hash;
     tracker().OnCommit(id(), b, LocalNow());
     TraceInstant("commit", b->height);
+    JournalEvent(obs::JournalKind::kCommit, b->height, JournalHash(b->hash));
     if (client_replies_enabled_) {
       for (uint32_t client : ctx_.client_ids) {
         auto reply = std::make_shared<ClientReplyMsg>();
@@ -145,6 +160,7 @@ void ReplicaBase::AdoptCheckpoint(const BlockPtr& block, size_t cert_wire_size) 
   last_committed_hash_ = block->hash;
   tracker().OnCommit(id(), block, LocalNow());
   TraceInstant("adopt_checkpoint", block->height);
+  JournalEvent(obs::JournalKind::kCheckpoint, block->height, JournalHash(block->hash));
   if (client_replies_enabled_) {
     for (uint32_t client : ctx_.client_ids) {
       auto reply = std::make_shared<ClientReplyMsg>();

@@ -125,6 +125,14 @@ class ReplicaBase : public IProcess {
   void MarkProposed(const BlockPtr& block);
   // Emits a trace instant on this replica's track (no virtual-time cost).
   void TraceInstant(const char* name, uint64_t arg = 0);
+  // Records a flight-recorder event on this replica's host track (src/obs/journal.h),
+  // parented to the running handler's causal context. Zero virtual-time cost; returns the
+  // journal seq (0 when journaling is off). Protocols call this at every state transition
+  // (view/epoch/term change, leader change, lock update, recovery phase).
+  uint64_t JournalEvent(obs::JournalKind kind, uint64_t a = 0, uint64_t b = 0,
+                        std::string detail = {});
+  // Compact block identity for journal payloads: the hash's first 8 bytes, big-endian.
+  static uint64_t JournalHash(const Hash256& hash);
 
   // --- Chained commit (commits `block` and all uncommitted ancestors, oldest first) ---
   // Informs the tracker, marks the mempool, replies to clients with `cert_wire_size`. If

@@ -43,6 +43,8 @@ std::unique_ptr<DamysusChecker> DamysusChecker::Restore(EnclaveRuntime* enclave,
     // (version < counter) means the OS rolled the state back -> refuse to run.
     const uint64_t expected = counter.ReadBlocking();
     if (*version != expected) {
+      enclave->platform().host().JournalEvent(obs::JournalKind::kRollbackReject, *version,
+                                              expected, kSealSlot);
       return nullptr;
     }
   }

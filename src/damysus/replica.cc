@@ -28,6 +28,7 @@ DamysusReplica::DamysusReplica(const ReplicaContext& ctx, bool initial_launch)
 
 void DamysusReplica::OnStart() {
   if (checker_ == nullptr) {
+    JournalEvent(obs::JournalKind::kHalt);
     return;  // Halted: rollback detected (or no sealed state to restore).
   }
   if (checker_->vi() == 0) {
@@ -35,6 +36,7 @@ void DamysusReplica::OnStart() {
   } else {
     // Restored mid-history: rejoin by moving one view ahead.
     cur_view_ = checker_->vi();
+    JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
     AdvanceViaNewView(cur_view_ + 1);
   }
 }
@@ -63,7 +65,10 @@ void DamysusReplica::AdvanceViaNewView(View target) {
   if (!cert) {
     return;
   }
-  cur_view_ = std::max(cur_view_, target);
+  if (target > cur_view_) {
+    cur_view_ = target;
+    JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
+  }
   ArmViewTimer(cur_view_, consecutive_timeouts_);
   auto msg = std::make_shared<DamNewViewMsg>();
   msg->view_cert = *cert;
@@ -84,6 +89,7 @@ void DamysusReplica::EnterViewAfterCommit(View new_view,
     return;
   }
   cur_view_ = new_view;
+  JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
   consecutive_timeouts_ = 0;
   ArmViewTimer(cur_view_, 0);
   const NodeId next_leader = LeaderOf(new_view);
@@ -155,7 +161,10 @@ void DamysusReplica::BuildAndBroadcastProposal(View w, const BlockPtr& parent,
   if (!cert) {
     return;
   }
-  cur_view_ = std::max(cur_view_, w);
+  if (w > cur_view_) {
+    cur_view_ = w;
+    JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
+  }
   proposed_hash_[w] = block->hash;
   store_.Add(block);
   MarkProposed(block);
@@ -194,7 +203,10 @@ void DamysusReplica::OnPropose(NodeId from,
   if (!vote) {
     return;
   }
-  cur_view_ = std::max(cur_view_, v);
+  if (v > cur_view_) {
+    cur_view_ = v;
+    JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
+  }
   consecutive_timeouts_ = 0;
   ArmViewTimer(cur_view_, 0);
   auto out = std::make_shared<DamVote1Msg>();

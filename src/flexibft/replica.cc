@@ -44,6 +44,7 @@ FlexiBftReplica::FlexiBftReplica(const ReplicaContext& ctx, bool /*initial_launc
 }
 
 void FlexiBftReplica::OnStart() {
+  JournalEvent(obs::JournalKind::kViewEnter, epoch_);
   ArmViewTimer(epoch_, 0);
   if (LeaderOfEpoch(epoch_) == id()) {
     // Small self-kick loop: propose as soon as transactions exist.
@@ -234,6 +235,8 @@ void FlexiBftReplica::OnEpochChange(NodeId /*from*/, const FbEpochChangeMsg& msg
     return;
   }
   epoch_ = new_epoch;
+  JournalEvent(obs::JournalKind::kViewEnter, epoch_);
+  JournalEvent(obs::JournalKind::kLeaderElected, epoch_, id());
   last_proposed_ = base;
   proposal_outstanding_ = false;
   candidates_.clear();

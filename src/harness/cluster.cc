@@ -1,5 +1,7 @@
 #include "src/harness/cluster.h"
 
+#include <chrono>
+
 #include "src/achilles/replica.h"
 #include "src/common/check.h"
 #include "src/damysus/replica.h"
@@ -70,6 +72,7 @@ Cluster::Cluster(const ClusterConfig& config)
     : config_(config),
       n_(ReplicasFor(config.protocol, config.f)),
       tracer_(config.trace_capacity),
+      journal_(config.journal_control_capacity, config.journal_flow_capacity),
       sim_(config.seed),
       net_(&sim_, config.net),
       suite_(config.scheme, n_, config.seed ^ 0x5eedc0deULL),
@@ -81,6 +84,7 @@ Cluster::Cluster(const ClusterConfig& config)
   tee.counter = DefaultCounterEnabled(config_.protocol) ? config_.counter : CounterSpec::None();
 
   tracer_.set_enabled(config_.tracing);
+  journal_.set_enabled(config_.journaling);
   tracker_.SetBreakdown(&breakdown_);
   net_.AttachMetrics(&metrics_);
 
@@ -98,6 +102,7 @@ Cluster::Cluster(const ClusterConfig& config)
   }
   for (auto& host : hosts_) {
     host->set_tracer(&tracer_);
+    host->set_journal(&journal_);
     host->AttachMetrics(&metrics_);
   }
 }
@@ -210,8 +215,24 @@ RunStats Cluster::RunMeasured(SimDuration warmup, SimDuration measure) {
   net_.ResetStats();
   const uint64_t counter_before = TotalCounterWrites();
   const uint64_t blocks_before = tracker_.total_committed_blocks();
+  const uint64_t events_before = sim_.executed_events();
+  const auto wall_start = std::chrono::steady_clock::now();
   sim_.RunFor(measure);
+  const double wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   tracker_.EndMeasurement(sim_.Now());
+
+  // Simulator self-profiling: how hard the event loop worked for this measured window.
+  // Gauges (not part of RunStats) so every bench's --json-out picks them up for free.
+  const uint64_t events = sim_.executed_events() - events_before;
+  metrics_.GetGauge("sim.events_processed")->Set(static_cast<double>(events));
+  if (wall_sec > 0.0) {
+    metrics_.GetGauge("sim.events_per_wall_sec")->Set(static_cast<double>(events) / wall_sec);
+    metrics_.GetGauge("sim.wall_ms_per_virtual_sec")
+        ->Set(wall_sec * 1e3 / (static_cast<double>(measure) / kSecond));
+  }
+  metrics_.GetGauge("sim.peak_pending_events")
+      ->Set(static_cast<double>(sim_.peak_pending_events()));
 
   RunStats stats;
   stats.throughput_tps = tracker_.ThroughputTps();

@@ -14,6 +14,7 @@
 #include "src/consensus/replica_base.h"
 #include "src/harness/byzantine.h"
 #include "src/obs/breakdown.h"
+#include "src/obs/journal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -67,6 +68,11 @@ struct ClusterConfig {
   // last `trace_capacity` events (smaller rings keep exported traces small).
   bool tracing = false;
   size_t trace_capacity = obs::SpanTracer::kDefaultCapacity;
+  // Flight recorder (src/obs/journal.h). Off by default; like tracing, recording never
+  // perturbs virtual time, so RunStats stay bit-identical either way.
+  bool journaling = false;
+  size_t journal_control_capacity = obs::Journal::kDefaultControlCapacity;
+  size_t journal_flow_capacity = obs::Journal::kDefaultFlowCapacity;
   // Deliberately-broken protocol variants (ProtocolParams docs); chaos self-tests only.
   bool break_recovery_nonce = false;
   bool break_counter_compare = false;
@@ -144,6 +150,7 @@ class Cluster {
   // --- Observability (src/obs) ---
   obs::MetricsRegistry& metrics() { return metrics_; }
   obs::SpanTracer& tracer() { return tracer_; }
+  obs::Journal& journal() { return journal_; }
   const obs::BreakdownAttributor& breakdown() const { return breakdown_; }
 
  private:
@@ -154,6 +161,7 @@ class Cluster {
   uint32_t n_;
   obs::MetricsRegistry metrics_;
   obs::SpanTracer tracer_;
+  obs::Journal journal_;
   obs::BreakdownAttributor breakdown_;
   Simulation sim_;
   Network net_;

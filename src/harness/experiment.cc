@@ -1,13 +1,41 @@
 #include "src/harness/experiment.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
 #include "src/harness/bench_report.h"
 
 namespace achilles {
+namespace {
+
+// Smoke-scale knob for CI: ACHILLES_BENCH_SCALE=<fraction> shrinks every bench's
+// warmup/measure window by that factor (tools/bench_all --smoke sets it for its children).
+// Floors keep the windows long enough that protocols still commit; results at reduced
+// scale are for plumbing checks, not for quoting.
+double BenchScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("ACHILLES_BENCH_SCALE");
+    if (env == nullptr || *env == '\0') {
+      return 1.0;
+    }
+    const double parsed = std::atof(env);
+    if (parsed <= 0.0 || parsed >= 1.0) {
+      return 1.0;
+    }
+    return parsed;
+  }();
+  return scale;
+}
+
+}  // namespace
 
 RunStats MeasureOnce(const ClusterConfig& config, SimDuration warmup, SimDuration measure) {
+  const double scale = BenchScale();
+  if (scale < 1.0) {
+    warmup = std::max<SimDuration>(Ms(200), static_cast<SimDuration>(warmup * scale));
+    measure = std::max<SimDuration>(Ms(500), static_cast<SimDuration>(measure * scale));
+  }
   BenchReport& report = BenchReport::Instance();
   ClusterConfig effective = config;
   // First measured run of the process carries the trace when --trace-out was given.

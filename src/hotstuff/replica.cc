@@ -42,6 +42,7 @@ void HotStuffReplica::EnterView(View view) {
     return;
   }
   cur_view_ = view;
+  JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
   ArmViewTimer(cur_view_, consecutive_timeouts_);
   auto msg = std::make_shared<HsNewViewMsg>();
   msg->view = view;
@@ -113,7 +114,10 @@ void HotStuffReplica::TryPropose(View view) {
   ChargeExecute(batch.size());
   const BlockPtr block = Block::Create(view, parent, std::move(batch), LocalNow());
   ChargeHashBytes(block->WireSize());
-  cur_view_ = std::max(cur_view_, view);
+  if (view > cur_view_) {
+    cur_view_ = view;
+    JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
+  }
   proposed_hash_[view] = block->hash;
   store_.Add(block);
   MarkProposed(block);
@@ -166,7 +170,10 @@ void HotStuffReplica::OnPropose(NodeId from, const std::shared_ptr<const HsPropo
   if (!SafeToVote(msg->block, msg->justify)) {
     return;
   }
-  cur_view_ = std::max(cur_view_, msg->block->view);
+  if (msg->block->view > cur_view_) {
+    cur_view_ = msg->block->view;
+    JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
+  }
   consecutive_timeouts_ = 0;
   ArmViewTimer(cur_view_, 0);
   SendVote(HsPhase::kPrepare, msg->block->hash, msg->block->view);
@@ -238,6 +245,7 @@ void HotStuffReplica::OnQc(NodeId from, const std::shared_ptr<const HsQcMsg>& ms
     case HsPhase::kPreCommit:
       if (qc.view >= locked_qc_.view) {
         locked_qc_ = qc;  // Lock.
+        JournalEvent(obs::JournalKind::kLockUpdate, qc.view, JournalHash(qc.hash));
       }
       SendVote(HsPhase::kCommit, qc.hash, qc.view);
       return;

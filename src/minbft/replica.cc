@@ -11,6 +11,7 @@ MinBftReplica::MinBftReplica(const ReplicaContext& ctx, bool /*initial_launch*/)
 }
 
 void MinBftReplica::OnStart() {
+  JournalEvent(obs::JournalKind::kViewEnter, epoch_);
   ArmViewTimer(epoch_, 0);
   if (LeaderOfEpoch(epoch_) == id()) {
     host().SetTimer(Ms(1), [this] { TryPropose(); });
@@ -135,6 +136,7 @@ void MinBftReplica::TryFinalize(const Hash256& hash) {
 void MinBftReplica::OnViewTimeout(View /*view*/) {
   ++consecutive_timeouts_;
   ++epoch_;
+  JournalEvent(obs::JournalKind::kViewEnter, epoch_);
   proposal_outstanding_ = false;
   candidates_.clear();
   ArmViewTimer(epoch_, consecutive_timeouts_);
@@ -187,7 +189,11 @@ void MinBftReplica::OnEpochChange(NodeId from, const MinEpochChangeMsg& msg) {
   if (base == nullptr) {
     return;
   }
-  epoch_ = msg.new_epoch;
+  if (msg.new_epoch > epoch_) {
+    epoch_ = msg.new_epoch;
+    JournalEvent(obs::JournalKind::kViewEnter, epoch_);
+  }
+  JournalEvent(obs::JournalKind::kLeaderElected, epoch_, id());
   ec_done_epoch_plus1_ = epoch_ + 1;
   last_proposed_ = base;
   proposal_outstanding_ = false;

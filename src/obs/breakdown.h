@@ -43,13 +43,15 @@ struct Path {
   SimTime origin = 0;         // Virtual time attribution started.
   SimTime covered_until = 0;  // origin + sum(parts); the invariant frontier.
   std::array<int64_t, kNumComponents> parts{};
-  uint64_t span = 0;  // Trace span id of the current context (for parent links).
+  uint64_t span = 0;     // Trace span id of the current context (for parent links).
+  uint64_t jparent = 0;  // Flight-recorder seq of the causal parent (src/obs/journal.h).
 
   void Restart(SimTime now, uint64_t span_id = 0) {
     origin = now;
     covered_until = now;
     parts.fill(0);
     span = span_id;
+    jparent = 0;
   }
 
   void Extend(Component c, SimDuration d) {

@@ -1,0 +1,62 @@
+// Incident forensics over a flight-recorder journal (src/obs/journal.h). When a chaos
+// oracle fires, the analyzer walks the journals backwards from the violating evidence and
+// produces a human-readable report: the causal chain of events that led to the violation,
+// the divergence point between incarnations of a rebooted replica, and which invariant
+// predicate first went false. Pure function of (journal, query) — deterministic, so golden
+// reports are testable.
+#ifndef SRC_OBS_FORENSICS_H_
+#define SRC_OBS_FORENSICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/journal.h"
+
+namespace achilles {
+namespace obs {
+
+// What the caller (the chaos runner) knows about the violation. `oracle` is the oracle
+// family name: "agreement", "durability", "counter", "freshness", or "liveness".
+struct IncidentQuery {
+  std::string oracle;
+  std::string description;      // The oracle's verbatim violation text.
+  uint32_t node = UINT32_MAX;   // Primary offending replica, when the oracle names one.
+  uint64_t height = 0;          // Conflicting height (agreement/durability).
+  SimTime at = 0;               // Violation time (0 = unknown).
+  std::string protocol;
+  uint64_t seed = 0;
+  std::vector<uint32_t> exclude;  // Byzantine nodes: ignored by the invariant re-check.
+};
+
+struct IncidentReport {
+  std::string text;             // The full rendered report.
+
+  // Structured findings (what the golden tests pin down):
+  uint32_t replica = UINT32_MAX;     // The replica the evidence points at.
+  uint64_t evidence_seq = 0;         // Journal seq of the violating evidence event.
+  std::string first_violated;        // Name of the first invariant predicate gone false.
+  uint64_t first_violated_seq = 0;   // Where it went false (0 = none re-established).
+  uint64_t divergence_seq = 0;       // Divergence point between incarnations (0 = none).
+  std::vector<uint64_t> causal_chain;  // Evidence-first parent walk (journal seqs).
+  // Freshness details: the nonce the recovery consumed vs the latest round's nonce.
+  uint64_t consumed_nonce = 0;
+  uint64_t fresh_nonce = 0;
+  uint64_t stale_round_index = 0;    // 1-based request-round index the stale nonce came from.
+  uint64_t final_round_index = 0;    // 1-based index of the latest round before completion.
+};
+
+// Re-checks the journal against generic invariant predicates and assembles the report.
+// Predicates (first violation by journal order wins):
+//   counter-monotonicity   — per-node counter write/read values never regress.
+//   commit-agreement       — height -> block-hash prefix is write-once across honest nodes.
+//   recovery-freshness     — a recovery exit consumes the nonce of its *latest* request
+//                            round (Algorithm 3's freshness rule).
+//   stale-seal-accepted    — an unseal served a stale version and the same incarnation went
+//                            on with protocol work without a rollback-reject/halt.
+IncidentReport AnalyzeIncident(const Journal& journal, const IncidentQuery& query);
+
+}  // namespace obs
+}  // namespace achilles
+
+#endif  // SRC_OBS_FORENSICS_H_

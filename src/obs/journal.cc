@@ -1,0 +1,202 @@
+#include "src/obs/journal.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/crypto/sha256.h"
+#include "src/obs/trace.h"
+
+namespace achilles {
+namespace obs {
+
+const char* JournalKindName(JournalKind kind) {
+  switch (kind) {
+    case JournalKind::kBoot:
+      return "boot";
+    case JournalKind::kCrash:
+      return "crash";
+    case JournalKind::kStall:
+      return "stall";
+    case JournalKind::kSend:
+      return "send";
+    case JournalKind::kDeliver:
+      return "deliver";
+    case JournalKind::kEcall:
+      return "ecall";
+    case JournalKind::kSeal:
+      return "seal";
+    case JournalKind::kUnseal:
+      return "unseal";
+    case JournalKind::kCounterWrite:
+      return "counter-write";
+    case JournalKind::kCounterRead:
+      return "counter-read";
+    case JournalKind::kRollbackReject:
+      return "rollback-reject";
+    case JournalKind::kHalt:
+      return "halt";
+    case JournalKind::kViewEnter:
+      return "view-enter";
+    case JournalKind::kLeaderElected:
+      return "leader-elected";
+    case JournalKind::kLockUpdate:
+      return "lock-update";
+    case JournalKind::kPropose:
+      return "propose";
+    case JournalKind::kCommit:
+      return "commit";
+    case JournalKind::kCheckpoint:
+      return "checkpoint";
+    case JournalKind::kRecoveryEnter:
+      return "recovery-enter";
+    case JournalKind::kRecoveryRound:
+      return "recovery-round";
+    case JournalKind::kRecoveryExit:
+      return "recovery-exit";
+    case JournalKind::kOracleViolation:
+      return "oracle-violation";
+  }
+  return "?";
+}
+
+bool JournalKindIsFlow(JournalKind kind) {
+  return kind == JournalKind::kSend || kind == JournalKind::kDeliver ||
+         kind == JournalKind::kEcall;
+}
+
+std::string JournalRecord::ToLine() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "#%06llu t=%lld n%u/%u %s p=#%06llu a=%llu b=%llu",
+                static_cast<unsigned long long>(seq), static_cast<long long>(ts), node,
+                incarnation, JournalKindName(kind),
+                static_cast<unsigned long long>(parent), static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  std::string line(buf);
+  if (!detail.empty()) {
+    line += ' ';
+    line += detail;
+  }
+  return line;
+}
+
+Journal::Journal(size_t control_capacity, size_t flow_capacity)
+    : control_capacity_(std::max<size_t>(1, control_capacity)),
+      flow_capacity_(std::max<size_t>(1, flow_capacity)) {}
+
+Journal::NodeRings& Journal::RingsFor(uint32_t node) {
+  if (node >= nodes_.size()) {
+    nodes_.resize(node + 1);
+  }
+  return nodes_[node];
+}
+
+uint64_t Journal::Record(uint32_t node, JournalKind kind, SimTime ts, uint64_t parent,
+                         uint64_t a, uint64_t b, std::string detail) {
+  if (!enabled_) {
+    return 0;
+  }
+  NodeRings& rings = RingsFor(node);
+  if (kind == JournalKind::kBoot) {
+    ++rings.incarnation;
+  }
+  JournalRecord record;
+  record.seq = next_seq_++;
+  record.ts = ts;
+  record.node = node;
+  record.incarnation = rings.incarnation;
+  record.kind = kind;
+  record.parent = parent;
+  record.a = a;
+  record.b = b;
+  record.detail = std::move(detail);
+  std::deque<JournalRecord>& ring = JournalKindIsFlow(kind) ? rings.flow : rings.control;
+  const size_t capacity = JournalKindIsFlow(kind) ? flow_capacity_ : control_capacity_;
+  if (ring.size() >= capacity) {
+    ring.pop_front();
+    ++evicted_;
+  }
+  const uint64_t seq = record.seq;
+  ring.push_back(std::move(record));
+  ++recorded_;
+  return seq;
+}
+
+uint32_t Journal::incarnation(uint32_t node) const {
+  return node < nodes_.size() ? nodes_[node].incarnation : 0;
+}
+
+std::vector<JournalRecord> Journal::NodeEvents(uint32_t node) const {
+  std::vector<JournalRecord> out;
+  if (node >= nodes_.size()) {
+    return out;
+  }
+  const NodeRings& rings = nodes_[node];
+  out.reserve(rings.control.size() + rings.flow.size());
+  out.insert(out.end(), rings.control.begin(), rings.control.end());
+  out.insert(out.end(), rings.flow.begin(), rings.flow.end());
+  std::sort(out.begin(), out.end(),
+            [](const JournalRecord& x, const JournalRecord& y) { return x.seq < y.seq; });
+  return out;
+}
+
+std::vector<JournalRecord> Journal::Events() const {
+  std::vector<JournalRecord> out;
+  out.reserve(live());
+  for (const NodeRings& rings : nodes_) {
+    out.insert(out.end(), rings.control.begin(), rings.control.end());
+    out.insert(out.end(), rings.flow.begin(), rings.flow.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JournalRecord& x, const JournalRecord& y) { return x.seq < y.seq; });
+  return out;
+}
+
+size_t Journal::live() const {
+  size_t total = 0;
+  for (const NodeRings& rings : nodes_) {
+    total += rings.control.size() + rings.flow.size();
+  }
+  return total;
+}
+
+std::string Journal::ToText() const {
+  const std::vector<JournalRecord> events = Events();
+  std::string out = "journal nodes=" + std::to_string(nodes_.size()) +
+                    " recorded=" + std::to_string(recorded_) +
+                    " evicted=" + std::to_string(evicted_) + "\n";
+  for (const JournalRecord& record : events) {
+    out += record.ToLine();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Journal::DigestHex() const {
+  const std::string text = ToText();
+  const Hash256 digest =
+      Sha256Digest(ByteView(reinterpret_cast<const uint8_t*>(text.data()), text.size()));
+  return HashToHex(digest);
+}
+
+void Journal::AnnotateTracer(SpanTracer* tracer) const {
+  if (tracer == nullptr || !tracer->enabled()) {
+    return;
+  }
+  for (const JournalRecord& record : Events()) {
+    if (JournalKindIsFlow(record.kind)) {
+      continue;
+    }
+    tracer->Instant(JournalKindName(record.kind), record.node, record.ts, /*parent=*/0,
+                    /*arg=*/record.a);
+  }
+}
+
+void Journal::Clear() {
+  nodes_.clear();
+  next_seq_ = 1;
+  recorded_ = 0;
+  evicted_ = 0;
+}
+
+}  // namespace obs
+}  // namespace achilles

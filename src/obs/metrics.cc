@@ -58,6 +58,13 @@ double Histogram::Percentile(double p) const {
   }
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  // The extreme ranks are the recorded extremes exactly, for every population shape.
+  if (rank <= 0.0) {
+    return static_cast<double>(min_);
+  }
+  if (rank >= static_cast<double>(count_ - 1)) {
+    return static_cast<double>(max_);
+  }
   uint64_t seen = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
     if (buckets_[i] == 0) {
@@ -65,15 +72,20 @@ double Histogram::Percentile(double p) const {
     }
     const uint64_t in_bucket = buckets_[i];
     if (rank < static_cast<double>(seen + in_bucket)) {
-      // Interpolate within the bucket, clamped to the observed extremes so single-bucket
-      // distributions report exact values.
-      const double frac =
-          in_bucket == 1 ? 0.0 : (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket - 1);
+      // Interpolate within the bucket's value range, clamped to the observed extremes. The
+      // representable range is [lo, hi] inclusive (upper bound is exclusive, hence -1). A
+      // single-occupant interior bucket reports the range midpoint — not a bucket edge,
+      // which would bias log-bucket quantiles by up to 2x at bucket boundaries.
       const double lo = std::max<double>(static_cast<double>(BucketLowerBound(i)),
                                          static_cast<double>(min_));
-      const double hi = std::min<double>(static_cast<double>(BucketUpperBound(i)),
-                                         static_cast<double>(max_) + 1.0);
-      return lo + frac * (hi - 1.0 - lo);
+      const double hi = std::min<double>(static_cast<double>(BucketUpperBound(i)) - 1.0,
+                                         static_cast<double>(max_));
+      if (in_bucket == 1) {
+        return (lo + hi) / 2.0;
+      }
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket - 1);
+      return lo + frac * (hi - lo);
     }
     seen += in_bucket;
   }

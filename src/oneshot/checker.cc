@@ -36,8 +36,13 @@ std::unique_ptr<OneShotChecker> OneShotChecker::Restore(EnclaveRuntime* enclave,
     return nullptr;
   }
   MonotonicCounter& counter = enclave->platform().counter();
-  if (counter.spec().enabled() && *version != counter.ReadBlocking()) {
-    return nullptr;  // Rollback detected.
+  if (counter.spec().enabled()) {
+    const uint64_t expected = counter.ReadBlocking();
+    if (*version != expected) {
+      enclave->platform().host().JournalEvent(obs::JournalKind::kRollbackReject, *version,
+                                              expected, kSealSlot);
+      return nullptr;  // Rollback detected.
+    }
   }
   auto checker =
       std::unique_ptr<OneShotChecker>(new OneShotChecker(enclave, n, f, /*restored=*/true));

@@ -26,6 +26,7 @@ OneShotReplica::OneShotReplica(const ReplicaContext& ctx, bool initial_launch)
 
 void OneShotReplica::OnStart() {
   if (checker_ == nullptr) {
+    JournalEvent(obs::JournalKind::kHalt);
     return;
   }
   AdvanceViaNewView(std::max<View>(1, checker_->vi() + 1));
@@ -55,7 +56,10 @@ void OneShotReplica::AdvanceViaNewView(View target) {
   if (!cert) {
     return;
   }
-  cur_view_ = std::max(cur_view_, target);
+  if (target > cur_view_) {
+    cur_view_ = target;
+    JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
+  }
   ArmViewTimer(cur_view_, consecutive_timeouts_);
   auto msg = std::make_shared<OsNewViewMsg>();
   msg->view_cert = *cert;
@@ -76,6 +80,7 @@ void OneShotReplica::EnterViewAfterCommit(View new_view,
     return;
   }
   cur_view_ = new_view;
+  JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
   consecutive_timeouts_ = 0;
   ArmViewTimer(cur_view_, 0);
   const NodeId next_leader = LeaderOf(new_view);
@@ -153,7 +158,10 @@ void OneShotReplica::TryProposeSlow(View w) {
 
 void OneShotReplica::FinishProposal(View w, const BlockPtr& block, const SignedCert& cert,
                                     bool fast) {
-  cur_view_ = std::max(cur_view_, w);
+  if (w > cur_view_) {
+    cur_view_ = w;
+    JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
+  }
   proposed_hash_[w] = block->hash;
   store_.Add(block);
   MarkProposed(block);
@@ -193,7 +201,10 @@ void OneShotReplica::OnPropose(NodeId from, const std::shared_ptr<const OsPropos
     if (!vote) {
       return;
     }
-    cur_view_ = std::max(cur_view_, v);
+    if (v > cur_view_) {
+      cur_view_ = v;
+      JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
+    }
     consecutive_timeouts_ = 0;
     ArmViewTimer(cur_view_, 0);
     auto out = std::make_shared<OsCommitVoteMsg>();
@@ -205,7 +216,10 @@ void OneShotReplica::OnPropose(NodeId from, const std::shared_ptr<const OsPropos
   if (!vote) {
     return;
   }
-  cur_view_ = std::max(cur_view_, v);
+  if (v > cur_view_) {
+    cur_view_ = v;
+    JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
+  }
   consecutive_timeouts_ = 0;
   ArmViewTimer(cur_view_, 0);
   auto out = std::make_shared<OsVote1Msg>();

@@ -12,6 +12,7 @@ RaftReplica::RaftReplica(const ReplicaContext& ctx, bool /*initial_launch*/)
 
 void RaftReplica::OnStart() {
   term_ = 1;
+  JournalEvent(obs::JournalKind::kViewEnter, term_);
   if (id() == 0) {
     // Node 0 bootstraps as the initial leader (deterministic start); elections take over on
     // any failure.
@@ -40,6 +41,7 @@ void RaftReplica::OnViewTimeout(View /*view*/) {}
 void RaftReplica::StartElection() {
   role_ = Role::kCandidate;
   ++term_;
+  JournalEvent(obs::JournalKind::kViewEnter, term_);
   voted_in_term_ = term_;  // Vote for self.
   votes_received_ = 1;
   auto req = std::make_shared<RaftVoteReqMsg>();
@@ -52,7 +54,10 @@ void RaftReplica::StartElection() {
 
 void RaftReplica::BecomeFollower(uint64_t term) {
   role_ = Role::kFollower;
-  term_ = std::max(term_, term);
+  if (term > term_) {
+    term_ = term;
+    JournalEvent(obs::JournalKind::kViewEnter, term_);
+  }
   set_client_replies_enabled(false);
   if (heartbeat_timer_ != 0) {
     host().CancelTimer(heartbeat_timer_);
@@ -63,6 +68,7 @@ void RaftReplica::BecomeFollower(uint64_t term) {
 
 void RaftReplica::BecomeLeader() {
   role_ = Role::kLeader;
+  JournalEvent(obs::JournalKind::kLeaderElected, term_, id());
   set_client_replies_enabled(true);
   if (election_timer_ != 0) {
     host().CancelTimer(election_timer_);

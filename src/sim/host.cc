@@ -11,11 +11,23 @@ void Host::AttachMetrics(obs::MetricsRegistry* registry) {
   queue_wait_ns_ = registry->GetHistogram("host.queue_wait_ns");
 }
 
+uint64_t Host::JournalEvent(obs::JournalKind kind, uint64_t a, uint64_t b,
+                            std::string detail) {
+  if (journal_ == nullptr || !journal_->enabled()) {
+    return 0;
+  }
+  return journal_->Record(id_, kind, LocalNow(), cur_path_.jparent, a, b,
+                          std::move(detail));
+}
+
 void Host::BindProcess(std::unique_ptr<IProcess> process) {
   ACHILLES_CHECK(!process_);
   process_ = std::move(process);
   up_ = true;
   cpu_free_at_ = sim_->Now();
+  if (journal_ != nullptr && journal_->enabled()) {
+    journal_->Record(id_, obs::JournalKind::kBoot, sim_->Now(), 0, epoch_);
+  }
   if (lifecycle_) {
     lifecycle_(id_, "boot");
   }
@@ -40,6 +52,9 @@ void Host::Crash() {
     sim_->Cancel(event_id);
   }
   timers_.clear();
+  if (journal_ != nullptr && journal_->enabled()) {
+    journal_->Record(id_, obs::JournalKind::kCrash, sim_->Now(), 0, epoch_);
+  }
   if (lifecycle_) {
     lifecycle_(id_, "crash");
   }
@@ -52,6 +67,10 @@ void Host::InjectStall(SimDuration d) {
   }
   // A stall is just a handler that burns CPU: everything queued behind it (and any arrival
   // during the stall) waits it out, exactly like a long GC pause would behave.
+  if (journal_ != nullptr && journal_->enabled()) {
+    journal_->Record(id_, obs::JournalKind::kStall, sim_->Now(), 0,
+                     static_cast<uint64_t>(d));
+  }
   Enqueue([this, d] { ChargeCpu(d); }, "stall");
 }
 
@@ -76,11 +95,20 @@ void Host::DeliverAt(SimTime arrival, uint32_t from, MessageRef msg, const obs::
     if (!up_ || !process_) {
       return;
     }
+    // Flight recorder: one deliver event per accepted arrival, parented to the send that
+    // produced it (the seq rides in the path); the handler it queues inherits the deliver
+    // event as its causal context.
+    uint64_t jctx = 0;
+    if (journal_ != nullptr && journal_->enabled()) {
+      jctx = journal_->Record(id_, obs::JournalKind::kDeliver, sim_->Now(),
+                              p != nullptr ? p->jparent : 0, from, msg->WireSize(),
+                              msg->TraceName());
+    }
     auto fn = [this, from, msg] { process_->OnMessage(from, msg); };
     if (p != nullptr) {
-      EnqueueWithPath(std::move(fn), msg->TraceName(), *p);
+      EnqueueWithPath(std::move(fn), msg->TraceName(), *p, jctx);
     } else {
-      Enqueue(std::move(fn), msg->TraceName());
+      Enqueue(std::move(fn), msg->TraceName(), jctx);
     }
   };
   if (path != nullptr) {
@@ -117,7 +145,9 @@ obs::Path Host::SendPath() const {
 
 void Host::RestartPathAt(SimTime origin) {
   const uint64_t span = cur_path_.span;
+  const uint64_t jparent = cur_path_.jparent;  // Same handler context, same causal parent.
   cur_path_.Restart(origin, span);
+  cur_path_.jparent = jparent;
   // Any handler time already spent past `origin` (e.g. building the block that defines the
   // proposal point) is CPU service; re-covering it keeps sum(parts) == LocalNow - origin.
   cur_path_.CoverUntil(obs::Component::kCpu, LocalNow());
@@ -147,13 +177,14 @@ void Host::CancelTimer(uint64_t timer_id) {
   }
 }
 
-void Host::Enqueue(std::function<void()> fn, const char* name) {
-  queue_.push_back(Work{std::move(fn), name, obs::Path{}, /*has_path=*/false});
+void Host::Enqueue(std::function<void()> fn, const char* name, uint64_t jctx) {
+  queue_.push_back(Work{std::move(fn), name, obs::Path{}, /*has_path=*/false, jctx});
   ScheduleDrain();
 }
 
-void Host::EnqueueWithPath(std::function<void()> fn, const char* name, const obs::Path& path) {
-  queue_.push_back(Work{std::move(fn), name, path, /*has_path=*/true});
+void Host::EnqueueWithPath(std::function<void()> fn, const char* name, const obs::Path& path,
+                           uint64_t jctx) {
+  queue_.push_back(Work{std::move(fn), name, path, /*has_path=*/true, jctx});
   ScheduleDrain();
 }
 
@@ -187,6 +218,8 @@ void Host::DrainOne() {
   } else {
     cur_path_.Restart(start);  // Timer/start handlers begin a fresh causal chain.
   }
+  // The handler's journal parent is its deliver event (path-less deliveries included).
+  cur_path_.jparent = work.jctx;
   // Run-queue wait between arrival (the path frontier) and handler start.
   if (queue_wait_ns_ != nullptr && start > cur_path_.covered_until) {
     queue_wait_ns_->Record(start - cur_path_.covered_until);

@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "src/obs/breakdown.h"
+#include "src/obs/journal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/process.h"
@@ -95,6 +96,18 @@ class Host {
 
   void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
   obs::SpanTracer* tracer() const { return tracer_; }
+  // Flight recorder (src/obs/journal.h). Lifecycle, delivery, and TEE hooks record into it;
+  // like the tracer, recording is memory-only and never perturbs virtual time.
+  void set_journal(obs::Journal* journal) { journal_ = journal; }
+  obs::Journal* journal() const { return journal_; }
+  // Journal seq of the event that caused the running handler (the deliver/send chain);
+  // 0 outside a handler or when journaling is off. New records made by the handler use it
+  // as their causal parent.
+  uint64_t current_jparent() const { return cur_path_.jparent; }
+  // Records a journal event on this host's track at LocalNow(), parented to the running
+  // handler's causal context. Returns the seq (0 when journaling is off).
+  uint64_t JournalEvent(obs::JournalKind kind, uint64_t a = 0, uint64_t b = 0,
+                        std::string detail = {});
   // Registers this host's hot-path instruments (shared across hosts by metric name).
   void AttachMetrics(obs::MetricsRegistry* registry);
 
@@ -104,10 +117,12 @@ class Host {
     const char* name;  // Trace span label (static string).
     obs::Path path;
     bool has_path;
+    uint64_t jctx = 0;  // Journal seq of the deliver event that queued this work.
   };
 
-  void Enqueue(std::function<void()> fn, const char* name);
-  void EnqueueWithPath(std::function<void()> fn, const char* name, const obs::Path& path);
+  void Enqueue(std::function<void()> fn, const char* name, uint64_t jctx = 0);
+  void EnqueueWithPath(std::function<void()> fn, const char* name, const obs::Path& path,
+                       uint64_t jctx = 0);
   void ScheduleDrain();
   void DrainOne();
 
@@ -127,6 +142,7 @@ class Host {
   obs::Path cur_path_;
   LifecycleListener lifecycle_;
   obs::SpanTracer* tracer_ = nullptr;
+  obs::Journal* journal_ = nullptr;
   obs::Histogram* handler_ns_ = nullptr;    // Per-handler CPU charge distribution.
   obs::Histogram* queue_wait_ns_ = nullptr; // Arrival -> handler-start wait distribution.
 

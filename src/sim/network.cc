@@ -49,6 +49,13 @@ SimTime Network::Send(uint32_t from, uint32_t to, MessageRef msg) {
   // Attribution: the sender's causal chain rides along with the delivery, extended by the
   // wire-level components computed below.
   obs::Path path = hosts_[from]->SendPath();
+  // Flight recorder: one send event parented to the sender's handler context; its seq
+  // rides in the path so the receiver's deliver event can point back at it.
+  obs::Journal* journal = hosts_[from]->journal();
+  if (journal != nullptr && journal->enabled()) {
+    path.jparent = journal->Record(from, obs::JournalKind::kSend, departure, path.jparent,
+                                   to, msg->WireSize(), msg->TraceName());
+  }
   if (from == to) {
     const SimTime arrival = departure + config_.loopback_delay;
     path.CoverUntil(obs::Component::kNetPropagation, arrival);

@@ -1,5 +1,7 @@
 #include "src/sim/simulation.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace achilles {
@@ -10,6 +12,7 @@ EventId Simulation::ScheduleAt(SimTime t, std::function<void()> fn) {
   ACHILLES_CHECK(t >= now_);
   const EventId id = next_id_++;
   heap_.push(Event{t, next_seq_++, id, std::move(fn)});
+  peak_pending_ = std::max(peak_pending_, heap_.size() - cancelled_.size());
   return id;
 }
 

@@ -46,6 +46,9 @@ class Simulation {
   Rng& rng() { return rng_; }
   size_t pending_events() const { return heap_.size() - cancelled_.size(); }
   uint64_t executed_events() const { return executed_; }
+  // High-water mark of pending_events() over the run (simulator self-profiling; cancelled
+  // entries still occupy heap slots until popped, so this tracks real memory pressure).
+  size_t peak_pending_events() const { return peak_pending_; }
 
  private:
   struct Event {
@@ -67,6 +70,7 @@ class Simulation {
   uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   uint64_t executed_ = 0;
+  size_t peak_pending_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::unordered_set<EventId> cancelled_;
   Rng rng_;

@@ -26,6 +26,7 @@ void EnclaveRuntime::ChargeEcall() {
   if (in_tee()) {
     platform_->host().ChargeCpuAs(obs::Component::kEcall, platform_->costs().ecall_round_trip);
     ++ecalls_;
+    platform_->host().JournalEvent(obs::JournalKind::kEcall, ecalls_);
   }
 }
 
@@ -96,11 +97,19 @@ void EnclaveRuntime::Seal(const std::string& slot, ByteView plaintext) {
   blob.Blob(ByteView(cipher.data(), cipher.size()));
   blob.Raw(ByteView(tag.data(), tag.size()));
   platform_->storage().Put(slot, blob.Take());
+  platform_->host().JournalEvent(obs::JournalKind::kSeal,
+                                 platform_->storage().NumVersions(slot), plaintext.size(),
+                                 slot);
 }
 
 std::optional<Bytes> EnclaveRuntime::Unseal(const std::string& slot) {
   platform_->host().ChargeCpuAs(obs::Component::kCrypto, platform_->costs().seal_op);
-  const std::optional<Bytes> blob = platform_->storage().Get(slot);
+  size_t served_version = 0;
+  const std::optional<Bytes> blob = platform_->storage().Get(slot, &served_version);
+  // Journal the served blob version against the newest one the OS holds: a served version
+  // below the latest IS the rollback attack, visible here before any checker logic runs.
+  platform_->host().JournalEvent(obs::JournalKind::kUnseal, served_version,
+                                 platform_->storage().NumVersions(slot), slot);
   if (!blob) {
     return std::nullopt;
   }

@@ -25,7 +25,9 @@ uint64_t MonotonicCounter::IncrementBlocking() {
     host_->ChargeCpuAs(obs::Component::kCounter, spec_.write_latency);
   }
   ++writes_;
-  return ++value_;
+  ++value_;
+  host_->JournalEvent(obs::JournalKind::kCounterWrite, value_);
+  return value_;
 }
 
 uint64_t MonotonicCounter::ReadBlocking() {
@@ -33,6 +35,7 @@ uint64_t MonotonicCounter::ReadBlocking() {
     host_->ChargeCpuAs(obs::Component::kCounter, spec_.read_latency);
   }
   ++reads_;
+  host_->JournalEvent(obs::JournalKind::kCounterRead, value_);
   return value_;
 }
 

@@ -28,8 +28,10 @@ class SealedStorage {
   // Stores a new version of `key` (history retained — the adversary can replay any of it).
   void Put(const std::string& key, Bytes blob);
 
-  // Returns the blob the OS chooses to serve, per the rollback mode.
-  std::optional<Bytes> Get(const std::string& key) const;
+  // Returns the blob the OS chooses to serve, per the rollback mode. `served_version`
+  // (optional) reports which version was handed out, 1-based (0 = nothing served) — the
+  // flight recorder uses it to make rollbacks visible (served < NumVersions = stale).
+  std::optional<Bytes> Get(const std::string& key, size_t* served_version = nullptr) const;
 
   // --- Adversary controls ---
   void SetRollbackMode(RollbackMode mode) { mode_ = mode; }

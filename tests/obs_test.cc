@@ -73,6 +73,73 @@ TEST(HistogramTest, PercentileEndpointsAndMonotonicity) {
   EXPECT_NEAR(h.Percentile(50), 500.0, 256.0);
 }
 
+TEST(HistogramTest, PercentileBucketBoundaryEdgeCases) {
+  // Single sample: every quantile is that sample, exactly — no bucket-edge bias.
+  {
+    obs::Histogram h;
+    h.Record(100);
+    EXPECT_DOUBLE_EQ(h.Percentile(0), 100.0);
+    EXPECT_DOUBLE_EQ(h.Percentile(50), 100.0);
+    EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+  }
+  // Two samples in different buckets: p0/p100 are the extremes; p50 must not jump past
+  // either extreme even though the rank falls between buckets.
+  {
+    obs::Histogram h;
+    h.Record(10);
+    h.Record(1000);
+    EXPECT_DOUBLE_EQ(h.Percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.Percentile(100), 1000.0);
+    const double p50 = h.Percentile(50);
+    EXPECT_GE(p50, 10.0);
+    EXPECT_LE(p50, 1000.0);
+  }
+  // All samples identical at a power of two (a bucket's lower edge): interpolation must
+  // report the value itself, not stretch across the [2^k, 2^(k+1)) range.
+  {
+    obs::Histogram h;
+    for (int i = 0; i < 100; ++i) {
+      h.Record(64);
+    }
+    for (double p : {0.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+      EXPECT_DOUBLE_EQ(h.Percentile(p), 64.0) << "p" << p;
+    }
+  }
+  // Samples at the last representable value of a bucket (2^k - 1): clamping to the
+  // observed extremes keeps every quantile at the value.
+  {
+    obs::Histogram h;
+    for (int i = 0; i < 10; ++i) {
+      h.Record(127);
+    }
+    EXPECT_DOUBLE_EQ(h.Percentile(50), 127.0);
+    EXPECT_DOUBLE_EQ(h.Percentile(99), 127.0);
+  }
+  // A lone sample in an interior bucket between crowds: its quantile lands inside that
+  // bucket's observed range, never at a neighbouring bucket edge.
+  {
+    obs::Histogram h;
+    for (int i = 0; i < 4; ++i) {
+      h.Record(2);
+    }
+    h.Record(40);  // Alone in bucket [32, 64).
+    for (int i = 0; i < 4; ++i) {
+      h.Record(1000);
+    }
+    const double p50 = h.Percentile(50);  // Rank 4 = the lone middle sample.
+    EXPECT_GE(p50, 32.0);
+    EXPECT_LT(p50, 64.0);
+  }
+  // Zeros are representable (bucket 0 is [0, 1)): all-zero population reports 0.
+  {
+    obs::Histogram h;
+    h.Record(0);
+    h.Record(0);
+    EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.Percentile(100), 0.0);
+  }
+}
+
 // --- Metrics registry ---
 
 TEST(MetricsRegistryTest, KeysAreCanonical) {

@@ -1,0 +1,330 @@
+// bench_all: runs every bench binary with --json-out and merges the per-bench reports
+// into one BENCH_summary.json for CI artifacts and cross-commit comparison.
+//
+// Usage: bench_all [--smoke] [--scale=F] [--bin-dir=DIR] [--out=PATH] [--only=SUBSTR]
+//
+//   --smoke        CI plumbing mode: exports ACHILLES_BENCH_SCALE=0.05 to the child
+//                  benches, which shrinks every measured window (src/harness/experiment.cc
+//                  applies the factor with floors). Numbers at smoke scale are for
+//                  checking that the pipeline works, not for quoting.
+//   --scale=F      Like --smoke with an explicit fraction in (0, 1).
+//   --bin-dir=DIR  Directory holding the bench_* binaries (default: auto-detected from
+//                  argv[0], assuming the CMake layout build/tools + build/bench).
+//   --out=PATH     Summary path (default BENCH_summary.json in the working directory).
+//   --only=SUBSTR  Run only benches whose name contains SUBSTR.
+//
+// The summary embeds, per bench: exit code, headline stats of the best-throughput run
+// (TPS, commit p50/p99, e2e p99, latency breakdown), the simulator self-profiling gauges
+// of that run, and the full per-bench report re-serialized verbatim. Plus one block of
+// run metadata: git commit/branch/dirty and the default CostModel the benches simulate.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/tee/cost_model.h"
+
+namespace achilles {
+namespace {
+
+const char* const kBenches[] = {
+    "bench_fig3_main",        "bench_fig4_saturation",  "bench_fig5_counter_sweep",
+    "bench_table1_comparison", "bench_table2_recovery", "bench_table3_profiling",
+    "bench_table4_counters",  "bench_ablation_achilles", "bench_context_protocols",
+    "bench_parallel_instances",
+};
+
+std::string Dirname(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+// Locates the bench binary: explicit --bin-dir wins, otherwise the sibling bench/
+// directory of this binary's location (CMake layout), then the working directory.
+std::string FindBinary(const std::string& bin_dir, const std::string& argv0_dir,
+                       const char* name) {
+  std::vector<std::string> candidates;
+  if (!bin_dir.empty()) {
+    candidates.push_back(bin_dir + "/" + name);
+  } else {
+    candidates.push_back(argv0_dir + "/../bench/" + name);
+    candidates.push_back(argv0_dir + "/" + name);
+    candidates.push_back(std::string("bench/") + name);
+    candidates.push_back(std::string("./") + name);
+  }
+  for (const std::string& candidate : candidates) {
+    if (access(candidate.c_str(), X_OK) == 0) {
+      return candidate;
+    }
+  }
+  return "";
+}
+
+std::string RunCommandLine(const std::string& cmd) {
+  std::string out;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    return out;
+  }
+  char buf[256];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) {
+    out += buf;
+  }
+  pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::string out;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return out;
+  }
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+// Re-serializes a parsed value through the writer (numbers round-trip as doubles, which
+// is how the bench reports emit them in the first place).
+void WriteValue(obs::JsonWriter& w, const obs::JsonValue& v) {
+  using Kind = obs::JsonValue::Kind;
+  switch (v.kind) {
+    case Kind::kNull:
+      w.Null();
+      break;
+    case Kind::kBool:
+      w.Bool(v.boolean);
+      break;
+    case Kind::kNumber:
+      w.Double(v.number);
+      break;
+    case Kind::kString:
+      w.String(v.string);
+      break;
+    case Kind::kArray:
+      w.BeginArray();
+      for (const obs::JsonValue& elem : v.array) {
+        WriteValue(w, elem);
+      }
+      w.EndArray();
+      break;
+    case Kind::kObject:
+      w.BeginObject();
+      for (const auto& [key, value] : v.object) {
+        w.Key(key);
+        WriteValue(w, value);
+      }
+      w.EndObject();
+      break;
+  }
+}
+
+double NumberOr(const obs::JsonValue* v, double fallback) {
+  return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+void WriteCostModel(obs::JsonWriter& w) {
+  const CostModel m = CostModel::Default();
+  w.KeyBeginObject("cost_model_default")
+      .Field("sign_ns", static_cast<int64_t>(m.sign))
+      .Field("verify_ns", static_cast<int64_t>(m.verify))
+      .Field("hash_ns_per_byte", m.hash_ns_per_byte)
+      .Field("hash_fixed_ns", static_cast<int64_t>(m.hash_fixed))
+      .Field("ecall_round_trip_ns", static_cast<int64_t>(m.ecall_round_trip))
+      .Field("enclave_crypto_factor", m.enclave_crypto_factor)
+      .Field("per_tx_execute_ns", static_cast<int64_t>(m.per_tx_execute))
+      .Field("per_tx_client_ns", static_cast<int64_t>(m.per_tx_client))
+      .Field("per_msg_handling_ns", static_cast<int64_t>(m.per_msg_handling))
+      .Field("seal_op_ns", static_cast<int64_t>(m.seal_op))
+      .Field("log_fsync_ns", static_cast<int64_t>(m.log_fsync))
+      .EndObject();
+}
+
+void WriteGitMetadata(obs::JsonWriter& w) {
+  const std::string commit = RunCommandLine("git rev-parse HEAD 2>/dev/null");
+  const std::string branch = RunCommandLine("git rev-parse --abbrev-ref HEAD 2>/dev/null");
+  const std::string dirty = RunCommandLine("git status --porcelain 2>/dev/null");
+  w.KeyBeginObject("git")
+      .Field("commit", commit.empty() ? "unknown" : commit)
+      .Field("branch", branch.empty() ? "unknown" : branch)
+      .Field("dirty", !dirty.empty())
+      .EndObject();
+}
+
+// Picks the run with the highest throughput and emits its headline stats, latency
+// breakdown, and the simulator self-profiling gauges recorded alongside it.
+void WriteHeadline(obs::JsonWriter& w, const obs::JsonValue& report) {
+  const obs::JsonValue* runs = report.Get("runs");
+  const size_t num_runs = (runs != nullptr && runs->is_array()) ? runs->array.size() : 0;
+  w.Field("runs", static_cast<uint64_t>(num_runs));
+  const obs::JsonValue* best = nullptr;
+  double best_tps = -1.0;
+  for (size_t i = 0; i < num_runs; ++i) {
+    const obs::JsonValue* stats = runs->array[i].Get("stats");
+    if (stats == nullptr) {
+      continue;
+    }
+    const double tps = NumberOr(stats->Get("throughput_tps"), -1.0);
+    if (tps > best_tps) {
+      best_tps = tps;
+      best = &runs->array[i];
+    }
+  }
+  if (best == nullptr) {
+    // Table-only bench (drives clusters manually); its results live in "report".
+    w.Key("peak").Null();
+    return;
+  }
+  const obs::JsonValue* stats = best->Get("stats");
+  w.KeyBeginObject("peak")
+      .Field("throughput_tps", NumberOr(stats->Get("throughput_tps"), 0.0))
+      .Field("commit_p50_ms", NumberOr(stats->Get("commit_p50_ms"), 0.0))
+      .Field("commit_p99_ms", NumberOr(stats->Get("commit_p99_ms"), 0.0))
+      .Field("e2e_latency_ms", NumberOr(stats->Get("e2e_latency_ms"), 0.0))
+      .Field("e2e_p99_ms", NumberOr(stats->Get("e2e_p99_ms"), 0.0));
+  if (const obs::JsonValue* breakdown = stats->Get("breakdown_ms")) {
+    w.Key("breakdown_ms");
+    WriteValue(w, *breakdown);
+  }
+  const obs::JsonValue* metrics = best->Get("metrics");
+  if (metrics != nullptr && metrics->is_object()) {
+    w.KeyBeginObject("sim");
+    for (const auto& [key, value] : metrics->object) {
+      if (key.rfind("sim.", 0) == 0) {
+        w.Key(key);
+        WriteValue(w, value);
+      }
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  double scale = 0.0;
+  std::string bin_dir;
+  std::string out_path = "BENCH_summary.json";
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+      scale = 0.05;
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      smoke = true;
+      scale = std::atof(arg.c_str() + 8);
+    } else if (arg.rfind("--bin-dir=", 0) == 0) {
+      bin_dir = arg.substr(10);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--only=", 0) == 0) {
+      only = arg.substr(7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_all [--smoke] [--scale=F] [--bin-dir=DIR] [--out=PATH] "
+                   "[--only=SUBSTR]\n");
+      return 2;
+    }
+  }
+  if (smoke) {
+    char scale_buf[32];
+    std::snprintf(scale_buf, sizeof(scale_buf), "%g", scale);
+    setenv("ACHILLES_BENCH_SCALE", scale_buf, /*overwrite=*/1);
+    std::printf("bench_all: smoke mode, ACHILLES_BENCH_SCALE=%s\n", scale_buf);
+  }
+  const std::string argv0_dir = Dirname(argv[0]);
+
+  obs::JsonWriter w;
+  w.BeginObject().Field("generated_by", "bench_all").Field("smoke", smoke);
+  if (smoke) {
+    w.Field("scale", scale);
+  }
+  WriteGitMetadata(w);
+  WriteCostModel(w);
+  w.KeyBeginArray("benches");
+
+  int failures = 0;
+  int ran = 0;
+  for (const char* name : kBenches) {
+    if (!only.empty() && std::strstr(name, only.c_str()) == nullptr) {
+      continue;
+    }
+    // BenchIo would default to BENCH_<name-without-prefix>.json; pass the path explicitly
+    // so the merge step does not depend on that convention.
+    const std::string json_path = std::string("BENCH_") + (name + std::strlen("bench_")) +
+                                  ".json";
+    w.BeginObject().Field("binary", name).Field("json_path", json_path);
+    const std::string binary = FindBinary(bin_dir, argv0_dir, name);
+    if (binary.empty()) {
+      std::fprintf(stderr, "bench_all: %s not found (use --bin-dir)\n", name);
+      w.Field("exit_code", static_cast<int64_t>(-1)).Field("error", "binary not found");
+      w.EndObject();
+      ++failures;
+      continue;
+    }
+    std::printf("=== bench_all: running %s ===\n", binary.c_str());
+    std::fflush(stdout);
+    const std::string cmd = binary + " --json-out=" + json_path;
+    const int rc = std::system(cmd.c_str());
+    w.Field("exit_code", static_cast<int64_t>(rc));
+    ++ran;
+    if (rc != 0) {
+      std::fprintf(stderr, "bench_all: %s exited with %d\n", name, rc);
+      w.EndObject();
+      ++failures;
+      continue;
+    }
+    const std::string text = ReadFile(json_path);
+    const std::optional<obs::JsonValue> report = obs::ParseJson(text);
+    if (!report.has_value() || !report->is_object()) {
+      std::fprintf(stderr, "bench_all: %s produced unparseable JSON at %s\n", name,
+                   json_path.c_str());
+      w.Field("error", "unparseable json").EndObject();
+      ++failures;
+      continue;
+    }
+    if (const obs::JsonValue* bench_name = report->Get("bench")) {
+      if (bench_name->is_string()) {
+        w.Field("bench", bench_name->string);
+      }
+    }
+    WriteHeadline(w, *report);
+    w.Key("report");
+    WriteValue(w, *report);
+    w.EndObject();
+  }
+  w.EndArray()
+      .Field("benches_run", static_cast<int64_t>(ran))
+      .Field("benches_failed", static_cast<int64_t>(failures))
+      .EndObject();
+
+  FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_all: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(w.str().data(), 1, w.str().size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("bench_all: wrote %s (%d bench(es), %d failure(s))\n", out_path.c_str(), ran,
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace achilles
+
+int main(int argc, char** argv) { return achilles::Main(argc, argv); }

@@ -9,6 +9,15 @@
 //                                                     # verify bit-identical re-execution
 //   chaos_main --replay-file chaos_seed_1234.script.txt
 //   chaos_main --minimize 1234
+//   chaos_main --broken recovery-nonce --seeds 1 --explain
+//                                                     # flight recorder + forensics: print
+//                                                     # the incident report for the caught
+//                                                     # violation
+//
+// --journal enables the deterministic flight recorder (journal dumped next to the other
+// failure artifacts; its digest is an independent replay fingerprint). --explain implies
+// --journal and additionally runs the forensics analyzer, printing a causal incident
+// report and exporting the journal as Perfetto instants.
 //
 // Exit status: honest sweeps fail (1) on any oracle violation; --broken sweeps invert —
 // they fail unless a violation IS found (the planted bug must be caught).
@@ -37,6 +46,7 @@ struct CliArgs {
   std::string replay_file;
   std::string out_dir = ".";
   bool verbose = false;
+  bool explain = false;
 };
 
 void Usage() {
@@ -44,7 +54,7 @@ void Usage() {
                "usage: chaos_main [--protocol NAME|all] [--seeds N] [--seed-base N]\n"
                "                  [--shard I/K] [--broken none|recovery-nonce|counter-compare]\n"
                "                  [--replay SEED] [--replay-file PATH] [--minimize SEED]\n"
-               "                  [--out-dir DIR] [--verbose]\n");
+               "                  [--out-dir DIR] [--journal] [--explain] [--verbose]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -110,6 +120,11 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* value = next();
       if (value == nullptr) return false;
       args->out_dir = value;
+    } else if (flag == "--journal") {
+      args->options.journal = true;
+    } else if (flag == "--explain") {
+      args->options.journal = true;
+      args->explain = true;
     } else if (flag == "--verbose") {
       args->verbose = true;
     } else {
@@ -137,6 +152,20 @@ void DumpFailure(const CliArgs& args, const ChaosResult& result) {
   WriteFile(stem + ".script.txt", result.Artifact().ToText());
   WriteFile(stem + ".log.txt", result.LogText());
   std::printf("  artifacts: %s.script.txt, %s.log.txt\n", stem.c_str(), stem.c_str());
+  if (!result.journal_text.empty()) {
+    WriteFile(stem + ".journal.txt", result.journal_text);
+    std::printf("  journal: %s.journal.txt (digest %s)\n", stem.c_str(),
+                result.journal_digest_hex.c_str());
+  }
+  if (!result.incident_report.empty()) {
+    WriteFile(stem + ".incident.txt", result.incident_report);
+    std::printf("  incident report: %s.incident.txt\n", stem.c_str());
+  }
+  if (!result.journal_trace_json.empty()) {
+    WriteFile(stem + ".journal.trace.json", result.journal_trace_json);
+    std::printf("  journal trace: %s.journal.trace.json (open in Perfetto)\n",
+                stem.c_str());
+  }
 }
 
 void MinimizeAndDump(const CliArgs& args, const ChaosResult& failure) {
@@ -175,8 +204,17 @@ void PrintResult(const ChaosResult& result, bool with_log) {
   std::printf("  final height %llu, log digest %s\n",
               static_cast<unsigned long long>(result.final_height),
               result.log_digest_hex.c_str());
+  if (!result.journal_digest_hex.empty()) {
+    std::printf("  journal digest %s\n", result.journal_digest_hex.c_str());
+  }
   if (with_log) {
     std::fputs(result.LogText().c_str(), stdout);
+  }
+}
+
+void MaybeExplain(const CliArgs& args, const ChaosResult& result) {
+  if (args.explain && !result.incident_report.empty()) {
+    std::fputs(result.incident_report.c_str(), stdout);
   }
 }
 
@@ -191,8 +229,17 @@ int ReplaySeed(const CliArgs& args, uint64_t seed) {
     return 1;
   }
   std::printf("replay digest matches (%s)\n", first.log_digest_hex.c_str());
+  if (args.options.journal) {
+    if (first.journal_digest_hex != second.journal_digest_hex) {
+      std::printf("JOURNAL MISMATCH: %s vs %s — the flight recorder is nondeterministic\n",
+                  first.journal_digest_hex.c_str(), second.journal_digest_hex.c_str());
+      return 1;
+    }
+    std::printf("journal digest matches (%s)\n", first.journal_digest_hex.c_str());
+  }
   if (!first.ok) {
     DumpFailure(args, first);
+    MaybeExplain(args, first);
     return 1;
   }
   return 0;
@@ -219,6 +266,7 @@ int ReplayFile(const CliArgs& args) {
   ChaosResult result = RunChaosScript(args.options, artifact.seed, protocol, artifact.f,
                                       artifact.script);
   PrintResult(result, args.verbose);
+  MaybeExplain(args, result);
   return result.ok ? 0 : 1;
 }
 
@@ -231,6 +279,7 @@ int MinimizeSeed(const CliArgs& args, uint64_t seed) {
     return 0;
   }
   DumpFailure(args, result);
+  MaybeExplain(args, result);
   MinimizeAndDump(args, result);
   return 1;
 }
@@ -255,9 +304,11 @@ int Sweep(const CliArgs& args) {
                     BrokenVariantName(args.options.broken),
                     static_cast<unsigned long long>(ran),
                     static_cast<unsigned long long>(seed));
+        MaybeExplain(args, result);
         return 0;
       }
       DumpFailure(args, result);
+      MaybeExplain(args, result);
       failures.push_back(std::move(result));
       if (failures.size() >= 3) {
         std::printf("stopping after %zu failures\n", failures.size());
