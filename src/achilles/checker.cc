@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/serde.h"
+
 namespace achilles {
 
 std::string AchRpyDomain(NodeId requester) {
@@ -16,6 +18,18 @@ AchillesChecker::AchillesChecker(EnclaveRuntime* enclave, uint32_t n, uint32_t f
       recovering_(!initial_launch),
       break_nonce_check_(break_nonce_check) {
   preph_ = Block::Genesis()->hash;  // (prepv, preph) = (0, H(G)), Algorithm 2 line 3.
+}
+
+void AchillesChecker::RecordStateUpdate() {
+  // Same snapshot shape the counter-based checkers seal, but written to an explicitly
+  // volatile store: the durability class *is* the design statement (see persist.h).
+  ByteWriter w;
+  w.U64(vi_);
+  w.U8(static_cast<uint8_t>(flag_ ? 1 : 0));
+  w.U64(prepv_);
+  w.Raw(ByteView(preph_.data(), preph_.size()));
+  state_store_.Put("achilles-checker", ByteView(w.bytes().data(), w.bytes().size()));
+  ++state_updates_;
 }
 
 SignedCert AchillesChecker::MakeCert(const char* domain, const Hash256& hash, View view,
@@ -51,7 +65,7 @@ std::optional<SignedCert> AchillesChecker::TeePrepare(const Block& b,
     return std::nullopt;
   }
   flag_ = true;
-  ++state_updates_;
+  RecordStateUpdate();
   return MakeCert(kAchProp, b.hash, vi_);
 }
 
@@ -77,7 +91,7 @@ std::optional<SignedCert> AchillesChecker::TeePrepare(const Block& b,
   }
   vi_ = new_view;
   flag_ = true;
-  ++state_updates_;
+  RecordStateUpdate();
   return MakeCert(kAchProp, b.hash, vi_);
 }
 
@@ -108,7 +122,7 @@ std::optional<SignedCert> AchillesChecker::TeeStore(const SignedCert& block_cert
     vi_ = v;
     flag_ = false;
   }
-  ++state_updates_;
+  RecordStateUpdate();
   return MakeCert(kAchCommit, block_cert.hash, v);
 }
 
@@ -157,7 +171,7 @@ std::optional<SignedCert> AchillesChecker::TeeView(View target) {
   }
   vi_ = target;
   flag_ = false;
-  ++state_updates_;
+  RecordStateUpdate();
   return MakeCert(kAchNewView, preph_, prepv_, /*aux=*/target);
 }
 
@@ -246,7 +260,7 @@ std::optional<SignedCert> AchillesChecker::TeeRecover(const SignedCert& leader_r
   preph_ = leader_reply.hash;
   recovering_ = false;
   nonce_armed_ = false;
-  ++state_updates_;
+  RecordStateUpdate();
   return MakeCert(kAchNewView, preph_, prepv_, /*aux=*/vi_);
 }
 

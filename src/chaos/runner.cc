@@ -86,24 +86,25 @@ void EnsureBrokenTrigger(BrokenVariant broken, FaultScript* script) {
     }
     std::fill(script->byzantine.begin(), script->byzantine.end(), ByzantineMode::kNone);
     script->events.clear();
-    const uint64_t latest = static_cast<uint64_t>(RollbackMode::kLatest);
+    const uint64_t honest = EncodeStorageFate(StorageFate{});
     script->events.push_back({Ms(300), FaultKind::kCrash, victim, 0, 0});
-    script->events.push_back({Ms(420), FaultKind::kReboot, victim, 0, latest});
+    script->events.push_back({Ms(420), FaultKind::kReboot, victim, 0, honest});
     script->events.push_back({Ms(900), FaultKind::kCrash, victim, 0, 0});
     script->events.push_back({Ms(901), FaultKind::kStaleRecoveryReplay, victim, 0, 0});
-    script->events.push_back({Ms(905), FaultKind::kReboot, victim, 0, latest});
+    script->events.push_back({Ms(905), FaultKind::kReboot, victim, 0, honest});
   } else if (broken == BrokenVariant::kCounterCompare) {
     for (const FaultEvent& event : script->events) {
       if (event.kind == FaultKind::kReboot &&
-          event.arg == static_cast<uint64_t>(RollbackMode::kOldest)) {
+          DecodeStorageFate(event.arg).sealed == SealedFate::kStale) {
         return;
       }
     }
     std::fill(script->byzantine.begin(), script->byzantine.end(), ByzantineMode::kNone);
     script->events.clear();
     script->events.push_back({Ms(400), FaultKind::kCrash, victim, 0, 0});
-    script->events.push_back({Ms(520), FaultKind::kReboot, victim, 0,
-                              static_cast<uint64_t>(RollbackMode::kOldest)});
+    script->events.push_back(
+        {Ms(520), FaultKind::kReboot, victim, 0,
+         EncodeStorageFate({storage::WalFate::kIntact, SealedFate::kStale})});
   }
 }
 
@@ -175,6 +176,7 @@ ChaosResult RunChaosSeed(const ChaosOptions& options, uint64_t seed) {
   params.f = f;
   params.heal_at = options.heal_at;
   params.liveness_window = options.liveness_window;
+  params.reboot_prob = options.reboot_prob;
   FaultScript script = SampleFaultScript(params, rng);
   if (options.broken != BrokenVariant::kNone) {
     EnsureBrokenTrigger(options.broken, &script);
@@ -248,6 +250,11 @@ ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol 
               if (record.requests.empty() ||
                   record.requests.back().second != req->request.aux) {
                 record.requests.emplace_back(arrival, req->request.aux);
+              } else if (arrival < record.requests.back().first) {
+                // Same nonce round, another broadcast copy: the round starts at the
+                // EARLIEST delivery. Jitter reorder can make the first-tapped copy the
+                // last to arrive, which would misdate the round past its own replies.
+                record.requests.back().first = arrival;
               }
               return;
             }

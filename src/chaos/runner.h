@@ -43,6 +43,9 @@ struct ChaosOptions {
   // Cluster load knobs (small batches commit fast, which sharpens the liveness oracle).
   size_t batch_size = 20;
   double client_rate_tps = 500.0;
+  // Probability a sampled script carries crash+reboot cycles (--reboot-weight). CI shards
+  // raise it to weight schedules toward reboot-and-restore coverage.
+  double reboot_prob = 0.65;
   // Flight recorder + forensics. Journaling never perturbs virtual time, so the event-log
   // digest is bit-identical with it on or off; the journal digest is its own replay check.
   bool journal = false;

@@ -78,6 +78,59 @@ bool Block::ValidUnder(const Hash256& parent_exec) const {
   return hash == HeaderHash(view, height, parent, TxRoot(txs), exec_result);
 }
 
+Bytes EncodeBlockRecord(const Block& b) {
+  ByteWriter w;
+  w.U64(b.view);
+  w.U64(b.height);
+  w.Raw(ByteView(b.parent.data(), b.parent.size()));
+  w.Raw(ByteView(b.exec_result.data(), b.exec_result.size()));
+  w.Raw(ByteView(b.hash.data(), b.hash.size()));
+  w.I64(b.propose_time);
+  w.U32(static_cast<uint32_t>(b.txs.size()));
+  for (const Transaction& tx : b.txs) {
+    w.U64(tx.id);
+    w.I64(tx.submit_time);
+    w.U32(tx.payload_size);
+  }
+  return w.Take();
+}
+
+BlockPtr DecodeBlockRecord(ByteView record) {
+  ByteReader r(record);
+  const auto view = r.U64();
+  const auto height = r.U64();
+  const auto parent = r.Raw(32);
+  const auto exec_result = r.Raw(32);
+  const auto hash = r.Raw(32);
+  const auto propose_time = r.I64();
+  const auto count = r.U32();
+  if (!view || !height || !parent || !exec_result || !hash || !propose_time || !count) {
+    return nullptr;
+  }
+  auto b = std::make_shared<Block>();
+  b->view = *view;
+  b->height = *height;
+  std::copy(parent->begin(), parent->end(), b->parent.begin());
+  std::copy(exec_result->begin(), exec_result->end(), b->exec_result.begin());
+  std::copy(hash->begin(), hash->end(), b->hash.begin());
+  b->propose_time = *propose_time;
+  b->txs.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    const auto id = r.U64();
+    const auto submit_time = r.I64();
+    const auto payload_size = r.U32();
+    if (!id || !submit_time || !payload_size) {
+      return nullptr;
+    }
+    b->txs.push_back(Transaction{*id, *submit_time, *payload_size});
+  }
+  if (r.remaining() != 0 ||
+      b->hash != HeaderHash(b->view, b->height, b->parent, TxRoot(b->txs), b->exec_result)) {
+    return nullptr;
+  }
+  return b;
+}
+
 BlockStore::BlockStore() { Add(Block::Genesis()); }
 
 void BlockStore::Add(const BlockPtr& block) {

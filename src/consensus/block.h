@@ -46,6 +46,12 @@ struct Block {
   bool ValidUnder(const Hash256& parent_exec) const;
 };
 
+// Durable-log codec: the full block (bookkeeping fields included) as a host-WAL record.
+Bytes EncodeBlockRecord(const Block& b);
+// Decodes a WAL record back into a block; nullptr when it does not parse or its header
+// hash does not recompute (defense in depth — the crash model never tears synced records).
+BlockPtr DecodeBlockRecord(ByteView record);
+
 struct Hash256Hasher {
   size_t operator()(const Hash256& h) const {
     size_t v;

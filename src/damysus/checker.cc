@@ -24,7 +24,7 @@ std::unique_ptr<DamysusChecker> DamysusChecker::Restore(EnclaveRuntime* enclave,
                                                         uint32_t f,
                                                         bool break_counter_compare) {
   enclave->ChargeEcall();
-  const std::optional<Bytes> blob = enclave->Unseal(kSealSlot);
+  const std::optional<Bytes> blob = enclave->sealed_store().Get(kSealSlot);
   if (!blob) {
     return nullptr;  // Nothing to restore (or forged blob).
   }
@@ -37,11 +37,11 @@ std::unique_ptr<DamysusChecker> DamysusChecker::Restore(EnclaveRuntime* enclave,
   if (!vi || !flags || !prepv || !preph || !version || r.remaining() != 0) {
     return nullptr;
   }
-  MonotonicCounter& counter = enclave->platform().counter();
-  if (counter.spec().enabled() && !break_counter_compare) {
+  persist::Store& counter = enclave->counter_store();
+  if (counter.available() && !break_counter_compare) {
     // Rollback detection: the sealed version must match the counter exactly. A stale blob
     // (version < counter) means the OS rolled the state back -> refuse to run.
-    const uint64_t expected = counter.ReadBlocking();
+    const uint64_t expected = counter.Read();
     if (*version != expected) {
       enclave->platform().host().JournalEvent(obs::JournalKind::kRollbackReject, *version,
                                               expected, kSealSlot);
@@ -62,19 +62,16 @@ std::unique_ptr<DamysusChecker> DamysusChecker::Restore(EnclaveRuntime* enclave,
 
 void DamysusChecker::PersistState() {
   ++version_;
-  MonotonicCounter& counter = enclave_->platform().counter();
-  if (counter.spec().enabled()) {
-    // Store-then-increment (§2.1): bind the new version, then bump the counter. This write
-    // is the 20-97 ms stall that sits on Damysus-R's critical path.
-    counter.IncrementBlocking();
-  }
+  // Store-then-increment (§2.1): bind the new version, then bump the counter (a no-op
+  // without a device). This write is the 20-97 ms stall on Damysus-R's critical path.
+  enclave_->counter_store().Increment();
   ByteWriter w;
   w.U64(vi_);
   w.U8(static_cast<uint8_t>((flag_ ? 1 : 0) | (voted1_ ? 2 : 0) | (voted2_ ? 4 : 0)));
   w.U64(prepv_);
   w.Raw(ByteView(preph_.data(), preph_.size()));
   w.U64(version_);
-  enclave_->Seal(kSealSlot, ByteView(w.bytes().data(), w.bytes().size()));
+  enclave_->sealed_store().Put(kSealSlot, ByteView(w.bytes().data(), w.bytes().size()));
 }
 
 void DamysusChecker::AdvanceTo(View v) {

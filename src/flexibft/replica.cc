@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "src/common/serde.h"
+
 namespace achilles {
+
+namespace {
+constexpr const char* kSeqKey = "flexibft-seq";
+constexpr const char* kLogWal = "flexibft-log";
+}  // namespace
 
 std::optional<SignedCert> FlexiSequencer::Order(const Block& b, uint64_t seq,
                                                 uint64_t epoch) {
@@ -16,6 +23,7 @@ std::optional<SignedCert> FlexiSequencer::Order(const Block& b, uint64_t seq,
   if (counter.spec().enabled()) {
     counter.IncrementBlocking();
   }
+  PersistState();  // The (epoch, seq) burn hits disk before the certificate leaves.
   SignedCert cert;
   cert.hash = b.hash;
   cert.view = seq;
@@ -33,14 +41,72 @@ bool FlexiSequencer::StartEpoch(uint64_t epoch, uint64_t start_seq) {
   }
   epoch_ = epoch;
   next_seq_ = start_seq;
+  PersistState();  // Epoch adoption must survive a reboot (epochs only move forward).
   return true;
 }
 
-FlexiBftReplica::FlexiBftReplica(const ReplicaContext& ctx, bool /*initial_launch*/)
-    : ReplicaBase(ctx), sequencer_(&enclave()) {
+void FlexiSequencer::PersistState() {
+  ByteWriter w;
+  w.U64(epoch_);
+  w.U64(next_seq_);
+  w.U64(enclave_->platform().counter().value());
+  enclave_->platform().host_storage().records().Put(
+      kSeqKey, ByteView(w.bytes().data(), w.bytes().size()), storage::SyncMode::kSync);
+}
+
+void FlexiSequencer::Restore() {
+  uint64_t persisted_counter = 0;
+  if (const std::optional<Bytes> state =
+          enclave_->platform().host_storage().records().Get(kSeqKey)) {
+    ByteReader r(ByteView(state->data(), state->size()));
+    const auto epoch = r.U64();
+    const auto next_seq = r.U64();
+    const auto counter_at = r.U64();
+    if (epoch && next_seq && counter_at && r.remaining() == 0) {
+      epoch_ = *epoch;
+      next_seq_ = *next_seq;
+      persisted_counter = *counter_at;
+    }
+  }
+  // The device counts every Order ever issued and survives anything the host disk can
+  // suffer: a gap against the persisted mirror means orders happened after the record was
+  // written, so the frontier skips past them rather than reissue a burned (epoch, seq).
+  MonotonicCounter& counter = enclave_->platform().counter();
+  if (counter.spec().enabled()) {
+    const uint64_t device = counter.ReadBlocking();
+    if (device > persisted_counter) {
+      next_seq_ += device - persisted_counter;
+    }
+  }
+}
+
+FlexiBftReplica::FlexiBftReplica(const ReplicaContext& ctx, bool initial_launch)
+    : ReplicaBase(ctx), initial_launch_(initial_launch), sequencer_(&enclave()) {
   // Backups keep no trusted state: a rebooted FlexiBFT node simply rejoins at the current
-  // epoch (its quorum math tolerates rolled-back backups — the 3f+1 trade-off).
+  // epoch (its quorum math tolerates rolled-back backups — the 3f+1 trade-off). Only the
+  // leader-side sequencer frontier and its ordered-block log are durable.
   last_proposed_ = Block::Genesis();
+  if (!initial_launch_) {
+    RestoreDurableState();
+  }
+}
+
+void FlexiBftReplica::RestoreDurableState() {
+  sequencer_.Restore();
+  epoch_ = sequencer_.epoch();
+  // Replay the ordered-block log so a restored leader proposes on top of what it already
+  // sequenced. Records at or past the sequence frontier were appended but never ordered
+  // (Order() failed after the append) and are ignored.
+  for (const Bytes& record : platform().host_storage().Wal(kLogWal).records()) {
+    const BlockPtr block = DecodeBlockRecord(ByteView(record.data(), record.size()));
+    if (block == nullptr || block->height >= sequencer_.next_seq()) {
+      continue;
+    }
+    store_.Add(block);
+    if (block->height > last_proposed_->height) {
+      last_proposed_ = block;
+    }
+  }
 }
 
 void FlexiBftReplica::OnStart() {
@@ -75,6 +141,12 @@ void FlexiBftReplica::TryPropose() {
   const BlockPtr block =
       Block::Create(/*view=*/epoch_, last_proposed_, std::move(batch), LocalNow());
   ChargeHashBytes(block->WireSize());
+  // Log the block before ordering it: the sequencer's sync inside Order() makes both
+  // durable in the same barrier, so the restored log can never lag the burned sequence
+  // number. If Order() fails the orphan record stays below the frontier filter on replay.
+  const Bytes record = EncodeBlockRecord(*block);
+  platform().host_storage().Wal(kLogWal).Append(ByteView(record.data(), record.size()),
+                                                storage::SyncMode::kAsync);
   const auto cert = sequencer_.Order(*block, block->height, epoch_);
   if (!cert) {
     host().SetTimer(Ms(1), [this] { TryPropose(); });
@@ -91,8 +163,9 @@ void FlexiBftReplica::TryPropose() {
 }
 
 void FlexiBftReplica::OnPropose(NodeId from, const std::shared_ptr<const FbProposeMsg>& msg) {
-  if (msg->block == nullptr || msg->order_cert.aux != epoch_ ||
-      msg->order_cert.sig.signer != LeaderOfEpoch(epoch_) ||
+  const uint64_t cert_epoch = msg->order_cert.aux;
+  if (msg->block == nullptr || cert_epoch < epoch_ ||
+      msg->order_cert.sig.signer != LeaderOfEpoch(cert_epoch) ||
       msg->order_cert.hash != msg->block->hash ||
       msg->order_cert.view != msg->block->height) {
     return;
@@ -101,6 +174,15 @@ void FlexiBftReplica::OnPropose(NodeId from, const std::shared_ptr<const FbPropo
   const Bytes digest = msg->order_cert.Digest(kFbOrder);
   if (!platform().suite().Verify(msg->order_cert.sig, ByteView(digest.data(), digest.size()))) {
     return;
+  }
+  if (cert_epoch > epoch_) {
+    // Epoch fast-forward: a valid order certificate from the leader of a newer epoch is
+    // proof the cluster moved on. This is how a rebooted backup — which by design keeps no
+    // durable state — rejoins at the current epoch instead of timing out once per epoch.
+    epoch_ = cert_epoch;
+    consecutive_timeouts_ = 0;
+    JournalEvent(obs::JournalKind::kViewEnter, epoch_);
+    ArmViewTimer(epoch_, 0);
   }
   if (!AcceptBlock(msg->block)) {
     return;

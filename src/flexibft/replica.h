@@ -42,7 +42,14 @@ struct FbEpochChangeMsg : SimMessage {
   }
 };
 
-// The leader-side trusted sequencer: one counter write per ordered block.
+// The leader-side trusted sequencer: one counter write per ordered block. Its (epoch,
+// next_seq) frontier is the only FlexiBFT state that must survive a reboot: it goes to the
+// host record store with an fsync inside every Order/StartEpoch, together with the counter
+// device value at that instant. On reboot, any gap between the device (which counts every
+// Order ever issued and cannot be lost) and the persisted mirror means orders happened
+// after the record was written, and Restore() skips the sequence frontier past the gap —
+// so no (epoch, seq) pair can ever be reissued for a different block, even if the host
+// record is stale.
 class FlexiSequencer {
  public:
   explicit FlexiSequencer(EnclaveRuntime* enclave) : enclave_(enclave) {}
@@ -51,8 +58,16 @@ class FlexiSequencer {
   std::optional<SignedCert> Order(const Block& b, uint64_t seq, uint64_t epoch);
   // Moves to a new epoch, continuing from `start_seq` (leadership hand-over).
   bool StartEpoch(uint64_t epoch, uint64_t start_seq);
+  // Reboot path: reloads the persisted frontier and closes any gap against the counter
+  // device. Charges one counter read when the device is enabled.
+  void Restore();
+
+  uint64_t epoch() const { return epoch_; }
+  uint64_t next_seq() const { return next_seq_; }
 
  private:
+  void PersistState();
+
   EnclaveRuntime* enclave_;
   uint64_t epoch_ = 0;
   uint64_t next_seq_ = 1;
@@ -86,7 +101,9 @@ class FlexiBftReplica : public ReplicaBase {
   void TryPropose();
   void TryCommit(const Hash256& hash);
   NodeId LeaderOfEpoch(uint64_t epoch) const { return static_cast<NodeId>(epoch % n()); }
+  void RestoreDurableState();
 
+  bool initial_launch_;
   FlexiSequencer sequencer_;
   uint64_t epoch_ = 0;
   uint32_t consecutive_timeouts_ = 0;

@@ -24,6 +24,41 @@ std::vector<uint32_t> ShuffledIds(uint32_t n, Rng& rng) {
 
 }  // namespace
 
+const char* SealedFateName(SealedFate fate) {
+  switch (fate) {
+    case SealedFate::kFresh:
+      return "fresh";
+    case SealedFate::kStale:
+      return "stale";
+    case SealedFate::kErased:
+      return "erased";
+  }
+  return "?";
+}
+
+uint64_t EncodeStorageFate(StorageFate fate) {
+  return static_cast<uint64_t>(fate.wal) | (static_cast<uint64_t>(fate.sealed) << 8);
+}
+
+StorageFate DecodeStorageFate(uint64_t arg) {
+  StorageFate fate;
+  fate.wal = static_cast<storage::WalFate>(arg & 0xff);
+  fate.sealed = static_cast<SealedFate>((arg >> 8) & 0xff);
+  return fate;
+}
+
+RollbackMode ToRollbackMode(SealedFate fate) {
+  switch (fate) {
+    case SealedFate::kFresh:
+      return RollbackMode::kLatest;
+    case SealedFate::kStale:
+      return RollbackMode::kOldest;
+    case SealedFate::kErased:
+      return RollbackMode::kErase;
+  }
+  return RollbackMode::kLatest;
+}
+
 const char* FaultKindName(FaultKind kind) {
   switch (kind) {
     case FaultKind::kCrash:
@@ -82,27 +117,26 @@ uint32_t FaultScript::CrashedCount() const {
 }
 
 bool ProtocolSupportsReboot(Protocol protocol) {
+  // Every protocol now persists what its paper assumes is on stable storage — BRaft its
+  // term/votedFor/log, MinBFT its message log + USIG mirror, HotStuff its lock/highest QC,
+  // FlexiBFT its sequencer frontier (src/storage) — and the TEE protocols restore from
+  // sealed storage. A crashed replica of any protocol can therefore be rebooted.
+  (void)protocol;
+  return true;
+}
+
+bool ProtocolUsesHostStorage(Protocol protocol) {
   switch (protocol) {
-    case Protocol::kAchilles:
-    case Protocol::kAchillesC:
-    case Protocol::kDamysus:
-    case Protocol::kDamysusR:
-    case Protocol::kOneShot:
-    case Protocol::kOneShotR:
-      return true;
-    // HotStuff's safety lock, FlexiBFT's leader sequencer, BRaft's log/term/votedFor, and
-    // MinBFT's message log are volatile: a rebooted incarnation can legitimately violate
-    // agreement (the chaos swarm found exactly that for BRaft — an empty-log voter elects
-    // a stale leader — and for MinBFT, where an amnesiac replica restarts from genesis;
-    // real MinBFT assumes stable storage for its log). So the swarm never reboots them
-    // (crash-only faults). Recorded in ROADMAP "Open items".
-    case Protocol::kFlexiBft:
     case Protocol::kRaft:
     case Protocol::kMinBft:
     case Protocol::kHotStuff:
+    case Protocol::kFlexiBft:
+      return true;
+    default:
+      // The TEE protocols keep their durable state in sealed storage / the counter device;
+      // their host disk stays empty, so crash-consistency fates would be vacuous.
       return false;
   }
-  return false;
 }
 
 bool ProtocolRollbackProtected(Protocol protocol) {
@@ -156,37 +190,79 @@ FaultScript SampleFaultScript(const ScriptParams& params, Rng& rng) {
     budget -= count;
   }
 
-  if (budget > 0 && ProtocolSupportsReboot(params.protocol) && rng.Chance(0.65)) {
+  if (budget > 0 && ProtocolSupportsReboot(params.protocol) &&
+      rng.Chance(params.reboot_prob)) {
     const uint32_t count = 1 + static_cast<uint32_t>(rng.UniformU64(budget));
     bool attack_placed = false;
+    // Simultaneous multi-node reboots: all victims share one crash instant and one reboot
+    // instant, so recovery/restore paths of several nodes overlap (the paper's recovering
+    // nodes must not count on each other as repliers).
+    const bool simultaneous = count >= 2 && rng.Chance(0.3);
+    const SimTime shared_crash =
+        Ms(200) + static_cast<SimTime>(rng.UniformU64(params.heal_at - Ms(1100) - Ms(200)));
+    const SimTime shared_reboot =
+        shared_crash + Ms(80) + static_cast<SimTime>(rng.UniformU64(Ms(400)));
     for (uint32_t i = 0; i < count; ++i) {
       const uint32_t node = order[next_victim++];
       const SimTime crash_at =
-          Ms(200) + static_cast<SimTime>(rng.UniformU64(params.heal_at - Ms(1100) - Ms(200)));
+          simultaneous
+              ? shared_crash
+              : Ms(200) + static_cast<SimTime>(
+                              rng.UniformU64(params.heal_at - Ms(1100) - Ms(200)));
       const SimTime reboot_at =
-          crash_at + Ms(80) + static_cast<SimTime>(rng.UniformU64(Ms(400)));
-      FaultEvent reboot{reboot_at, FaultKind::kReboot, node, 0,
-                       static_cast<uint64_t>(RollbackMode::kLatest)};
+          simultaneous
+              ? shared_reboot
+              : crash_at + Ms(80) + static_cast<SimTime>(rng.UniformU64(Ms(400)));
+      StorageFate fate;
+      if (ProtocolUsesHostStorage(params.protocol) && rng.Chance(0.5)) {
+        // Crash-consistency fault on the host disk: the unsynced suffix vanishes, or the
+        // tail record tears. Stable-storage protocols fsync before externalizing state, so
+        // either fate must leave agreement intact.
+        fate.wal = rng.Chance(0.5) ? storage::WalFate::kLostUnsynced
+                                   : storage::WalFate::kTornTail;
+      }
       if (ProtocolRollbackProtected(params.protocol) && rng.Chance(0.5)) {
-        // Adversarial storage at reboot: full rollback or a wiped disk. Achilles recovers
-        // over the network regardless; the -R checkers must detect it and halt.
-        reboot.arg = static_cast<uint64_t>(rng.Chance(0.5) ? RollbackMode::kOldest
-                                                           : RollbackMode::kErase);
+        // Adversarial sealed storage at reboot: full rollback or a wiped blob store.
+        // Achilles recovers over the network regardless; the -R checkers must detect the
+        // rollback and halt.
+        fate.sealed = rng.Chance(0.5) ? SealedFate::kStale : SealedFate::kErased;
       }
       script.events.push_back({crash_at, FaultKind::kCrash, node, 0, 0});
-      script.events.push_back(reboot);
+      script.events.push_back(
+          {reboot_at, FaultKind::kReboot, node, 0, EncodeStorageFate(fate)});
       // Targeted nonce-freshness attack (Achilles only): crash the same node a second time
       // and have the runner re-inject the first round's recorded recovery replies the
       // moment the second incarnation boots. An honest checker rejects them (nonce
       // mismatch); the break_recovery_nonce variant completes recovery on stale state.
+      bool followup_placed = false;
       if (!attack_placed && ProtocolUsesRecovery(params.protocol) &&
           reboot_at + Ms(700) <= params.heal_at - Ms(350) && rng.Chance(0.35)) {
         attack_placed = true;
+        followup_placed = true;
         const SimTime again = reboot_at + Ms(450) + static_cast<SimTime>(rng.UniformU64(Ms(200)));
         script.events.push_back({again, FaultKind::kCrash, node, 0, 0});
         script.events.push_back({again + Ms(1), FaultKind::kStaleRecoveryReplay, node, 0, 0});
         script.events.push_back({again + Ms(5), FaultKind::kReboot, node, 0,
-                                 static_cast<uint64_t>(RollbackMode::kLatest)});
+                                 EncodeStorageFate(StorageFate{})});
+      }
+      // Mid-recovery crash: kill the fresh incarnation again while it is still restoring
+      // (for Achilles, while Algorithm 3's request/reply round is in flight), then reboot
+      // once more. Double restores must be idempotent.
+      if (!followup_placed && rng.Chance(0.3)) {
+        const SimTime again =
+            reboot_at + Ms(15) + static_cast<SimTime>(rng.UniformU64(Ms(105)));
+        const SimTime again_reboot =
+            again + Ms(80) + static_cast<SimTime>(rng.UniformU64(Ms(220)));
+        if (again_reboot <= params.heal_at - Ms(50)) {
+          StorageFate refate;
+          if (ProtocolUsesHostStorage(params.protocol) && rng.Chance(0.5)) {
+            refate.wal = rng.Chance(0.5) ? storage::WalFate::kLostUnsynced
+                                         : storage::WalFate::kTornTail;
+          }
+          script.events.push_back({again, FaultKind::kCrash, node, 0, 0});
+          script.events.push_back(
+              {again_reboot, FaultKind::kReboot, node, 0, EncodeStorageFate(refate)});
+        }
       }
     }
   }
@@ -227,7 +303,7 @@ FaultScript SampleFaultScript(const ScriptParams& params, Rng& rng) {
 
 std::string ScriptArtifact::ToText() const {
   std::ostringstream out;
-  out << "chaos-script v1\n";
+  out << "chaos-script v2\n";
   out << "protocol " << protocol << "\n";
   out << "f " << f << "\n";
   out << "seed " << seed << "\n";
@@ -249,7 +325,12 @@ bool ScriptArtifact::FromText(const std::string& text, ScriptArtifact* out) {
   *out = ScriptArtifact{};
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != "chaos-script v1") {
+  if (!std::getline(in, line)) {
+    return false;
+  }
+  // v1 reboot events carried a bare RollbackMode in arg; v2 carries EncodeStorageFate().
+  const bool v1 = line == "chaos-script v1";
+  if (!v1 && line != "chaos-script v2") {
     return false;
   }
   Protocol proto;
@@ -287,6 +368,22 @@ bool ScriptArtifact::FromText(const std::string& text, ScriptArtifact* out) {
       fields >> event.at >> kind_name >> event.node >> event.peer >> event.arg;
       if (fields.fail() || !FaultKindFromName(kind_name, &event.kind)) {
         return false;
+      }
+      if (v1 && event.kind == FaultKind::kReboot) {
+        // Upgrade the overloaded RollbackMode to a per-surface fate (host WAL intact;
+        // kLatest -> fresh blobs, kErase -> erased, kOldest/kPinned -> stale replay).
+        StorageFate fate;
+        switch (static_cast<RollbackMode>(event.arg)) {
+          case RollbackMode::kLatest:
+            break;
+          case RollbackMode::kErase:
+            fate.sealed = SealedFate::kErased;
+            break;
+          default:
+            fate.sealed = SealedFate::kStale;
+            break;
+        }
+        event.arg = EncodeStorageFate(fate);
       }
       out->script.events.push_back(event);
     } else if (key == "heal") {
@@ -346,11 +443,16 @@ void Cluster::ApplyFaultEvent(const FaultEvent& event) {
       if (event.node >= n_ || hosts_[event.node]->IsUp()) {
         break;  // Minimization may have dropped the matching crash.
       }
+      const StorageFate fate = DecodeStorageFate(event.arg);
+      // Host-disk crash consistency is settled first: the WAL may lose its unsynced
+      // suffix or tear its tail record between incarnations — but never rolls back (that
+      // fault class is exclusive to the sealed-storage surface below).
+      platforms_[event.node]->host_storage().ApplyCrashFate(fate.wal);
       // The adversarial OS chooses what the new enclave unseals. Local restore happens in
       // the replica constructor (inside RebootReplica), so the mode can be lifted
       // immediately afterwards: later seals of the new incarnation behave honestly.
       SealedStorage& storage = platforms_[event.node]->storage();
-      storage.SetRollbackMode(static_cast<RollbackMode>(event.arg));
+      storage.SetRollbackMode(ToRollbackMode(fate.sealed));
       RebootReplica(event.node);
       storage.SetRollbackMode(RollbackMode::kLatest);
       break;

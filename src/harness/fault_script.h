@@ -1,7 +1,8 @@
 // Fault scripts: the unit of adversarial scheduling for the chaos harness (src/chaos). A
-// script is a per-run sampled list of timed fault events (crashes, reboots with adversarial
-// sealed storage, partitions, link blocks, schedule jitter, CPU stalls, a targeted
-// stale-recovery-reply replay) plus per-replica Byzantine mode assignments, a heal time by
+// script is a per-run sampled list of timed fault events (crashes, reboots with per-surface
+// storage fates — adversarial sealed blobs and/or host-disk crash-consistency faults —
+// partitions, link blocks, schedule jitter, CPU stalls, a targeted stale-recovery-reply
+// replay) plus per-replica Byzantine mode assignments, a heal time by
 // which every fault has been lifted, and a run horizon. Scripts serialize to a small text
 // format so a failing run can be stored as a CI artifact, replayed bit-identically, and
 // delta-minimized.
@@ -14,13 +15,38 @@
 
 #include "src/common/rng.h"
 #include "src/harness/cluster.h"
+#include "src/storage/host_storage.h"
 #include "src/tee/sealed_storage.h"
 
 namespace achilles {
 
+// Sealed-blob fate at reboot (the TEE sealed-storage surface — the only one the threat
+// model allows to roll back).
+enum class SealedFate : uint8_t {
+  kFresh = 0,   // Latest sealed blob served honestly.
+  kStale = 1,   // An old blob replayed (rollback attack).
+  kErased = 2,  // Blob store wiped.
+};
+const char* SealedFateName(SealedFate fate);
+
+// Per-surface storage outcome carried by a reboot event. The two surfaces have disjoint
+// fault vocabularies by design: the host WAL/record store suffers only crash-consistency
+// faults (torn tail, lost unsynced suffix — never rollback), while sealed blobs suffer
+// only adversarial replay (never torn writes; the sealing device write is atomic).
+// Encoded into FaultEvent::arg as (wal | sealed << 8); {kIntact, kFresh} encodes to 0,
+// which keeps v1 scripts (arg = RollbackMode, honest = kLatest = 0) meaning-compatible.
+struct StorageFate {
+  storage::WalFate wal = storage::WalFate::kIntact;
+  SealedFate sealed = SealedFate::kFresh;
+};
+uint64_t EncodeStorageFate(StorageFate fate);
+StorageFate DecodeStorageFate(uint64_t arg);
+// What the adversarial OS sets the sealed-storage device to for this fate.
+RollbackMode ToRollbackMode(SealedFate fate);
+
 enum class FaultKind : uint8_t {
   kCrash,         // node: crash the replica host.
-  kReboot,        // node, arg = RollbackMode the sealed storage serves to the new enclave.
+  kReboot,        // node, arg = EncodeStorageFate(): per-surface storage outcome.
   kPartition,     // node = rotation offset, peer = size of the first group.
   kHealPartition,
   kJitterOn,      // arg = extra one-way delay ceiling (ns); also enables reorder + dup.
@@ -58,6 +84,9 @@ struct FaultScript {
 // Protocol capability traits consulted by the sampler (and by tests):
 // whether a crashed replica can be rebooted at all in this codebase's model...
 bool ProtocolSupportsReboot(Protocol protocol);
+// ...whether it persists replica state on the host disk (WAL + record store), making it a
+// target for torn-tail / lost-unsynced crash faults at reboot...
+bool ProtocolUsesHostStorage(Protocol protocol);
 // ...whether it stays safe when the rebooted enclave is served *stale* sealed state
 // (Achilles recovers over the network; the -R variants detect the rollback and halt)...
 bool ProtocolRollbackProtected(Protocol protocol);
@@ -73,6 +102,9 @@ struct ScriptParams {
   uint32_t f = 1;
   SimTime heal_at = Ms(1800);
   SimDuration liveness_window = Sec(8);
+  // Probability the script contains crash+reboot cycles at all (--reboot-weight). Raising
+  // it weights a chaos shard toward reboot-bearing schedules.
+  double reboot_prob = 0.65;
 };
 
 // Samples a random fault script from `rng`. The sample respects the soundness constraints

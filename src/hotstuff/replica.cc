@@ -2,16 +2,54 @@
 
 #include <algorithm>
 
+#include "src/common/serde.h"
+
 namespace achilles {
 
 namespace {
 constexpr View kPruneHorizon = 8;
+constexpr const char* kStateKey = "hotstuff-qc";
 
 template <typename MapT>
 void PruneBelow(MapT& map, View horizon) {
   while (!map.empty() && map.begin()->first + kPruneHorizon < horizon) {
     map.erase(map.begin());
   }
+}
+
+void WriteQc(ByteWriter& w, const QuorumCert& qc) {
+  w.Raw(ByteView(qc.hash.data(), qc.hash.size()));
+  w.U64(qc.view);
+  w.U32(static_cast<uint32_t>(qc.sigs.size()));
+  for (const Signature& sig : qc.sigs) {
+    w.U32(sig.signer);
+    w.Blob(ByteView(sig.blob.data(), sig.blob.size()));
+  }
+}
+
+bool ReadQc(ByteReader& r, QuorumCert& qc) {
+  const auto hash = r.Raw(32);
+  const auto view = r.U64();
+  const auto count = r.U32();
+  if (!hash || !view || !count) {
+    return false;
+  }
+  std::copy(hash->begin(), hash->end(), qc.hash.begin());
+  qc.view = *view;
+  qc.sigs.clear();
+  qc.sigs.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    const auto signer = r.U32();
+    auto blob = r.Blob();
+    if (!signer || !blob) {
+      return false;
+    }
+    Signature sig;
+    sig.signer = *signer;
+    sig.blob = std::move(*blob);
+    qc.sigs.push_back(std::move(sig));
+  }
+  return true;
 }
 }  // namespace
 
@@ -27,15 +65,50 @@ const char* HsPhaseDomain(HsPhase phase) {
   return "?";
 }
 
-HotStuffReplica::HotStuffReplica(const ReplicaContext& ctx, bool /*initial_launch*/)
-    : ReplicaBase(ctx) {
+HotStuffReplica::HotStuffReplica(const ReplicaContext& ctx, bool initial_launch)
+    : ReplicaBase(ctx), initial_launch_(initial_launch) {
   // Genesis QC: empty certificate referencing the genesis block.
   prepare_qc_.hash = Block::Genesis()->hash;
   prepare_qc_.view = 0;
   locked_qc_ = prepare_qc_;
+  if (!initial_launch_) {
+    RestoreDurableState();
+  }
 }
 
-void HotStuffReplica::OnStart() { EnterView(1); }
+void HotStuffReplica::RestoreDurableState() {
+  const std::optional<Bytes> state = platform().host_storage().records().Get(kStateKey);
+  if (!state) {
+    return;
+  }
+  ByteReader r(ByteView(state->data(), state->size()));
+  const auto view = r.U64();
+  QuorumCert prepare_qc;
+  QuorumCert locked_qc;
+  if (!view || !ReadQc(r, prepare_qc) || !ReadQc(r, locked_qc) || r.remaining() != 0) {
+    return;
+  }
+  cur_view_ = *view;
+  prepare_qc_ = std::move(prepare_qc);
+  locked_qc_ = std::move(locked_qc);
+}
+
+void HotStuffReplica::PersistState() {
+  ByteWriter w;
+  w.U64(cur_view_);
+  WriteQc(w, prepare_qc_);
+  WriteQc(w, locked_qc_);
+  platform().host_storage().records().Put(kStateKey,
+                                          ByteView(w.bytes().data(), w.bytes().size()),
+                                          storage::SyncMode::kSync);
+}
+
+void HotStuffReplica::OnStart() {
+  // A rebooted replica may have voted in the restored view, so that view is burned:
+  // re-entering view+1 is what makes a second PREPARE vote there impossible. (EnterView
+  // would also refuse `cur_view_` because only view 1 may be re-entered.)
+  EnterView(initial_launch_ ? 1 : cur_view_ + 1);
+}
 
 void HotStuffReplica::EnterView(View view) {
   if (view <= cur_view_ && view != 1) {
@@ -43,6 +116,7 @@ void HotStuffReplica::EnterView(View view) {
   }
   cur_view_ = view;
   JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
+  PersistState();  // The view entry must survive a reboot (restored view is burned).
   ArmViewTimer(cur_view_, consecutive_timeouts_);
   auto msg = std::make_shared<HsNewViewMsg>();
   msg->view = view;
@@ -176,6 +250,7 @@ void HotStuffReplica::OnPropose(NodeId from, const std::shared_ptr<const HsPropo
   }
   consecutive_timeouts_ = 0;
   ArmViewTimer(cur_view_, 0);
+  PersistState();  // The view we PREPARE-vote in hits disk before the vote leaves.
   SendVote(HsPhase::kPrepare, msg->block->hash, msg->block->view);
 }
 
@@ -239,6 +314,7 @@ void HotStuffReplica::OnQc(NodeId from, const std::shared_ptr<const HsQcMsg>& ms
     case HsPhase::kPrepare:
       if (qc.view >= prepare_qc_.view) {
         prepare_qc_ = qc;
+        PersistState();  // The highest prepare QC must survive a reboot.
       }
       SendVote(HsPhase::kPreCommit, qc.hash, qc.view);
       return;
@@ -246,6 +322,7 @@ void HotStuffReplica::OnQc(NodeId from, const std::shared_ptr<const HsQcMsg>& ms
       if (qc.view >= locked_qc_.view) {
         locked_qc_ = qc;  // Lock.
         JournalEvent(obs::JournalKind::kLockUpdate, qc.view, JournalHash(qc.hash));
+        PersistState();  // The lock hits disk before the COMMIT vote leaves the node.
       }
       SendVote(HsPhase::kCommit, qc.hash, qc.view);
       return;

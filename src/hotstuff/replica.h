@@ -3,6 +3,13 @@
 // eight communication steps end to end, no trusted components, safety from the locking
 // rule instead of non-equivocation hardware. Included to quantify what the TEE buys
 // (bench_context_protocols): HotStuff 8 steps/3f+1 -> Damysus 6/2f+1 -> Achilles 4/2f+1.
+//
+// Stable storage: the safety-critical tuple (current view, highest prepare QC, locked QC)
+// goes to the host record store with an fsync before any vote or NEW-VIEW that reflects it
+// leaves the node. On reboot the constructor restores the tuple and OnStart re-enters
+// view+1 — the restored view was potentially voted in, so it is burned, which is what
+// prevents a second PREPARE vote there. Blocks are not persisted: the QC hashes are
+// content addresses and the fetch protocol backfills bodies from peers.
 #ifndef SRC_HOTSTUFF_REPLICA_H_
 #define SRC_HOTSTUFF_REPLICA_H_
 
@@ -81,6 +88,12 @@ class HotStuffReplica : public ReplicaBase {
   void SendVote(HsPhase phase, const Hash256& hash, View view);
   bool SafeToVote(const BlockPtr& block, const QuorumCert& justify) const;
 
+  // Syncs (cur_view_, prepare_qc_, locked_qc_) to the host record store: must precede any
+  // message that makes the view entry, QC adoption, or lock observable.
+  void PersistState();
+  void RestoreDurableState();
+
+  bool initial_launch_;
   View cur_view_ = 0;
   uint32_t consecutive_timeouts_ = 0;
   QuorumCert prepare_qc_;  // Highest prepare QC seen (generic QC in HotStuff terms).

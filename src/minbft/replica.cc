@@ -3,11 +3,95 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/serde.h"
+
 namespace achilles {
 
-MinBftReplica::MinBftReplica(const ReplicaContext& ctx, bool /*initial_launch*/)
-    : ReplicaBase(ctx), usig_(&enclave()), verifier_(ctx.params.n) {
+namespace {
+constexpr const char* kMetaKey = "minbft-meta";
+constexpr const char* kLogWal = "minbft-log";
+}  // namespace
+
+MinBftReplica::MinBftReplica(const ReplicaContext& ctx, bool initial_launch)
+    : ReplicaBase(ctx),
+      initial_launch_(initial_launch),
+      usig_(&enclave()),
+      verifier_(ctx.params.n) {
   last_proposed_ = Block::Genesis();
+  if (!initial_launch_) {
+    RestoreDurableState();
+  }
+}
+
+void MinBftReplica::RestoreDurableState() {
+  storage::HostStableStorage& device = platform().host_storage();
+  Hash256 voted_hash = ZeroHash();
+  if (const std::optional<Bytes> meta = device.records().Get(kMetaKey)) {
+    ByteReader r(ByteView(meta->data(), meta->size()));
+    const auto epoch = r.U64();
+    const auto voted_epoch = r.U64();
+    const auto hash = r.Raw(32);
+    const auto usig_counter = r.U64();
+    if (epoch && voted_epoch && hash && usig_counter && r.remaining() == 0) {
+      epoch_ = *epoch;
+      voted_epoch_ = *voted_epoch;
+      std::copy(hash->begin(), hash->end(), voted_hash.begin());
+      usig_.ResumeFrom(*usig_counter);
+    }
+  }
+  // The counter device outlives the crash and is authoritative when enabled: reading it
+  // back (and paying the read latency) is MinBFT's reboot path. The persisted mirror above
+  // covers counter-less configurations.
+  MonotonicCounter& counter = platform().counter();
+  if (counter.spec().enabled()) {
+    usig_.ResumeFrom(counter.ReadBlocking());
+  }
+  // Replay the message log so the vote we certified last incarnation is still ours.
+  BlockPtr tip;
+  for (const Bytes& record : device.Wal(kLogWal).records()) {
+    const BlockPtr block = DecodeBlockRecord(ByteView(record.data(), record.size()));
+    if (block == nullptr) {
+      continue;  // Torn/unfinished record: everything after it is gone anyway.
+    }
+    store_.Add(block);
+    logged_.insert(block->hash);
+    if (block->hash == voted_hash) {
+      voted_block_ = block;
+    }
+    if (tip == nullptr || block->height >= tip->height) {
+      tip = block;  // >=: the later append wins ties across epoch changes.
+    }
+  }
+  // The log tip, not the restored vote, seeds the proposal chain. A leader that crashed
+  // after logging and broadcasting a proposal but before its own loopback PREPARE landed
+  // has the proposal in the WAL while the persisted vote still names its parent;
+  // re-proposing from the vote would mint a second block at an already-broadcast height.
+  if (tip != nullptr) {
+    last_proposed_ = tip;
+  }
+}
+
+void MinBftReplica::PersistMeta() {
+  ByteWriter w;
+  w.U64(epoch_);
+  w.U64(voted_epoch_);
+  const Hash256 voted_hash = voted_block_ != nullptr ? voted_block_->hash : ZeroHash();
+  w.Raw(ByteView(voted_hash.data(), voted_hash.size()));
+  w.U64(usig_.counter());
+  platform().host_storage().records().Put(kMetaKey,
+                                          ByteView(w.bytes().data(), w.bytes().size()),
+                                          storage::SyncMode::kSync);
+}
+
+void MinBftReplica::AppendToLog(const BlockPtr& block) {
+  if (!logged_.insert(block->hash).second) {
+    return;  // Already durable (re-proposal across epochs); no second append.
+  }
+  const Bytes record = EncodeBlockRecord(*block);
+  // Async: every call site follows with PersistMeta(), whose sync makes the appended
+  // record durable in the same barrier (one disk, one fsync).
+  platform().host_storage().Wal(kLogWal).Append(ByteView(record.data(), record.size()),
+                                                storage::SyncMode::kAsync);
 }
 
 void MinBftReplica::OnStart() {
@@ -53,6 +137,8 @@ void MinBftReplica::ProposeBlock(const BlockPtr& block) {
   msg->block = block;
   msg->epoch = epoch_;
   msg->ui = usig_.CreateUi(block->hash);  // Counter write #1 on the critical path.
+  AppendToLog(block);
+  PersistMeta();  // Message log + counter mirror hit disk before the PREPARE leaves.
   BroadcastToReplicas(msg, /*include_self=*/true);
 }
 
@@ -87,6 +173,8 @@ void MinBftReplica::OnPrepare(NodeId from, const std::shared_ptr<const MinPrepar
   // Certify the commit with our own USIG: counter write #2 on the critical path (every
   // backup pays it). Leader-side equivocation is excluded by the leader's UI stream.
   out->ui = usig_.CreateUi(msg->block->hash);
+  AppendToLog(msg->block);
+  PersistMeta();  // The vote (and its UI counter) must survive a reboot.
   BroadcastToReplicas(out, /*include_self=*/true);  // All-to-all: O(n^2).
 }
 
@@ -137,6 +225,7 @@ void MinBftReplica::OnViewTimeout(View /*view*/) {
   ++consecutive_timeouts_;
   ++epoch_;
   JournalEvent(obs::JournalKind::kViewEnter, epoch_);
+  PersistMeta();  // The epoch bump must survive a reboot (no replayed-epoch votes).
   proposal_outstanding_ = false;
   candidates_.clear();
   ArmViewTimer(epoch_, consecutive_timeouts_);
@@ -192,6 +281,7 @@ void MinBftReplica::OnEpochChange(NodeId from, const MinEpochChangeMsg& msg) {
   if (msg.new_epoch > epoch_) {
     epoch_ = msg.new_epoch;
     JournalEvent(obs::JournalKind::kViewEnter, epoch_);
+    PersistMeta();  // Adopted epoch must survive a reboot.
   }
   JournalEvent(obs::JournalKind::kLeaderElected, epoch_, id());
   ec_done_epoch_plus1_ = epoch_ + 1;

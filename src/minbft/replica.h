@@ -2,11 +2,19 @@
 // paper positions itself against (§2.2): n = 2f+1, PBFT-style PREPARE + all-to-all COMMIT
 // (O(n²)), every certified message writes the persistent counter. Four steps end to end,
 // but with two counter-write stalls on the critical path (leader PREPARE + backup COMMIT).
+//
+// Stable storage per the MinBFT paper (§IV, "message log"): every block this replica
+// certifies a UI for (its own proposals and its PREPARE votes) goes to a host WAL, and the
+// (epoch, voted epoch, voted hash, USIG counter) tuple goes to the record store, both
+// fsynced before the certified message leaves the node. On reboot the constructor replays
+// the log and resumes the USIG from max(device counter, persisted mirror), so a restarted
+// replica can neither reissue a counter value nor forget a vote it already certified.
 #ifndef SRC_MINBFT_REPLICA_H_
 #define SRC_MINBFT_REPLICA_H_
 
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/consensus/replica_base.h"
 #include "src/minbft/usig.h"
@@ -75,6 +83,15 @@ class MinBftReplica : public ReplicaBase {
   void TryFinalize(const Hash256& hash);
   NodeId LeaderOfEpoch(uint64_t epoch) const { return static_cast<NodeId>(epoch % n()); }
 
+  // Syncs (epoch, voted epoch, voted hash, USIG counter) to the host record store: must
+  // precede any message whose UI counter or epoch it reflects.
+  void PersistMeta();
+  // Appends `block` to the durable message log with an fsync, once per block per
+  // incarnation.
+  void AppendToLog(const BlockPtr& block);
+  void RestoreDurableState();
+
+  bool initial_launch_;
   Usig usig_;
   UsigVerifier verifier_;
   uint64_t epoch_ = 0;
@@ -90,6 +107,8 @@ class MinBftReplica : public ReplicaBase {
     bool self_committed = false;
   };
   std::unordered_map<Hash256, Candidate, Hash256Hasher> candidates_;
+  // Blocks already in the durable message log (rebuilt from the WAL on reboot).
+  std::unordered_set<Hash256, Hash256Hasher> logged_;
   struct EpochInfo {
     Height committed_height = 0;
     Hash256 committed_hash = ZeroHash();

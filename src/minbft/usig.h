@@ -9,6 +9,7 @@
 #ifndef SRC_MINBFT_USIG_H_
 #define SRC_MINBFT_USIG_H_
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
@@ -35,6 +36,11 @@ class Usig {
 
   // Certifies `digest` with the next counter value. Writes the persistent counter.
   UniqueIdentifier CreateUi(const Hash256& digest);
+
+  // Reboot path: fast-forwards the in-enclave mirror to the persisted counter value (the
+  // device itself survives the crash). Never moves backwards, so a stale host-side record
+  // cannot make the USIG reissue an identifier.
+  void ResumeFrom(uint64_t counter) { counter_ = std::max(counter_, counter); }
 
   // Verifies a UI's signature (trusted code path; gapless-ness is checked by the receiver
   // against its per-sender expectations).

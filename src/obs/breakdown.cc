@@ -19,6 +19,8 @@ const char* ComponentName(Component c) {
       return "crypto";
     case Component::kCounter:
       return "counter";
+    case Component::kFsync:
+      return "fsync";
     case Component::kIdle:
       return "idle";
   }

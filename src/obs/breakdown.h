@@ -23,9 +23,9 @@ namespace obs {
 class JsonWriter;
 
 // Where a slice of virtual time went. kCpu covers CPU service *and* queueing behind the
-// single-core host run-to-completion model (execution, deserialization, fsync, waiting for
-// the CPU); crypto, ECALL transitions and counter I/O are split out because they are the
-// paper's cost terms.
+// single-core host run-to-completion model (execution, deserialization, waiting for the
+// CPU); crypto, ECALL transitions, counter I/O and stable-storage fsync are split out
+// because they are the paper's cost terms.
 enum class Component : uint8_t {
   kNetPropagation = 0,   // Link propagation delay (incl. loopback pipes).
   kNicSerialization,     // Egress NIC queueing + wire serialization.
@@ -33,10 +33,11 @@ enum class Component : uint8_t {
   kEcall,                // Enclave transition round trips.
   kCrypto,               // Sign/verify/hash/seal, in or out of the enclave.
   kCounter,              // Trusted monotonic counter reads/writes.
+  kFsync,                // Host stable-storage sync barriers (WAL/record-store fsync).
   kIdle,                 // Timer waits, mempool/batching wait before proposal.
 };
 
-inline constexpr size_t kNumComponents = 7;
+inline constexpr size_t kNumComponents = 8;
 const char* ComponentName(Component c);
 
 struct Path {

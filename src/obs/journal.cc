@@ -31,6 +31,12 @@ const char* JournalKindName(JournalKind kind) {
       return "counter-write";
     case JournalKind::kCounterRead:
       return "counter-read";
+    case JournalKind::kWalAppend:
+      return "wal-append";
+    case JournalKind::kFsync:
+      return "fsync";
+    case JournalKind::kWalTruncate:
+      return "wal-truncate";
     case JournalKind::kRollbackReject:
       return "rollback-reject";
     case JournalKind::kHalt:
@@ -61,7 +67,8 @@ const char* JournalKindName(JournalKind kind) {
 
 bool JournalKindIsFlow(JournalKind kind) {
   return kind == JournalKind::kSend || kind == JournalKind::kDeliver ||
-         kind == JournalKind::kEcall;
+         kind == JournalKind::kEcall || kind == JournalKind::kWalAppend ||
+         kind == JournalKind::kFsync;
 }
 
 std::string JournalRecord::ToLine() const {

@@ -11,8 +11,8 @@
 // Walking parent links therefore reconstructs the cross-host causal chain that led to any
 // recorded event — the spine of the forensics analyzer (src/obs/forensics.h).
 //
-// Bounded memory: each node keeps two rings. High-rate "flow" events (send/deliver/ecall)
-// evict independently from the rare "control" events (view changes, commits, recovery
+// Bounded memory: each node keeps two rings. High-rate "flow" events (send/deliver/ecall,
+// wal-append/fsync) evict independently from the rare "control" events (view changes, commits, recovery
 // phases, seal/unseal, counter ops, lifecycle), so a long run can drop old traffic without
 // losing the state-transition history forensics needs.
 #ifndef SRC_OBS_JOURNAL_H_
@@ -44,6 +44,10 @@ enum class JournalKind : uint8_t {
   kUnseal,          // a = served version (1-based; 0 = absent/forged), b = latest version.
   kCounterWrite,    // a = new counter value.
   kCounterRead,     // a = value read.
+  // Host stable storage (src/storage; flow ring except kWalTruncate).
+  kWalAppend,       // a = record bytes, b = records in the log after; detail = log name.
+  kFsync,           // Sync barrier: a = records made durable, b = bytes made durable.
+  kWalTruncate,     // Crash fate applied: a = records dropped, b = bytes dropped.
   kRollbackReject,  // Checker refused stale sealed state: a = sealed version, b = expected.
   kHalt,            // Replica crash-stopped itself (rollback detected).
   // Protocol state transitions.
@@ -68,7 +72,7 @@ inline constexpr size_t kNumJournalKinds =
 // strings are also usable as SpanTracer instant names.
 const char* JournalKindName(JournalKind kind);
 
-// True for the high-rate kinds kept in the flow ring (send/deliver/ecall).
+// True for the high-rate kinds kept in the flow ring (send/deliver/ecall/wal-append/fsync).
 bool JournalKindIsFlow(JournalKind kind);
 
 struct JournalRecord {

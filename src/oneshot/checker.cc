@@ -22,7 +22,7 @@ OneShotChecker::OneShotChecker(EnclaveRuntime* enclave, uint32_t n, uint32_t f,
 std::unique_ptr<OneShotChecker> OneShotChecker::Restore(EnclaveRuntime* enclave, uint32_t n,
                                                         uint32_t f) {
   enclave->ChargeEcall();
-  const std::optional<Bytes> blob = enclave->Unseal(kSealSlot);
+  const std::optional<Bytes> blob = enclave->sealed_store().Get(kSealSlot);
   if (!blob) {
     return nullptr;
   }
@@ -35,9 +35,9 @@ std::unique_ptr<OneShotChecker> OneShotChecker::Restore(EnclaveRuntime* enclave,
   if (!vi || !flags || !prepv || !preph || !version || r.remaining() != 0) {
     return nullptr;
   }
-  MonotonicCounter& counter = enclave->platform().counter();
-  if (counter.spec().enabled()) {
-    const uint64_t expected = counter.ReadBlocking();
+  persist::Store& counter = enclave->counter_store();
+  if (counter.available()) {
+    const uint64_t expected = counter.Read();
     if (*version != expected) {
       enclave->platform().host().JournalEvent(obs::JournalKind::kRollbackReject, *version,
                                               expected, kSealSlot);
@@ -58,17 +58,14 @@ std::unique_ptr<OneShotChecker> OneShotChecker::Restore(EnclaveRuntime* enclave,
 
 void OneShotChecker::PersistState() {
   ++version_;
-  MonotonicCounter& counter = enclave_->platform().counter();
-  if (counter.spec().enabled()) {
-    counter.IncrementBlocking();
-  }
+  enclave_->counter_store().Increment();  // No-op without a counter device.
   ByteWriter w;
   w.U64(vi_);
   w.U8(static_cast<uint8_t>((flag_ ? 1 : 0) | (voted1_ ? 2 : 0) | (voted2_ ? 4 : 0)));
   w.U64(prepv_);
   w.Raw(ByteView(preph_.data(), preph_.size()));
   w.U64(version_);
-  enclave_->Seal(kSealSlot, ByteView(w.bytes().data(), w.bytes().size()));
+  enclave_->sealed_store().Put(kSealSlot, ByteView(w.bytes().data(), w.bytes().size()));
 }
 
 void OneShotChecker::AdvanceTo(View v) {

@@ -2,20 +2,78 @@
 
 #include <algorithm>
 
+#include "src/common/serde.h"
+
 namespace achilles {
 
-RaftReplica::RaftReplica(const ReplicaContext& ctx, bool /*initial_launch*/)
-    : ReplicaBase(ctx) {
+namespace {
+constexpr const char* kMetaKey = "raft-meta";
+constexpr const char* kLogWal = "raft-log";
+}  // namespace
+
+RaftReplica::RaftReplica(const ReplicaContext& ctx, bool initial_launch)
+    : ReplicaBase(ctx), initial_launch_(initial_launch) {
   head_ = Block::Genesis();
   set_client_replies_enabled(false);  // Only the leader answers clients in Raft.
+  if (!initial_launch_) {
+    RestoreDurableState();
+  }
+}
+
+void RaftReplica::RestoreDurableState() {
+  storage::HostStableStorage& device = platform().host_storage();
+  if (const std::optional<Bytes> meta = device.record_store().Get(kMetaKey)) {
+    ByteReader r(ByteView(meta->data(), meta->size()));
+    const auto term = r.U64();
+    const auto voted = r.U64();
+    if (term && voted && r.remaining() == 0) {
+      term_ = *term;
+      voted_in_term_ = *voted;
+    }
+  }
+  // Replay the log; the tail (highest (term, height)) becomes head_ again, so the election
+  // restriction and re-replication behave as if the crash never happened.
+  for (const Bytes& record : device.Wal(kLogWal).records()) {
+    const BlockPtr block = DecodeBlockRecord(ByteView(record.data(), record.size()));
+    if (block == nullptr) {
+      continue;  // Torn/unfinished record: everything after it is gone anyway.
+    }
+    store_.Add(block);
+    logged_.insert(block->hash);
+    if (block->view > head_->view ||
+        (block->view == head_->view && block->height > head_->height)) {
+      head_ = block;
+    }
+  }
+}
+
+void RaftReplica::PersistMeta() {
+  ByteWriter w;
+  w.U64(term_);
+  w.U64(voted_in_term_);
+  platform().host_storage().records().Put(kMetaKey,
+                                          ByteView(w.bytes().data(), w.bytes().size()),
+                                          storage::SyncMode::kSync);
+}
+
+void RaftReplica::AppendToLog(const BlockPtr& block) {
+  if (!logged_.insert(block->hash).second) {
+    return;  // Already durable (heartbeat re-delivery); no second fsync.
+  }
+  const Bytes record = EncodeBlockRecord(*block);
+  platform().host_storage().Wal(kLogWal).Append(ByteView(record.data(), record.size()),
+                                                storage::SyncMode::kSync);
 }
 
 void RaftReplica::OnStart() {
-  term_ = 1;
+  if (term_ == 0) {
+    term_ = 1;
+  }
   JournalEvent(obs::JournalKind::kViewEnter, term_);
-  if (id() == 0) {
+  if (id() == 0 && initial_launch_) {
     // Node 0 bootstraps as the initial leader (deterministic start); elections take over on
-    // any failure.
+    // any failure. A rebooted node 0 must win an election instead: another leader may have
+    // been elected in its restored term while it was down.
     BecomeLeader();
   } else {
     ArmElectionTimer();
@@ -44,6 +102,7 @@ void RaftReplica::StartElection() {
   JournalEvent(obs::JournalKind::kViewEnter, term_);
   voted_in_term_ = term_;  // Vote for self.
   votes_received_ = 1;
+  PersistMeta();  // (currentTerm, votedFor=self) hit disk before the candidacy is visible.
   auto req = std::make_shared<RaftVoteReqMsg>();
   req->term = term_;
   req->last_term = head_->view;
@@ -57,6 +116,7 @@ void RaftReplica::BecomeFollower(uint64_t term) {
   if (term > term_) {
     term_ = term;
     JournalEvent(obs::JournalKind::kViewEnter, term_);
+    PersistMeta();  // Adopted term must survive a reboot (no double vote in it).
   }
   set_client_replies_enabled(false);
   if (heartbeat_timer_ != 0) {
@@ -118,7 +178,7 @@ void RaftReplica::TryPropose() {
   head_ = block;
   store_.Add(block);
   MarkProposed(block);
-  host().ChargeCpu(platform().costs().log_fsync);  // Leader persists before replicating.
+  AppendToLog(block);  // Leader persists before replicating.
   proposal_outstanding_ = true;
   Pending& pending = pending_[block->hash];
   pending.block = block;
@@ -159,7 +219,7 @@ void RaftReplica::OnAppend(NodeId from, const std::shared_ptr<const RaftAppendMs
       if (msg->block->parent == head_->hash || msg->block->height > head_->height) {
         head_ = msg->block;
       }
-      host().ChargeCpu(platform().costs().log_fsync);  // Durable append before the ack.
+      AppendToLog(msg->block);  // Durable append before the ack.
       auto ack = std::make_shared<RaftAckMsg>();
       ack->term = term_;
       ack->hash = msg->block->hash;
@@ -214,6 +274,7 @@ void RaftReplica::OnVoteReq(NodeId from, const RaftVoteReqMsg& msg) {
   }
   BecomeFollower(msg.term);
   voted_in_term_ = msg.term;
+  PersistMeta();  // votedFor hits disk before the grant leaves the node.
   auto rsp = std::make_shared<RaftVoteRspMsg>();
   rsp->term = msg.term;
   rsp->granted = true;

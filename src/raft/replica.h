@@ -3,11 +3,17 @@
 // protocols. No signatures, no TEE — the CFT performance ceiling the paper compares
 // Achilles against. Log repair reuses the content-addressed block store + fetch protocol
 // in place of nextIndex bookkeeping.
+//
+// Stable storage per the Raft paper (Fig. 2 "persistent state"): currentTerm and votedFor
+// go to the host record store before any vote or election message leaves the node, and log
+// entries go to a host WAL with an fsync before the append is acknowledged. A rebooted
+// replica restores all three in its constructor, so reboots cannot un-vote or un-ack.
 #ifndef SRC_RAFT_REPLICA_H_
 #define SRC_RAFT_REPLICA_H_
 
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/consensus/replica_base.h"
 #include "src/sim/process.h"
@@ -81,6 +87,14 @@ class RaftReplica : public ReplicaBase {
   void OnVoteRsp(const RaftVoteRspMsg& msg);
   void ArmElectionTimer();
 
+  // Syncs (term, votedFor) to the host record store: must precede any message that makes
+  // the vote or term adoption observable.
+  void PersistMeta();
+  // Appends `block` to the durable log with an fsync, once per block per incarnation.
+  void AppendToLog(const BlockPtr& block);
+  void RestoreDurableState();
+
+  bool initial_launch_;
   Role role_ = Role::kFollower;
   uint64_t term_ = 0;
   uint64_t voted_in_term_ = 0;  // Highest term we granted a vote in.
@@ -93,6 +107,9 @@ class RaftReplica : public ReplicaBase {
     std::set<NodeId> acks;
   };
   std::unordered_map<Hash256, Pending, Hash256Hasher> pending_;
+  // Blocks already in the durable log (rebuilt from the WAL on reboot); re-deliveries via
+  // heartbeat retransmission skip the duplicate append + fsync.
+  std::unordered_set<Hash256, Hash256Hasher> logged_;
   uint32_t votes_received_ = 0;
   uint64_t heartbeat_timer_ = 0;
   uint64_t election_timer_ = 0;

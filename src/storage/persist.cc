@@ -1,0 +1,33 @@
+#include "src/storage/persist.h"
+
+namespace achilles {
+namespace persist {
+
+const char* DurabilityName(Durability d) {
+  switch (d) {
+    case Durability::kVolatile:
+      return "volatile";
+    case Durability::kHostDurable:
+      return "host-durable";
+    case Durability::kTeeSealed:
+      return "tee-sealed";
+    case Durability::kTeeCounter:
+      return "tee-counter";
+  }
+  return "?";
+}
+
+void VolatileStore::Put(const std::string& key, ByteView record) {
+  records_[key] = Bytes(record.begin(), record.end());
+}
+
+std::optional<Bytes> VolatileStore::Get(const std::string& key) {
+  auto it = records_.find(key);
+  if (it == records_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace persist
+}  // namespace achilles

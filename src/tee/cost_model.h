@@ -39,6 +39,7 @@ struct CostModel {
     m.per_tx_client = 0;
     m.per_msg_handling = 0;
     m.seal_op = 0;
+    m.log_fsync = 0;
     return m;
   }
 

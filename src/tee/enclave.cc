@@ -76,7 +76,45 @@ Bytes EnclaveRuntime::Keystream(uint64_t iv, size_t len) const {
   return stream;
 }
 
+void SealedStore::Put(const std::string& key, ByteView record) {
+  enclave_->DoSeal(key, record);
+}
+
+std::optional<Bytes> SealedStore::Get(const std::string& key) {
+  return enclave_->DoUnseal(key);
+}
+
+bool CounterStore::available() const {
+  return enclave_->platform_->counter().spec().enabled();
+}
+
+void CounterStore::Put(const std::string& key, ByteView record) {
+  (void)key;
+  (void)record;  // Counters hold no records; writes to this facet are dropped.
+}
+
+std::optional<Bytes> CounterStore::Get(const std::string& key) {
+  (void)key;
+  return std::nullopt;
+}
+
+uint64_t CounterStore::Increment() {
+  return available() ? enclave_->platform_->counter().IncrementBlocking() : 0;
+}
+
+uint64_t CounterStore::Read() {
+  return available() ? enclave_->platform_->counter().ReadBlocking() : 0;
+}
+
 void EnclaveRuntime::Seal(const std::string& slot, ByteView plaintext) {
+  DoSeal(slot, plaintext);
+}
+
+std::optional<Bytes> EnclaveRuntime::Unseal(const std::string& slot) {
+  return DoUnseal(slot);
+}
+
+void EnclaveRuntime::DoSeal(const std::string& slot, ByteView plaintext) {
   platform_->host().ChargeCpuAs(obs::Component::kCrypto, platform_->costs().seal_op);
   ChargeHash(plaintext.size());
   const uint64_t iv = ++seal_iv_ ^ (nonce_state_ << 16);
@@ -102,7 +140,7 @@ void EnclaveRuntime::Seal(const std::string& slot, ByteView plaintext) {
                                  slot);
 }
 
-std::optional<Bytes> EnclaveRuntime::Unseal(const std::string& slot) {
+std::optional<Bytes> EnclaveRuntime::DoUnseal(const std::string& slot) {
   platform_->host().ChargeCpuAs(obs::Component::kCrypto, platform_->costs().seal_op);
   size_t served_version = 0;
   const std::optional<Bytes> blob = platform_->storage().Get(slot, &served_version);

@@ -8,9 +8,49 @@
 #include <optional>
 #include <string>
 
+#include "src/storage/persist.h"
 #include "src/tee/platform.h"
 
 namespace achilles {
+
+class EnclaveRuntime;
+
+// persist::Store view over the enclave's sealing surface (encrypt-then-MAC under the device
+// key). Durability class kTeeSealed: survives crashes, but the OS serves whatever version
+// it likes — rollback/erasure is this surface's adversary, freshness is NOT guaranteed.
+class SealedStore final : public persist::Store {
+ public:
+  explicit SealedStore(EnclaveRuntime* enclave) : enclave_(enclave) {}
+
+  persist::Durability durability() const override {
+    return persist::Durability::kTeeSealed;
+  }
+  void Put(const std::string& key, ByteView record) override;
+  std::optional<Bytes> Get(const std::string& key) override;
+
+ private:
+  EnclaveRuntime* enclave_;
+};
+
+// persist::Store view over the platform's trusted monotonic counter. Durability class
+// kTeeCounter: crash-surviving and rollback-free, but it holds a single number — the
+// record facet is inert (Put drops, Get returns nullopt); use Increment/Read.
+class CounterStore final : public persist::Store {
+ public:
+  explicit CounterStore(EnclaveRuntime* enclave) : enclave_(enclave) {}
+
+  persist::Durability durability() const override {
+    return persist::Durability::kTeeCounter;
+  }
+  bool available() const override;
+  void Put(const std::string& key, ByteView record) override;
+  std::optional<Bytes> Get(const std::string& key) override;
+  uint64_t Increment() override;  // Blocking device write (charges write latency).
+  uint64_t Read() override;       // Blocking device read (charges read latency).
+
+ private:
+  EnclaveRuntime* enclave_;
+};
 
 class EnclaveRuntime {
  public:
@@ -29,11 +69,17 @@ class EnclaveRuntime {
   Signature Sign(ByteView digest);
   bool Verify(const Signature& sig, ByteView digest) const;
 
-  // --- Sealing (encrypt-then-MAC under the device sealing key) ---
-  // Stores a new version of `slot`; adversary may later serve any old version but cannot
-  // forge or read contents.
+  // --- Unified persistence handles (src/storage/persist.h) ---
+  // The two TEE-backed durability classes this enclave can buy. The host-durable class
+  // lives on the platform (platform().host_storage().record_store()); volatile is a plain
+  // persist::VolatileStore member wherever state is deliberately not persisted.
+  persist::Store& sealed_store() { return sealed_store_; }
+  persist::Store& counter_store() { return counter_store_; }
+
+  // Deprecated: legacy sealing entry points, kept for one PR as thin shims over
+  // sealed_store().Put/Get. New code should take a persist::Store& and state its
+  // durability class.
   void Seal(const std::string& slot, ByteView plaintext);
-  // Returns the plaintext of whatever version the OS serves, or nullopt if absent/forged.
   std::optional<Bytes> Unseal(const std::string& slot);
 
   // Deterministic per-enclave nonce source (models RDRAND inside the enclave).
@@ -43,9 +89,16 @@ class EnclaveRuntime {
   uint64_t ecalls() const { return ecalls_; }
 
  private:
+  friend class SealedStore;
+  friend class CounterStore;
+
+  void DoSeal(const std::string& slot, ByteView plaintext);
+  std::optional<Bytes> DoUnseal(const std::string& slot);
   Bytes Keystream(uint64_t iv, size_t len) const;
 
   NodePlatform* platform_;
+  SealedStore sealed_store_{this};
+  CounterStore counter_store_{this};
   uint64_t seal_iv_ = 0;
   uint64_t nonce_state_;
   uint64_t ecalls_ = 0;

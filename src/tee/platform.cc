@@ -11,7 +11,8 @@ NodePlatform::NodePlatform(Host* host, CryptoSuite* suite, const CostModel& cost
       node_id_(node_id == UINT32_MAX ? host->id() : node_id),
       costs_(costs),
       tee_(tee),
-      counter_(host, tee.counter) {
+      counter_(host, tee.counter),
+      host_storage_(host, costs.log_fsync) {
   Bytes ctx(12);
   const uint32_t id = host->id();
   for (int i = 0; i < 8; ++i) {

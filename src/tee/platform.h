@@ -7,6 +7,7 @@
 
 #include "src/crypto/signer.h"
 #include "src/sim/host.h"
+#include "src/storage/host_storage.h"
 #include "src/tee/cost_model.h"
 #include "src/tee/monotonic_counter.h"
 #include "src/tee/sealed_storage.h"
@@ -37,6 +38,9 @@ class NodePlatform {
   const TeeConfig& tee() const { return tee_; }
   SealedStorage& storage() { return storage_; }
   MonotonicCounter& counter() { return counter_; }
+  // Host disk (WALs + record store); like the sealed-storage device it outlives the
+  // process, but its crash faults are truncation, never rollback.
+  storage::HostStableStorage& host_storage() { return host_storage_; }
 
   uint32_t node_id() const { return node_id_; }
 
@@ -51,6 +55,7 @@ class NodePlatform {
   TeeConfig tee_;
   SealedStorage storage_;
   MonotonicCounter counter_;
+  storage::HostStableStorage host_storage_;
   Hash256 sealing_key_;
 };
 

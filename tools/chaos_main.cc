@@ -14,6 +14,9 @@
 //                                                     # the incident report for the caught
 //                                                     # violation
 //
+// --reboot-weight P sets the sampler's probability that a script carries crash+reboot
+// cycles (default 0.65); CI shards raise it to weight schedules toward reboot coverage.
+//
 // --journal enables the deterministic flight recorder (journal dumped next to the other
 // failure artifacts; its digest is an independent replay fingerprint). --explain implies
 // --journal and additionally runs the forensics analyzer, printing a causal incident
@@ -54,7 +57,8 @@ void Usage() {
                "usage: chaos_main [--protocol NAME|all] [--seeds N] [--seed-base N]\n"
                "                  [--shard I/K] [--broken none|recovery-nonce|counter-compare]\n"
                "                  [--replay SEED] [--replay-file PATH] [--minimize SEED]\n"
-               "                  [--out-dir DIR] [--journal] [--explain] [--verbose]\n");
+               "                  [--reboot-weight P] [--out-dir DIR] [--journal]\n"
+               "                  [--explain] [--verbose]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -116,6 +120,15 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* value = next();
       if (value == nullptr) return false;
       args->minimize_seed = std::strtoll(value, nullptr, 10);
+    } else if (flag == "--reboot-weight") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      const double weight = std::strtod(value, nullptr);
+      if (weight < 0.0 || weight > 1.0) {
+        std::fprintf(stderr, "chaos_main: --reboot-weight wants [0,1], got '%s'\n", value);
+        return false;
+      }
+      args->options.reboot_prob = weight;
     } else if (flag == "--out-dir") {
       const char* value = next();
       if (value == nullptr) return false;
