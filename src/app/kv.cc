@@ -1,0 +1,90 @@
+#include "src/app/kv.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/crypto/sha256.h"
+
+namespace achilles {
+namespace app {
+
+bool DecodeKvOp(uint64_t op, KvOpKind* kind, uint32_t* key) {
+  const uint64_t k = op >> 62;
+  if (k != static_cast<uint64_t>(KvOpKind::kPut) && k != static_cast<uint64_t>(KvOpKind::kGet)) {
+    return false;
+  }
+  *kind = static_cast<KvOpKind>(k);
+  *key = static_cast<uint32_t>(op & 0xffffffffu);
+  return true;
+}
+
+KvState::KvState() : head_(Block::Genesis()->hash) {}
+
+bool KvState::CanApply(const BlockPtr& block) const {
+  return block != nullptr && block->height == height_ + 1 && block->parent == head_;
+}
+
+void KvState::ApplyBlock(const BlockPtr& block, const ApplyCallback& cb) {
+  ACHILLES_CHECK(CanApply(block));
+  for (const Transaction& tx : block->txs) {
+    KvOpKind kind;
+    uint32_t key;
+    if (!DecodeKvOp(tx.op, &kind, &key)) {
+      continue;  // Background-load transaction: payload only.
+    }
+    if (!applied_txs_.insert(tx.id).second) {
+      continue;  // Re-proposed client request; already executed in an earlier block.
+    }
+    if (kind == KvOpKind::kPut) {
+      KvCell& cell = cells_[key];
+      cell.value = tx.id;
+      ++cell.version;
+      if (cb) {
+        cb(tx, kind, key, cell);
+      }
+    } else {
+      if (cb) {
+        cb(tx, kind, key, Read(key));
+      }
+    }
+  }
+  height_ = block->height;
+  head_ = block->hash;
+}
+
+KvCell KvState::Read(uint32_t key) const {
+  auto it = cells_.find(key);
+  return it == cells_.end() ? KvCell{} : it->second;
+}
+
+std::string KvOpRecord::ToLine() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "op=%016llx c%u %s k=%u v=%llu ver=%llu inv=%lld resp=%lld%s srv=%d",
+                static_cast<unsigned long long>(op_id), client,
+                kind == KvOpKind::kPut ? "put" : "get", key,
+                static_cast<unsigned long long>(value),
+                static_cast<unsigned long long>(version), static_cast<long long>(invoke),
+                static_cast<long long>(response), lease_read ? " lease" : "",
+                server == kNoNode ? -1 : static_cast<int>(server));
+  return std::string(buf);
+}
+
+std::string KvHistory::ToText() const {
+  std::string out = "kv-history ops=" + std::to_string(ops.size()) + "\n";
+  for (const KvOpRecord& op : ops) {
+    out += op.ToLine();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string KvHistory::DigestHex() const {
+  const std::string text = ToText();
+  const Hash256 digest =
+      Sha256Digest(ByteView(reinterpret_cast<const uint8_t*>(text.data()), text.size()));
+  return HashToHex(digest);
+}
+
+}  // namespace app
+}  // namespace achilles

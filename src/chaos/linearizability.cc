@@ -1,0 +1,246 @@
+#include "src/chaos/linearizability.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <unordered_set>
+
+namespace achilles {
+namespace chaos {
+
+namespace {
+
+using app::KvOpKind;
+using app::KvOpRecord;
+
+std::string Describe(const KvOpRecord& op) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "op %016llx (session %u)",
+                static_cast<unsigned long long>(op.op_id), op.client);
+  return std::string(buf);
+}
+
+// Effective response time for precedence: pending ops never precede anything.
+SimTime EffResponse(const KvOpRecord& op) {
+  return op.complete() ? op.response : std::numeric_limits<SimTime>::max();
+}
+
+// Targeted scans for definite violations with crisp diagnoses. `ops` is one key's
+// subhistory. Returns a non-empty message on violation and sets `server` when the offense
+// is a specific replica's serve.
+std::string FastScans(uint32_t key, const std::vector<const KvOpRecord*>& ops,
+                      NodeId* server) {
+  char buf[320];
+  // Lost update: two completed writes claiming one version slot.
+  std::map<uint64_t, const KvOpRecord*> writer_of_version;
+  for (const KvOpRecord* op : ops) {
+    if (op->kind != KvOpKind::kPut || !op->complete()) {
+      continue;
+    }
+    auto [it, inserted] = writer_of_version.emplace(op->version, op);
+    if (!inserted) {
+      std::snprintf(buf, sizeof(buf),
+                    "lost update on key %u: %s and %s both created version %llu", key,
+                    Describe(*it->second).c_str(), Describe(*op).c_str(),
+                    static_cast<unsigned long long>(op->version));
+      return std::string(buf);
+    }
+  }
+  // Stale read: a completed read returned version v although a newer write was completed
+  // before the read began.
+  for (const KvOpRecord* r : ops) {
+    if (r->kind != KvOpKind::kGet || !r->complete()) {
+      continue;
+    }
+    for (const KvOpRecord* w : ops) {
+      if (w->kind != KvOpKind::kPut || !w->complete() || w->version <= r->version) {
+        continue;
+      }
+      if (w->response < r->invoke) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "stale read on key %u: %s returned version %llu but version %llu was already "
+            "committed (%s completed before the read began)%s served by replica %d",
+            key, Describe(*r).c_str(), static_cast<unsigned long long>(r->version),
+            static_cast<unsigned long long>(w->version), Describe(*w).c_str(),
+            r->lease_read ? "; lease read" : ";",
+            r->server == kNoNode ? -1 : static_cast<int>(r->server));
+        *server = r->server;
+        return std::string(buf);
+      }
+    }
+  }
+  // Non-monotonic session: a session's completed ops on this key are sequential in real
+  // time, so their observed versions must never decrease.
+  std::map<uint32_t, const KvOpRecord*> last_by_session;
+  std::vector<const KvOpRecord*> by_invoke(ops);
+  std::sort(by_invoke.begin(), by_invoke.end(),
+            [](const KvOpRecord* a, const KvOpRecord* b) {
+              return a->invoke != b->invoke ? a->invoke < b->invoke : a->op_id < b->op_id;
+            });
+  for (const KvOpRecord* op : by_invoke) {
+    if (!op->complete()) {
+      continue;
+    }
+    auto [it, inserted] = last_by_session.emplace(op->client, op);
+    if (!inserted) {
+      if (op->version < it->second->version) {
+        std::snprintf(buf, sizeof(buf),
+                      "non-monotonic reads on key %u: session %u observed version %llu "
+                      "(%s) after version %llu (%s)",
+                      key, op->client, static_cast<unsigned long long>(op->version),
+                      Describe(*op).c_str(),
+                      static_cast<unsigned long long>(it->second->version),
+                      Describe(*it->second).c_str());
+        *server = op->server;
+        return std::string(buf);
+      }
+      it->second = op;
+    }
+  }
+  return {};
+}
+
+// One key's Wing–Gong search. Ops: completed reads/writes + pending writes (pending reads
+// already dropped). Returns true iff a witness linearization exists.
+class KeySearch {
+ public:
+  explicit KeySearch(std::vector<const KvOpRecord*> ops) : ops_(std::move(ops)) {
+    words_ = (ops_.size() + 63) / 64;
+    done_.assign(words_, 0);
+    completed_remaining_ = 0;
+    for (const KvOpRecord* op : ops_) {
+      if (op->complete()) {
+        ++completed_remaining_;
+      }
+    }
+  }
+
+  bool Run() { return Explore(/*last_writer=*/-1, /*version=*/0, /*value=*/0); }
+  uint64_t memo_states() const { return memo_.size(); }
+
+ private:
+  bool IsDone(size_t i) const { return (done_[i / 64] >> (i % 64)) & 1; }
+  void SetDone(size_t i) { done_[i / 64] |= uint64_t{1} << (i % 64); }
+  void ClearDone(size_t i) { done_[i / 64] &= ~(uint64_t{1} << (i % 64)); }
+
+  uint64_t StateHash(int last_writer) const {
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint64_t w : done_) {
+      h = (h ^ w) * 0x100000001b3ull;
+      h ^= h >> 29;
+    }
+    h = (h ^ static_cast<uint64_t>(last_writer + 1)) * 0x100000001b3ull;
+    return h;
+  }
+
+  bool Explore(int last_writer, uint64_t version, uint64_t value) {
+    if (completed_remaining_ == 0) {
+      return true;  // Every completed op linearized; pending writes may stay unapplied.
+    }
+    // Memoize on (done-set, last-writer): the pair determines (version, value), so any
+    // revisit explores an identical subtree. A 64-bit FNV key risks collisions only with
+    // astronomically many states; the search is bounded long before that.
+    if (!memo_.insert(StateHash(last_writer)).second) {
+      return false;
+    }
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (IsDone(i)) {
+        continue;
+      }
+      const KvOpRecord& p = *ops_[i];
+      // Real-time precedence: p can go next only if no other undone op finished before p
+      // was invoked.
+      bool minimal = true;
+      for (size_t j = 0; j < ops_.size() && minimal; ++j) {
+        if (j != i && !IsDone(j) && EffResponse(*ops_[j]) < p.invoke) {
+          minimal = false;
+        }
+      }
+      if (!minimal) {
+        continue;
+      }
+      // Sequential KV applicability at state (version, value).
+      if (p.kind == KvOpKind::kGet) {
+        if (!p.complete() || p.version != version || p.value != value) {
+          continue;  // (Pending reads were dropped before the search.)
+        }
+        SetDone(i);
+        --completed_remaining_;
+        if (Explore(last_writer, version, value)) {
+          return true;
+        }
+        ++completed_remaining_;
+        ClearDone(i);
+      } else {
+        // A completed write is pinned to its recorded version slot; a pending write can
+        // claim the next slot anywhere (or never run).
+        if (p.complete() && p.version != version + 1) {
+          continue;
+        }
+        SetDone(i);
+        if (p.complete()) {
+          --completed_remaining_;
+        }
+        if (Explore(static_cast<int>(i), version + 1, p.value)) {
+          return true;
+        }
+        if (p.complete()) {
+          ++completed_remaining_;
+        }
+        ClearDone(i);
+      }
+    }
+    return false;
+  }
+
+  std::vector<const KvOpRecord*> ops_;
+  size_t words_ = 0;
+  std::vector<uint64_t> done_;
+  size_t completed_remaining_ = 0;
+  std::unordered_set<uint64_t> memo_;
+};
+
+}  // namespace
+
+LinearizabilityVerdict CheckKvHistory(const std::vector<KvOpRecord>& ops) {
+  LinearizabilityVerdict verdict;
+  std::map<uint32_t, std::vector<const KvOpRecord*>> by_key;
+  for (const KvOpRecord& op : ops) {
+    if (op.kind == KvOpKind::kGet && !op.complete()) {
+      continue;  // Pending reads constrain nothing.
+    }
+    by_key[op.key].push_back(&op);
+  }
+  for (auto& [key, key_ops] : by_key) {
+    ++verdict.checked_keys;
+    verdict.checked_ops += key_ops.size();
+    NodeId server = kNoNode;
+    std::string fast = FastScans(key, key_ops, &server);
+    if (!fast.empty()) {
+      verdict.ok = false;
+      verdict.violation = std::move(fast);
+      verdict.key = key;
+      verdict.server = server;
+      return verdict;
+    }
+    KeySearch search(key_ops);
+    const bool linearizable = search.Run();
+    verdict.memo_states += search.memo_states();
+    if (!linearizable) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "no witness linearization exists for key %u (%zu constrained ops)", key,
+                    key_ops.size());
+      verdict.ok = false;
+      verdict.violation = buf;
+      verdict.key = key;
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
+}  // namespace chaos
+}  // namespace achilles

@@ -110,6 +110,14 @@ void OracleSuite::OnRecoveryComplete(NodeId id, size_t fresh_replies, bool nonce
   }
 }
 
+void OracleSuite::OnHistoryVerdict(bool ok_verdict, const std::string& violation,
+                                   NodeId server, SimTime now) {
+  if (!ok() || ok_verdict) {
+    return;
+  }
+  Fail(now, "linearizability: " + violation, "linearizability", server);
+}
+
 void OracleSuite::OnHeal(SimTime now) {
   (void)now;
   ACHILLES_CHECK(!healed_);

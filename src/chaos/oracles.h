@@ -19,6 +19,10 @@
 //                  nonce round (replayed stale replies are not fresh; see runner.cc).
 //   liveness     — the max honest committed height strictly advances between heal_at and
 //                  the horizon (bounded-time progress after all faults lift).
+//   linearizability — when the KV app is enabled (--app kv), the client-observed history
+//                  must admit a witness linearization (src/chaos/linearizability.h). This
+//                  is the only oracle judged at the application boundary: it catches stale
+//                  reads served to clients that every replica-side audit is blind to.
 #ifndef SRC_CHAOS_ORACLES_H_
 #define SRC_CHAOS_ORACLES_H_
 
@@ -45,7 +49,7 @@ struct OracleConfig {
 // forensics analyzer (src/obs/forensics.h) can seed its journal walk without re-parsing.
 struct Incident {
   std::string oracle;       // Family: "agreement", "durability", "counter", "freshness",
-                            // "liveness".
+                            // "liveness", "linearizability".
   NodeId node = kNoNode;    // Replica the violation was observed on (kNoNode = global).
   Height height = 0;        // Block height involved (0 = n/a).
   SimTime at = 0;           // Virtual time of the observation.
@@ -65,6 +69,9 @@ class OracleSuite {
   // the network before completion; `nonce_fresh` = the replies the driver consumed carried
   // the final round's nonce (false means a replayed stale round was accepted).
   void OnRecoveryComplete(NodeId id, size_t fresh_replies, bool nonce_fresh, SimTime now);
+  // Linearizability verdict over the recorded client history; the runner computes it once
+  // at the horizon (before OnRunEnd) when the KV app is enabled.
+  void OnHistoryVerdict(bool ok, const std::string& violation, NodeId server, SimTime now);
   // Called once when the heal point is reached, then once at the horizon.
   void OnHeal(SimTime now);
   void OnRunEnd(SimTime now);

@@ -8,6 +8,8 @@
 
 #include "src/achilles/messages.h"
 #include "src/achilles/replica.h"
+#include "src/app/kv.h"
+#include "src/chaos/linearizability.h"
 #include "src/chaos/oracles.h"
 #include "src/common/bytes.h"
 #include "src/common/check.h"
@@ -78,6 +80,26 @@ void EnsureBrokenTrigger(BrokenVariant broken, FaultScript* script) {
   const uint32_t n = static_cast<uint32_t>(script->byzantine.size());
   ACHILLES_CHECK(n >= 3);
   const uint32_t victim = 1;
+  if (broken == BrokenVariant::kStaleReadLease) {
+    // Canonical stale-read choreography: node 0 (BRaft's bootstrap leader, hence the KV
+    // leaseholder) is isolated from its peers — but NOT from the KV client, so it keeps
+    // answering lease reads off its frozen mirror. Directed link blocks (not a Partition,
+    // which would also cut the client) sever 0<->peer in both directions; the peers elect a
+    // new leader and keep committing. Honest grantors withhold client responses until the
+    // promise expires; broken ones release immediately, so the client completes a newer
+    // write while node 0 still serves the old version — a client-observed stale read.
+    std::fill(script->byzantine.begin(), script->byzantine.end(), ByzantineMode::kNone);
+    script->events.clear();
+    for (uint32_t peer = 1; peer < n; ++peer) {
+      script->events.push_back({Ms(700), FaultKind::kBlockLink, 0, peer, 0});
+      script->events.push_back({Ms(700), FaultKind::kBlockLink, peer, 0, 0});
+    }
+    for (uint32_t peer = 1; peer < n; ++peer) {
+      script->events.push_back({Ms(1300), FaultKind::kUnblockLink, 0, peer, 0});
+      script->events.push_back({Ms(1300), FaultKind::kUnblockLink, peer, 0, 0});
+    }
+    return;
+  }
   if (broken == BrokenVariant::kRecoveryNonce) {
     for (const FaultEvent& event : script->events) {
       if (event.kind == FaultKind::kStaleRecoveryReplay) {
@@ -124,12 +146,14 @@ const char* BrokenVariantName(BrokenVariant variant) {
       return "recovery-nonce";
     case BrokenVariant::kCounterCompare:
       return "counter-compare";
+    case BrokenVariant::kStaleReadLease:
+      return "stale-read-lease";
   }
   return "?";
 }
 
 bool BrokenVariantFromName(std::string_view name, BrokenVariant* out) {
-  for (int i = 0; i <= static_cast<int>(BrokenVariant::kCounterCompare); ++i) {
+  for (int i = 0; i <= static_cast<int>(BrokenVariant::kStaleReadLease); ++i) {
     const BrokenVariant variant = static_cast<BrokenVariant>(i);
     if (name == BrokenVariantName(variant)) {
       *out = variant;
@@ -163,6 +187,9 @@ ChaosResult RunChaosSeed(const ChaosOptions& options, uint64_t seed) {
     protocol = Protocol::kAchilles;
   } else if (options.broken == BrokenVariant::kCounterCompare) {
     protocol = Protocol::kDamysusR;
+  } else if (options.broken == BrokenVariant::kStaleReadLease) {
+    // BRaft's node 0 bootstraps as leader, so the canonical trigger knows the leaseholder.
+    protocol = Protocol::kRaft;
   } else if (options.protocol_all) {
     protocol = static_cast<Protocol>(seed % kNumProtocols);
   } else {
@@ -206,6 +233,9 @@ ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol 
   config.break_recovery_nonce = options.broken == BrokenVariant::kRecoveryNonce;
   config.break_counter_compare = options.broken == BrokenVariant::kCounterCompare;
   config.journaling = options.journal;
+  const bool app_kv = options.app_kv || options.broken == BrokenVariant::kStaleReadLease;
+  config.app_kv = app_kv;
+  config.kv.break_stale_read_lease = options.broken == BrokenVariant::kStaleReadLease;
   Cluster cluster(config);
   const uint32_t n = cluster.num_replicas();
   ACHILLES_CHECK(script.byzantine.size() == n);
@@ -231,7 +261,9 @@ ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol 
   }
 
   // --- Oracle feeds ---
-  cluster.tracker().SetCommitListener(
+  // Add (not Set): when the KV app is on, the Cluster constructor already registered the
+  // KvService's execution listener and it must keep firing.
+  cluster.tracker().AddCommitListener(
       [&](NodeId id, const BlockPtr& block, SimTime now) {
         log(now, "commit node=" + std::to_string(id) +
                      " h=" + std::to_string(block->height) +
@@ -350,6 +382,21 @@ ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol 
       log(t, "heal maxh=" + std::to_string(oracles.max_honest_height()));
     }
     poll(t);
+  }
+  // Judge the client-observed history before OnRunEnd: linearizability is an end-of-run
+  // verdict, and OnRunEnd's liveness check only runs while the suite is still clean.
+  if (app_kv) {
+    const app::KvHistory history = cluster.kv_client()->HistorySnapshot();
+    const LinearizabilityVerdict verdict = CheckKvHistory(history.ops);
+    log(sim.Now(), "kv-check ops=" + std::to_string(verdict.checked_ops) +
+                       " keys=" + std::to_string(verdict.checked_keys) +
+                       " memo=" + std::to_string(verdict.memo_states) +
+                       " ok=" + (verdict.ok ? "1" : "0"));
+    oracles.OnHistoryVerdict(verdict.ok, verdict.violation, verdict.server, sim.Now());
+    result.history_text = history.ToText();
+    result.history_digest_hex = history.DigestHex();
+    log(sim.Now(), "kv-history ops=" + std::to_string(history.ops.size()) +
+                       " digest=" + result.history_digest_hex.substr(0, 16));
   }
   if (oracles.ok() && healed) {
     oracles.OnRunEnd(script.horizon);

@@ -25,6 +25,9 @@ enum class BrokenVariant {
   kNone,
   kRecoveryNonce,    // Achilles driver+checker skip the recovery-nonce freshness check.
   kCounterCompare,   // -R checker skips the sealed-version vs counter rollback compare.
+  kStaleReadLease,   // KV lease grantors skip the client-response withholding, so a deposed
+                     // leaseholder can serve stale reads (caught by the linearizability
+                     // oracle, not by any replica-side audit). Forces --app kv.
 };
 
 const char* BrokenVariantName(BrokenVariant variant);
@@ -49,6 +52,9 @@ struct ChaosOptions {
   // Flight recorder + forensics. Journaling never perturbs virtual time, so the event-log
   // digest is bit-identical with it on or off; the journal digest is its own replay check.
   bool journal = false;
+  // Run the replicated KV app (src/app) behind the protocol and judge the client-observed
+  // history with the linearizability checker at the horizon. Implied by kStaleReadLease.
+  bool app_kv = false;
 };
 
 struct ChaosResult {
@@ -68,6 +74,9 @@ struct ChaosResult {
   // Chrome trace_event JSON of the journal's control events as Perfetto instants (only on
   // violation; opens in Perfetto / chrome://tracing).
   std::string journal_trace_json;
+  // Filled when the KV app ran (options.app_kv or kStaleReadLease).
+  std::string history_text;         // Client-observed op history (app::KvHistory::ToText).
+  std::string history_digest_hex;   // SHA-256 over history_text (replay fingerprint).
 
   std::string LogText() const;      // event_log joined with newlines.
   ScriptArtifact Artifact() const;  // Self-contained reproducer for this run.

@@ -15,6 +15,7 @@ Hash256 TxRoot(const std::vector<Transaction>& txs) {
   w.U32(static_cast<uint32_t>(txs.size()));
   for (const Transaction& tx : txs) {
     w.U64(tx.id);
+    w.U64(tx.op);
     w.U32(tx.payload_size);
   }
   return Sha256Digest(ByteView(w.bytes().data(), w.bytes().size()));
@@ -91,6 +92,7 @@ Bytes EncodeBlockRecord(const Block& b) {
     w.U64(tx.id);
     w.I64(tx.submit_time);
     w.U32(tx.payload_size);
+    w.U64(tx.op);
   }
   return w.Take();
 }
@@ -119,10 +121,11 @@ BlockPtr DecodeBlockRecord(ByteView record) {
     const auto id = r.U64();
     const auto submit_time = r.I64();
     const auto payload_size = r.U32();
-    if (!id || !submit_time || !payload_size) {
+    const auto op = r.U64();
+    if (!id || !submit_time || !payload_size || !op) {
       return nullptr;
     }
-    b->txs.push_back(Transaction{*id, *submit_time, *payload_size});
+    b->txs.push_back(Transaction{*id, *submit_time, *payload_size, *op});
   }
   if (r.remaining() != 0 ||
       b->hash != HeaderHash(b->view, b->height, b->parent, TxRoot(b->txs), b->exec_result)) {

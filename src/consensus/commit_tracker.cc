@@ -13,6 +13,16 @@ void CommitTracker::OnPropose(const BlockPtr& block) {
   propose_times_.emplace(block->hash, block->propose_time);
 }
 
+void CommitTracker::OnPropose(NodeId proposer, const BlockPtr& block) {
+  proposer_of_.emplace(block->hash, proposer);
+  OnPropose(block);
+}
+
+NodeId CommitTracker::ProposerOf(const Hash256& hash) const {
+  auto it = proposer_of_.find(hash);
+  return it == proposer_of_.end() ? kNoProposer : it->second;
+}
+
 void CommitTracker::OnCommit(NodeId replica, const BlockPtr& block, SimTime now) {
   if (replica >= num_replicas_ || byzantine_.count(replica) > 0) {
     return;
@@ -21,8 +31,8 @@ void CommitTracker::OnCommit(NodeId replica, const BlockPtr& block, SimTime now)
     return;  // This replica already committed this block.
   }
   replica_height_[replica] = std::max(replica_height_[replica], block->height);
-  if (listener_) {
-    listener_(replica, block, now);
+  for (const CommitListener& listener : listeners_) {
+    listener(replica, block, now);
   }
 
   // Safety audit: two correct replicas must never commit different blocks at one height.

@@ -24,9 +24,22 @@ class CommitTracker {
   void MarkByzantine(NodeId id) { byzantine_.insert(id); }
 
   // Application hook: invoked once per (replica, block) commit — this is how replicated
-  // state machines consume the agreed sequence (see examples/replicated_kv.cc).
+  // state machines consume the agreed sequence (see examples/replicated_kv.cc and
+  // src/app/kv_service.h). SetCommitListener replaces every installed listener (legacy
+  // single-consumer semantics); AddCommitListener appends, letting the chaos runner and
+  // the KV app observe commits side by side.
   using CommitListener = std::function<void(NodeId, const BlockPtr&, SimTime)>;
-  void SetCommitListener(CommitListener listener) { listener_ = std::move(listener); }
+  void SetCommitListener(CommitListener listener) {
+    listeners_.clear();
+    if (listener) {
+      listeners_.push_back(std::move(listener));
+    }
+  }
+  void AddCommitListener(CommitListener listener) {
+    if (listener) {
+      listeners_.push_back(std::move(listener));
+    }
+  }
 
   // Attribution sink for confirmed-block latency decomposition; measurement-window gating
   // happens here so attribution and the e2e recorder always agree.
@@ -34,6 +47,10 @@ class CommitTracker {
 
   // --- Called by replicas / clients ---
   void OnPropose(const BlockPtr& block);
+  // Attributed form used by ReplicaBase::MarkProposed: additionally records which replica
+  // proposed the block, exposed via ProposerOf. Exact for every protocol (Raft's leader is
+  // whoever won the election, not view % n, so LeaderOfView cannot substitute).
+  void OnPropose(NodeId proposer, const BlockPtr& block);
   void OnCommit(NodeId replica, const BlockPtr& block, SimTime now);
   // First client-visible confirmation of a block (reply responsiveness: one valid reply).
   // `path` (optional) is the causal chain that delivered the confirming reply.
@@ -55,12 +72,17 @@ class CommitTracker {
   uint64_t total_committed_txs() const { return txs_committed_total_; }
   // The committed hash at `height` (from the audit map); ZeroHash if none.
   Hash256 committed_hash_at(Height h) const;
+  // The replica that proposed `hash` (from the attributed OnPropose); kNoProposer when the
+  // block was never seen through MarkProposed (e.g. hand-built test blocks).
+  static constexpr NodeId kNoProposer = ~NodeId{0};
+  NodeId ProposerOf(const Hash256& hash) const;
 
  private:
   uint32_t num_replicas_;
   std::set<NodeId> byzantine_;
 
   std::unordered_map<Hash256, SimTime, Hash256Hasher> propose_times_;
+  std::unordered_map<Hash256, NodeId, Hash256Hasher> proposer_of_;
   // Audit: agreed hash per height among correct replicas.
   std::map<Height, Hash256> height_to_hash_;
   // Per replica: highest committed height and set of committed hashes (for dedup).
@@ -71,7 +93,7 @@ class CommitTracker {
   std::unordered_set<Hash256, Hash256Hasher> client_confirmed_;
 
   std::string violation_;
-  CommitListener listener_;
+  std::vector<CommitListener> listeners_;
   obs::BreakdownAttributor* breakdown_ = nullptr;
 
   SimTime window_start_ = 0;

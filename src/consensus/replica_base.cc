@@ -40,6 +40,11 @@ void ReplicaBase::OnMessage(uint32_t from, const MessageRef& msg) {
     mempool_.AddBatch(submit->txs);
     return;
   }
+  // Application traffic (KV reads, lease control) is consumed before protocol dispatch;
+  // the sink ignores consensus message types.
+  if (ctx_.app != nullptr && ctx_.app->OnAppMessage(id(), from, msg)) {
+    return;
+  }
   // Protocol handlers and block sync see replica indices, not host ids.
   const NodeId from_replica = ReplicaOfHost(from);
   if (auto req = std::dynamic_pointer_cast<const BlockFetchRequest>(msg)) {
@@ -80,7 +85,7 @@ void ReplicaBase::ChargeSignPlain() {
 }
 
 void ReplicaBase::MarkProposed(const BlockPtr& block) {
-  tracker().OnPropose(block);
+  tracker().OnPropose(id(), block);
   host().RestartPathAt(block->propose_time);
   TraceInstant("propose", block->height);
   JournalEvent(obs::JournalKind::kPropose, block->height, block->view);

@@ -50,10 +50,23 @@ struct InvariantSnapshot {
   bool halted = false;           // -R variants: crash-stopped after detecting a rollback.
 };
 
+// Sink for application-level traffic riding on the replica's host (read requests, lease
+// grants — src/app/kv_service.h). ReplicaBase::OnMessage offers every inbound message here
+// first; a sink consumes the types it owns and returns false for consensus traffic. Lives
+// outside the simulated machine (the per-replica state it keeps is keyed by replica id),
+// so one sink serves a whole cluster.
+class AppMessageSink {
+ public:
+  virtual ~AppMessageSink() = default;
+  // `from_host` is the raw sending host id (clients included). Returns true iff consumed.
+  virtual bool OnAppMessage(NodeId replica, uint32_t from_host, const MessageRef& msg) = 0;
+};
+
 struct ReplicaContext {
   NodePlatform* platform = nullptr;
   Network* net = nullptr;
   CommitTracker* tracker = nullptr;
+  AppMessageSink* app = nullptr;  // Optional replicated-app message sink.
   ProtocolParams params;
   std::vector<uint32_t> client_ids;  // Hosts to send ClientReplyMsg to.
   // Host id of each replica index. Empty = identity (replica i lives on host i), which is

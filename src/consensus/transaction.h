@@ -15,6 +15,10 @@ struct Transaction {
   uint64_t id = 0;           // (client id << 32) | sequence.
   SimTime submit_time = 0;   // Client creation time; basis of end-to-end latency.
   uint32_t payload_size = 0; // Bytes of application payload.
+  // Application opcode interpreted by the replicated state machine (src/app/kv.h);
+  // 0 = opaque payload (no state-machine effect). Part of the tx root, so block hashes
+  // and exec digests cover it; on the wire it occupies the payload's first bytes.
+  uint64_t op = 0;
 
   // Paper setup: each transaction carries 8 B metadata (client + transaction ids) on top of
   // the payload.

@@ -100,6 +100,20 @@ Cluster::Cluster(const ClusterConfig& config)
     hosts_.push_back(std::make_unique<Host>(&sim_, n_));
     net_.AddHost(hosts_.back().get());
   }
+  if (config_.app_kv) {
+    hosts_.push_back(std::make_unique<Host>(&sim_, kv_client_host_id()));
+    net_.AddHost(hosts_.back().get());
+    std::vector<Host*> replica_hosts;
+    for (uint32_t i = 0; i < n_; ++i) {
+      replica_hosts.push_back(hosts_[i].get());
+    }
+    kv_service_ = std::make_unique<app::KvService>(std::move(replica_hosts), &net_,
+                                                   &tracker_, kv_client_host_id(),
+                                                   config_.kv, &metrics_);
+    tracker_.AddCommitListener([this](NodeId replica, const BlockPtr& block, SimTime now) {
+      kv_service_->OnCommit(replica, block, now);
+    });
+  }
   for (auto& host : hosts_) {
     host->set_tracer(&tracer_);
     host->set_journal(&journal_);
@@ -121,6 +135,7 @@ ReplicaContext Cluster::ContextFor(uint32_t id) {
   ctx.params.commit_fast_path = config_.commit_fast_path;
   ctx.params.break_recovery_nonce = config_.break_recovery_nonce;
   ctx.params.break_counter_compare = config_.break_counter_compare;
+  ctx.app = kv_service_.get();
   if (config_.with_client) {
     ctx.client_ids = {n_};
   }
@@ -186,12 +201,26 @@ void Cluster::Start() {
     hosts_[n_]->BindProcess(
         std::make_unique<ClientProcess>(hosts_[n_].get(), &net_, &tracker_, cc));
   }
+  if (config_.app_kv) {
+    KvClientConfig kc = config_.kv_client;
+    kc.num_replicas = n_;
+    kc.first_replica_host = 0;
+    kc.f = config_.f;
+    kc.payload_size = config_.kv.payload_size;
+    Host* kv_host = hosts_[config_.with_client ? n_ + 1 : n_].get();
+    auto kv_client = std::make_unique<KvClientProcess>(kv_host, &net_, kc, &metrics_);
+    kv_client_ = kv_client.get();
+    kv_host->BindProcess(std::move(kv_client));
+  }
 }
 
 void Cluster::CrashReplica(uint32_t id) {
   ACHILLES_CHECK(id < n_);
   replica_ptrs_[id] = nullptr;
   hosts_[id]->Crash();
+  if (kv_service_ != nullptr) {
+    kv_service_->OnReplicaCrash(id);
+  }
 }
 
 SimDuration Cluster::ReplicaInitDelay() const {
@@ -204,6 +233,10 @@ void Cluster::RebootReplica(uint32_t id) {
   auto replica = MakeReplica(id, /*initial_launch=*/false);
   replica_ptrs_[id] = replica.get();
   hosts_[id]->Reboot(std::move(replica), ReplicaInitDelay());
+  if (kv_service_ != nullptr) {
+    // Boot silence starts at the moment the fresh incarnation binds.
+    kv_service_->OnReplicaReboot(id, sim_.Now() + ReplicaInitDelay());
+  }
 }
 
 RunStats Cluster::RunMeasured(SimDuration warmup, SimDuration measure) {

@@ -10,7 +10,9 @@
 #include <string_view>
 #include <vector>
 
+#include "src/app/kv_service.h"
 #include "src/client/client.h"
+#include "src/client/kv_client.h"
 #include "src/consensus/replica_base.h"
 #include "src/harness/byzantine.h"
 #include "src/obs/breakdown.h"
@@ -76,6 +78,14 @@ struct ClusterConfig {
   // Deliberately-broken protocol variants (ProtocolParams docs); chaos self-tests only.
   bool break_recovery_nonce = false;
   bool break_counter_compare = false;
+  // Replicated KV application (src/app). When on, a KvService executes the agreed log
+  // behind every replica (with leader read-leases) and a closed-loop KV client population
+  // on host n+1 records the client-observed history for the linearizability oracle. The
+  // background ClientProcess keeps running: its op=0 transactions are pure load, which
+  // keeps blocks flowing even while every KV session waits on a response.
+  bool app_kv = false;
+  app::KvAppOptions kv;        // Lease parameters; kv.break_stale_read_lease plants the bug.
+  KvClientConfig kv_client;    // Topology fields (n/f/hosts/payload) are overwritten.
 };
 
 struct FaultScript;
@@ -116,6 +126,10 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
   uint32_t num_replicas() const { return n_; }
   uint32_t client_host_id() const { return n_; }
+  // KV app accessors (null / invalid unless config.app_kv).
+  uint32_t kv_client_host_id() const { return n_ + (config_.with_client ? 1 : 0); }
+  app::KvService* kv_service() { return kv_service_.get(); }
+  KvClientProcess* kv_client() { return kv_client_; }
 
   // Current incarnation of replica `id` (nullptr while crashed).
   ReplicaBase* replica(uint32_t id) { return replica_ptrs_[id]; }
@@ -171,6 +185,8 @@ class Cluster {
   std::vector<std::unique_ptr<NodePlatform>> platforms_;
   std::vector<ReplicaBase*> replica_ptrs_;
   std::vector<ByzantineMode> byzantine_;
+  std::unique_ptr<app::KvService> kv_service_;
+  KvClientProcess* kv_client_ = nullptr;
   bool started_ = false;
 };
 

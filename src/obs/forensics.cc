@@ -156,6 +156,13 @@ const JournalRecord* FindEvidence(const std::vector<JournalRecord>& events,
       return (IsStaleUnseal(r) || r.kind == JournalKind::kRollbackReject) &&
              (query.node == UINT32_MAX || r.node == query.node);
     });
+  } else if (query.oracle == "linearizability") {
+    // The stale value reached the client through a lease-served read; the latest
+    // kLeaseServe on the serving replica is the journal-side face of the violation.
+    best = latest_of([&](const JournalRecord& r) {
+      return r.kind == JournalKind::kLeaseServe &&
+             (query.node == UINT32_MAX || r.node == query.node);
+    });
   }
   if (best == nullptr && !hits.empty()) {
     for (const JournalRecord& r : events) {
@@ -282,6 +289,32 @@ IncidentReport AnalyzeIncident(const Journal& journal, const IncidentQuery& quer
         break;
       }
     }
+  }
+  // Linearizability narrative: tie the lease-served read back to the replica's lease life.
+  if (evidence->kind == JournalKind::kLeaseServe) {
+    text += FmtNode(evidence->node) + " served a lease read of key " +
+            std::to_string(evidence->a) + " at version " + std::to_string(evidence->b) +
+            " off its local mirror";
+    const JournalRecord* last_grant = nullptr;
+    const JournalRecord* last_revoke = nullptr;
+    for (const JournalRecord& r : events) {
+      if (r.seq > evidence->seq) {
+        break;
+      }
+      if (r.kind == JournalKind::kLeaseGrant && r.a == evidence->node) {
+        last_grant = &r;
+      }
+      if (r.kind == JournalKind::kLeaseRevoke && r.node == evidence->node) {
+        last_revoke = &r;
+      }
+    }
+    if (last_grant != nullptr) {
+      text += ";\nits most recent lease promise (" + last_grant->ToLine() + ")";
+      if (last_revoke != nullptr && last_revoke->seq > last_grant->seq) {
+        text += "\nhad already been dropped locally (" + last_revoke->ToLine() + ")";
+      }
+    }
+    text += ".\n";
   }
   if (IsStaleUnseal(*evidence)) {
     text += FmtNode(evidence->node) + " was served sealed-state version " +

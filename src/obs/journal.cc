@@ -59,6 +59,12 @@ const char* JournalKindName(JournalKind kind) {
       return "recovery-round";
     case JournalKind::kRecoveryExit:
       return "recovery-exit";
+    case JournalKind::kLeaseGrant:
+      return "lease-grant";
+    case JournalKind::kLeaseRevoke:
+      return "lease-revoke";
+    case JournalKind::kLeaseServe:
+      return "lease-serve";
     case JournalKind::kOracleViolation:
       return "oracle-violation";
   }
@@ -68,7 +74,7 @@ const char* JournalKindName(JournalKind kind) {
 bool JournalKindIsFlow(JournalKind kind) {
   return kind == JournalKind::kSend || kind == JournalKind::kDeliver ||
          kind == JournalKind::kEcall || kind == JournalKind::kWalAppend ||
-         kind == JournalKind::kFsync;
+         kind == JournalKind::kFsync || kind == JournalKind::kLeaseServe;
 }
 
 std::string JournalRecord::ToLine() const {

@@ -61,6 +61,10 @@ enum class JournalKind : uint8_t {
   kRecoveryEnter,   // Recovery started for this incarnation.
   kRecoveryRound,   // New request round broadcast; a = the round's nonce.
   kRecoveryExit,    // Recovery finished; a = consumed reply nonce, b = recovered view.
+  // Application-level read leases (src/app/kv_service.h).
+  kLeaseGrant,      // Peer granted a read-lease promise; a = grantee, b = expiry (ns).
+  kLeaseRevoke,     // Leaseholder dropped its lease (foreign-led block applied or crash).
+  kLeaseServe,      // Leaseholder served a lease read; a = key, b = served version (flow).
   // Oracle verdict marker stamped by the chaos runner at violation time.
   kOracleViolation, // detail = the violation text.
 };

@@ -106,14 +106,6 @@ uint64_t CounterStore::Read() {
   return available() ? enclave_->platform_->counter().ReadBlocking() : 0;
 }
 
-void EnclaveRuntime::Seal(const std::string& slot, ByteView plaintext) {
-  DoSeal(slot, plaintext);
-}
-
-std::optional<Bytes> EnclaveRuntime::Unseal(const std::string& slot) {
-  return DoUnseal(slot);
-}
-
 void EnclaveRuntime::DoSeal(const std::string& slot, ByteView plaintext) {
   platform_->host().ChargeCpuAs(obs::Component::kCrypto, platform_->costs().seal_op);
   ChargeHash(plaintext.size());

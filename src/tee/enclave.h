@@ -76,12 +76,6 @@ class EnclaveRuntime {
   persist::Store& sealed_store() { return sealed_store_; }
   persist::Store& counter_store() { return counter_store_; }
 
-  // Deprecated: legacy sealing entry points, kept for one PR as thin shims over
-  // sealed_store().Put/Get. New code should take a persist::Store& and state its
-  // durability class.
-  void Seal(const std::string& slot, ByteView plaintext);
-  std::optional<Bytes> Unseal(const std::string& slot);
-
   // Deterministic per-enclave nonce source (models RDRAND inside the enclave).
   uint64_t FreshNonce();
 

@@ -259,5 +259,46 @@ TEST(ChaosJournalTest, IncidentReportIsDeterministic) {
   EXPECT_EQ(a.journal_digest_hex, b.journal_digest_hex);
 }
 
+// Golden incident report for the planted stale-read-lease bug (ISSUE 6 acceptance
+// criterion): the linearizability oracle must flag the run at a fixed seed, and the report
+// must name the stale read's key, the version it returned, the newer version that was
+// already committed, and the replica that served it.
+TEST(ChaosJournalTest, GoldenIncidentReportForBrokenStaleReadLease) {
+  ChaosOptions options;
+  options.broken = BrokenVariant::kStaleReadLease;
+  options.journal = true;
+  const ChaosResult result = chaos::RunChaosSeed(options, 1);
+  ASSERT_FALSE(result.ok) << "broken stale-read-lease variant passed the oracles";
+  ASSERT_FALSE(result.incident_report.empty());
+  const std::string& report = result.incident_report;
+  // Names the oracle family and the anomaly.
+  EXPECT_NE(report.find("oracle:    linearizability"), std::string::npos) << report;
+  EXPECT_NE(report.find("stale read on key"), std::string::npos) << report;
+  // Names the version the client was served and the newer committed one.
+  EXPECT_NE(report.find("returned version"), std::string::npos) << report;
+  EXPECT_NE(report.find("was already committed"), std::string::npos) << report;
+  // Names the fast-path serve and the deposed leaseholder (the canonical trigger isolates
+  // replica 0, BRaft's bootstrap leader).
+  EXPECT_NE(report.find("lease read"), std::string::npos) << report;
+  EXPECT_NE(report.find("served by replica 0"), std::string::npos) << report;
+  // The recorded client history rides along as a failure artifact.
+  EXPECT_FALSE(result.history_text.empty());
+  EXPECT_FALSE(result.history_digest_hex.empty());
+  EXPECT_NE(result.history_text.find("kv-history"), std::string::npos);
+}
+
+TEST(ChaosJournalTest, StaleReadLeaseIncidentIsDeterministic) {
+  ChaosOptions options;
+  options.broken = BrokenVariant::kStaleReadLease;
+  options.journal = true;
+  const ChaosResult a = chaos::RunChaosSeed(options, 1);
+  const ChaosResult b = chaos::RunChaosSeed(options, 1);
+  ASSERT_FALSE(a.ok);
+  EXPECT_EQ(a.violation, b.violation);
+  EXPECT_EQ(a.incident_report, b.incident_report);
+  EXPECT_EQ(a.journal_digest_hex, b.journal_digest_hex);
+  EXPECT_EQ(a.history_digest_hex, b.history_digest_hex);
+}
+
 }  // namespace
 }  // namespace achilles

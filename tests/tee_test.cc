@@ -107,15 +107,15 @@ TEST(EnclaveTest, SealUnsealRoundTrip) {
   TeeFixture f;
   EnclaveRuntime enclave(f.platform.get());
   const Bytes state = {9, 8, 7, 6, 5};
-  enclave.Seal("checker", ByteView(state.data(), state.size()));
-  EXPECT_EQ(enclave.Unseal("checker").value(), state);
+  enclave.sealed_store().Put("checker", ByteView(state.data(), state.size()));
+  EXPECT_EQ(enclave.sealed_store().Get("checker").value(), state);
 }
 
 TEST(EnclaveTest, SealedBlobIsEncrypted) {
   TeeFixture f;
   EnclaveRuntime enclave(f.platform.get());
   const Bytes state = {'s', 'e', 'c', 'r', 'e', 't'};
-  enclave.Seal("slot", ByteView(state.data(), state.size()));
+  enclave.sealed_store().Put("slot", ByteView(state.data(), state.size()));
   const Bytes blob = f.platform->storage().Get("slot").value();
   // The plaintext must not appear in the stored blob.
   const std::string blob_str(blob.begin(), blob.end());
@@ -126,11 +126,11 @@ TEST(EnclaveTest, TamperedBlobRejected) {
   TeeFixture f;
   EnclaveRuntime enclave(f.platform.get());
   const Bytes state = {1, 2, 3};
-  enclave.Seal("slot", ByteView(state.data(), state.size()));
+  enclave.sealed_store().Put("slot", ByteView(state.data(), state.size()));
   Bytes blob = f.platform->storage().Get("slot").value();
   blob[blob.size() / 2] ^= 0xff;
   f.platform->storage().Put("slot", blob);  // Adversary writes a forged version.
-  EXPECT_FALSE(enclave.Unseal("slot").has_value());
+  EXPECT_FALSE(enclave.sealed_store().Get("slot").has_value());
 }
 
 TEST(EnclaveTest, RollbackServesStaleButAuthenticState) {
@@ -139,20 +139,20 @@ TEST(EnclaveTest, RollbackServesStaleButAuthenticState) {
   EnclaveRuntime enclave(f.platform.get());
   const Bytes v1 = {1};
   const Bytes v2 = {2};
-  enclave.Seal("slot", ByteView(v1.data(), v1.size()));
-  enclave.Seal("slot", ByteView(v2.data(), v2.size()));
+  enclave.sealed_store().Put("slot", ByteView(v1.data(), v1.size()));
+  enclave.sealed_store().Put("slot", ByteView(v2.data(), v2.size()));
   f.platform->storage().SetRollbackMode(RollbackMode::kOldest);
-  EXPECT_EQ(enclave.Unseal("slot").value(), v1);  // Stale state accepted!
+  EXPECT_EQ(enclave.sealed_store().Get("slot").value(), v1);  // Stale state accepted!
 }
 
 TEST(EnclaveTest, BlobBoundToSlotName) {
   TeeFixture f;
   EnclaveRuntime enclave(f.platform.get());
   const Bytes state = {1, 2, 3};
-  enclave.Seal("slot-a", ByteView(state.data(), state.size()));
+  enclave.sealed_store().Put("slot-a", ByteView(state.data(), state.size()));
   // Adversary copies slot-a's blob into slot-b.
   f.platform->storage().Put("slot-b", f.platform->storage().Get("slot-a").value());
-  EXPECT_FALSE(enclave.Unseal("slot-b").has_value());
+  EXPECT_FALSE(enclave.sealed_store().Get("slot-b").has_value());
 }
 
 TEST(EnclaveTest, UnsealSurvivesEnclaveRestart) {
@@ -161,10 +161,10 @@ TEST(EnclaveTest, UnsealSurvivesEnclaveRestart) {
   {
     EnclaveRuntime first(f.platform.get());
     const Bytes state = {4, 2};
-    first.Seal("slot", ByteView(state.data(), state.size()));
+    first.sealed_store().Put("slot", ByteView(state.data(), state.size()));
   }
   EnclaveRuntime second(f.platform.get());
-  EXPECT_EQ(second.Unseal("slot").value(), (Bytes{4, 2}));
+  EXPECT_EQ(second.sealed_store().Get("slot").value(), (Bytes{4, 2}));
 }
 
 // --- EnclaveRuntime: cost accounting ---

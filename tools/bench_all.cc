@@ -35,7 +35,7 @@ const char* const kBenches[] = {
     "bench_fig3_main",        "bench_fig4_saturation",  "bench_fig5_counter_sweep",
     "bench_table1_comparison", "bench_table2_recovery", "bench_table3_profiling",
     "bench_table4_counters",  "bench_ablation_achilles", "bench_context_protocols",
-    "bench_parallel_instances",
+    "bench_parallel_instances", "bench_app_kv",
 };
 
 std::string Dirname(const std::string& path) {

@@ -4,7 +4,14 @@
 //
 //   chaos_main --protocol all --seeds 1000            # the standard swarm sweep
 //   chaos_main --protocol Achilles --seeds 250 --shard 2/4
+//   chaos_main --app kv --seeds 200                   # + replicated KV app and the
+//                                                     # client-observed linearizability
+//                                                     # oracle on every seed
 //   chaos_main --broken recovery-nonce --seeds 200    # oracle self-test: MUST flag
+//   chaos_main --broken stale-read-lease --seeds 1 --explain
+//                                                     # plant the lease bug; the
+//                                                     # linearizability oracle must name
+//                                                     # the stale read
 //   chaos_main --replay 1234                          # re-run one seed, print the log,
 //                                                     # verify bit-identical re-execution
 //   chaos_main --replay-file chaos_seed_1234.script.txt
@@ -55,7 +62,9 @@ struct CliArgs {
 void Usage() {
   std::fprintf(stderr,
                "usage: chaos_main [--protocol NAME|all] [--seeds N] [--seed-base N]\n"
-               "                  [--shard I/K] [--broken none|recovery-nonce|counter-compare]\n"
+               "                  [--shard I/K] [--app kv]\n"
+               "                  [--broken none|recovery-nonce|counter-compare|"
+               "stale-read-lease]\n"
                "                  [--replay SEED] [--replay-file PATH] [--minimize SEED]\n"
                "                  [--reboot-weight P] [--out-dir DIR] [--journal]\n"
                "                  [--explain] [--verbose]\n");
@@ -101,6 +110,14 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       }
       args->shard_index = index;
       args->shard_count = count;
+    } else if (flag == "--app") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      if (std::string(value) != "kv") {
+        std::fprintf(stderr, "chaos_main: unknown app '%s' (only 'kv')\n", value);
+        return false;
+      }
+      args->options.app_kv = true;
     } else if (flag == "--broken") {
       const char* value = next();
       if (value == nullptr) return false;
@@ -173,6 +190,11 @@ void DumpFailure(const CliArgs& args, const ChaosResult& result) {
   if (!result.incident_report.empty()) {
     WriteFile(stem + ".incident.txt", result.incident_report);
     std::printf("  incident report: %s.incident.txt\n", stem.c_str());
+  }
+  if (!result.history_text.empty()) {
+    WriteFile(stem + ".history.txt", result.history_text);
+    std::printf("  kv history: %s.history.txt (digest %s)\n", stem.c_str(),
+                result.history_digest_hex.c_str());
   }
   if (!result.journal_trace_json.empty()) {
     WriteFile(stem + ".journal.trace.json", result.journal_trace_json);
@@ -249,6 +271,14 @@ int ReplaySeed(const CliArgs& args, uint64_t seed) {
       return 1;
     }
     std::printf("journal digest matches (%s)\n", first.journal_digest_hex.c_str());
+  }
+  if (args.options.app_kv || args.options.broken == BrokenVariant::kStaleReadLease) {
+    if (first.history_digest_hex != second.history_digest_hex) {
+      std::printf("HISTORY MISMATCH: %s vs %s — the KV app is nondeterministic\n",
+                  first.history_digest_hex.c_str(), second.history_digest_hex.c_str());
+      return 1;
+    }
+    std::printf("kv history digest matches (%s)\n", first.history_digest_hex.c_str());
   }
   if (!first.ok) {
     DumpFailure(args, first);
