@@ -22,6 +22,11 @@ AchillesReplica::AchillesReplica(const ReplicaContext& ctx, bool initial_launch)
       checker_(&enclave(), ctx.params.n, ctx.params.f, initial_launch,
                ctx.params.break_recovery_nonce) {
   preb_.block = Block::Genesis();
+  if (!initial_launch) {
+    // Seed the committed prefix from the last stable checkpoint (if its snapshot and
+    // sealed certificate agree): recovery then backfills from the boundary, not genesis.
+    RestoreStableCheckpoint();
+  }
 }
 
 void AchillesReplica::OnStart() {

@@ -41,6 +41,42 @@ void KvService::OnCommit(NodeId replica, const BlockPtr& block, SimTime now) {
   CatchUpMirror(replica, now);
 }
 
+void KvService::OnProposal(NodeId proposer, const BlockPtr& block) {
+  if (proposer >= n() || block == nullptr) {
+    return;
+  }
+  PerReplica& pr = per_replica_[proposer];
+  if (block->height <= pr.mirror.height()) {
+    return;
+  }
+  std::vector<uint32_t>* slot = nullptr;
+  for (const Transaction& tx : block->txs) {
+    KvOpKind kind;
+    uint32_t key;
+    if (!DecodeKvOp(tx.op, &kind, &key) || kind != KvOpKind::kPut) {
+      continue;
+    }
+    if (slot == nullptr) {
+      slot = &pr.pending_put_heights[block->height];
+    }
+    slot->push_back(key);
+    ++pr.pending_put_keys[key];
+  }
+}
+
+void KvService::PrunePendingPuts(PerReplica& pr) {
+  while (!pr.pending_put_heights.empty() &&
+         pr.pending_put_heights.begin()->first <= pr.mirror.height()) {
+    for (const uint32_t key : pr.pending_put_heights.begin()->second) {
+      auto it = pr.pending_put_keys.find(key);
+      if (it != pr.pending_put_keys.end() && --it->second == 0) {
+        pr.pending_put_keys.erase(it);
+      }
+    }
+    pr.pending_put_heights.erase(pr.pending_put_heights.begin());
+  }
+}
+
 void KvService::CatchUpMirror(NodeId replica, SimTime now) {
   PerReplica& pr = per_replica_[replica];
   // A checkpoint-adopting replica commits a high block without the intermediate chain; the
@@ -55,6 +91,7 @@ void KvService::CatchUpMirror(NodeId replica, SimTime now) {
     pr.mirror.ApplyBlock(b);
     OnBlockApplied(replica, b, now);
   }
+  PrunePendingPuts(pr);
 }
 
 void KvService::OnBlockApplied(NodeId replica, const BlockPtr& block, SimTime now) {
@@ -173,7 +210,10 @@ void KvService::HandleReadRequest(NodeId replica, uint32_t from_host,
   reply->op_id = req.op_id;
   reply->key = req.key;
   reply->server = replica;
-  if (CanServe(pr, now)) {
+  // A key with one of this replica's own PUTs still in flight is barred from the fast
+  // path: the proposal may commit under a new leader (and complete at clients through the
+  // grantors' proposer exemption) without this mirror ever applying it.
+  if (CanServe(pr, now) && pr.pending_put_keys.find(req.key) == pr.pending_put_keys.end()) {
     reply->served = true;
     reply->cell = pr.mirror.Read(req.key);
     ++lease_reads_served_;
@@ -235,6 +275,27 @@ void KvService::HandleLeaseAck(NodeId replica, const KvLeaseAckMsg& msg) {
   slot = std::max(slot, msg.expiry);
 }
 
+void KvService::InstallMirror(NodeId replica, const KvState& state, SimTime now) {
+  PerReplica& pr = per_replica_[replica];
+  if (state.height() <= pr.mirror.height()) {
+    return;  // The mirror already covers the snapshot prefix.
+  }
+  // A snapshot jump invalidates any self-led streak; serving must re-stabilize.
+  RevokeLease(replica, pr, /*journal=*/true);
+  pr.mirror = state;
+  // Roll forward from the shared agreed log past the snapshot. The skipped blocks release
+  // no KvAppliedMsg from this replica — clients complete via the proposer / f+1 rule.
+  CatchUpMirror(replica, now);
+}
+
+void KvService::PruneBelow(Height keep_from) {
+  // Never prune what the slowest mirror still needs to replay.
+  for (const PerReplica& pr : per_replica_) {
+    keep_from = std::min(keep_from, pr.mirror.height() + 1);
+  }
+  by_height_.erase(by_height_.begin(), by_height_.lower_bound(keep_from));
+}
+
 void KvService::OnReplicaCrash(NodeId replica) {
   PerReplica& pr = per_replica_[replica];
   // Everything lease-related is volatile. The mirror survives: it is a deterministic
@@ -242,6 +303,11 @@ void KvService::OnReplicaCrash(NodeId replica) {
   RevokeLease(replica, pr, /*journal=*/false);
   pr.promise_to = kNoNode;
   pr.promise_until = 0;
+  // In-flight proposals died with the incarnation. Forgetting them is safe: reboot
+  // silence outlasts any promise the crashed incarnation could have been granted, and
+  // serving needs a freshly rebuilt streak anyway.
+  pr.pending_put_heights.clear();
+  pr.pending_put_keys.clear();
 }
 
 void KvService::OnReplicaReboot(NodeId replica, SimTime bind_time) {

@@ -115,6 +115,13 @@ class KvService : public AppMessageSink {
   // replica's handler context.
   void OnCommit(NodeId replica, const BlockPtr& block, SimTime now);
 
+  // Wire this into the tracker with AddProposeListener. Records the proposer's own
+  // in-flight PUT keys: a leaseholder must not lease-serve a key it has proposed a write
+  // for until its mirror has passed the proposal height. The grantor-side withholding
+  // exempts holder-proposed blocks, so a partitioned holder whose proposal commits under
+  // a new leader would otherwise serve the pre-write value after the write completed.
+  void OnProposal(NodeId proposer, const BlockPtr& block);
+
   // AppMessageSink: consumes Kv* traffic arriving at replica hosts.
   bool OnAppMessage(NodeId replica, uint32_t from_host, const MessageRef& msg) override;
 
@@ -122,6 +129,15 @@ class KvService : public AppMessageSink {
   // the mirror persists (it is a pure function of the durable log).
   void OnReplicaCrash(NodeId replica);
   void OnReplicaReboot(NodeId replica, SimTime bind_time);
+
+  // Snapshot state transfer (src/checkpoint): replaces the replica's mirror with the
+  // transferred state when it is ahead, revoking any lease, then rolls forward from the
+  // shared log. No-op when the mirror already covers the snapshot.
+  void InstallMirror(NodeId replica, const KvState& state, SimTime now);
+  // Log compaction: drops agreed-log entries below `keep_from` (clamped so the slowest
+  // mirror can still replay). Called by the Cluster when a checkpoint becomes stable.
+  void PruneBelow(Height keep_from);
+  size_t agreed_log_entries() const { return by_height_.size(); }
 
   // First-commit materialized state: checker-side ground truth, zero simulated cost.
   const KvState& canonical() const { return canonical_; }
@@ -140,10 +156,16 @@ class KvService : public AppMessageSink {
     SimTime promise_until = 0;
     // Reboot silence (applies to KvAppliedMsg releases only).
     SimTime boot_silence_until = 0;
+    // Self-proposed PUT keys not yet covered by the mirror, by proposal height. A key with
+    // a live entry is barred from the lease fast path (the ordered path stays available).
+    std::map<Height, std::vector<uint32_t>> pending_put_heights;
+    std::unordered_map<uint32_t, uint32_t> pending_put_keys;  // key -> live proposal count
   };
 
   uint32_t n() const { return static_cast<uint32_t>(hosts_.size()); }
   bool CanServe(const PerReplica& pr, SimTime now) const;
+  // Drops pending self-proposed PUT entries at or below the mirror height.
+  static void PrunePendingPuts(PerReplica& pr);
   // Drops replica's holder-side lease state; journals kLeaseRevoke if it had any.
   void RevokeLease(NodeId replica, PerReplica& pr, bool journal);
   // Applies every chain-ready block from by_height_ to replica's mirror, doing lease

@@ -1,5 +1,6 @@
 #include "src/chaos/oracles.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "src/common/bytes.h"
@@ -22,6 +23,8 @@ std::string TimeTag(SimTime now) {
 
 OracleSuite::OracleSuite(const OracleConfig& config) : config_(config) {
   last_counter_.assign(config_.n, 0);
+  ckpt_floor_.assign(config_.n, 0);
+  committed_high_.assign(config_.n, 0);
 }
 
 void OracleSuite::MarkByzantine(NodeId id) {
@@ -40,6 +43,7 @@ void OracleSuite::OnCommit(NodeId id, Height height, const Hash256& hash, SimTim
   if (!Honest(id) || !ok()) {
     return;
   }
+  committed_high_[id] = std::max(committed_high_[id], height);
   auto [it, inserted] = committed_.emplace(height, hash);
   if (!inserted && it->second != hash) {
     Fail(now,
@@ -116,6 +120,69 @@ void OracleSuite::OnHistoryVerdict(bool ok_verdict, const std::string& violation
     return;
   }
   Fail(now, "linearizability: " + violation, "linearizability", server);
+}
+
+void OracleSuite::OnStableCheckpoint(NodeId id, Height height, const Hash256& block_hash,
+                                     SimTime now) {
+  if (!Honest(id) || !ok()) {
+    return;
+  }
+  // Certified-prefix audit: the quorum certificate names the boundary block, which must be
+  // the block the cluster committed at that height.
+  const auto it = committed_.find(height);
+  if (it != committed_.end() && it->second != block_hash) {
+    Fail(now,
+         "checkpoint: node " + std::to_string(id) + " certified " + HashPrefix(block_hash) +
+             " at height " + std::to_string(height) + " but " + HashPrefix(it->second) +
+             " was committed there",
+         "checkpoint", id, height);
+    return;
+  }
+  ckpt_floor_[id] = std::max(ckpt_floor_[id], height);
+}
+
+void OracleSuite::OnCheckpointAdopted(NodeId id, Height height, const Hash256& block_hash,
+                                      SimTime now) {
+  if (!Honest(id) || !ok()) {
+    return;
+  }
+  if (height <= committed_high_[id]) {
+    Fail(now,
+         "checkpoint: node " + std::to_string(id) + " adopted a snapshot at height " +
+             std::to_string(height) + " at or below its committed prefix " +
+             std::to_string(committed_high_[id]) + " (stale snapshot accepted)",
+         "checkpoint", id, height);
+    return;
+  }
+  if (height < ckpt_floor_[id]) {
+    Fail(now,
+         "checkpoint: node " + std::to_string(id) + " adopted a snapshot at height " +
+             std::to_string(height) + " below its certified floor " +
+             std::to_string(ckpt_floor_[id]) + " (stale snapshot accepted)",
+         "checkpoint", id, height);
+    return;
+  }
+  const auto it = committed_.find(height);
+  if (it != committed_.end() && it->second != block_hash) {
+    Fail(now,
+         "checkpoint: node " + std::to_string(id) + " adopted " + HashPrefix(block_hash) +
+             " at height " + std::to_string(height) + " but " + HashPrefix(it->second) +
+             " was committed there",
+         "checkpoint", id, height);
+    return;
+  }
+  committed_high_[id] = std::max(committed_high_[id], height);
+  ckpt_floor_[id] = std::max(ckpt_floor_[id], height);
+}
+
+void OracleSuite::OnReplicaReboot(NodeId id, bool cert_surface_attacked) {
+  if (id >= ckpt_floor_.size()) {
+    return;
+  }
+  committed_high_[id] = 0;
+  if (cert_surface_attacked) {
+    ckpt_floor_[id] = 0;
+  }
 }
 
 void OracleSuite::OnHeal(SimTime now) {

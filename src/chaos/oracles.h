@@ -19,6 +19,14 @@
 //                  nonce round (replayed stale replies are not fresh; see runner.cc).
 //   liveness     — the max honest committed height strictly advances between heal_at and
 //                  the horizon (bounded-time progress after all faults lift).
+//   checkpoint   — stable checkpoints certify exactly what the cluster committed at their
+//                  boundary, and snapshot state transfer never moves an honest replica
+//                  backwards: an adopted snapshot must lie above the replica's committed
+//                  prefix and at or above its certified floor. The floor is tracked from
+//                  stable/adopt events the runner taps (the replica's own floor member is
+//                  already bumped when the tap fires) and is forgotten on reboots whose
+//                  certificate surface was attacked — there a lower restored floor is the
+//                  modeled (and, without a TEE seal, undetectable) outcome, not a bug.
 //   linearizability — when the KV app is enabled (--app kv), the client-observed history
 //                  must admit a witness linearization (src/chaos/linearizability.h). This
 //                  is the only oracle judged at the application boundary: it catches stale
@@ -49,7 +57,7 @@ struct OracleConfig {
 // forensics analyzer (src/obs/forensics.h) can seed its journal walk without re-parsing.
 struct Incident {
   std::string oracle;       // Family: "agreement", "durability", "counter", "freshness",
-                            // "liveness", "linearizability".
+                            // "liveness", "linearizability", "checkpoint".
   NodeId node = kNoNode;    // Replica the violation was observed on (kNoNode = global).
   Height height = 0;        // Block height involved (0 = n/a).
   SimTime at = 0;           // Virtual time of the observation.
@@ -72,6 +80,17 @@ class OracleSuite {
   // Linearizability verdict over the recorded client history; the runner computes it once
   // at the horizon (before OnRunEnd) when the KV app is enabled.
   void OnHistoryVerdict(bool ok, const std::string& violation, NodeId server, SimTime now);
+  // Checkpoint feeds (wired to CheckpointManager's stable/adopt listeners). Stable events
+  // audit the certified hash against the agreement map and raise the replica's floor;
+  // adopt events are the rollback check: an honest replica never installs a snapshot at or
+  // below its committed prefix, nor below its certified floor.
+  void OnStableCheckpoint(NodeId id, Height height, const Hash256& block_hash, SimTime now);
+  void OnCheckpointAdopted(NodeId id, Height height, const Hash256& block_hash, SimTime now);
+  // `id` rebooted. Its committed-prefix watermark resets — commit indices are not durable,
+  // so a fresh incarnation legitimately re-commits from further back. The certified floor
+  // survives (it is sealed) unless this reboot attacked the certificate surface
+  // (stale/erased sealed blobs, or a snapshot-record fate where the cert is host-resident).
+  void OnReplicaReboot(NodeId id, bool cert_surface_attacked);
   // Called once when the heal point is reached, then once at the horizon.
   void OnHeal(SimTime now);
   void OnRunEnd(SimTime now);
@@ -94,6 +113,8 @@ class OracleSuite {
   std::set<NodeId> byzantine_;
   std::map<Height, Hash256> committed_;  // Write-once agreement + durability audit.
   std::vector<uint64_t> last_counter_;   // Per-replica high-water counter mark.
+  std::vector<Height> ckpt_floor_;       // Per-replica certified checkpoint floor.
+  std::vector<Height> committed_high_;   // Per-replica committed watermark, per incarnation.
   bool healed_ = false;
   Height height_at_heal_ = 0;
   std::string violation_;

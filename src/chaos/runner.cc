@@ -100,6 +100,20 @@ void EnsureBrokenTrigger(BrokenVariant broken, FaultScript* script) {
     }
     return;
   }
+  if (broken == BrokenVariant::kStaleSnapshotAccept) {
+    // Canonical snapshot-rollback choreography: the victim runs long enough to certify a
+    // stable checkpoint of its own (the floor the oracle audits against), then stays down
+    // until just before heal. By rejoin time the cluster's stable frontier is several
+    // intervals ahead, so the victim requests a snapshot instead of backfilling — and the
+    // broken responder serves its *oldest* retained snapshot, which the broken requester
+    // force-installs below its own committed prefix.
+    std::fill(script->byzantine.begin(), script->byzantine.end(), ByzantineMode::kNone);
+    script->events.clear();
+    const uint64_t honest = EncodeStorageFate(StorageFate{});
+    script->events.push_back({Ms(650), FaultKind::kCrash, victim, 0, 0});
+    script->events.push_back({Ms(1300), FaultKind::kReboot, victim, 0, honest});
+    return;
+  }
   if (broken == BrokenVariant::kRecoveryNonce) {
     for (const FaultEvent& event : script->events) {
       if (event.kind == FaultKind::kStaleRecoveryReplay) {
@@ -148,12 +162,14 @@ const char* BrokenVariantName(BrokenVariant variant) {
       return "counter-compare";
     case BrokenVariant::kStaleReadLease:
       return "stale-read-lease";
+    case BrokenVariant::kStaleSnapshotAccept:
+      return "stale-snapshot-accept";
   }
   return "?";
 }
 
 bool BrokenVariantFromName(std::string_view name, BrokenVariant* out) {
-  for (int i = 0; i <= static_cast<int>(BrokenVariant::kStaleReadLease); ++i) {
+  for (int i = 0; i <= static_cast<int>(BrokenVariant::kStaleSnapshotAccept); ++i) {
     const BrokenVariant variant = static_cast<BrokenVariant>(i);
     if (name == BrokenVariantName(variant)) {
       *out = variant;
@@ -190,6 +206,10 @@ ChaosResult RunChaosSeed(const ChaosOptions& options, uint64_t seed) {
   } else if (options.broken == BrokenVariant::kStaleReadLease) {
     // BRaft's node 0 bootstraps as leader, so the canonical trigger knows the leaseholder.
     protocol = Protocol::kRaft;
+  } else if (options.broken == BrokenVariant::kStaleSnapshotAccept) {
+    // BRaft commits steadily from boot with no view-change noise, so the canonical lagging
+    // rejoin reliably crosses the snapshot-transfer threshold.
+    protocol = Protocol::kRaft;
   } else if (options.protocol_all) {
     protocol = static_cast<Protocol>(seed % kNumProtocols);
   } else {
@@ -204,6 +224,7 @@ ChaosResult RunChaosSeed(const ChaosOptions& options, uint64_t seed) {
   params.heal_at = options.heal_at;
   params.liveness_window = options.liveness_window;
   params.reboot_prob = options.reboot_prob;
+  params.ckpt_prob = options.ckpt_prob;
   FaultScript script = SampleFaultScript(params, rng);
   if (options.broken != BrokenVariant::kNone) {
     EnsureBrokenTrigger(options.broken, &script);
@@ -236,6 +257,16 @@ ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol 
   const bool app_kv = options.app_kv || options.broken == BrokenVariant::kStaleReadLease;
   config.app_kv = app_kv;
   config.kv.break_stale_read_lease = options.broken == BrokenVariant::kStaleReadLease;
+  // Checkpointing is always on under chaos: every run then audits the certified-prefix +
+  // truncation + state-transfer machinery, and post-truncation reboots must still satisfy
+  // the durability and (in KV runs) linearizability oracles. The short interval keeps
+  // several boundaries inside even the briefest schedules.
+  config.ckpt.enabled = true;
+  config.ckpt.interval = 8;
+  if (options.broken == BrokenVariant::kStaleSnapshotAccept) {
+    config.ckpt.break_stale_snapshot_accept = true;
+    config.ckpt.retain = 0;  // Unbounded retention: the oldest snapshot stays servable.
+  }
   Cluster cluster(config);
   const uint32_t n = cluster.num_replicas();
   ACHILLES_CHECK(script.byzantine.size() == n);
@@ -270,6 +301,31 @@ ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol 
                      " hash=" + ToHex(ByteView(block->hash.data(), 4)));
         oracles.OnCommit(id, block->height, block->hash, now);
       });
+
+  // Checkpoint taps: stable certificates and state-transfer adoptions feed the checkpoint
+  // oracle (and the event log, so replays cover them in the digest).
+  checkpoint::CheckpointManager* ckpt = cluster.checkpoint_manager();
+  if (ckpt != nullptr) {
+    ckpt->SetStableListener(
+        [&](NodeId id, const checkpoint::CheckpointCert& cert, SimTime now) {
+          log(now, "ckpt-stable node=" + std::to_string(id) +
+                       " h=" + std::to_string(cert.height) +
+                       " hash=" + ToHex(ByteView(cert.block_hash.data(), 4)));
+          oracles.OnStableCheckpoint(id, cert.height, cert.block_hash, now);
+        });
+    ckpt->SetAdoptListener(
+        [&](NodeId id, const checkpoint::CheckpointCert& cert, SimTime now) {
+          log(now, "ckpt-adopt node=" + std::to_string(id) +
+                       " h=" + std::to_string(cert.height) +
+                       " hash=" + ToHex(ByteView(cert.block_hash.data(), 4)));
+          oracles.OnCheckpointAdopted(id, cert.height, cert.block_hash, now);
+        });
+  }
+  // Where the checkpoint certificate itself can be rolled back — sealed-surface fates on
+  // TEE platforms, snapshot-record fates where the cert is host-resident — a lower floor
+  // is the modeled outcome of the attack, so the oracle's floor memory must reset.
+  const bool cert_in_tee = protocol != Protocol::kAchillesC &&
+                           protocol != Protocol::kRaft && protocol != Protocol::kHotStuff;
 
   std::vector<RecoveryRecord> recovery(n);
   const bool uses_recovery = ProtocolUsesRecovery(protocol);
@@ -336,6 +392,13 @@ ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol 
                       " arg=" + std::to_string(event.arg));
     if (event.kind == FaultKind::kStaleRecoveryReplay && event.node < n) {
       recovery[event.node].pending_replay = true;
+    }
+    if (event.kind == FaultKind::kReboot && event.node < n) {
+      const StorageFate fate = DecodeStorageFate(event.arg);
+      const bool cert_attacked =
+          cert_in_tee ? fate.sealed != SealedFate::kFresh
+                      : fate.snapshot != checkpoint::SnapshotFate::kIntact;
+      oracles.OnReplicaReboot(event.node, cert_attacked);
     }
   });
 

@@ -28,6 +28,10 @@ enum class BrokenVariant {
   kStaleReadLease,   // KV lease grantors skip the client-response withholding, so a deposed
                      // leaseholder can serve stale reads (caught by the linearizability
                      // oracle, not by any replica-side audit). Forces --app kv.
+  kStaleSnapshotAccept,  // Snapshot state transfer drops every safety check: responders
+                         // serve their oldest retained snapshot and requesters force-install
+                         // it, rolling a lagging rejoiner back below its own committed
+                         // prefix (caught by the checkpoint oracle).
 };
 
 const char* BrokenVariantName(BrokenVariant variant);
@@ -49,6 +53,10 @@ struct ChaosOptions {
   // Probability a sampled script carries crash+reboot cycles (--reboot-weight). CI shards
   // raise it to weight schedules toward reboot-and-restore coverage.
   double reboot_prob = 0.65;
+  // Weight for checkpoint-aware fates (--ckpt-weight): snapshot-surface attacks at reboot
+  // and long-lag rejoins that exercise snapshot state transfer. CI's checkpoint shard
+  // raises it together with reboot_prob.
+  double ckpt_prob = 0.35;
   // Flight recorder + forensics. Journaling never perturbs virtual time, so the event-log
   // digest is bit-identical with it on or off; the journal digest is its own replay check.
   bool journal = false;

@@ -1,0 +1,112 @@
+#include "src/checkpoint/checkpoint.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/serde.h"
+#include "src/consensus/certificates.h"
+
+namespace achilles {
+namespace checkpoint {
+
+Hash256 CheckpointDigest(const Block& block) {
+  ByteWriter w;
+  w.Str("achilles-ckpt");
+  w.U64(block.height);
+  w.Raw(ByteView(block.hash.data(), block.hash.size()));
+  w.Raw(ByteView(block.exec_result.data(), block.exec_result.size()));
+  return Sha256Digest(ByteView(w.bytes().data(), w.bytes().size()));
+}
+
+size_t CheckpointCert::WireSize() const {
+  size_t total = 8 + 32 + 32 + 4;
+  for (const Signature& sig : sigs) {
+    total += sig.WireSize();
+  }
+  return total;
+}
+
+Bytes CheckpointCert::SigningDigest() const {
+  return CertDigest(kCkptDomain, digest, /*view=*/height);
+}
+
+bool CheckpointCert::Verify(const CryptoSuite& suite, size_t quorum) const {
+  const Bytes msg = SigningDigest();
+  return suite.VerifyQuorum(sigs, ByteView(msg.data(), msg.size()), quorum);
+}
+
+Bytes CheckpointCert::Encode() const {
+  ByteWriter w;
+  w.U64(height);
+  w.Raw(ByteView(block_hash.data(), block_hash.size()));
+  w.Raw(ByteView(digest.data(), digest.size()));
+  w.U32(static_cast<uint32_t>(sigs.size()));
+  for (const Signature& sig : sigs) {
+    w.U32(sig.signer);
+    w.Blob(ByteView(sig.blob.data(), sig.blob.size()));
+  }
+  return w.Take();
+}
+
+std::optional<CheckpointCert> CheckpointCert::Decode(ByteView wire) {
+  ByteReader r(wire);
+  CheckpointCert cert;
+  auto height = r.U64();
+  auto block_hash = r.Raw(32);
+  auto digest = r.Raw(32);
+  auto count = r.U32();
+  if (!height || !block_hash || !digest || !count) {
+    return std::nullopt;
+  }
+  cert.height = *height;
+  std::copy(block_hash->begin(), block_hash->end(), cert.block_hash.begin());
+  std::copy(digest->begin(), digest->end(), cert.digest.begin());
+  std::set<uint32_t> seen;
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto signer = r.U32();
+    auto blob = r.Blob();
+    if (!signer || !blob || !seen.insert(*signer).second) {
+      return std::nullopt;
+    }
+    Signature sig;
+    sig.signer = *signer;
+    sig.blob = std::move(*blob);
+    cert.sigs.push_back(std::move(sig));
+  }
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return cert;
+}
+
+Bytes EncodeSnapshotRecord(const CheckpointCert& cert, const Block& block) {
+  ByteWriter w;
+  const Bytes cert_wire = cert.Encode();
+  w.Blob(ByteView(cert_wire.data(), cert_wire.size()));
+  const Bytes block_wire = EncodeBlockRecord(block);
+  w.Blob(ByteView(block_wire.data(), block_wire.size()));
+  return w.Take();
+}
+
+bool DecodeSnapshotRecord(ByteView record, CheckpointCert* cert, BlockPtr* block) {
+  ByteReader r(record);
+  auto cert_wire = r.Blob();
+  auto block_wire = r.Blob();
+  if (!cert_wire || !block_wire || !r.ok()) {
+    return false;
+  }
+  auto decoded_cert = CheckpointCert::Decode(ByteView(cert_wire->data(), cert_wire->size()));
+  if (!decoded_cert) {
+    return false;
+  }
+  BlockPtr decoded_block = DecodeBlockRecord(ByteView(block_wire->data(), block_wire->size()));
+  if (decoded_block == nullptr) {
+    return false;
+  }
+  *cert = std::move(*decoded_cert);
+  *block = std::move(decoded_block);
+  return true;
+}
+
+}  // namespace checkpoint
+}  // namespace achilles

@@ -138,7 +138,9 @@ BlockStore::BlockStore() { Add(Block::Genesis()); }
 
 void BlockStore::Add(const BlockPtr& block) {
   ACHILLES_CHECK(block != nullptr);
-  blocks_.emplace(block->hash, block);
+  if (blocks_.emplace(block->hash, block).second) {
+    approx_bytes_ += block->WireSize();
+  }
 }
 
 BlockPtr BlockStore::Get(const Hash256& hash) const {
@@ -178,6 +180,7 @@ bool BlockStore::Extends(const Hash256& descendant, const Hash256& ancestor) con
 void BlockStore::PruneBelow(Height keep_from) {
   for (auto it = blocks_.begin(); it != blocks_.end();) {
     if (it->second->height != 0 && it->second->height < keep_from) {
+      approx_bytes_ -= it->second->WireSize();
       it = blocks_.erase(it);
     } else {
       ++it;

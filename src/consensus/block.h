@@ -83,6 +83,9 @@ class BlockStore {
   std::vector<BlockPtr> PathBetween(const Hash256& from_exclusive, const Hash256& to) const;
 
   size_t size() const { return blocks_.size(); }
+  // Wire-size sum of every retained block: the in-memory log footprint this store
+  // contributes to the `log.bytes_retained` gauge. Maintained incrementally.
+  uint64_t ApproxBytes() const { return approx_bytes_; }
 
   // Drops blocks below `keep_from` height (genesis always retained). Committed history
   // below the retention window is not needed: catching-up nodes adopt certified
@@ -91,6 +94,7 @@ class BlockStore {
 
  private:
   std::unordered_map<Hash256, BlockPtr, Hash256Hasher> blocks_;
+  uint64_t approx_bytes_ = 0;
 };
 
 }  // namespace achilles

@@ -16,6 +16,9 @@ void CommitTracker::OnPropose(const BlockPtr& block) {
 void CommitTracker::OnPropose(NodeId proposer, const BlockPtr& block) {
   proposer_of_.emplace(block->hash, proposer);
   OnPropose(block);
+  for (const ProposeListener& listener : propose_listeners_) {
+    listener(proposer, block);
+  }
 }
 
 NodeId CommitTracker::ProposerOf(const Hash256& hash) const {

@@ -41,6 +41,15 @@ class CommitTracker {
     }
   }
 
+  // Fires on every attributed proposal (ReplicaBase::MarkProposed), before any commit of
+  // the block. The KV app uses it to pin the proposer's own in-flight writes.
+  using ProposeListener = std::function<void(NodeId, const BlockPtr&)>;
+  void AddProposeListener(ProposeListener listener) {
+    if (listener) {
+      propose_listeners_.push_back(std::move(listener));
+    }
+  }
+
   // Attribution sink for confirmed-block latency decomposition; measurement-window gating
   // happens here so attribution and the e2e recorder always agree.
   void SetBreakdown(obs::BreakdownAttributor* breakdown) { breakdown_ = breakdown; }
@@ -94,6 +103,7 @@ class CommitTracker {
 
   std::string violation_;
   std::vector<CommitListener> listeners_;
+  std::vector<ProposeListener> propose_listeners_;
   obs::BreakdownAttributor* breakdown_ = nullptr;
 
   SimTime window_start_ = 0;

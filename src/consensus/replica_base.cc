@@ -176,6 +176,107 @@ void ReplicaBase::AdoptCheckpoint(const BlockPtr& block, size_t cert_wire_size) 
   }
 }
 
+persist::Store& ReplicaBase::CheckpointCertStore() {
+  return enclave_->in_tee() ? enclave_->sealed_store()
+                            : ctx_.platform->host_storage().record_store();
+}
+
+BlockPtr ReplicaBase::RestoreStableCheckpoint() {
+  if (!ctx_.ckpt.enabled) {
+    return nullptr;
+  }
+  // The sealed certificate is the local rollback-detection floor, independent of whether
+  // the (much larger) host snapshot survived.
+  std::optional<checkpoint::CheckpointCert> sealed_cert;
+  if (std::optional<Bytes> cert_wire = CheckpointCertStore().Get(checkpoint::kCertKey)) {
+    sealed_cert =
+        checkpoint::CheckpointCert::Decode(ByteView(cert_wire->data(), cert_wire->size()));
+  }
+  if (sealed_cert) {
+    ckpt_floor_ = sealed_cert->height;
+    last_persisted_ckpt_ = sealed_cert->height;
+  }
+  std::optional<Bytes> payload =
+      ctx_.platform->host_storage().record_store().Get(checkpoint::kSnapshotKey);
+  if (!payload) {
+    return nullptr;  // No snapshot (never checkpointed, or erased): network transfer.
+  }
+  checkpoint::CheckpointCert cert;
+  BlockPtr block;
+  if (!checkpoint::DecodeSnapshotRecord(ByteView(payload->data(), payload->size()), &cert,
+                                        &block) ||
+      block->hash != cert.block_hash || checkpoint::CheckpointDigest(*block) != cert.digest) {
+    JournalEvent(obs::JournalKind::kRollbackReject, 0, ckpt_floor_, "ckpt/corrupt-snapshot");
+    return nullptr;
+  }
+  // Freshness: the snapshot must match the sealed certificate exactly. A rolled-back or
+  // erased certificate under a newer snapshot — or a resurrected old snapshot under an
+  // intact certificate — is detected here like any other stale sealed blob.
+  if (!sealed_cert || sealed_cert->height != cert.height ||
+      sealed_cert->digest != cert.digest) {
+    JournalEvent(obs::JournalKind::kRollbackReject, cert.height, ckpt_floor_,
+                 "ckpt/stale-snapshot");
+    return nullptr;
+  }
+  store_.Add(block);
+  last_committed_height_ = block->height;
+  last_committed_hash_ = block->hash;
+  return block;
+}
+
+void ReplicaBase::PersistStableCheckpoint(const checkpoint::CheckpointCert& cert,
+                                          const BlockPtr& block) {
+  ACHILLES_CHECK(block != nullptr);
+  if (!ctx_.ckpt.enabled || cert.height <= last_persisted_ckpt_) {
+    return;
+  }
+  last_persisted_ckpt_ = cert.height;
+  ckpt_floor_ = std::max(ckpt_floor_, cert.height);
+  const Bytes payload = checkpoint::EncodeSnapshotRecord(cert, *block);
+  ChargeHashBytes(payload.size());
+  // Snapshot payload: host-durable (the record-store put is a sync put — one fsync).
+  ctx_.platform->host_storage().record_store().Put(
+      checkpoint::kSnapshotKey, ByteView(payload.data(), payload.size()));
+  // Certificate: TEE-sealed where available, so snapshot rollback is detectable on reboot.
+  const Bytes cert_wire = cert.Encode();
+  CheckpointCertStore().Put(checkpoint::kCertKey, ByteView(cert_wire.data(), cert_wire.size()));
+  JournalEvent(obs::JournalKind::kCheckpointStable, cert.height, cert.sigs.size());
+  OnStableCheckpoint(cert);
+}
+
+void ReplicaBase::OnStableCheckpoint(const checkpoint::CheckpointCert& cert) {
+  // Truncate the in-memory block log behind the stable checkpoint, keeping the catch-up
+  // slack: peers fewer than catchup_intervals * interval blocks behind still backfill via
+  // block fetch, anything deeper goes through snapshot transfer instead.
+  const Height slack =
+      ctx_.ckpt.interval * static_cast<Height>(std::max<uint32_t>(1, ctx_.ckpt.catchup_intervals));
+  if (cert.height > slack) {
+    store_.PruneBelow(cert.height - slack);
+  }
+}
+
+void ReplicaBase::AdoptStateTransfer(const BlockPtr& block, size_t cert_wire_size,
+                                     bool allow_regress) {
+  ACHILLES_CHECK(block != nullptr);
+  if (block->height <= last_committed_height_) {
+    if (!allow_regress) {
+      return;
+    }
+    // Broken self-test path (--broken stale-snapshot-accept): install a stale snapshot OVER
+    // a fresher committed prefix — the regression the honest floor/height checks forbid.
+    store_.Add(block);
+    last_committed_height_ = block->height;
+    last_committed_hash_ = block->hash;
+    JournalEvent(obs::JournalKind::kSnapshotFetch, block->height, JournalHash(block->hash),
+                 "adopt-stale");
+    OnCheckpointAdopted(block);
+    return;
+  }
+  AdoptCheckpoint(block, cert_wire_size);
+  ckpt_floor_ = std::max(ckpt_floor_, block->height);
+  OnCheckpointAdopted(block);
+}
+
 bool ReplicaBase::HaveChainAboveCommitted(const Hash256& hash) const {
   BlockPtr cur = store_.Get(hash);
   while (cur != nullptr) {

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/consensus/commit_tracker.h"
 #include "src/consensus/mempool.h"
 #include "src/consensus/messages.h"
@@ -68,6 +69,7 @@ struct ReplicaContext {
   CommitTracker* tracker = nullptr;
   AppMessageSink* app = nullptr;  // Optional replicated-app message sink.
   ProtocolParams params;
+  checkpoint::CheckpointOptions ckpt;  // Checkpointing/log-compaction knobs (off by default).
   std::vector<uint32_t> client_ids;  // Hosts to send ClientReplyMsg to.
   // Host id of each replica index. Empty = identity (replica i lives on host i), which is
   // the normal Cluster layout; the concurrent-instances extension offsets hosts.
@@ -91,12 +93,46 @@ class ReplicaBase : public IProcess {
   // platform counter; each protocol overrides to add its trusted view/version/fault state.
   virtual InvariantSnapshot Invariants() const;
 
+  // --- Checkpointing / snapshot state transfer (src/checkpoint) ---
+  // Highest stable-checkpoint height this incarnation can prove locally: the sealed
+  // certificate read at boot, raised by every checkpoint persisted or adopted since. An
+  // honest replica never accepts a snapshot below this floor.
+  Height checkpoint_floor() const { return ckpt_floor_; }
+  // Reboot path (protocol constructors, before any WAL replay): reads the host snapshot
+  // payload and the sealed certificate, validates digest + freshness, and on success
+  // installs the checkpoint as the committed prefix. A stale/erased/corrupt snapshot — or a
+  // snapshot that disagrees with the sealed certificate — is rejected (journals
+  // kRollbackReject) and the replica falls back to network state transfer. Returns the
+  // restored block, or nullptr.
+  BlockPtr RestoreStableCheckpoint();
+  // Persists a freshly assembled stable checkpoint: snapshot payload host-durable, the
+  // certificate TEE-sealed (host-durable outside a TEE), then OnStableCheckpoint truncates
+  // logs behind it. Runs inside this replica's handler context (fsync/seal costs charged
+  // here). Called by the CheckpointManager.
+  void PersistStableCheckpoint(const checkpoint::CheckpointCert& cert, const BlockPtr& block);
+  // Network state transfer: installs a fetched, verified snapshot as the committed prefix
+  // (AdoptCheckpoint + floor bump + OnCheckpointAdopted head fix-up). `allow_regress` is
+  // the deliberately-broken stale-snapshot-accept path: it force-installs a snapshot BELOW
+  // the current committed prefix, which honest verification forbids.
+  void AdoptStateTransfer(const BlockPtr& block, size_t cert_wire_size, bool allow_regress);
+
  protected:
   virtual void HandleMessage(NodeId from, const MessageRef& msg) = 0;
   // Pacemaker expiry for the view armed via ArmViewTimer.
   virtual void OnViewTimeout(View /*view*/) {}
   // A previously missing block (and its ancestors) became available.
   virtual void OnBlocksSynced() {}
+  // A stable checkpoint was just persisted locally. The base truncates the in-memory block
+  // store behind it (minus the catch-up slack still served to backfilling peers); protocols
+  // with durable logs override to also truncate their WAL prefix (charged as fsync).
+  virtual void OnStableCheckpoint(const checkpoint::CheckpointCert& cert);
+  // A snapshot was adopted via state transfer; protocols that keep a log-head pointer
+  // (Raft) override to advance it past the adopted block.
+  virtual void OnCheckpointAdopted(const BlockPtr& /*block*/) {}
+  // Where the checkpoint certificate lives: the TEE sealing surface when the platform has
+  // one (rollback is then detected on restore), the host record store otherwise (baselines
+  // without a TEE cannot detect snapshot rollback — see the README threat-model table).
+  persist::Store& CheckpointCertStore();
 
   NodeId id() const { return ctx_.platform->node_id(); }
   uint32_t n() const { return ctx_.params.n; }
@@ -186,6 +222,8 @@ class ReplicaBase : public IProcess {
   BlockStore store_;
   Height last_committed_height_ = 0;
   Hash256 last_committed_hash_;
+  Height ckpt_floor_ = 0;            // See checkpoint_floor().
+  Height last_persisted_ckpt_ = 0;   // Dedup guard for PersistStableCheckpoint.
 
  private:
   void HandleFetchRequest(NodeId from, const BlockFetchRequest& req);

@@ -23,6 +23,7 @@ DamysusReplica::DamysusReplica(const ReplicaContext& ctx, bool initial_launch)
     // Local restore: sealed state (+ counter check in -R). nullptr => crash-stop.
     checker_ = DamysusChecker::Restore(&enclave(), ctx.params.n, ctx.params.f,
                                        ctx.params.break_counter_compare);
+    RestoreStableCheckpoint();
   }
 }
 

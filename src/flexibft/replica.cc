@@ -87,6 +87,11 @@ FlexiBftReplica::FlexiBftReplica(const ReplicaContext& ctx, bool initial_launch)
   // leader-side sequencer frontier and its ordered-block log are durable.
   last_proposed_ = Block::Genesis();
   if (!initial_launch_) {
+    // Stable checkpoint first: it sets the committed floor the log replay filters
+    // against, and seeds the proposal chain when the whole log was compacted away.
+    if (const BlockPtr snapshot = RestoreStableCheckpoint()) {
+      last_proposed_ = snapshot;
+    }
     RestoreDurableState();
   }
 }
@@ -99,8 +104,9 @@ void FlexiBftReplica::RestoreDurableState() {
   // (Order() failed after the append) and are ignored.
   for (const Bytes& record : platform().host_storage().Wal(kLogWal).records()) {
     const BlockPtr block = DecodeBlockRecord(ByteView(record.data(), record.size()));
-    if (block == nullptr || block->height >= sequencer_.next_seq()) {
-      continue;
+    if (block == nullptr || block->height >= sequencer_.next_seq() ||
+        block->height <= last_committed_height_) {
+      continue;  // Past the frontier, or subsumed by the restored checkpoint.
     }
     store_.Add(block);
     if (block->height > last_proposed_->height) {
@@ -325,6 +331,22 @@ void FlexiBftReplica::OnEpochChange(NodeId /*from*/, const FbEpochChangeMsg& msg
   epoch_msgs_.erase(epoch_msgs_.begin(), epoch_msgs_.upper_bound(new_epoch));
   ArmViewTimer(epoch_, 0);
   TryPropose();
+}
+
+void FlexiBftReplica::OnStableCheckpoint(const checkpoint::CheckpointCert& cert) {
+  ReplicaBase::OnStableCheckpoint(cert);
+  // Compact the ordered-block log behind the certified boundary. The scan stops at the
+  // first record beyond the boundary so later appends are never dropped.
+  storage::WriteAheadLog& wal = platform().host_storage().Wal(kLogWal);
+  size_t drop = 0;
+  for (const Bytes& record : wal.records()) {
+    const BlockPtr block = DecodeBlockRecord(ByteView(record.data(), record.size()));
+    if (block != nullptr && block->height > cert.height) {
+      break;
+    }
+    ++drop;
+  }
+  wal.TruncateFront(drop);
 }
 
 void FlexiBftReplica::OnBlocksSynced() {

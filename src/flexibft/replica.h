@@ -93,6 +93,8 @@ class FlexiBftReplica : public ReplicaBase {
   void HandleMessage(NodeId from, const MessageRef& msg) override;
   void OnViewTimeout(View view) override;
   void OnBlocksSynced() override;
+  // Log compaction: drops the ordered-block log prefix a stable checkpoint subsumes.
+  void OnStableCheckpoint(const checkpoint::CheckpointCert& cert) override;
 
  private:
   void OnPropose(NodeId from, const std::shared_ptr<const FbProposeMsg>& msg);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/app/kv_service.h"
+#include "src/checkpoint/manager.h"
 #include "src/client/client.h"
 #include "src/client/kv_client.h"
 #include "src/consensus/replica_base.h"
@@ -86,6 +87,10 @@ struct ClusterConfig {
   bool app_kv = false;
   app::KvAppOptions kv;        // Lease parameters; kv.break_stale_read_lease plants the bug.
   KvClientConfig kv_client;    // Topology fields (n/f/hosts/payload) are overwritten.
+  // Protocol-aware checkpointing (src/checkpoint). When ckpt.enabled, a CheckpointManager
+  // certifies boundary commits, truncates WALs and block stores behind stable checkpoints,
+  // and serves snapshot state transfer to lagging replicas.
+  checkpoint::CheckpointOptions ckpt;
 };
 
 struct FaultScript;
@@ -130,6 +135,11 @@ class Cluster {
   uint32_t kv_client_host_id() const { return n_ + (config_.with_client ? 1 : 0); }
   app::KvService* kv_service() { return kv_service_.get(); }
   KvClientProcess* kv_client() { return kv_client_; }
+  // Checkpoint coordinator (null unless config.ckpt.enabled).
+  checkpoint::CheckpointManager* checkpoint_manager() { return ckpt_manager_.get(); }
+  // Checkpoint quorum for this cluster shape: the commit-certificate quorum (f+1 on the
+  // 2f+1 TEE protocols, 2f+1 on the 3f+1 ones).
+  size_t CheckpointQuorum() const;
 
   // Current incarnation of replica `id` (nullptr while crashed).
   ReplicaBase* replica(uint32_t id) { return replica_ptrs_[id]; }
@@ -159,6 +169,11 @@ class Cluster {
   // Runs `warmup`, then measures for `measure` and returns aggregated statistics.
   RunStats RunMeasured(SimDuration warmup, SimDuration measure);
 
+  // Refreshes the per-replica retention gauges (log.entries_retained, log.bytes_retained,
+  // ckpt.last_stable_seq): WAL records/bytes on disk plus the in-memory block store.
+  // Called at the end of RunMeasured; callable any time for finer-grained sampling.
+  void RefreshFootprintGauges();
+
   uint64_t TotalCounterWrites() const;
 
   // --- Observability (src/obs) ---
@@ -186,6 +201,7 @@ class Cluster {
   std::vector<ReplicaBase*> replica_ptrs_;
   std::vector<ByzantineMode> byzantine_;
   std::unique_ptr<app::KvService> kv_service_;
+  std::unique_ptr<checkpoint::CheckpointManager> ckpt_manager_;
   KvClientProcess* kv_client_ = nullptr;
   bool started_ = false;
 };

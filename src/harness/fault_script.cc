@@ -37,13 +37,15 @@ const char* SealedFateName(SealedFate fate) {
 }
 
 uint64_t EncodeStorageFate(StorageFate fate) {
-  return static_cast<uint64_t>(fate.wal) | (static_cast<uint64_t>(fate.sealed) << 8);
+  return static_cast<uint64_t>(fate.wal) | (static_cast<uint64_t>(fate.sealed) << 8) |
+         (static_cast<uint64_t>(fate.snapshot) << 16);
 }
 
 StorageFate DecodeStorageFate(uint64_t arg) {
   StorageFate fate;
   fate.wal = static_cast<storage::WalFate>(arg & 0xff);
   fate.sealed = static_cast<SealedFate>((arg >> 8) & 0xff);
+  fate.snapshot = static_cast<checkpoint::SnapshotFate>((arg >> 16) & 0xff);
   return fate;
 }
 
@@ -209,10 +211,19 @@ FaultScript SampleFaultScript(const ScriptParams& params, Rng& rng) {
               ? shared_crash
               : Ms(200) + static_cast<SimTime>(
                               rng.UniformU64(params.heal_at - Ms(1100) - Ms(200)));
+      // Lagging-replica rejoin (--ckpt-weight): instead of bouncing right back, the victim
+      // stays down until just before heal, so the cluster's stable checkpoint frontier
+      // races far ahead and rejoin exercises snapshot state transfer rather than backfill.
+      const bool lagging = !simultaneous && rng.Chance(params.ckpt_prob * 0.5);
       const SimTime reboot_at =
           simultaneous
               ? shared_reboot
-              : crash_at + Ms(80) + static_cast<SimTime>(rng.UniformU64(Ms(400)));
+              : (lagging ? std::max<SimTime>(
+                               crash_at + Ms(80),
+                               params.heal_at - Ms(150) -
+                                   static_cast<SimTime>(rng.UniformU64(Ms(250))))
+                         : crash_at + Ms(80) +
+                               static_cast<SimTime>(rng.UniformU64(Ms(400))));
       StorageFate fate;
       if (ProtocolUsesHostStorage(params.protocol) && rng.Chance(0.5)) {
         // Crash-consistency fault on the host disk: the unsynced suffix vanishes, or the
@@ -226,6 +237,17 @@ FaultScript SampleFaultScript(const ScriptParams& params, Rng& rng) {
         // Achilles recovers over the network regardless; the -R checkers must detect the
         // rollback and halt.
         fate.sealed = rng.Chance(0.5) ? SealedFate::kStale : SealedFate::kErased;
+      }
+      if (rng.Chance(params.ckpt_prob)) {
+        // Adversarial checkpoint snapshot surface: a rolled-back (internally valid) old
+        // snapshot, a wiped record, or flipped payload bytes. Where the certificate is
+        // TEE-sealed the replica must reject the first two classes by digest/freshness;
+        // where it is not, the rollback installs an older committed prefix — still safe,
+        // merely slower (the undetectable-rollback baseline in the README threat model).
+        const uint64_t pick = rng.UniformU64(3);
+        fate.snapshot = pick == 0   ? checkpoint::SnapshotFate::kStale
+                        : pick == 1 ? checkpoint::SnapshotFate::kErased
+                                    : checkpoint::SnapshotFate::kCorrupt;
       }
       script.events.push_back({crash_at, FaultKind::kCrash, node, 0, 0});
       script.events.push_back(
@@ -258,6 +280,12 @@ FaultScript SampleFaultScript(const ScriptParams& params, Rng& rng) {
           if (ProtocolUsesHostStorage(params.protocol) && rng.Chance(0.5)) {
             refate.wal = rng.Chance(0.5) ? storage::WalFate::kLostUnsynced
                                          : storage::WalFate::kTornTail;
+          }
+          if (rng.Chance(params.ckpt_prob * 0.5)) {
+            // The second crash can land mid-state-transfer; losing the snapshot record
+            // under it checks that a half-adopted transfer restarts cleanly.
+            refate.snapshot = rng.Chance(0.5) ? checkpoint::SnapshotFate::kErased
+                                              : checkpoint::SnapshotFate::kStale;
           }
           script.events.push_back({again, FaultKind::kCrash, node, 0, 0});
           script.events.push_back(
@@ -303,7 +331,7 @@ FaultScript SampleFaultScript(const ScriptParams& params, Rng& rng) {
 
 std::string ScriptArtifact::ToText() const {
   std::ostringstream out;
-  out << "chaos-script v2\n";
+  out << "chaos-script v3\n";
   out << "protocol " << protocol << "\n";
   out << "f " << f << "\n";
   out << "seed " << seed << "\n";
@@ -328,9 +356,11 @@ bool ScriptArtifact::FromText(const std::string& text, ScriptArtifact* out) {
   if (!std::getline(in, line)) {
     return false;
   }
-  // v1 reboot events carried a bare RollbackMode in arg; v2 carries EncodeStorageFate().
+  // v1 reboot events carried a bare RollbackMode in arg; v2 carries EncodeStorageFate()
+  // without a snapshot byte (bits 16+ are zero, so it decodes as kIntact and parses
+  // unchanged); v3 adds the checkpoint snapshot fate at bits 16-23.
   const bool v1 = line == "chaos-script v1";
-  if (!v1 && line != "chaos-script v2") {
+  if (!v1 && line != "chaos-script v2" && line != "chaos-script v3") {
     return false;
   }
   Protocol proto;
@@ -448,6 +478,11 @@ void Cluster::ApplyFaultEvent(const FaultEvent& event) {
       // suffix or tear its tail record between incarnations — but never rolls back (that
       // fault class is exclusive to the sealed-storage surface below).
       platforms_[event.node]->host_storage().ApplyCrashFate(fate.wal);
+      // Then the adversarial checkpoint-snapshot surface (a host record, so it composes
+      // with the crash fate above and the sealed fate below).
+      if (ckpt_manager_ != nullptr) {
+        ckpt_manager_->ApplySnapshotFate(event.node, fate.snapshot);
+      }
       // The adversarial OS chooses what the new enclave unseals. Local restore happens in
       // the replica constructor (inside RebootReplica), so the mode can be lifted
       // immediately afterwards: later seals of the new incarnation behave honestly.

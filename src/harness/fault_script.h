@@ -29,15 +29,19 @@ enum class SealedFate : uint8_t {
 };
 const char* SealedFateName(SealedFate fate);
 
-// Per-surface storage outcome carried by a reboot event. The two surfaces have disjoint
+// Per-surface storage outcome carried by a reboot event. The surfaces have disjoint
 // fault vocabularies by design: the host WAL/record store suffers only crash-consistency
-// faults (torn tail, lost unsynced suffix — never rollback), while sealed blobs suffer
-// only adversarial replay (never torn writes; the sealing device write is atomic).
-// Encoded into FaultEvent::arg as (wal | sealed << 8); {kIntact, kFresh} encodes to 0,
-// which keeps v1 scripts (arg = RollbackMode, honest = kLatest = 0) meaning-compatible.
+// faults (torn tail, lost unsynced suffix — never rollback), sealed blobs suffer
+// only adversarial replay (never torn writes; the sealing device write is atomic), and
+// the checkpoint snapshot record (v3) is an adversarial host surface of its own — stale /
+// erased / corrupt, rollback detectable only where the certificate is TEE-sealed.
+// Encoded into FaultEvent::arg as (wal | sealed << 8 | snapshot << 16); the all-honest
+// fate encodes to 0, which keeps v1 scripts (arg = RollbackMode, honest = kLatest = 0)
+// and v2 scripts (no snapshot byte) meaning-compatible.
 struct StorageFate {
   storage::WalFate wal = storage::WalFate::kIntact;
   SealedFate sealed = SealedFate::kFresh;
+  checkpoint::SnapshotFate snapshot = checkpoint::SnapshotFate::kIntact;
 };
 uint64_t EncodeStorageFate(StorageFate fate);
 StorageFate DecodeStorageFate(uint64_t arg);
@@ -105,6 +109,10 @@ struct ScriptParams {
   // Probability the script contains crash+reboot cycles at all (--reboot-weight). Raising
   // it weights a chaos shard toward reboot-bearing schedules.
   double reboot_prob = 0.65;
+  // Probability weight for checkpoint-aware fates (--ckpt-weight): snapshot-surface
+  // attacks at reboot and long-lag reboots that force snapshot state transfer instead of
+  // block backfill. CI's checkpoint shard raises it.
+  double ckpt_prob = 0.35;
 };
 
 // Samples a random fault script from `rng`. The sample respects the soundness constraints

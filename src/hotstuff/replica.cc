@@ -72,6 +72,7 @@ HotStuffReplica::HotStuffReplica(const ReplicaContext& ctx, bool initial_launch)
   prepare_qc_.view = 0;
   locked_qc_ = prepare_qc_;
   if (!initial_launch_) {
+    RestoreStableCheckpoint();
     RestoreDurableState();
   }
 }

@@ -19,6 +19,11 @@ MinBftReplica::MinBftReplica(const ReplicaContext& ctx, bool initial_launch)
       verifier_(ctx.params.n) {
   last_proposed_ = Block::Genesis();
   if (!initial_launch_) {
+    // Stable checkpoint first: it sets the committed floor the log replay filters
+    // against, and seeds the proposal chain when the whole log was compacted away.
+    if (const BlockPtr snapshot = RestoreStableCheckpoint()) {
+      last_proposed_ = snapshot;
+    }
     RestoreDurableState();
   }
 }
@@ -53,8 +58,11 @@ void MinBftReplica::RestoreDurableState() {
     if (block == nullptr) {
       continue;  // Torn/unfinished record: everything after it is gone anyway.
     }
+    logged_.insert(block->hash);  // Still durable: re-deliveries must not re-append.
+    if (block->height <= last_committed_height_) {
+      continue;  // Subsumed by the restored checkpoint; its vote is committed history.
+    }
     store_.Add(block);
-    logged_.insert(block->hash);
     if (block->hash == voted_hash) {
       voted_block_ = block;
     }
@@ -297,6 +305,23 @@ void MinBftReplica::OnEpochChange(NodeId from, const MinEpochChangeMsg& msg) {
   } else {
     TryPropose();
   }
+}
+
+void MinBftReplica::OnStableCheckpoint(const checkpoint::CheckpointCert& cert) {
+  ReplicaBase::OnStableCheckpoint(cert);
+  // Compact the message log: every record at or below the certified boundary is
+  // committed history the checkpoint now vouches for. The scan stops at the first
+  // record beyond the boundary so later out-of-order appends are never dropped.
+  storage::WriteAheadLog& wal = platform().host_storage().Wal(kLogWal);
+  size_t drop = 0;
+  for (const Bytes& record : wal.records()) {
+    const BlockPtr block = DecodeBlockRecord(ByteView(record.data(), record.size()));
+    if (block != nullptr && block->height > cert.height) {
+      break;
+    }
+    ++drop;
+  }
+  wal.TruncateFront(drop);
 }
 
 void MinBftReplica::OnBlocksSynced() {

@@ -73,6 +73,8 @@ class MinBftReplica : public ReplicaBase {
   void HandleMessage(NodeId from, const MessageRef& msg) override;
   void OnViewTimeout(View view) override;
   void OnBlocksSynced() override;
+  // Log compaction: drops the message-log prefix a stable checkpoint subsumes.
+  void OnStableCheckpoint(const checkpoint::CheckpointCert& cert) override;
 
  private:
   void TryPropose();

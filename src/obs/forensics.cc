@@ -20,6 +20,12 @@ bool IsStaleUnseal(const JournalRecord& r) {
   return r.kind == JournalKind::kUnseal && r.a != 0 && r.a < r.b;
 }
 
+// A snapshot adoption: the journal-side face of checkpoint state transfer installing a
+// certified boundary state (honest "adopt", or the broken variant's unchecked/stale ones).
+bool IsSnapshotAdopt(const JournalRecord& r) {
+  return r.kind == JournalKind::kSnapshotFetch && r.detail.rfind("adopt", 0) == 0;
+}
+
 struct InvariantHit {
   std::string name;
   uint64_t seq = 0;
@@ -36,6 +42,8 @@ std::vector<InvariantHit> CheckInvariants(const std::vector<JournalRecord>& even
   std::unordered_map<uint32_t, uint64_t> last_round_nonce;   // node -> latest request nonce.
   std::unordered_map<uint32_t, bool> has_round;              // node -> any round seen.
   std::unordered_map<uint32_t, uint64_t> pending_stale;      // node -> stale unseal seq.
+  std::unordered_map<uint32_t, uint64_t> ckpt_floor;         // node -> certified floor.
+  std::unordered_map<uint32_t, uint64_t> commit_high;        // node -> per-incarnation max.
   auto hit = [&hits](const std::string& name, uint64_t seq, std::string what) {
     hits.push_back({name, seq, std::move(what)});
   };
@@ -55,8 +63,38 @@ std::vector<InvariantHit> CheckInvariants(const std::vector<JournalRecord>& even
         last = std::max(last, r.a);
         break;
       }
+      case JournalKind::kCheckpointStable: {
+        uint64_t& floor = ckpt_floor[r.node];
+        floor = std::max(floor, r.a);
+        break;
+      }
+      case JournalKind::kSnapshotFetch: {
+        if (!IsSnapshotAdopt(r)) {
+          break;
+        }
+        // The checkpoint rollback invariant: an adopted snapshot must lie above the
+        // incarnation's committed watermark and at or above the certified floor. The floor
+        // persists across reboots here — a run whose cert surface was attacked legitimately
+        // regresses it, but such runs reach this analyzer only via some other incident.
+        if (r.a <= commit_high[r.node] || r.a < ckpt_floor[r.node]) {
+          hit("stale-snapshot-adopted", r.seq,
+              "node " + std::to_string(r.node) + " installed a snapshot at height " +
+                  std::to_string(r.a) + " behind its committed prefix (" +
+                  std::to_string(commit_high[r.node]) + ") or certified floor (" +
+                  std::to_string(ckpt_floor[r.node]) + ")");
+        }
+        uint64_t& high = commit_high[r.node];
+        high = std::max(high, r.a);
+        break;
+      }
+      case JournalKind::kBoot:
+        // Commit indices are volatile: a fresh incarnation re-commits from further back.
+        commit_high.erase(r.node);
+        break;
       case JournalKind::kCommit:
       case JournalKind::kCheckpoint: {
+        uint64_t& high = commit_high[r.node];
+        high = std::max(high, r.a);
         auto [it, inserted] = committed.emplace(r.a, r.b);
         if (!inserted && it->second != r.b) {
           hit("commit-agreement", r.seq,
@@ -155,6 +193,12 @@ const JournalRecord* FindEvidence(const std::vector<JournalRecord>& events,
     best = latest_of([&](const JournalRecord& r) {
       return (IsStaleUnseal(r) || r.kind == JournalKind::kRollbackReject) &&
              (query.node == UINT32_MAX || r.node == query.node);
+    });
+  } else if (query.oracle == "checkpoint") {
+    // The rollback reached the replica through a snapshot adoption; the latest adopt on
+    // the victim is the journal-side face of the violation.
+    best = latest_of([&](const JournalRecord& r) {
+      return IsSnapshotAdopt(r) && (query.node == UINT32_MAX || r.node == query.node);
     });
   } else if (query.oracle == "linearizability") {
     // The stale value reached the client through a lease-served read; the latest
@@ -313,6 +357,38 @@ IncidentReport AnalyzeIncident(const Journal& journal, const IncidentQuery& quer
       if (last_revoke != nullptr && last_revoke->seq > last_grant->seq) {
         text += "\nhad already been dropped locally (" + last_revoke->ToLine() + ")";
       }
+    }
+    text += ".\n";
+  }
+  // Checkpoint narrative: name the adopted height against the replica's own certified
+  // floor and the serving peer.
+  if (IsSnapshotAdopt(*evidence)) {
+    uint64_t floor = 0;
+    const JournalRecord* serve = nullptr;
+    for (const JournalRecord& r : events) {
+      if (r.seq > evidence->seq) {
+        break;
+      }
+      if (r.kind == JournalKind::kCheckpointStable && r.node == evidence->node) {
+        floor = std::max(floor, r.a);
+      }
+      if (r.kind == JournalKind::kSnapshotFetch && r.detail == "serve" &&
+          r.a == evidence->a) {
+        serve = &r;
+      }
+    }
+    text += FmtNode(evidence->node) + " installed a snapshot at height " +
+            std::to_string(evidence->a);
+    if (floor > evidence->a) {
+      text += ", " + std::to_string(floor - evidence->a) +
+              " height(s) BELOW its own certified floor " + std::to_string(floor);
+    }
+    if (serve != nullptr) {
+      text += ";\nserved by " + FmtNode(serve->node) + " (" + serve->ToLine() + ")";
+    }
+    if (evidence->detail == "adopt-unchecked" || evidence->detail == "adopt-stale") {
+      text += ";\nthe transfer path skipped its certificate/floor checks (" +
+              evidence->detail + ")";
     }
     text += ".\n";
   }

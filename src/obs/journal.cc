@@ -65,6 +65,12 @@ const char* JournalKindName(JournalKind kind) {
       return "lease-revoke";
     case JournalKind::kLeaseServe:
       return "lease-serve";
+    case JournalKind::kCheckpointStable:
+      return "checkpoint-stable";
+    case JournalKind::kLogTruncate:
+      return "log-truncate";
+    case JournalKind::kSnapshotFetch:
+      return "snapshot-fetch";
     case JournalKind::kOracleViolation:
       return "oracle-violation";
   }

@@ -65,6 +65,10 @@ enum class JournalKind : uint8_t {
   kLeaseGrant,      // Peer granted a read-lease promise; a = grantee, b = expiry (ns).
   kLeaseRevoke,     // Leaseholder dropped its lease (foreign-led block applied or crash).
   kLeaseServe,      // Leaseholder served a lease read; a = key, b = served version (flow).
+  // Checkpointing / snapshot state transfer (src/checkpoint).
+  kCheckpointStable,// Stable checkpoint certified locally; a = height, b = signers.
+  kLogTruncate,     // Compaction barrier: a = records dropped, b = bytes dropped.
+  kSnapshotFetch,   // State transfer: a = checkpoint height, b = peer; detail = role.
   // Oracle verdict marker stamped by the chaos runner at violation time.
   kOracleViolation, // detail = the violation text.
 };

@@ -21,6 +21,7 @@ OneShotReplica::OneShotReplica(const ReplicaContext& ctx, bool initial_launch)
     checker_ = std::make_unique<OneShotChecker>(&enclave(), ctx.params.n, ctx.params.f);
   } else {
     checker_ = OneShotChecker::Restore(&enclave(), ctx.params.n, ctx.params.f);
+    RestoreStableCheckpoint();
   }
 }
 

@@ -16,6 +16,12 @@ RaftReplica::RaftReplica(const ReplicaContext& ctx, bool initial_launch)
   head_ = Block::Genesis();
   set_client_replies_enabled(false);  // Only the leader answers clients in Raft.
   if (!initial_launch_) {
+    // Checkpoint first: the restored boundary becomes the committed prefix, and WAL replay
+    // below skips the records the snapshot subsumes (they were truncated at checkpoint
+    // time; only a not-yet-compacted tail can still carry them).
+    if (const BlockPtr snapshot = RestoreStableCheckpoint()) {
+      head_ = snapshot;
+    }
     RestoreDurableState();
   }
 }
@@ -38,12 +44,41 @@ void RaftReplica::RestoreDurableState() {
     if (block == nullptr) {
       continue;  // Torn/unfinished record: everything after it is gone anyway.
     }
-    store_.Add(block);
     logged_.insert(block->hash);
+    if (block->height <= last_committed_height_) {
+      continue;  // Subsumed by the restored stable checkpoint (still dedup'd above).
+    }
+    store_.Add(block);
     if (block->view > head_->view ||
         (block->view == head_->view && block->height > head_->height)) {
       head_ = block;
     }
+  }
+}
+
+void RaftReplica::OnStableCheckpoint(const checkpoint::CheckpointCert& cert) {
+  ReplicaBase::OnStableCheckpoint(cert);  // Block-store compaction with catch-up slack.
+  // Drop the WAL prefix the snapshot subsumes. Records are scanned in append order and the
+  // scan stops at the first record above the boundary: entries logged out of height order
+  // across term changes under-truncate (safe) rather than over-truncate.
+  storage::WriteAheadLog& wal = platform().host_storage().Wal(kLogWal);
+  size_t drop = 0;
+  for (const Bytes& record : wal.records()) {
+    const BlockPtr block = DecodeBlockRecord(ByteView(record.data(), record.size()));
+    if (block != nullptr && block->height > cert.height) {
+      break;
+    }
+    ++drop;
+  }
+  wal.TruncateFront(drop);
+}
+
+void RaftReplica::OnCheckpointAdopted(const BlockPtr& block) {
+  // The adopted boundary supersedes everything the local log tail knew: propose on top of
+  // it unless the tail is already further along in a no-older term.
+  if (block->view > head_->view ||
+      (block->view == head_->view && block->height > head_->height)) {
+    head_ = block;
   }
 }
 
@@ -101,7 +136,8 @@ void RaftReplica::StartElection() {
   ++term_;
   JournalEvent(obs::JournalKind::kViewEnter, term_);
   voted_in_term_ = term_;  // Vote for self.
-  votes_received_ = 1;
+  votes_from_.clear();
+  votes_from_.insert(id());
   PersistMeta();  // (currentTerm, votedFor=self) hit disk before the candidacy is visible.
   auto req = std::make_shared<RaftVoteReqMsg>();
   req->term = term_;
@@ -199,7 +235,7 @@ void RaftReplica::HandleMessage(NodeId from, const MessageRef& msg) {
   } else if (auto req = std::dynamic_pointer_cast<const RaftVoteReqMsg>(msg)) {
     OnVoteReq(from, *req);
   } else if (auto rsp = std::dynamic_pointer_cast<const RaftVoteRspMsg>(msg)) {
-    OnVoteRsp(*rsp);
+    OnVoteRsp(from, *rsp);
   }
 }
 
@@ -281,12 +317,12 @@ void RaftReplica::OnVoteReq(NodeId from, const RaftVoteReqMsg& msg) {
   SendTo(from, rsp);
 }
 
-void RaftReplica::OnVoteRsp(const RaftVoteRspMsg& msg) {
+void RaftReplica::OnVoteRsp(NodeId from, const RaftVoteRspMsg& msg) {
   if (role_ != Role::kCandidate || msg.term != term_ || !msg.granted) {
     return;
   }
-  ++votes_received_;
-  if (votes_received_ >= quorum()) {  // Majority: f+1 of 2f+1.
+  votes_from_.insert(from);
+  if (votes_from_.size() >= quorum()) {  // Majority of DISTINCT grantors: f+1 of 2f+1.
     BecomeLeader();
   }
 }

@@ -74,6 +74,10 @@ class RaftReplica : public ReplicaBase {
   void HandleMessage(NodeId from, const MessageRef& msg) override;
   void OnViewTimeout(View view) override;
   void OnBlocksSynced() override;
+  // Log compaction: drops the WAL prefix a stable checkpoint subsumes (charged as fsync).
+  void OnStableCheckpoint(const checkpoint::CheckpointCert& cert) override;
+  // Snapshot transfer fix-up: the log-head pointer advances past the adopted boundary.
+  void OnCheckpointAdopted(const BlockPtr& block) override;
 
  private:
   void BecomeFollower(uint64_t term);
@@ -84,7 +88,7 @@ class RaftReplica : public ReplicaBase {
   void OnAppend(NodeId from, const std::shared_ptr<const RaftAppendMsg>& msg);
   void OnAck(NodeId from, const RaftAckMsg& msg);
   void OnVoteReq(NodeId from, const RaftVoteReqMsg& msg);
-  void OnVoteRsp(const RaftVoteRspMsg& msg);
+  void OnVoteRsp(NodeId from, const RaftVoteRspMsg& msg);
   void ArmElectionTimer();
 
   // Syncs (term, votedFor) to the host record store: must precede any message that makes
@@ -110,7 +114,10 @@ class RaftReplica : public ReplicaBase {
   // Blocks already in the durable log (rebuilt from the WAL on reboot); re-deliveries via
   // heartbeat retransmission skip the duplicate append + fsync.
   std::unordered_set<Hash256, Hash256Hasher> logged_;
-  uint32_t votes_received_ = 0;
+  // Distinct grantors this candidacy, self included. A set, not a counter: the network may
+  // duplicate a vote response, and double-counting one grantor elects a leader without a
+  // real majority (a fork the chaos swarm found under duplication jitter).
+  std::set<NodeId> votes_from_;
   uint64_t heartbeat_timer_ = 0;
   uint64_t election_timer_ = 0;
 };

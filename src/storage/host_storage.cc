@@ -1,5 +1,7 @@
 #include "src/storage/host_storage.h"
 
+#include <algorithm>
+
 #include "src/sim/host.h"
 
 namespace achilles {
@@ -33,6 +35,30 @@ void WriteAheadLog::Append(ByteView record, SyncMode mode) {
 }
 
 void WriteAheadLog::Sync() { device_->SyncAll(); }
+
+void WriteAheadLog::TruncateFront(size_t count) {
+  count = std::min(count, records_.size());
+  if (count == 0) {
+    return;
+  }
+  // Barrier 1: the drop must be computed against a durable image, so any unsynced tail
+  // (here or anywhere else in the sync domain) is flushed first.
+  device_->SyncAll();
+  uint64_t dropped_bytes = 0;
+  for (size_t i = 0; i < count; ++i) {
+    dropped_bytes += records_[i].size();
+  }
+  records_.erase(records_.begin(), records_.begin() + static_cast<ptrdiff_t>(count));
+  bytes_ -= dropped_bytes;
+  durable_records_ = records_.size();
+  durable_bytes_ = bytes_;
+  // Barrier 2: the metadata write that commits the new log head is itself fsynced, so the
+  // truncation is atomic — a crash fate applied after this point replays over the compacted
+  // durable image and can never resurrect the dropped prefix.
+  ++device_->fsyncs_;
+  device_->host_->ChargeCpuAs(obs::Component::kFsync, device_->fsync_cost_);
+  device_->host_->JournalEvent(obs::JournalKind::kLogTruncate, count, dropped_bytes, name_);
+}
 
 RecordStore::RecordStore(HostStableStorage* device) : device_(device) {}
 
@@ -116,6 +142,22 @@ void HostStableStorage::SyncAll() {
   ++fsyncs_;
   host_->ChargeCpuAs(obs::Component::kFsync, fsync_cost_);
   host_->JournalEvent(obs::JournalKind::kFsync, flushed_records, flushed_bytes);
+}
+
+uint64_t HostStableStorage::TotalWalRecords() const {
+  uint64_t total = 0;
+  for (const auto& [name, wal] : wals_) {
+    total += wal->records_.size();
+  }
+  return total;
+}
+
+uint64_t HostStableStorage::TotalWalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, wal] : wals_) {
+    total += wal->bytes_;
+  }
+  return total;
 }
 
 void HostStableStorage::ApplyCrashFate(WalFate fate) {

@@ -68,6 +68,12 @@ class WriteAheadLog {
   void Append(ByteView record, SyncMode mode);
   // Device-wide fsync barrier (see HostStableStorage::SyncAll).
   void Sync();
+  // Compaction barrier: atomically drops the oldest `count` records (clamped to the log
+  // size). Runs a device-wide fsync first so the drop applies to a fully durable image,
+  // then charges one more kFsync for the metadata write that commits the new log head —
+  // a crash therefore sees either the old durable log or the truncated one, never a
+  // partial drop. Journals kLogTruncate with what was dropped. No-op for count == 0.
+  void TruncateFront(size_t count);
 
   const std::string& name() const { return name_; }
   // All records currently visible to the running process, durable or not, append order.
@@ -158,6 +164,11 @@ class HostStableStorage {
   // True once any append/put happened this boot-to-date (benches use this to tell
   // stable-storage protocols from storage-free ones).
   bool ever_written() const { return ever_written_; }
+
+  // Footprint accessors (log-compaction gauges): records/bytes currently held across all
+  // WALs on this disk.
+  uint64_t TotalWalRecords() const;
+  uint64_t TotalWalBytes() const;
 
  private:
   friend class WriteAheadLog;

@@ -123,6 +123,55 @@ TEST(OracleTest, ProgressAfterHealPasses) {
   EXPECT_EQ(oracles.max_honest_height(), 6u);
 }
 
+TEST(OracleTest, StableCheckpointHashMismatchDetected) {
+  OracleSuite oracles(OracleConfig{});
+  oracles.OnCommit(0, 8, TestHash(1), Ms(1));
+  // A certificate naming a different block at a committed height is a forged checkpoint.
+  oracles.OnStableCheckpoint(1, 8, TestHash(2), Ms(2));
+  ASSERT_FALSE(oracles.ok());
+  EXPECT_NE(oracles.violation().find("checkpoint"), std::string::npos);
+  EXPECT_EQ(oracles.incident().oracle, "checkpoint");
+}
+
+TEST(OracleTest, AdoptBelowCommittedPrefixDetected) {
+  OracleSuite oracles(OracleConfig{});
+  oracles.OnCommit(0, 10, TestHash(1), Ms(1));
+  oracles.OnCheckpointAdopted(0, 8, TestHash(2), Ms(2));
+  ASSERT_FALSE(oracles.ok());
+  EXPECT_NE(oracles.violation().find("at or below its committed prefix"),
+            std::string::npos);
+}
+
+TEST(OracleTest, AdoptBelowCertifiedFloorDetectedAcrossReboot) {
+  OracleSuite oracles(OracleConfig{});
+  oracles.OnStableCheckpoint(0, 16, TestHash(1), Ms(1));
+  // A clean reboot forgets the committed watermark (commit indices are volatile) but the
+  // certified floor is sealed: adopting below it is a rollback by snapshot.
+  oracles.OnReplicaReboot(0, /*cert_surface_attacked=*/false);
+  oracles.OnCheckpointAdopted(0, 8, TestHash(2), Ms(2));
+  ASSERT_FALSE(oracles.ok());
+  EXPECT_NE(oracles.violation().find("below its certified floor"), std::string::npos);
+}
+
+TEST(OracleTest, AttackedCertSurfaceForgetsTheFloor) {
+  OracleSuite oracles(OracleConfig{});
+  oracles.OnStableCheckpoint(0, 16, TestHash(1), Ms(1));
+  // When the reboot attacked the certificate surface the restored floor legitimately
+  // regresses (the modeled adversary rolled the snapshot back); no violation.
+  oracles.OnReplicaReboot(0, /*cert_surface_attacked=*/true);
+  oracles.OnCheckpointAdopted(0, 8, TestHash(2), Ms(2));
+  EXPECT_TRUE(oracles.ok()) << oracles.violation();
+}
+
+TEST(OracleTest, AdoptAboveTheFloorRaisesIt) {
+  OracleSuite oracles(OracleConfig{});
+  oracles.OnCheckpointAdopted(0, 24, TestHash(1), Ms(1));
+  EXPECT_TRUE(oracles.ok()) << oracles.violation();
+  // The adopt raised both watermarks: repeating it is now a regression.
+  oracles.OnCheckpointAdopted(0, 24, TestHash(1), Ms(2));
+  ASSERT_FALSE(oracles.ok());
+}
+
 TEST(OracleTest, FirstViolationWins) {
   OracleSuite oracles(OracleConfig{});
   oracles.OnCommit(0, 7, TestHash(0xaa), Ms(1));
@@ -194,6 +243,43 @@ TEST(ChaosBrokenVariantTest, CounterCompareBypassIsFlagged) {
   EXPECT_NE(result.violation.find("counter"), std::string::npos) << result.violation;
 }
 
+TEST(ChaosBrokenVariantTest, StaleSnapshotAcceptIsFlagged) {
+  ChaosOptions options;
+  options.broken = BrokenVariant::kStaleSnapshotAccept;
+  // The canonical choreography (crash, run ahead, reboot into a fetch) needs a seed whose
+  // background schedule lets the victim lag past the catch-up threshold; seed 2 is the
+  // first that does, and the flagging is deterministic (chaos_main's golden incident).
+  const ChaosResult result = chaos::RunChaosSeed(options, 2);
+  ASSERT_FALSE(result.ok) << "broken stale-snapshot-accept variant passed the oracles";
+  EXPECT_NE(result.violation.find("checkpoint"), std::string::npos) << result.violation;
+  EXPECT_NE(result.violation.find("stale snapshot accepted"), std::string::npos)
+      << result.violation;
+}
+
+// Regression: a duplicated vote response (delivery-jitter duplication) must not be
+// double-counted toward the election quorum. BRaft tallied votes with a bare counter; in
+// this checkpoint-weighted swarm reproducer node 3 received node 2's grant twice, declared
+// itself leader of term 2 with only 2 of 5 distinct grantors, and forked height 206 against
+// the term-1 leader's committed block. Votes are now deduped per grantor.
+TEST(ChaosRegressionTest, DuplicatedVoteResponseMustNotElectAMinorityLeader) {
+  ScriptArtifact artifact;
+  ASSERT_TRUE(ScriptArtifact::FromText(
+      "chaos-script v3\nprotocol BRaft\nf 2\nseed 17\n"
+      "event 428184172 jitter-on 0 0 947907\n"
+      "event 430924395 stall 1 0 218665280\n"
+      "event 508532317 partition 4 3 0\n"
+      "event 736878833 heal-partition 0 0 0\n"
+      "heal 1400000000\nhorizon 2000000000\n",
+      &artifact));
+  ChaosOptions options;
+  options.app_kv = true;
+  Protocol protocol = Protocol::kAchilles;
+  ASSERT_TRUE(ProtocolFromName(artifact.protocol, &protocol));
+  const ChaosResult result =
+      chaos::RunChaosScript(options, artifact.seed, protocol, artifact.f, artifact.script);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
 // --- Minimization ---
 
 TEST(ChaosMinimizeTest, ShrinksFailingScriptAndStaysFailing) {
@@ -214,6 +300,44 @@ TEST(ChaosMinimizeTest, ShrinksFailingScriptAndStaysFailing) {
   EXPECT_FALSE(rerun.ok);
 }
 
+TEST(ChaosMinimizeTest, DdminRoundTripsThroughTheV3ArtifactText) {
+  // Regression for the v3 script format: a ddmin-minimized checkpoint reproducer must
+  // survive ToText -> FromText with its snapshot fates intact and still reproduce.
+  ChaosOptions options;
+  options.broken = BrokenVariant::kStaleSnapshotAccept;
+  const ChaosResult failing = chaos::RunChaosSeed(options, 2);
+  ASSERT_FALSE(failing.ok);
+  const MinimizeResult minimized = chaos::MinimizeScript(
+      options, failing.seed, failing.protocol, failing.f, failing.script);
+  ASSERT_TRUE(minimized.reproduced);
+  ScriptArtifact artifact = failing.Artifact();
+  artifact.script = minimized.script;
+  const std::string text = artifact.ToText();
+  ScriptArtifact parsed;
+  ASSERT_TRUE(ScriptArtifact::FromText(text, &parsed));
+  ASSERT_EQ(parsed.script.events.size(), minimized.script.events.size());
+  for (size_t i = 0; i < parsed.script.events.size(); ++i) {
+    EXPECT_EQ(parsed.script.events[i].arg, minimized.script.events[i].arg) << "event " << i;
+  }
+  Protocol protocol = Protocol::kAchilles;
+  ASSERT_TRUE(ProtocolFromName(parsed.protocol, &protocol));
+  const ChaosResult rerun =
+      chaos::RunChaosScript(options, parsed.seed, protocol, parsed.f, parsed.script);
+  EXPECT_FALSE(rerun.ok);
+  EXPECT_NE(rerun.violation.find("checkpoint"), std::string::npos) << rerun.violation;
+}
+
+TEST(ChaosRunnerTest, CheckpointWeightedSweepStaysClean) {
+  // Max checkpoint-fate weight: every sampled reboot draws a snapshot fate and lagging
+  // rejoins are common. The honest protocols must absorb all of it.
+  ChaosOptions options;
+  options.ckpt_prob = 1.0;
+  for (uint64_t seed = 30; seed < 33; ++seed) {
+    const ChaosResult result = chaos::RunChaosSeed(options, seed);
+    EXPECT_TRUE(result.ok) << "seed " << seed << ": " << result.violation;
+  }
+}
+
 TEST(ChaosMinimizeTest, PassingScriptReportsNotReproduced) {
   ChaosOptions options;
   const ChaosResult passing = chaos::RunChaosSeed(options, 5);
@@ -229,7 +353,8 @@ TEST(ChaosMinimizeTest, PassingScriptReportsNotReproduced) {
 TEST(ChaosNamesTest, BrokenVariantNamesRoundTrip) {
   for (const BrokenVariant variant :
        {BrokenVariant::kNone, BrokenVariant::kRecoveryNonce,
-        BrokenVariant::kCounterCompare}) {
+        BrokenVariant::kCounterCompare, BrokenVariant::kStaleReadLease,
+        BrokenVariant::kStaleSnapshotAccept}) {
     BrokenVariant parsed = BrokenVariant::kNone;
     ASSERT_TRUE(chaos::BrokenVariantFromName(chaos::BrokenVariantName(variant), &parsed));
     EXPECT_EQ(parsed, variant);

@@ -300,5 +300,42 @@ TEST(ChaosJournalTest, StaleReadLeaseIncidentIsDeterministic) {
   EXPECT_EQ(a.history_digest_hex, b.history_digest_hex);
 }
 
+// Golden incident report for the planted stale-snapshot-accept bug (the checkpoint
+// subsystem's acceptance criterion): the checkpoint oracle must flag the run at a fixed
+// seed, and the report must re-establish the violation from the journal alone — naming
+// the adopted height, the certified floor it fell below, and the serving replica.
+TEST(ChaosJournalTest, GoldenIncidentReportForBrokenStaleSnapshotAccept) {
+  ChaosOptions options;
+  options.broken = BrokenVariant::kStaleSnapshotAccept;
+  options.journal = true;
+  const ChaosResult result = chaos::RunChaosSeed(options, 2);
+  ASSERT_FALSE(result.ok) << "broken stale-snapshot-accept variant passed the oracles";
+  ASSERT_FALSE(result.incident_report.empty());
+  const std::string& report = result.incident_report;
+  // Names the oracle family and re-establishes the invariant from the journal.
+  EXPECT_NE(report.find("oracle:    checkpoint"), std::string::npos) << report;
+  EXPECT_NE(report.find("stale-snapshot-adopted"), std::string::npos) << report;
+  // Names the rollback: the adopted height fell below the replica's own certified floor.
+  EXPECT_NE(report.find("BELOW its own certified floor"), std::string::npos) << report;
+  // Names the serving peer and the skipped checks (the planted bug's signature).
+  EXPECT_NE(report.find("served by replica"), std::string::npos) << report;
+  EXPECT_NE(report.find("skipped its certificate/floor checks"), std::string::npos)
+      << report;
+  // The causal chain walks back through the state-transfer wire protocol.
+  EXPECT_NE(report.find("ckpt_fetch_resp"), std::string::npos) << report;
+}
+
+TEST(ChaosJournalTest, StaleSnapshotAcceptIncidentIsDeterministic) {
+  ChaosOptions options;
+  options.broken = BrokenVariant::kStaleSnapshotAccept;
+  options.journal = true;
+  const ChaosResult a = chaos::RunChaosSeed(options, 2);
+  const ChaosResult b = chaos::RunChaosSeed(options, 2);
+  ASSERT_FALSE(a.ok);
+  EXPECT_EQ(a.violation, b.violation);
+  EXPECT_EQ(a.incident_report, b.incident_report);  // Golden: same seed, same report.
+  EXPECT_EQ(a.journal_digest_hex, b.journal_digest_hex);
+}
+
 }  // namespace
 }  // namespace achilles

@@ -242,6 +242,31 @@ TEST(KvBrokenVariantTest, StaleReadLeaseIsFlaggedDeterministically) {
   EXPECT_EQ(again.history_digest_hex, result.history_digest_hex);
 }
 
+// Regression (found by a checkpoint-weighted swarm run): a leaseholder proposes a PUT and
+// is partitioned away before committing it; the survivors elect a new leader, commit the
+// old proposal, and their applied-notifications complete the write at the client (the
+// grantor-side withholding exempts holder-proposed blocks). The holder's lease is still
+// live, so without the pending-put bar it would serve the pre-write version of that key —
+// a client-provable stale read. The fix declines the lease fast path for keys with a
+// self-proposed write in flight.
+TEST(KvLeaseEdgeTest, PartitionedHolderWithAnInFlightPutMustNotServeThatKey) {
+  ScriptArtifact artifact;
+  ASSERT_TRUE(ScriptArtifact::FromText(
+      "chaos-script v3\n"
+      "protocol BRaft\n"
+      "f 1\n"
+      "seed 67\n"
+      "event 346591047 partition 1 2 0\n"
+      "heal 1400000000\n"
+      "horizon 2000000000\n",
+      &artifact));
+  ChaosOptions options;
+  options.app_kv = true;
+  const ChaosResult result = chaos::RunChaosScript(options, artifact.seed, Protocol::kRaft,
+                                                   artifact.f, artifact.script);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
 // The honest lease protocol must NOT trip the oracle under the exact same isolation
 // choreography the broken variant uses — response withholding is what saves it.
 TEST(KvBrokenVariantTest, HonestLeaseSurvivesTheSameChoreography) {

@@ -114,6 +114,82 @@ TEST(WalTest, IntactKeepsEverythingIncludingUnsynced) {
   EXPECT_EQ(wal.DurableRecords(), 1u);
 }
 
+// --- TruncateFront (log compaction barrier) ---
+
+TEST(WalTest, TruncateFrontDropsThePrefixAtomically) {
+  DiskFixture f;
+  storage::WriteAheadLog& wal = f.disk.Wal("log");
+  wal.Append(View("a"), storage::SyncMode::kAsync);
+  wal.Append(View("b"), storage::SyncMode::kAsync);
+  wal.Append(View("c"), storage::SyncMode::kAsync);
+  wal.TruncateFront(2);
+  // Barrier 1 flushed the dirty domain, barrier 2 committed the new log head: the
+  // truncated image is fully durable the moment TruncateFront returns.
+  EXPECT_EQ(f.disk.fsyncs(), 2u);
+  EXPECT_EQ(f.host.cpu_time_used(), Ms(2));
+  ASSERT_EQ(wal.NumRecords(), 1u);
+  EXPECT_EQ(wal.records()[0], Bytes{'c'});
+  EXPECT_EQ(wal.DurableRecords(), 1u);
+  EXPECT_EQ(wal.TotalBytes(), 1u);
+}
+
+TEST(WalTest, TruncateFrontOnCleanDomainChargesOneBarrier) {
+  DiskFixture f;
+  storage::WriteAheadLog& wal = f.disk.Wal("log");
+  wal.Append(View("a"), storage::SyncMode::kSync);
+  wal.Append(View("b"), storage::SyncMode::kSync);
+  const uint64_t before = f.disk.fsyncs();
+  wal.TruncateFront(1);
+  // Barrier 1 was clean (free); only the metadata commit is charged.
+  EXPECT_EQ(f.disk.fsyncs(), before + 1);
+  wal.TruncateFront(0);  // No-op: neither barrier runs.
+  EXPECT_EQ(f.disk.fsyncs(), before + 1);
+}
+
+TEST(WalTest, CrashFatesAfterTruncationReplayOverTheCompactedImage) {
+  for (const storage::WalFate fate :
+       {storage::WalFate::kLostUnsynced, storage::WalFate::kTornTail}) {
+    DiskFixture f;
+    storage::WriteAheadLog& wal = f.disk.Wal("log");
+    wal.Append(View("a"), storage::SyncMode::kAsync);
+    wal.Append(View("b"), storage::SyncMode::kAsync);
+    wal.TruncateFront(1);
+    wal.Append(View("c"), storage::SyncMode::kAsync);  // Unsynced tail past the barrier.
+    f.disk.ApplyCrashFate(fate);
+    // Either fate may eat the unsynced "c", but never resurrects the dropped "a" and
+    // never touches the truncated durable image ("b").
+    ASSERT_EQ(wal.NumRecords(), 1u) << storage::WalFateName(fate);
+    EXPECT_EQ(wal.records()[0], Bytes{'b'}) << storage::WalFateName(fate);
+    EXPECT_EQ(wal.DurableRecords(), 1u);
+  }
+}
+
+TEST(WalTest, SyncedButNotTruncatedPrefixSurvivesEveryFate) {
+  for (const storage::WalFate fate :
+       {storage::WalFate::kIntact, storage::WalFate::kLostUnsynced,
+        storage::WalFate::kTornTail}) {
+    DiskFixture f;
+    storage::WriteAheadLog& wal = f.disk.Wal("log");
+    wal.Append(View("a"), storage::SyncMode::kSync);
+    wal.Append(View("b"), storage::SyncMode::kSync);
+    wal.TruncateFront(1);  // Drops "a"; "b" stays synced but untruncated.
+    f.disk.ApplyCrashFate(fate);
+    ASSERT_GE(wal.NumRecords(), 1u) << storage::WalFateName(fate);
+    EXPECT_EQ(wal.records()[0], Bytes{'b'}) << storage::WalFateName(fate);
+  }
+}
+
+TEST(WalTest, TruncateFrontClampsToTheLogSize) {
+  DiskFixture f;
+  storage::WriteAheadLog& wal = f.disk.Wal("log");
+  wal.Append(View("a"), storage::SyncMode::kSync);
+  wal.TruncateFront(100);
+  EXPECT_EQ(wal.NumRecords(), 0u);
+  EXPECT_EQ(wal.TotalBytes(), 0u);
+  f.disk.ApplyCrashFate(storage::WalFate::kTornTail);  // Empty log: fates are no-ops.
+  EXPECT_EQ(wal.NumRecords(), 0u);
+}
+
 TEST(RecordStoreTest, CrashFallsBackToTheDurableValueNeverATornOne) {
   DiskFixture f;
   storage::RecordStore& records = f.disk.records();
@@ -211,14 +287,19 @@ TEST(StorageFateTest, EncodeDecodeRoundTripsAllCombinations) {
         storage::WalFate::kTornTail}) {
     for (const SealedFate sealed :
          {SealedFate::kFresh, SealedFate::kStale, SealedFate::kErased}) {
-      const StorageFate fate{wal, sealed};
-      const StorageFate back = DecodeStorageFate(EncodeStorageFate(fate));
-      EXPECT_EQ(back.wal, wal);
-      EXPECT_EQ(back.sealed, sealed);
+      for (const checkpoint::SnapshotFate snapshot :
+           {checkpoint::SnapshotFate::kIntact, checkpoint::SnapshotFate::kStale,
+            checkpoint::SnapshotFate::kErased, checkpoint::SnapshotFate::kCorrupt}) {
+        const StorageFate fate{wal, sealed, snapshot};
+        const StorageFate back = DecodeStorageFate(EncodeStorageFate(fate));
+        EXPECT_EQ(back.wal, wal);
+        EXPECT_EQ(back.sealed, sealed);
+        EXPECT_EQ(back.snapshot, snapshot);
+      }
     }
   }
   // The honest fate encodes to 0 == v1's RollbackMode::kLatest, keeping old scripts
-  // meaning-compatible.
+  // meaning-compatible (v2 fates likewise leave bits 16+ zero == snapshot kIntact).
   EXPECT_EQ(EncodeStorageFate(StorageFate{}), 0u);
 }
 
@@ -244,6 +325,61 @@ TEST(StorageFateTest, V1ScriptsUpgradeRollbackModesToFates) {
     EXPECT_EQ(fate.wal, storage::WalFate::kIntact);
     EXPECT_EQ(fate.sealed, expected[i]) << "event " << i;
   }
+}
+
+TEST(StorageFateTest, V2ScriptsParseWithSnapshotFateIntact) {
+  // A v2 artifact knows nothing of the snapshot byte: its reboot args stop at bit 15.
+  // Parsing must accept the old header and upgrade every fate to snapshot kIntact.
+  StorageFate v2_fate;
+  v2_fate.wal = storage::WalFate::kTornTail;
+  v2_fate.sealed = SealedFate::kStale;
+  const std::string v2_text =
+      "chaos-script v2\n"
+      "protocol BRaft\n"
+      "f 1\n"
+      "seed 9\n"
+      "event 100 reboot 1 0 " + std::to_string(EncodeStorageFate(v2_fate)) + "\n"
+      "heal 1000\n"
+      "horizon 2000\n";
+  ScriptArtifact artifact;
+  ASSERT_TRUE(ScriptArtifact::FromText(v2_text, &artifact));
+  ASSERT_EQ(artifact.script.events.size(), 1u);
+  const StorageFate fate = DecodeStorageFate(artifact.script.events[0].arg);
+  EXPECT_EQ(fate.wal, storage::WalFate::kTornTail);
+  EXPECT_EQ(fate.sealed, SealedFate::kStale);
+  EXPECT_EQ(fate.snapshot, checkpoint::SnapshotFate::kIntact);
+  // Re-serializing writes the current (v3) header with the arg unchanged.
+  const std::string text = artifact.ToText();
+  EXPECT_EQ(text.compare(0, 15, "chaos-script v3"), 0);
+  ScriptArtifact round;
+  ASSERT_TRUE(ScriptArtifact::FromText(text, &round));
+  EXPECT_EQ(round.script.events[0].arg, artifact.script.events[0].arg);
+}
+
+TEST(StorageFateTest, V3ScriptsRoundTripSnapshotFates) {
+  StorageFate fate;
+  fate.wal = storage::WalFate::kLostUnsynced;
+  fate.sealed = SealedFate::kErased;
+  fate.snapshot = checkpoint::SnapshotFate::kStale;
+  ScriptArtifact artifact;
+  artifact.protocol = "BRaft";
+  artifact.f = 1;
+  artifact.seed = 4;
+  artifact.script.events.push_back(
+      {Ms(1), FaultKind::kCrash, 2, 0, 0});
+  artifact.script.events.push_back(
+      {Ms(2), FaultKind::kReboot, 2, 0, EncodeStorageFate(fate)});
+  artifact.script.heal_at = Ms(10);
+  artifact.script.horizon = Ms(20);
+  const std::string text = artifact.ToText();
+  ScriptArtifact parsed;
+  ASSERT_TRUE(ScriptArtifact::FromText(text, &parsed));
+  ASSERT_EQ(parsed.script.events.size(), 2u);
+  const StorageFate back = DecodeStorageFate(parsed.script.events[1].arg);
+  EXPECT_EQ(back.wal, fate.wal);
+  EXPECT_EQ(back.sealed, fate.sealed);
+  EXPECT_EQ(back.snapshot, fate.snapshot);
+  EXPECT_EQ(parsed.ToText(), text);  // v3 canonical form is a fixed point.
 }
 
 TEST(StorageFateTest, EveryProtocolSupportsReboot) {

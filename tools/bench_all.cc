@@ -35,7 +35,7 @@ const char* const kBenches[] = {
     "bench_fig3_main",        "bench_fig4_saturation",  "bench_fig5_counter_sweep",
     "bench_table1_comparison", "bench_table2_recovery", "bench_table3_profiling",
     "bench_table4_counters",  "bench_ablation_achilles", "bench_context_protocols",
-    "bench_parallel_instances", "bench_app_kv",
+    "bench_parallel_instances", "bench_app_kv",  "bench_checkpoint",
 };
 
 std::string Dirname(const std::string& path) {
@@ -203,6 +203,16 @@ void WriteHeadline(obs::JsonWriter& w, const obs::JsonValue& report) {
     w.KeyBeginObject("sim");
     for (const auto& [key, value] : metrics->object) {
       if (key.rfind("sim.", 0) == 0) {
+        w.Key(key);
+        WriteValue(w, value);
+      }
+    }
+    w.EndObject();
+    // Retention footprint of the peak run (per-node labeled gauges); present in every
+    // export — smoke included — since RunMeasured refreshes them unconditionally.
+    w.KeyBeginObject("footprint");
+    for (const auto& [key, value] : metrics->object) {
+      if (key.rfind("log.", 0) == 0 || key.rfind("ckpt.", 0) == 0) {
         w.Key(key);
         WriteValue(w, value);
       }

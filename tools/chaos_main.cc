@@ -23,6 +23,8 @@
 //
 // --reboot-weight P sets the sampler's probability that a script carries crash+reboot
 // cycles (default 0.65); CI shards raise it to weight schedules toward reboot coverage.
+// --ckpt-weight P weights schedules toward checkpoint coverage: snapshot-surface attacks
+// at reboot and long-lag rejoins that exercise snapshot state transfer (default 0.35).
 //
 // --journal enables the deterministic flight recorder (journal dumped next to the other
 // failure artifacts; its digest is an independent replay fingerprint). --explain implies
@@ -64,10 +66,10 @@ void Usage() {
                "usage: chaos_main [--protocol NAME|all] [--seeds N] [--seed-base N]\n"
                "                  [--shard I/K] [--app kv]\n"
                "                  [--broken none|recovery-nonce|counter-compare|"
-               "stale-read-lease]\n"
+               "stale-read-lease|stale-snapshot-accept]\n"
                "                  [--replay SEED] [--replay-file PATH] [--minimize SEED]\n"
-               "                  [--reboot-weight P] [--out-dir DIR] [--journal]\n"
-               "                  [--explain] [--verbose]\n");
+               "                  [--reboot-weight P] [--ckpt-weight P] [--out-dir DIR]\n"
+               "                  [--journal] [--explain] [--verbose]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -146,6 +148,15 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
         return false;
       }
       args->options.reboot_prob = weight;
+    } else if (flag == "--ckpt-weight") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      const double weight = std::strtod(value, nullptr);
+      if (weight < 0.0 || weight > 1.0) {
+        std::fprintf(stderr, "chaos_main: --ckpt-weight wants [0,1], got '%s'\n", value);
+        return false;
+      }
+      args->options.ckpt_prob = weight;
     } else if (flag == "--out-dir") {
       const char* value = next();
       if (value == nullptr) return false;
@@ -309,6 +320,9 @@ int ReplayFile(const CliArgs& args) {
   ChaosResult result = RunChaosScript(args.options, artifact.seed, protocol, artifact.f,
                                       artifact.script);
   PrintResult(result, args.verbose);
+  if (!result.ok) {
+    DumpFailure(args, result);
+  }
   MaybeExplain(args, result);
   return result.ok ? 0 : 1;
 }
