@@ -81,7 +81,7 @@ std::optional<SignedCert> AchillesChecker::TeePrepare(const Block& b,
   if (new_view < vi_ || (new_view == vi_ && flag_)) {
     return std::nullopt;
   }
-  enclave_->ChargeVerify(commit_cert.sigs.size());
+  enclave_->ChargeVerifyBatch(commit_cert.sigs.size());
   if (!commit_cert.Verify(enclave_->platform().suite(), kAchCommit,
                           static_cast<size_t>(f_) + 1)) {
     return std::nullopt;
@@ -132,7 +132,7 @@ std::optional<AccumulatorCert> AchillesChecker::TeeAccum(
   if (recovering_ || view_certs.size() < static_cast<size_t>(f_) + 1) {
     return std::nullopt;
   }
-  enclave_->ChargeVerify(view_certs.size());
+  enclave_->ChargeVerifyBatch(view_certs.size());
   std::vector<NodeId> ids;
   const SignedCert* best = nullptr;
   for (const SignedCert& cert : view_certs) {
@@ -218,7 +218,7 @@ std::optional<SignedCert> AchillesChecker::TeeRecover(const SignedCert& leader_r
   }
   const NodeId self = enclave_->platform().node_id();
   const std::string domain = AchRpyDomain(self);
-  enclave_->ChargeVerify(replies.size());
+  enclave_->ChargeVerifyBatch(replies.size());
   std::vector<NodeId> seen;
   bool leader_in_set = false;
   for (const SignedCert& reply : replies) {

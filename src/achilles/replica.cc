@@ -283,7 +283,7 @@ void AchillesReplica::OnDecide(NodeId from, const std::shared_ptr<const AchDecid
   if (block != nullptr && block->height <= last_committed_height_) {
     return;  // Duplicate decide for an already-committed block.
   }
-  ChargeVerifyPlain(cert.sigs.size());
+  ChargeVerifyBatch(cert.sigs.size());
   if (!cert.Verify(platform().suite(), kAchCommit, quorum())) {
     return;
   }
@@ -396,7 +396,7 @@ void AchillesReplica::OnRecoveryReply(NodeId from, const AchRecoveryReplyMsg& ms
     // Keep the highest *verified* certified checkpoint for state transfer.
     if (best_recovery_checkpoint_.block == nullptr ||
         msg.committed_block->height > best_recovery_checkpoint_.block->height) {
-      ChargeVerifyPlain(msg.committed_cert.sigs.size());
+      ChargeVerifyBatch(msg.committed_cert.sigs.size());
       if (msg.committed_cert.hash == msg.committed_block->hash &&
           msg.committed_cert.Verify(platform().suite(), kAchCommit, quorum())) {
         best_recovery_checkpoint_ =

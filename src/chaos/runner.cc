@@ -254,6 +254,7 @@ ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol 
   config.break_recovery_nonce = options.broken == BrokenVariant::kRecoveryNonce;
   config.break_counter_compare = options.broken == BrokenVariant::kCounterCompare;
   config.journaling = options.journal;
+  config.engine = options.engine;
   const bool app_kv = options.app_kv || options.broken == BrokenVariant::kStaleReadLease;
   config.app_kv = app_kv;
   config.kv.break_stale_read_lease = options.broken == BrokenVariant::kStaleReadLease;

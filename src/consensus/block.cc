@@ -61,8 +61,9 @@ BlockPtr Block::Create(View view, const BlockPtr& parent, std::vector<Transactio
   b->height = parent->height + 1;
   b->parent = parent->hash;
   b->txs = std::move(txs);
-  b->exec_result = ComputeExecResult(parent->exec_result, b->txs);
-  b->hash = HeaderHash(b->view, b->height, b->parent, TxRoot(b->txs), b->exec_result);
+  const Hash256& tx_root = b->CachedTxRoot();  // Seeds the memo for later verifiers.
+  b->exec_result = HashPair(parent->exec_result, tx_root);
+  b->hash = HeaderHash(b->view, b->height, b->parent, tx_root, b->exec_result);
   b->propose_time = propose_time;
   return b;
 }
@@ -72,11 +73,25 @@ Hash256 Block::ComputeExecResult(const Hash256& parent_exec,
   return HashPair(parent_exec, TxRoot(txs));
 }
 
-bool Block::ValidUnder(const Hash256& parent_exec) const {
-  if (exec_result != ComputeExecResult(parent_exec, txs)) {
-    return false;
+const Hash256& Block::CachedTxRoot() const {
+  if (!tx_root_memo_set_) {
+    tx_root_memo_ = TxRoot(txs);
+    tx_root_memo_set_ = true;
   }
-  return hash == HeaderHash(view, height, parent, TxRoot(txs), exec_result);
+  return tx_root_memo_;
+}
+
+bool Block::ValidUnder(const Hash256& parent_exec) const {
+  if (valid_memo_set_ && valid_memo_parent_ == parent_exec) {
+    return valid_memo_ok_;
+  }
+  const Hash256& tx_root = CachedTxRoot();
+  const bool ok = exec_result == HashPair(parent_exec, tx_root) &&
+                  hash == HeaderHash(view, height, parent, tx_root, exec_result);
+  valid_memo_parent_ = parent_exec;
+  valid_memo_ok_ = ok;
+  valid_memo_set_ = true;
+  return ok;
 }
 
 Bytes EncodeBlockRecord(const Block& b) {
@@ -128,7 +143,8 @@ BlockPtr DecodeBlockRecord(ByteView record) {
     b->txs.push_back(Transaction{*id, *submit_time, *payload_size, *op});
   }
   if (r.remaining() != 0 ||
-      b->hash != HeaderHash(b->view, b->height, b->parent, TxRoot(b->txs), b->exec_result)) {
+      b->hash !=
+          HeaderHash(b->view, b->height, b->parent, b->CachedTxRoot(), b->exec_result)) {
     return nullptr;
   }
   return b;

@@ -17,6 +17,30 @@ struct Block;
 using BlockPtr = std::shared_ptr<const Block>;
 
 struct Block {
+  Block() = default;
+  // Copies drop the digest memos: a copy may be mutated (e.g. a forged variant in tests),
+  // and the memos are only sound while the fields they were derived from stay fixed.
+  Block(const Block& other)
+      : view(other.view),
+        height(other.height),
+        parent(other.parent),
+        txs(other.txs),
+        exec_result(other.exec_result),
+        hash(other.hash),
+        propose_time(other.propose_time) {}
+  Block& operator=(const Block& other) {
+    view = other.view;
+    height = other.height;
+    parent = other.parent;
+    txs = other.txs;
+    exec_result = other.exec_result;
+    hash = other.hash;
+    propose_time = other.propose_time;
+    tx_root_memo_set_ = false;
+    valid_memo_set_ = false;
+    return *this;
+  }
+
   View view = 0;
   Height height = 0;
   Hash256 parent = ZeroHash();
@@ -43,7 +67,22 @@ struct Block {
 
   // Recomputes the header hash; true iff it matches the stored one and exec_result is the
   // correct fold over the parent's result (block validity, §4.2).
+  //
+  // Hot-path memo: txs are immutable once a block is shared, so the tx-root and the
+  // verdict for a given parent digest are computed once and replayed for every later
+  // verifier (each of n-1 receivers validates the same block). Pure wall-clock caching —
+  // the recomputation is deterministic, so digests and verdicts are bit-identical.
   bool ValidUnder(const Hash256& parent_exec) const;
+
+  // Merkle-style root over txs, computed on first use and memoized (see ValidUnder note).
+  const Hash256& CachedTxRoot() const;
+
+ private:
+  mutable Hash256 tx_root_memo_;
+  mutable bool tx_root_memo_set_ = false;
+  mutable Hash256 valid_memo_parent_;
+  mutable bool valid_memo_set_ = false;
+  mutable bool valid_memo_ok_ = false;
 };
 
 // Durable-log codec: the full block (bookkeeping fields included) as a host-WAL record.

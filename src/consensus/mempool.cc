@@ -3,7 +3,7 @@
 namespace achilles {
 
 void Mempool::Add(const Transaction& tx) {
-  if (!known_.insert(tx.id).second) {
+  if (!known_.Insert(tx.id)) {
     return;
   }
   queue_.push_back(tx);
@@ -21,7 +21,7 @@ std::vector<Transaction> Mempool::TakeBatch(size_t max) {
   while (batch.size() < max && !queue_.empty()) {
     Transaction tx = queue_.front();
     queue_.pop_front();
-    if (committed_.count(tx.id) > 0) {
+    if (committed_.Contains(tx.id)) {
       continue;  // Committed while queued.
     }
     batch.push_back(tx);
@@ -31,8 +31,8 @@ std::vector<Transaction> Mempool::TakeBatch(size_t max) {
 
 void Mempool::MarkCommitted(const std::vector<Transaction>& txs) {
   for (const Transaction& tx : txs) {
-    committed_.insert(tx.id);
-    known_.insert(tx.id);
+    committed_.Insert(tx.id);
+    known_.Insert(tx.id);
   }
 }
 

@@ -3,9 +3,9 @@
 #define SRC_CONSENSUS_MEMPOOL_H_
 
 #include <deque>
-#include <unordered_set>
 #include <vector>
 
+#include "src/common/u64_set.h"
 #include "src/consensus/transaction.h"
 
 namespace achilles {
@@ -26,8 +26,8 @@ class Mempool {
 
  private:
   std::deque<Transaction> queue_;
-  std::unordered_set<uint64_t> known_;      // Pending or committed ids.
-  std::unordered_set<uint64_t> committed_;  // Committed ids.
+  U64Set known_;      // Pending or committed ids.
+  U64Set committed_;  // Committed ids.
 };
 
 }  // namespace achilles

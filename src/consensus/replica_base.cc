@@ -80,6 +80,11 @@ void ReplicaBase::ChargeVerifyPlain(size_t count) {
                      static_cast<SimDuration>(count) * ctx_.platform->costs().verify);
 }
 
+void ReplicaBase::ChargeVerifyBatch(size_t count) {
+  host().ChargeCpuAs(obs::Component::kCrypto,
+                     ctx_.platform->costs().BatchVerifyCost(count));
+}
+
 void ReplicaBase::ChargeSignPlain() {
   host().ChargeCpuAs(obs::Component::kCrypto, ctx_.platform->costs().sign);
 }

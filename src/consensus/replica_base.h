@@ -164,6 +164,8 @@ class ReplicaBase : public IProcess {
   void ChargeExecute(size_t tx_count);
   // Untrusted-side verification (outside the enclave, no TEE factor).
   void ChargeVerifyPlain(size_t count);
+  // `count` signatures over one message (quorum certificate): batched cost when cheaper.
+  void ChargeVerifyBatch(size_t count);
   void ChargeSignPlain();
 
   // --- Observability ---

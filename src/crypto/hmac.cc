@@ -4,7 +4,7 @@
 
 namespace achilles {
 
-Hash256 HmacSha256(ByteView key, ByteView message) {
+HmacKey::HmacKey(ByteView key) {
   uint8_t key_block[64];
   std::memset(key_block, 0, sizeof(key_block));
   if (key.size() > 64) {
@@ -14,22 +14,35 @@ Hash256 HmacSha256(ByteView key, ByteView message) {
     std::memcpy(key_block, key.data(), key.size());
   }
 
-  uint8_t ipad[64];
-  uint8_t opad[64];
+  uint8_t pad[64];
+  Sha256 h;
   for (int i = 0; i < 64; ++i) {
-    ipad[i] = key_block[i] ^ 0x36;
-    opad[i] = key_block[i] ^ 0x5c;
+    pad[i] = key_block[i] ^ 0x36;
   }
+  h.Update(ByteView(pad, 64));
+  inner_ = h.SaveMidstate();
 
-  Sha256 inner;
-  inner.Update(ByteView(ipad, 64));
-  inner.Update(message);
-  const Hash256 inner_hash = inner.Finish();
+  h.Reset();
+  for (int i = 0; i < 64; ++i) {
+    pad[i] = key_block[i] ^ 0x5c;
+  }
+  h.Update(ByteView(pad, 64));
+  outer_ = h.SaveMidstate();
+}
 
-  Sha256 outer;
-  outer.Update(ByteView(opad, 64));
-  outer.Update(ByteView(inner_hash.data(), inner_hash.size()));
-  return outer.Finish();
+Hash256 HmacKey::Mac(ByteView message) const {
+  Sha256 h;
+  h.RestoreMidstate(inner_, 64);
+  h.Update(message);
+  const Hash256 inner_hash = h.Finish();
+
+  h.RestoreMidstate(outer_, 64);
+  h.Update(ByteView(inner_hash.data(), inner_hash.size()));
+  return h.Finish();
+}
+
+Hash256 HmacSha256(ByteView key, ByteView message) {
+  return HmacKey(key).Mac(message);
 }
 
 Hash256 DeriveKey(ByteView key, const std::string& label, ByteView context) {

@@ -86,4 +86,91 @@ bool SchnorrVerify(const AffinePoint& pub, ByteView msg, ByteView sig) {
   return lhs == rhs;
 }
 
+namespace {
+
+// Scalar fallback: verify one by one, reporting the first invalid index.
+SchnorrBatchResult BatchFallback(const std::vector<SchnorrBatchInput>& batch) {
+  SchnorrBatchResult result;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const SchnorrBatchInput& in = batch[i];
+    if (in.pub == nullptr || !SchnorrVerify(*in.pub, in.msg, in.sig)) {
+      result.first_bad = static_cast<int>(i);
+      return result;
+    }
+  }
+  result.all_valid = true;
+  return result;
+}
+
+}  // namespace
+
+SchnorrBatchResult SchnorrBatchVerify(const std::vector<SchnorrBatchInput>& batch) {
+  if (batch.empty()) {
+    return SchnorrBatchResult{/*all_valid=*/true, /*first_bad=*/-1};
+  }
+  const UInt256& n = Secp256k1N();
+  const size_t m = batch.size();
+
+  // Parse and challenge every signature; any structural reject goes straight to the
+  // scalar fallback (it will pinpoint the offender).
+  std::vector<AffinePoint> rs(m);
+  std::vector<UInt256> ss(m);
+  std::vector<UInt256> es(m);
+  Sha256 transcript;
+  transcript.Update(AsBytes("achilles-schnorr-batch-v1"));
+  for (size_t i = 0; i < m; ++i) {
+    const SchnorrBatchInput& in = batch[i];
+    if (in.pub == nullptr || in.pub->infinity || in.sig.size() != kSchnorrSignatureSize ||
+        !DecodePoint(in.sig.subspan(0, 64), rs[i]) || rs[i].infinity) {
+      return BatchFallback(batch);
+    }
+    ss[i] = UInt256::FromBytesBE(in.sig.subspan(64, 32));
+    if (Cmp(ss[i], n) >= 0) {
+      return BatchFallback(batch);
+    }
+    es[i] = Challenge(rs[i], *in.pub, in.msg);
+    const Bytes pub_enc = EncodePoint(*in.pub);
+    transcript.Update(ByteView(pub_enc.data(), pub_enc.size()));
+    transcript.Update(in.msg);
+    transcript.Update(in.sig);
+  }
+  const Hash256 seed = transcript.Finish();
+
+  // Deterministic nonzero weights a_i from the transcript (a_0 = 1).
+  std::vector<UInt256> weights(m);
+  weights[0] = UInt256::FromU64(1);
+  for (size_t i = 1; i < m; ++i) {
+    uint8_t idx[8];
+    for (int b = 0; b < 8; ++b) {
+      idx[b] = static_cast<uint8_t>(i >> (8 * b));
+    }
+    UInt256 a = HashToScalar(ByteView(seed.data(), seed.size()), ByteView(idx, 8),
+                             AsBytes("batch-weight"));
+    if (a.IsZero()) {
+      a = UInt256::FromU64(1);
+    }
+    weights[i] = a;
+  }
+
+  // (Σ a_i s_i) G  ==  Σ a_i R_i + Σ (a_i e_i) P_i, the right side as one 2m-point MSM.
+  UInt256 s_comb{};
+  std::vector<UInt256> msm_scalars;
+  std::vector<AffinePoint> msm_points;
+  msm_scalars.reserve(2 * m);
+  msm_points.reserve(2 * m);
+  for (size_t i = 0; i < m; ++i) {
+    s_comb = AddMod(s_comb, MulMod(weights[i], ss[i], n), n);
+    msm_scalars.push_back(weights[i]);
+    msm_points.push_back(rs[i]);
+    msm_scalars.push_back(MulMod(weights[i], es[i], n));
+    msm_points.push_back(*batch[i].pub);
+  }
+  const AffinePoint lhs = ScalarMulBase(s_comb);
+  const AffinePoint rhs = ToAffine(MultiScalarMul(msm_scalars, msm_points));
+  if (lhs == rhs) {
+    return SchnorrBatchResult{/*all_valid=*/true, /*first_bad=*/-1};
+  }
+  return BatchFallback(batch);
+}
+
 }  // namespace achilles

@@ -21,6 +21,29 @@ constexpr size_t kSchnorrSignatureSize = 96;
 Bytes SchnorrSign(const SchnorrKeyPair& key, ByteView msg);
 bool SchnorrVerify(const AffinePoint& pub, ByteView msg, ByteView sig);
 
+// --- Batch verification ---
+// Checks the random linear combination (Σ aᵢ·sᵢ)·G == Σ aᵢ·Rᵢ + Σ (aᵢ·eᵢ)·Pᵢ with one
+// MultiScalarMul over 2m points instead of m independent verifications. The weights aᵢ
+// are derived deterministically from a transcript hash over every (pub, msg, sig) in the
+// batch (a₀ = 1), so a forger cannot choose signatures that cancel; the combined check
+// accepts iff all signatures verify, except with negligible probability. When the batch
+// check fails, the verifier falls back to scalar SchnorrVerify to identify the first
+// invalid signature.
+
+struct SchnorrBatchInput {
+  const AffinePoint* pub = nullptr;
+  ByteView msg;
+  ByteView sig;
+};
+
+struct SchnorrBatchResult {
+  bool all_valid = false;
+  // Index of the first invalid signature found by the scalar fallback; -1 when all valid.
+  int first_bad = -1;
+};
+
+SchnorrBatchResult SchnorrBatchVerify(const std::vector<SchnorrBatchInput>& batch);
+
 }  // namespace achilles
 
 #endif  // SRC_CRYPTO_SCHNORR_H_

@@ -254,4 +254,44 @@ bool DecodePoint(ByteView data, AffinePoint& out) {
   return IsOnCurve(out);
 }
 
+
+JacobianPoint MultiScalarMul(const std::vector<UInt256>& scalars,
+                             const std::vector<AffinePoint>& points) {
+  ACHILLES_CHECK(scalars.size() == points.size());
+  constexpr int kWindowBits = 4;
+  constexpr int kWindows = 256 / kWindowBits;
+  constexpr int kBuckets = (1 << kWindowBits) - 1;  // Digit 0 contributes nothing.
+
+  JacobianPoint result = JacobianPoint::Infinity();
+  JacobianPoint buckets[kBuckets];
+  for (int win = kWindows - 1; win >= 0; --win) {
+    for (int d = 0; d < kWindowBits; ++d) {
+      result = PointDouble(result);
+    }
+    for (auto& b : buckets) {
+      b = JacobianPoint::Infinity();
+    }
+    const int shift = win * kWindowBits;
+    for (size_t i = 0; i < scalars.size(); ++i) {
+      if (points[i].infinity) {
+        continue;
+      }
+      const uint64_t limb = scalars[i].limbs[static_cast<size_t>(shift / 64)];
+      const int digit = static_cast<int>((limb >> (shift % 64)) & kBuckets);
+      if (digit != 0) {
+        buckets[digit - 1] = PointAddMixed(buckets[digit - 1], points[i]);
+      }
+    }
+    // Running-sum trick: sum_d d * bucket[d] with kBuckets additions.
+    JacobianPoint acc = JacobianPoint::Infinity();
+    JacobianPoint windows_sum = JacobianPoint::Infinity();
+    for (int d = kBuckets - 1; d >= 0; --d) {
+      acc = PointAdd(acc, buckets[d]);
+      windows_sum = PointAdd(windows_sum, acc);
+    }
+    result = PointAdd(result, windows_sum);
+  }
+  return result;
+}
+
 }  // namespace achilles

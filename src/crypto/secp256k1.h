@@ -50,6 +50,13 @@ AffinePoint ScalarMul(const UInt256& k, const AffinePoint& p);
 // k * G.
 AffinePoint ScalarMulBase(const UInt256& k);
 
+// Σ scalars[i] * points[i] via Pippenger's bucket method (4-bit windows). One shared
+// double-chain across all terms makes this ~w× cheaper than summing individual
+// ScalarMul results; it is what makes batch signature verification pay off
+// (src/crypto/schnorr.h). Infinity points and zero scalars contribute nothing.
+JacobianPoint MultiScalarMul(const std::vector<UInt256>& scalars,
+                             const std::vector<AffinePoint>& points);
+
 // True iff (x, y) satisfies y^2 = x^3 + 7 with x, y canonical field elements.
 bool IsOnCurve(const AffinePoint& p);
 

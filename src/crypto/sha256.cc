@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define ACHILLES_SHA_NI_POSSIBLE 1
+#endif
+
 namespace achilles {
 
 namespace {
@@ -20,7 +25,127 @@ constexpr uint32_t kK[64] = {
 
 inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
+void CompressPortable(uint32_t state[8], const uint8_t* blocks, size_t n) {
+  for (size_t blk = 0; blk < n; ++blk, blocks += 64) {
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(blocks[i * 4]) << 24) |
+             (static_cast<uint32_t>(blocks[i * 4 + 1]) << 16) |
+             (static_cast<uint32_t>(blocks[i * 4 + 2]) << 8) |
+             static_cast<uint32_t>(blocks[i * 4 + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      const uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+      const uint32_t ch = (e & f) ^ (~e & g);
+      const uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
+      const uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+      const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const uint32_t temp2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+#ifdef ACHILLES_SHA_NI_POSSIBLE
+
+// SHA-NI compression (Intel's canonical register layout: ABEF/CDGH pairs). Produces the
+// same digests as CompressPortable; correctness is cross-checked by ShaNiMatchesPortable
+// in tests/crypto_test.cc.
+__attribute__((target("sha,sse4.1,ssse3")))
+void CompressShaNi(uint32_t state[8], const uint8_t* blocks, size_t n) {
+  const __m128i kByteSwap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Load state as the ABEF/CDGH pairs the sha256rnds2 instruction expects.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i st1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);  // CDAB
+  st1 = _mm_shuffle_epi32(st1, 0x1B);  // EFGH
+  __m128i st0 = _mm_alignr_epi8(tmp, st1, 8);    // ABEF
+  st1 = _mm_blend_epi16(st1, tmp, 0xF0);         // CDGH
+
+  for (size_t blk = 0; blk < n; ++blk, blocks += 64) {
+    const __m128i save0 = st0;
+    const __m128i save1 = st1;
+
+    // Message schedule kept in four rotating W-groups of four words each.
+    __m128i w[4];
+    for (int g = 0; g < 4; ++g) {
+      const __m128i raw =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + g * 16));
+      w[g] = _mm_shuffle_epi8(raw, kByteSwap);
+    }
+
+    for (int g = 0; g < 16; ++g) {
+      __m128i msg = _mm_add_epi32(
+          w[g & 3], _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[g * 4])));
+      st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+      if (g >= 3 && g < 15) {
+        // Next W-group: W[i] = W[i-16] + s0(W[i-15]) + W[i-7] + s1(W[i-2]).
+        const __m128i w7 = _mm_alignr_epi8(w[g & 3], w[(g + 3) & 3], 4);
+        w[(g + 1) & 3] = _mm_sha256msg2_epu32(
+            _mm_add_epi32(_mm_sha256msg1_epu32(w[(g + 1) & 3], w[(g + 2) & 3]), w7),
+            w[g & 3]);
+      }
+    }
+
+    st0 = _mm_add_epi32(st0, save0);
+    st1 = _mm_add_epi32(st1, save1);
+  }
+
+  tmp = _mm_shuffle_epi32(st0, 0x1B);  // FEBA
+  st1 = _mm_shuffle_epi32(st1, 0xB1);  // DCHG
+  st0 = _mm_blend_epi16(tmp, st1, 0xF0);  // DCBA
+  st1 = _mm_alignr_epi8(st1, tmp, 8);     // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), st0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), st1);
+}
+
+#endif  // ACHILLES_SHA_NI_POSSIBLE
+
+using CompressFn = void (*)(uint32_t state[8], const uint8_t* blocks, size_t n);
+
+CompressFn PickCompress() {
+#ifdef ACHILLES_SHA_NI_POSSIBLE
+  if (__builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1")) {
+    return &CompressShaNi;
+  }
+#endif
+  return &CompressPortable;
+}
+
+const CompressFn g_compress = PickCompress();
+
 }  // namespace
+
+bool Sha256UsesHardware() { return g_compress != &CompressPortable; }
 
 Sha256::Sha256() { Reset(); }
 
@@ -37,48 +162,20 @@ void Sha256::Reset() {
   buffer_len_ = 0;
 }
 
-void Sha256::ProcessBlock(const uint8_t* block) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
-           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
-           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
-           static_cast<uint32_t>(block[i * 4 + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    const uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
+Sha256::Midstate Sha256::SaveMidstate() const {
+  Midstate ms;
+  std::memcpy(ms.state, state_, sizeof(ms.state));
+  return ms;
+}
 
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+void Sha256::RestoreMidstate(const Midstate& ms, uint64_t bytes_processed) {
+  std::memcpy(state_, ms.state, sizeof(state_));
+  total_len_ = bytes_processed;
+  buffer_len_ = 0;
+}
 
-  for (int i = 0; i < 64; ++i) {
-    const uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
-    const uint32_t ch = (e & f) ^ (~e & g);
-    const uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    const uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
-    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+void Sha256::ProcessBlocks(const uint8_t* blocks, size_t n) {
+  (portable_ ? &CompressPortable : g_compress)(state_, blocks, n);
 }
 
 void Sha256::Update(ByteView data) {
@@ -91,13 +188,14 @@ void Sha256::Update(ByteView data) {
     buffer_len_ += take;
     offset = take;
     if (buffer_len_ == 64) {
-      ProcessBlock(buffer_);
+      ProcessBlocks(buffer_, 1);
       buffer_len_ = 0;
     }
   }
-  while (offset + 64 <= data.size()) {
-    ProcessBlock(data.data() + offset);
-    offset += 64;
+  if (offset + 64 <= data.size()) {
+    const size_t whole = (data.size() - offset) / 64;
+    ProcessBlocks(data.data() + offset, whole);
+    offset += whole * 64;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_, data.data() + offset, data.size() - offset);
@@ -133,6 +231,13 @@ Hash256 Sha256::Finish() {
 
 Hash256 Sha256Digest(ByteView data) {
   Sha256 h;
+  h.Update(data);
+  return h.Finish();
+}
+
+Hash256 Sha256DigestPortable(ByteView data) {
+  Sha256 h;
+  h.ForcePortable();
   h.Update(data);
   return h.Finish();
 }

@@ -1,5 +1,11 @@
-// From-scratch SHA-256 (FIPS 180-4). Used for block hashes, certificate digests, sealing
-// MACs, and as the PRF behind the fast signature mode.
+// SHA-256 (FIPS 180-4). Used for block hashes, certificate digests, sealing MACs, and as
+// the PRF behind the fast signature mode.
+//
+// Two interchangeable compressors produce bit-identical digests: a portable from-scratch
+// one, and an x86 SHA-NI one selected at startup when the CPU supports it
+// (__builtin_cpu_supports("sha")). The hot simulator paths hash millions of blocks per
+// run, so the hardware path matters for wall-clock only — virtual-time crypto costs come
+// from the CostModel and never depend on which compressor ran.
 #ifndef SRC_CRYPTO_SHA256_H_
 #define SRC_CRYPTO_SHA256_H_
 
@@ -20,17 +26,38 @@ class Sha256 {
   Hash256 Finish();
   void Reset();
 
+  // Compression state captured at a 64-byte input boundary. Lets HMAC precompute the
+  // per-key ipad/opad block once and replay it per message (src/crypto/hmac.h), halving
+  // the fixed compressions of every MAC.
+  struct Midstate {
+    uint32_t state[8];
+  };
+  // Valid only when the bytes consumed so far are a multiple of 64.
+  Midstate SaveMidstate() const;
+  // Resets, then resumes as if `bytes_processed` bytes (a multiple of 64) had been hashed.
+  void RestoreMidstate(const Midstate& ms, uint64_t bytes_processed);
+
+  // Pins this instance to the portable compressor (differential tests against SHA-NI).
+  void ForcePortable() { portable_ = true; }
+
  private:
-  void ProcessBlock(const uint8_t* block);
+  void ProcessBlocks(const uint8_t* blocks, size_t n);
 
   uint32_t state_[8];
   uint64_t total_len_ = 0;
   uint8_t buffer_[64];
   size_t buffer_len_ = 0;
+  bool portable_ = false;
 };
 
 // One-shot convenience.
 Hash256 Sha256Digest(ByteView data);
+
+// One-shot digest forced through the portable compressor (differential tests).
+Hash256 Sha256DigestPortable(ByteView data);
+
+// True when new Sha256 instances compress with the hardware (SHA-NI) path.
+bool Sha256UsesHardware();
 
 // Hash of the concatenation of two hashes (chain/Merkle links).
 Hash256 HashPair(const Hash256& a, const Hash256& b);

@@ -40,6 +40,7 @@ CryptoSuite::CryptoSuite(SignatureScheme scheme, uint32_t num_parties, uint64_t 
       }
       hmac_keys_.push_back(DeriveKey(ByteView(master.data(), master.size()), "party-key",
                                      ByteView(ctx.data(), ctx.size())));
+      hmac_scheds_.emplace_back(ByteView(hmac_keys_.back().data(), kHmacTagSize));
     }
   }
 }
@@ -51,8 +52,7 @@ Signature CryptoSuite::Sign(uint32_t signer, ByteView msg) const {
   if (scheme_ == SignatureScheme::kSchnorr) {
     sig.blob = SchnorrSign(schnorr_keys_[signer], msg);
   } else {
-    const Hash256 tag =
-        HmacSha256(ByteView(hmac_keys_[signer].data(), kHmacTagSize), msg);
+    const Hash256 tag = hmac_scheds_[signer].Mac(msg);
     sig.blob.assign(tag.begin(), tag.end());
     sig.blob.resize(kModeledSigSize, 0);  // Pad to the modeled ECDSA wire size.
   }
@@ -70,8 +70,7 @@ bool CryptoSuite::Verify(const Signature& sig, ByteView msg) const {
   if (sig.blob.size() != kModeledSigSize) {
     return false;
   }
-  const Hash256 tag =
-      HmacSha256(ByteView(hmac_keys_[sig.signer].data(), kHmacTagSize), msg);
+  const Hash256 tag = hmac_scheds_[sig.signer].Mac(msg);
   return ConstantTimeEqual(ByteView(sig.blob.data(), kHmacTagSize),
                            ByteView(tag.data(), tag.size()));
 }
@@ -82,18 +81,29 @@ bool CryptoSuite::VerifyQuorum(const std::vector<Signature>& sigs, ByteView msg,
     return false;
   }
   std::vector<bool> seen(num_parties_, false);
-  size_t valid = 0;
   for (const Signature& sig : sigs) {
     if (sig.signer >= num_parties_ || seen[sig.signer]) {
       return false;
     }
+    seen[sig.signer] = true;
+  }
+  if (scheme_ == SignatureScheme::kSchnorr && sigs.size() > 1) {
+    // Quorum certificates are all-or-nothing: one batched check over the whole set
+    // replaces per-signature verification (same accept/reject decision).
+    std::vector<SchnorrBatchInput> batch;
+    batch.reserve(sigs.size());
+    for (const Signature& sig : sigs) {
+      batch.push_back(SchnorrBatchInput{&schnorr_keys_[sig.signer].pub, msg,
+                                        ByteView(sig.blob.data(), sig.blob.size())});
+    }
+    return SchnorrBatchVerify(batch).all_valid;
+  }
+  for (const Signature& sig : sigs) {
     if (!Verify(sig, msg)) {
       return false;
     }
-    seen[sig.signer] = true;
-    ++valid;
   }
-  return valid >= quorum;
+  return sigs.size() >= quorum;
 }
 
 const AffinePoint& CryptoSuite::PublicKey(uint32_t party) const {

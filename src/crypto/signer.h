@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/crypto/hmac.h"
 #include "src/crypto/schnorr.h"
 #include "src/crypto/sha256.h"
 
@@ -53,6 +54,7 @@ class CryptoSuite {
   uint32_t num_parties_;
   std::vector<SchnorrKeyPair> schnorr_keys_;  // kSchnorr only.
   std::vector<Hash256> hmac_keys_;            // kFastHmac only.
+  std::vector<HmacKey> hmac_scheds_;          // kFastHmac only: precomputed key schedules.
 };
 
 }  // namespace achilles

@@ -114,7 +114,7 @@ std::optional<SignedCert> DamysusChecker::TdPrepare(const Block& b,
   if (new_view < vi_ || (new_view == vi_ && flag_)) {
     return std::nullopt;
   }
-  enclave_->ChargeVerify(commit_qc.sigs.size());
+  enclave_->ChargeVerifyBatch(commit_qc.sigs.size());
   if (!commit_qc.Verify(enclave_->platform().suite(), kDamVote2,
                         static_cast<size_t>(f_) + 1) ||
       b.parent != commit_qc.hash || b.view != new_view) {
@@ -162,7 +162,7 @@ std::optional<SignedCert> DamysusChecker::TdStore(const QuorumCert& prepared_qc)
   if (v < vi_ || (v == vi_ && voted2_)) {
     return std::nullopt;
   }
-  enclave_->ChargeVerify(prepared_qc.sigs.size());
+  enclave_->ChargeVerifyBatch(prepared_qc.sigs.size());
   if (!prepared_qc.Verify(enclave_->platform().suite(), kDamVote1,
                           static_cast<size_t>(f_) + 1)) {
     return std::nullopt;
@@ -204,7 +204,7 @@ std::optional<AccumulatorCert> DamysusChecker::TdAccum(
   if (view_certs.size() < static_cast<size_t>(f_) + 1) {
     return std::nullopt;
   }
-  enclave_->ChargeVerify(view_certs.size());
+  enclave_->ChargeVerifyBatch(view_certs.size());
   std::vector<NodeId> ids;
   const SignedCert* best = nullptr;
   for (const SignedCert& cert : view_certs) {

@@ -308,7 +308,7 @@ void DamysusReplica::OnDecide(NodeId from, const std::shared_ptr<const DamDecide
   if (block != nullptr && block->height <= last_committed_height_) {
     return;
   }
-  ChargeVerifyPlain(qc.sigs.size());
+  ChargeVerifyBatch(qc.sigs.size());
   if (!qc.Verify(platform().suite(), kDamVote2, quorum())) {
     return;
   }

@@ -9,6 +9,8 @@
 namespace achilles {
 namespace {
 
+}  // namespace
+
 // Smoke-scale knob for CI: ACHILLES_BENCH_SCALE=<fraction> shrinks every bench's
 // warmup/measure window by that factor (tools/bench_all --smoke sets it for its children).
 // Floors keep the windows long enough that protocols still commit; results at reduced
@@ -27,8 +29,6 @@ double BenchScale() {
   }();
   return scale;
 }
-
-}  // namespace
 
 RunStats MeasureOnce(const ClusterConfig& config, SimDuration warmup, SimDuration measure) {
   const double scale = BenchScale();

@@ -15,6 +15,10 @@ namespace achilles {
 // broken run).
 RunStats MeasureOnce(const ClusterConfig& config, SimDuration warmup, SimDuration measure);
 
+// Smoke-scale factor from ACHILLES_BENCH_SCALE in (0, 1), or 1.0 when unset. MeasureOnce
+// applies it to measurement windows; microbenches (bench_sim_core) apply it to op counts.
+double BenchScale();
+
 // Default measurement windows per network profile (WAN views are ~400x longer).
 SimDuration DefaultWarmup(const NetworkConfig& net);
 SimDuration DefaultMeasure(const NetworkConfig& net);

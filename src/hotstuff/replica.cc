@@ -225,7 +225,7 @@ void HotStuffReplica::OnPropose(NodeId from, const std::shared_ptr<const HsPropo
   }
   // Verify the justify QC (genesis QC is empty and always accepted).
   if (!msg->justify.sigs.empty()) {
-    ChargeVerifyPlain(msg->justify.sigs.size());
+    ChargeVerifyBatch(msg->justify.sigs.size());
     if (!msg->justify.Verify(platform().suite(), kHsPrepare, VoteQuorum())) {
       return;
     }
@@ -307,7 +307,7 @@ void HotStuffReplica::OnVote(const HsVoteMsg& msg) {
 
 void HotStuffReplica::OnQc(NodeId from, const std::shared_ptr<const HsQcMsg>& msg) {
   const QuorumCert& qc = msg->qc;
-  ChargeVerifyPlain(qc.sigs.size());
+  ChargeVerifyBatch(qc.sigs.size());
   if (!qc.Verify(platform().suite(), HsPhaseDomain(msg->phase), VoteQuorum())) {
     return;
   }

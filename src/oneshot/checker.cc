@@ -96,7 +96,7 @@ std::optional<SignedCert> OneShotChecker::ToPrepareFast(const Block& b,
   if (new_view < vi_ || (new_view == vi_ && flag_)) {
     return std::nullopt;
   }
-  enclave_->ChargeVerify(commit_qc.sigs.size());
+  enclave_->ChargeVerifyBatch(commit_qc.sigs.size());
   if (!commit_qc.Verify(enclave_->platform().suite(), kOsCommit,
                         static_cast<size_t>(f_) + 1) ||
       b.parent != commit_qc.hash || b.view != new_view) {
@@ -172,7 +172,7 @@ std::optional<SignedCert> OneShotChecker::ToStoreSlow(const QuorumCert& prepared
   if (v < vi_ || (v == vi_ && voted2_)) {
     return std::nullopt;
   }
-  enclave_->ChargeVerify(prepared_qc.sigs.size());
+  enclave_->ChargeVerifyBatch(prepared_qc.sigs.size());
   if (!prepared_qc.Verify(enclave_->platform().suite(), kOsVote1,
                           static_cast<size_t>(f_) + 1)) {
     return std::nullopt;
@@ -201,7 +201,7 @@ std::optional<AccumulatorCert> OneShotChecker::ToAccum(
   if (view_certs.size() < static_cast<size_t>(f_) + 1) {
     return std::nullopt;
   }
-  enclave_->ChargeVerify(view_certs.size());
+  enclave_->ChargeVerifyBatch(view_certs.size());
   std::vector<NodeId> ids;
   const SignedCert* best = nullptr;
   for (const SignedCert& cert : view_certs) {

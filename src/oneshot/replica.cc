@@ -321,7 +321,7 @@ void OneShotReplica::OnDecide(NodeId from, const std::shared_ptr<const OsDecideM
   if (block != nullptr && block->height <= last_committed_height_) {
     return;
   }
-  ChargeVerifyPlain(qc.sigs.size());
+  ChargeVerifyBatch(qc.sigs.size());
   if (!qc.Verify(platform().suite(), kOsCommit, quorum())) {
     return;
   }

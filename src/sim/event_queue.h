@@ -1,0 +1,211 @@
+// Event-queue engines for the discrete-event core (see DESIGN.md §2.21).
+//
+// Events are slab-pooled, intrusively-linked EventNodes; the queue engines order them
+// strictly by (time, seq) — seq is the global schedule order, so equal-time events pop
+// FIFO. Two interchangeable engines implement the same compile-time interface:
+//
+//   HeapQueue     the reference engine: a binary heap of node pointers with lazy
+//                 cancellation (a cancelled node stays in the heap, marked, and is
+//                 reclaimed when it surfaces). Simple and obviously correct — the
+//                 differential test in tests/sim_queue_test.cc races CalendarQueue
+//                 against it.
+//   CalendarQueue the hot-path engine (Brown 1988): an adaptive ring of "day" buckets,
+//                 each a sorted intrusive list. Schedule and pop are O(1) amortized;
+//                 cancel unlinks in O(1) via the node pointer. Bucket count and width
+//                 adapt to the live event population.
+//   DualQueue     both engines behind one runtime switch, so a whole Cluster/chaos run
+//                 can be executed under either engine from a config knob while the
+//                 pure engines stay available as template parameters for head-to-head
+//                 benchmarks.
+//
+// Determinism contract: both engines dequeue in exactly (time, seq) order, so the
+// simulation schedule — and therefore every event-log/journal/KV-history digest — is
+// bit-identical regardless of engine. The equivalence suite enforces this.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace achilles {
+
+// Which queue engine a Simulation (or a whole Cluster / chaos run) executes under.
+enum class SimEngine : uint8_t {
+  kCalendar,  // Calendar queue + pooled nodes (default, fast path).
+  kHeap,      // Reference binary heap (equivalence runs, differential tests).
+};
+
+const char* SimEngineName(SimEngine engine);
+bool SimEngineFromName(std::string_view name, SimEngine* out);
+
+// Fixed-shape event callback: no allocation, no type erasure. The dominant events
+// (message delivery, timer fire, drain start) all fit (obj, a, b).
+using RawEventFn = void (*)(void* obj, uint64_t a, uint64_t b);
+
+// One pending event. Lives in the EventPool's slabs for the simulation's lifetime and is
+// recycled through a freelist; prev/next double as bucket links (calendar) and freelist
+// links (pool). `gen` bumps every time the node logically dies (fires, is cancelled, or
+// is recycled), which is what makes stale EventId handles safe no-ops.
+struct EventNode {
+  SimTime time = 0;
+  uint64_t seq = 0;  // FIFO tie-break for equal times; globally increasing.
+  uint64_t gen = 1;
+  EventNode* prev = nullptr;
+  EventNode* next = nullptr;
+  uint32_t bucket = 0;      // Calendar bucket index (valid while linked).
+  bool cancelled = false;   // Heap engine's lazy-removal marker.
+  // Tagged callback: `raw` when set, else `*boxed` (generic std::function fallback).
+  RawEventFn raw = nullptr;
+  void* obj = nullptr;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  std::function<void()>* boxed = nullptr;
+};
+
+// Slab allocator for EventNodes. Slabs are never returned to the OS until the pool dies,
+// so a recycled node's address stays valid — EventId handles dangle safely and the `gen`
+// check rejects them.
+class EventPool {
+ public:
+  EventPool() = default;
+  ~EventPool();
+
+  EventPool(const EventPool&) = delete;
+  EventPool& operator=(const EventPool&) = delete;
+
+  EventNode* Alloc();
+  void Free(EventNode* n);
+
+  size_t live() const { return live_; }
+  size_t high_water() const { return high_water_; }
+  size_t slabs() const { return slabs_.size(); }
+  size_t capacity() const { return slabs_.size() * kSlabSize; }
+
+ private:
+  static constexpr size_t kSlabSize = 256;
+
+  std::vector<std::unique_ptr<EventNode[]>> slabs_;
+  EventNode* free_ = nullptr;
+  size_t live_ = 0;
+  size_t high_water_ = 0;
+};
+
+// Reference engine: binary heap ordered by (time, seq), lazy cancellation.
+class HeapQueue {
+ public:
+  explicit HeapQueue(SimEngine = SimEngine::kHeap) {}
+
+  void Push(EventNode* n);
+  // Earliest live node, or nullptr when empty. Reclaims cancelled nodes that surface.
+  EventNode* PeekEarliest(EventPool& pool);
+  EventNode* PopEarliest(EventPool& pool);
+  // O(1) logical removal: the node is marked and reclaimed when it reaches the top. The
+  // generation bump invalidates outstanding handles immediately — matching the calendar
+  // engine, which frees on Remove — so double-cancel is a no-op on both engines.
+  void Remove(EventNode* n, EventPool&) {
+    n->cancelled = true;
+    ++n->gen;
+  }
+
+ private:
+  static bool Earlier(const EventNode* x, const EventNode* y) {
+    return x->time != y->time ? x->time < y->time : x->seq < y->seq;
+  }
+  void PopRoot();
+
+  std::vector<EventNode*> heap_;
+};
+
+// Hot-path engine: adaptive calendar queue. Buckets partition virtual time into "days"
+// of `width_` ns; day d maps to bucket d % nbuckets, so one pass over the ring is one
+// "year". Each bucket is a (time, seq)-sorted intrusive list; new events carry globally
+// increasing seq, so the common case appends at the tail in O(1) even for bursts at a
+// single tick. The dequeue cursor sweeps days; a full fruitless year falls back to a
+// direct min-scan over bucket heads (events far in the future), which also re-aims the
+// cursor. Bucket count doubles/halves with the live population and the day width is
+// re-estimated from the earliest events at every resize.
+class CalendarQueue {
+ public:
+  explicit CalendarQueue(SimEngine = SimEngine::kCalendar);
+
+  void Push(EventNode* n);
+  EventNode* PeekEarliest(EventPool& pool);
+  EventNode* PopEarliest(EventPool& pool);
+  // O(1) unlink via the node's intrusive links; the slot recycles immediately.
+  void Remove(EventNode* n, EventPool& pool);
+
+  size_t size() const { return size_; }
+  uint64_t resizes() const { return resizes_; }
+
+ private:
+  struct Bucket {
+    EventNode* head = nullptr;
+    EventNode* tail = nullptr;
+  };
+
+  static constexpr size_t kMinBuckets = 16;
+
+  uint64_t DayOf(SimTime t) const {
+    return static_cast<uint64_t>(t) / static_cast<uint64_t>(width_);
+  }
+  void InsertNode(EventNode* n);
+  void Unlink(EventNode* n);
+  void Resize(size_t nbuckets);
+  SimDuration EstimateWidth(const std::vector<EventNode*>& sorted) const;
+
+  std::vector<Bucket> buckets_;
+  uint64_t mask_ = kMinBuckets - 1;
+  SimDuration width_ = Us(1);
+  uint64_t cur_day_ = 0;
+  size_t size_ = 0;
+  uint64_t resizes_ = 0;
+};
+
+// Runtime-selected engine: the one the production Simulation alias uses, so benches,
+// clusters, and chaos runs can flip engines from a config knob. The branch per op is
+// perfectly predicted (the engine never changes mid-run) and costs nothing measurable
+// next to the queue work itself.
+class DualQueue {
+ public:
+  explicit DualQueue(SimEngine engine) : engine_(engine) {}
+
+  SimEngine engine() const { return engine_; }
+
+  void Push(EventNode* n) {
+    if (engine_ == SimEngine::kCalendar) {
+      calendar_.Push(n);
+    } else {
+      heap_.Push(n);
+    }
+  }
+  EventNode* PeekEarliest(EventPool& pool) {
+    return engine_ == SimEngine::kCalendar ? calendar_.PeekEarliest(pool)
+                                           : heap_.PeekEarliest(pool);
+  }
+  EventNode* PopEarliest(EventPool& pool) {
+    return engine_ == SimEngine::kCalendar ? calendar_.PopEarliest(pool)
+                                           : heap_.PopEarliest(pool);
+  }
+  void Remove(EventNode* n, EventPool& pool) {
+    if (engine_ == SimEngine::kCalendar) {
+      calendar_.Remove(n, pool);
+    } else {
+      heap_.Remove(n, pool);
+    }
+  }
+
+ private:
+  SimEngine engine_;
+  CalendarQueue calendar_;
+  HeapQueue heap_;
+};
+
+}  // namespace achilles
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -4,6 +4,10 @@
 
 namespace achilles {
 
+namespace {
+constexpr size_t kDeliverySlabSize = 64;
+}  // namespace
+
 Host::Host(Simulation* sim, uint32_t id) : sim_(sim), id_(id) {}
 
 void Host::AttachMetrics(obs::MetricsRegistry* registry) {
@@ -31,12 +35,17 @@ void Host::BindProcess(std::unique_ptr<IProcess> process) {
   if (lifecycle_) {
     lifecycle_(id_, "boot");
   }
-  const uint64_t epoch = epoch_;
-  sim_->ScheduleAfter(0, [this, epoch] {
-    if (epoch == epoch_ && up_ && process_) {
-      Enqueue([this] { process_->OnStart(); }, "start");
-    }
-  });
+  sim_->ScheduleRawAfter(0, &Host::StartEvent, this, epoch_);
+}
+
+void Host::StartEvent(void* self, uint64_t epoch, uint64_t) {
+  auto* host = static_cast<Host*>(self);
+  if (epoch == host->epoch_ && host->up_ && host->process_) {
+    Work work;
+    work.kind = WorkKind::kStart;
+    work.name = "start";
+    host->PushWork(std::move(work));
+  }
 }
 
 void Host::Crash() {
@@ -48,8 +57,8 @@ void Host::Crash() {
   process_.reset();
   queue_.clear();
   drain_pending_ = false;
-  for (auto& [timer_id, event_id] : timers_) {
-    sim_->Cancel(event_id);
+  for (auto& [timer_id, timer] : timers_) {
+    sim_->Cancel(timer.event);
   }
   timers_.clear();
   if (journal_ != nullptr && journal_->enabled()) {
@@ -71,13 +80,18 @@ void Host::InjectStall(SimDuration d) {
     journal_->Record(id_, obs::JournalKind::kStall, sim_->Now(), 0,
                      static_cast<uint64_t>(d));
   }
-  Enqueue([this, d] { ChargeCpu(d); }, "stall");
+  Work work;
+  work.kind = WorkKind::kStall;
+  work.stall = d;
+  work.name = "stall";
+  PushWork(std::move(work));
 }
 
 void Host::Reboot(std::unique_ptr<IProcess> process, SimDuration init_delay) {
   ACHILLES_CHECK(!up_);
   const uint64_t epoch = epoch_;
-  // Ownership of the fresh process transfers into the boot event.
+  // Ownership of the fresh process transfers into the boot event (rare control event:
+  // the boxed std::function path is fine here).
   auto shared = std::make_shared<std::unique_ptr<IProcess>>(std::move(process));
   sim_->ScheduleAfter(init_delay, [this, epoch, shared] {
     if (epoch != epoch_ || up_) {
@@ -87,35 +101,73 @@ void Host::Reboot(std::unique_ptr<IProcess> process, SimDuration init_delay) {
   });
 }
 
-void Host::DeliverAt(SimTime arrival, uint32_t from, MessageRef msg, const obs::Path* path) {
+Host::Delivery* Host::AllocDelivery() {
+  if (delivery_free_ == nullptr) {
+    auto slab = std::make_unique<Delivery[]>(kDeliverySlabSize);
+    for (size_t i = kDeliverySlabSize; i-- > 0;) {
+      slab[i].next = delivery_free_;
+      delivery_free_ = &slab[i];
+    }
+    delivery_slabs_.push_back(std::move(slab));
+  }
+  Delivery* d = delivery_free_;
+  delivery_free_ = d->next;
+  d->next = nullptr;
+  return d;
+}
+
+void Host::FreeDelivery(Delivery* d) {
+  d->msg.reset();  // Release the payload reference while the slot sits on the freelist.
+  d->has_path = false;
+  d->next = delivery_free_;
+  delivery_free_ = d;
+}
+
+void Host::DeliverAt(SimTime arrival, uint32_t from, MessageRef msg,
+                     const obs::Path* path) {
+  Delivery* d = AllocDelivery();
+  d->msg = std::move(msg);
+  d->from = from;
+  d->has_path = path != nullptr;
+  if (path != nullptr) {
+    d->path = *path;
+  }
+  sim_->ScheduleRawAt(arrival, &Host::DeliveryEvent, this,
+                      reinterpret_cast<uint64_t>(d));
+}
+
+void Host::DeliveryEvent(void* self, uint64_t record, uint64_t) {
+  auto* host = static_cast<Host*>(self);
+  host->FinishDelivery(reinterpret_cast<Delivery*>(record));
+}
+
+void Host::FinishDelivery(Delivery* d) {
   // Liveness of the *current* incarnation is checked at arrival time: messages that arrive
   // while the host is down are lost, while messages still in flight across a reboot reach
   // the new incarnation (the network layer has no per-connection state to tear down).
-  const auto deliver = [this, from, msg](const obs::Path* p) {
-    if (!up_ || !process_) {
-      return;
-    }
+  if (up_ && process_) {
     // Flight recorder: one deliver event per accepted arrival, parented to the send that
     // produced it (the seq rides in the path); the handler it queues inherits the deliver
     // event as its causal context.
     uint64_t jctx = 0;
     if (journal_ != nullptr && journal_->enabled()) {
       jctx = journal_->Record(id_, obs::JournalKind::kDeliver, sim_->Now(),
-                              p != nullptr ? p->jparent : 0, from, msg->WireSize(),
-                              msg->TraceName());
+                              d->has_path ? d->path.jparent : 0, d->from,
+                              d->msg->WireSize(), d->msg->TraceName());
     }
-    auto fn = [this, from, msg] { process_->OnMessage(from, msg); };
-    if (p != nullptr) {
-      EnqueueWithPath(std::move(fn), msg->TraceName(), *p, jctx);
-    } else {
-      Enqueue(std::move(fn), msg->TraceName(), jctx);
+    Work work;
+    work.kind = WorkKind::kMessage;
+    work.from = d->from;
+    work.msg = std::move(d->msg);
+    work.name = work.msg->TraceName();
+    work.has_path = d->has_path;
+    if (d->has_path) {
+      work.path = d->path;
     }
-  };
-  if (path != nullptr) {
-    sim_->ScheduleAt(arrival, [deliver, p = *path] { deliver(&p); });
-  } else {
-    sim_->ScheduleAt(arrival, [deliver] { deliver(nullptr); });
+    work.jctx = jctx;
+    PushWork(std::move(work));
   }
+  FreeDelivery(d);
 }
 
 void Host::ChargeCpuAs(obs::Component c, SimDuration d) {
@@ -156,35 +208,39 @@ void Host::RestartPathAt(SimTime origin) {
 uint64_t Host::SetTimer(SimDuration delay, std::function<void()> fn) {
   ACHILLES_CHECK(up_);
   const uint64_t timer_id = next_timer_id_++;
-  const uint64_t epoch = epoch_;
-  const EventId event_id =
-      sim_->ScheduleAfter(delay, [this, epoch, timer_id, fn = std::move(fn)] {
-        if (epoch != epoch_ || !up_) {
-          return;
-        }
-        timers_.erase(timer_id);
-        Enqueue(fn, "timer");
-      });
-  timers_[timer_id] = event_id;
+  const EventId event =
+      sim_->ScheduleRawAfter(delay, &Host::TimerEvent, this, timer_id, epoch_);
+  timers_.emplace(timer_id, Timer{event, std::move(fn)});
   return timer_id;
+}
+
+void Host::TimerEvent(void* self, uint64_t timer_id, uint64_t epoch) {
+  auto* host = static_cast<Host*>(self);
+  if (epoch != host->epoch_ || !host->up_) {
+    return;
+  }
+  auto it = host->timers_.find(timer_id);
+  if (it == host->timers_.end()) {
+    return;
+  }
+  Work work;
+  work.kind = WorkKind::kTimer;
+  work.fn = std::move(it->second.fn);
+  work.name = "timer";
+  host->timers_.erase(it);
+  host->PushWork(std::move(work));
 }
 
 void Host::CancelTimer(uint64_t timer_id) {
   auto it = timers_.find(timer_id);
   if (it != timers_.end()) {
-    sim_->Cancel(it->second);
+    sim_->Cancel(it->second.event);
     timers_.erase(it);
   }
 }
 
-void Host::Enqueue(std::function<void()> fn, const char* name, uint64_t jctx) {
-  queue_.push_back(Work{std::move(fn), name, obs::Path{}, /*has_path=*/false, jctx});
-  ScheduleDrain();
-}
-
-void Host::EnqueueWithPath(std::function<void()> fn, const char* name, const obs::Path& path,
-                           uint64_t jctx) {
-  queue_.push_back(Work{std::move(fn), name, path, /*has_path=*/true, jctx});
+void Host::PushWork(Work&& work) {
+  queue_.push_back(std::move(work));
   ScheduleDrain();
 }
 
@@ -194,13 +250,15 @@ void Host::ScheduleDrain() {
   }
   drain_pending_ = true;
   const SimTime start = std::max(cpu_free_at_, sim_->Now());
-  const uint64_t epoch = epoch_;
-  sim_->ScheduleAt(start, [this, epoch] {
-    if (epoch != epoch_ || !up_) {
-      return;
-    }
-    DrainOne();
-  });
+  sim_->ScheduleRawAt(start, &Host::DrainEvent, this, epoch_);
+}
+
+void Host::DrainEvent(void* self, uint64_t epoch, uint64_t) {
+  auto* host = static_cast<Host*>(self);
+  if (epoch != host->epoch_ || !host->up_) {
+    return;
+  }
+  host->DrainOne();
 }
 
 void Host::DrainOne() {
@@ -231,7 +289,20 @@ void Host::DrainOne() {
     cur_path_.span = 0;
   }
   const uint64_t span = cur_path_.span;
-  work.fn();
+  switch (work.kind) {
+    case WorkKind::kMessage:
+      process_->OnMessage(work.from, work.msg);
+      break;
+    case WorkKind::kTimer:
+      work.fn();
+      break;
+    case WorkKind::kStart:
+      process_->OnStart();
+      break;
+    case WorkKind::kStall:
+      ChargeCpu(work.stall);
+      break;
+  }
   if (span != 0 && tracer_ != nullptr) {
     tracer_->End(span, id_, start + handler_charge_);
   }

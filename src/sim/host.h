@@ -2,6 +2,12 @@
 // to completion; CPU time charged during a handler delays everything queued behind it, which
 // is what makes leaders saturate under load (Fig. 4's knee).
 //
+// Hot-path note (DESIGN.md §2.21): the four dominant event shapes — message delivery,
+// timer fire, drain start, process start — schedule through the simulator's raw
+// (function-pointer) events, and message deliveries park their payload in a slab-pooled
+// Delivery record, so steady-state traffic allocates no std::function closures at all.
+// Only rare control events (reboot completion) use the boxed fallback.
+//
 // Observability: every CPU charge carries an obs::Component tag and every queued handler
 // carries the obs::Path of the causal chain that triggered it, so committed-block latency
 // can be attributed without touching virtual time (see src/obs/breakdown.h). An optional
@@ -14,6 +20,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "src/obs/breakdown.h"
 #include "src/obs/journal.h"
@@ -112,17 +119,42 @@ class Host {
   void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
+  // What a queued handler does when the CPU reaches it. Only timers carry a closure;
+  // steady-state message traffic is dispatched straight to the bound process.
+  enum class WorkKind : uint8_t { kMessage, kTimer, kStart, kStall };
+
   struct Work {
-    std::function<void()> fn;
-    const char* name;  // Trace span label (static string).
+    WorkKind kind;
+    bool has_path = false;
+    uint32_t from = 0;           // kMessage: sending host.
+    MessageRef msg;              // kMessage.
+    std::function<void()> fn;    // kTimer.
+    SimDuration stall = 0;       // kStall.
+    const char* name;            // Trace span label (static string).
     obs::Path path;
-    bool has_path;
     uint64_t jctx = 0;  // Journal seq of the deliver event that queued this work.
   };
 
-  void Enqueue(std::function<void()> fn, const char* name, uint64_t jctx = 0);
-  void EnqueueWithPath(std::function<void()> fn, const char* name, const obs::Path& path,
-                       uint64_t jctx = 0);
+  // In-flight message: payload + attribution snapshot parked between the network's
+  // DeliverAt and the arrival event, slab-pooled per host (next links the freelist).
+  struct Delivery {
+    MessageRef msg;
+    obs::Path path;
+    uint32_t from = 0;
+    bool has_path = false;
+    Delivery* next = nullptr;
+  };
+
+  // Raw event trampolines (fixed-shape, allocation-free; see simulation.h).
+  static void DeliveryEvent(void* self, uint64_t record, uint64_t);
+  static void TimerEvent(void* self, uint64_t timer_id, uint64_t epoch);
+  static void DrainEvent(void* self, uint64_t epoch, uint64_t);
+  static void StartEvent(void* self, uint64_t epoch, uint64_t);
+
+  Delivery* AllocDelivery();
+  void FreeDelivery(Delivery* d);
+  void FinishDelivery(Delivery* d);
+  void PushWork(Work&& work);
   void ScheduleDrain();
   void DrainOne();
 
@@ -146,9 +178,15 @@ class Host {
   obs::Histogram* handler_ns_ = nullptr;    // Per-handler CPU charge distribution.
   obs::Histogram* queue_wait_ns_ = nullptr; // Arrival -> handler-start wait distribution.
 
+  std::vector<std::unique_ptr<Delivery[]>> delivery_slabs_;
+  Delivery* delivery_free_ = nullptr;
+
   uint64_t next_timer_id_ = 1;
-  // Timer ids map to simulation events; epoch guards invalidate them on crash.
-  std::unordered_map<uint64_t, EventId> timers_;
+  struct Timer {
+    EventId event;             // The pending raw fire event (cancelled on crash).
+    std::function<void()> fn;  // Runs on this host's CPU when the event fires.
+  };
+  std::unordered_map<uint64_t, Timer> timers_;
 };
 
 }  // namespace achilles

@@ -1,59 +1,12 @@
 #include "src/sim/simulation.h"
 
-#include <algorithm>
-
-#include "src/common/check.h"
-
 namespace achilles {
 
-Simulation::Simulation(uint64_t seed) : rng_(seed) {}
-
-EventId Simulation::ScheduleAt(SimTime t, std::function<void()> fn) {
-  ACHILLES_CHECK(t >= now_);
-  const EventId id = next_id_++;
-  heap_.push(Event{t, next_seq_++, id, std::move(fn)});
-  peak_pending_ = std::max(peak_pending_, heap_.size() - cancelled_.size());
-  return id;
-}
-
-EventId Simulation::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
-  ACHILLES_CHECK(delay >= 0);
-  return ScheduleAt(now_ + delay, std::move(fn));
-}
-
-void Simulation::Cancel(EventId id) {
-  if (id != kInvalidEvent) {
-    cancelled_.insert(id);
-  }
-}
-
-bool Simulation::Step() {
-  while (!heap_.empty()) {
-    Event ev = heap_.top();
-    heap_.pop();
-    if (cancelled_.erase(ev.id) > 0) {
-      continue;
-    }
-    now_ = ev.time;
-    ++executed_;
-    ev.fn();
-    return true;
-  }
-  return false;
-}
-
-void Simulation::RunUntil(SimTime t) {
-  ACHILLES_CHECK(t >= now_);
-  while (!heap_.empty() && heap_.top().time <= t) {
-    Step();
-  }
-  now_ = t;
-}
-
-void Simulation::RunUntilIdle(uint64_t max_events) {
-  uint64_t budget = max_events;
-  while (budget-- > 0 && Step()) {
-  }
-}
+// The simulation core is a header template (the queue engine is a compile-time
+// parameter); instantiate the three engine combinations once here so every other
+// translation unit links against these.
+template class SimulationT<HeapQueue>;
+template class SimulationT<CalendarQueue>;
+template class SimulationT<DualQueue>;
 
 }  // namespace achilles

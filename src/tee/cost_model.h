@@ -4,6 +4,8 @@
 #ifndef SRC_TEE_COST_MODEL_H_
 #define SRC_TEE_COST_MODEL_H_
 
+#include <algorithm>
+
 #include "src/common/sim_time.h"
 
 namespace achilles {
@@ -11,6 +13,12 @@ namespace achilles {
 struct CostModel {
   SimDuration sign = Us(25);            // One signature creation.
   SimDuration verify = Us(50);          // One signature verification.
+  // Batched verification of k signatures over one message (quorum certificates) costs
+  // verify_batch_fixed + k * verify_batch_per_sig: the shared double-chain of the
+  // multi-scalar multiply amortizes the fixed elliptic-curve work across the batch
+  // (SchnorrBatchVerify; recalibrated by bench_table4_counters).
+  SimDuration verify_batch_fixed = Us(55);
+  SimDuration verify_batch_per_sig = Us(14);
   double hash_ns_per_byte = 3.0;        // SHA-256 streaming cost.
   SimDuration hash_fixed = Ns(500);     // Per-hash fixed cost.
   SimDuration ecall_round_trip = Us(20); // Enclave transition in+out (incl. paging).
@@ -31,6 +39,8 @@ struct CostModel {
     CostModel m;
     m.sign = 0;
     m.verify = 0;
+    m.verify_batch_fixed = 0;
+    m.verify_batch_per_sig = 0;
     m.hash_ns_per_byte = 0.0;
     m.hash_fixed = 0;
     m.ecall_round_trip = 0;
@@ -45,6 +55,18 @@ struct CostModel {
 
   SimDuration HashCost(size_t bytes) const {
     return hash_fixed + static_cast<SimDuration>(hash_ns_per_byte * static_cast<double>(bytes));
+  }
+
+  // Cost of verifying `count` signatures over one message: the batched check when it is
+  // cheaper, scalar verification otherwise (small counts don't amortize the fixed MSM).
+  SimDuration BatchVerifyCost(size_t count) const {
+    const SimDuration scalar = verify * static_cast<SimDuration>(count);
+    if (count < 2) {
+      return scalar;
+    }
+    const SimDuration batched =
+        verify_batch_fixed + verify_batch_per_sig * static_cast<SimDuration>(count);
+    return std::min(scalar, batched);
   }
 };
 

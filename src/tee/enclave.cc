@@ -47,6 +47,14 @@ void EnclaveRuntime::ChargeVerify(size_t count) {
                                static_cast<double>(count)));
 }
 
+void EnclaveRuntime::ChargeVerifyBatch(size_t count) {
+  const CostModel& costs = platform_->costs();
+  const double factor = in_tee() ? costs.enclave_crypto_factor : 1.0;
+  platform_->host().ChargeCpuAs(
+      obs::Component::kCrypto,
+      static_cast<SimDuration>(static_cast<double>(costs.BatchVerifyCost(count)) * factor));
+}
+
 void EnclaveRuntime::ChargeHash(size_t bytes) {
   platform_->host().ChargeCpuAs(obs::Component::kCrypto, platform_->costs().HashCost(bytes));
 }

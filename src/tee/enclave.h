@@ -63,6 +63,9 @@ class EnclaveRuntime {
   void ChargeEcall();               // One enclave transition round trip (no-op outside TEE).
   void ChargeSign();                // One signature, scaled by the in-enclave factor.
   void ChargeVerify(size_t count);  // `count` verifications, scaled likewise.
+  // `count` signatures over ONE message (a quorum certificate): batched cost when the
+  // batch check is cheaper (CostModel::BatchVerifyCost), scaled by the enclave factor.
+  void ChargeVerifyBatch(size_t count);
   void ChargeHash(size_t bytes);
 
   // --- Signing with the node's key (the private key never leaves the enclave) ---

@@ -358,5 +358,226 @@ INSTANTIATE_TEST_SUITE_P(AllSchemes, CryptoSuiteTest,
                          ::testing::Values(SignatureScheme::kSchnorr,
                                            SignatureScheme::kFastHmac));
 
+// --- Hardware SHA-256 vs portable differential ---
+
+TEST(Sha256HardwareTest, HardwareMatchesPortableOnRandomInputs) {
+  // When the CPU has SHA-NI the default path uses it; the portable compressor is always
+  // available. Both must agree byte-for-byte on every length (empty, sub-block, block
+  // boundary, multi-block, and ragged tails).
+  Rng rng(0xd1f);
+  for (size_t len : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 127u, 128u, 1000u, 4096u, 10000u}) {
+    Bytes data(len);
+    for (uint8_t& byte : data) {
+      byte = static_cast<uint8_t>(rng.UniformU64(256));
+    }
+    const ByteView view(data.data(), data.size());
+    EXPECT_EQ(HashToHex(Sha256Digest(view)), HashToHex(Sha256DigestPortable(view)))
+        << "len " << len << " hw=" << Sha256UsesHardware();
+  }
+}
+
+TEST(Sha256HardwareTest, IncrementalChunkingAgreesAcrossImplementations) {
+  Rng rng(0xfeed);
+  Bytes data(3000);
+  for (uint8_t& byte : data) {
+    byte = static_cast<uint8_t>(rng.UniformU64(256));
+  }
+  Sha256 fast;
+  Sha256 slow;
+  slow.ForcePortable();
+  size_t off = 0;
+  while (off < data.size()) {  // Ragged chunk sizes stress the buffered-tail logic.
+    const size_t chunk = std::min<size_t>(1 + rng.UniformU64(200), data.size() - off);
+    fast.Update(ByteView(data.data() + off, chunk));
+    slow.Update(ByteView(data.data() + off, chunk));
+    off += chunk;
+  }
+  EXPECT_EQ(HashToHex(fast.Finish()), HashToHex(slow.Finish()));
+}
+
+// --- HMAC key-schedule caching ---
+
+TEST(HmacTest, HmacKeyMatchesOneShotHmac) {
+  const Bytes key = {0x0b, 0x0b, 0x0b, 0x0b, 0x0b, 0x0b, 0x0b, 0x0b};
+  const HmacKey sched(ByteView(key.data(), key.size()));
+  for (const char* msg : {"", "Hi There", "a longer message spanning more than one block "
+                              "of the underlying compression function, padded out"}) {
+    EXPECT_EQ(HashToHex(sched.Mac(AsBytes(msg))),
+              HashToHex(HmacSha256(ByteView(key.data(), key.size()), AsBytes(msg))));
+  }
+}
+
+TEST(HmacTest, HmacKeyReusableAcrossMessages) {
+  const HmacKey sched(AsBytes("shared-session-key"));
+  const Hash256 first = sched.Mac(AsBytes("message 1"));
+  (void)sched.Mac(AsBytes("message 2"));  // Interleaved use must not corrupt the schedule.
+  EXPECT_EQ(HashToHex(first), HashToHex(sched.Mac(AsBytes("message 1"))));
+}
+
+// --- Multi-scalar multiplication (Pippenger) ---
+
+TEST(Secp256k1Test, MultiScalarMulMatchesNaiveSum) {
+  Rng rng(99);
+  std::vector<UInt256> scalars;
+  std::vector<AffinePoint> points;
+  JacobianPoint naive = JacobianPoint::Infinity();
+  for (int i = 0; i < 8; ++i) {
+    uint8_t seed[32] = {};
+    for (auto& byte : seed) {
+      byte = static_cast<uint8_t>(rng.UniformU64(256));
+    }
+    const SchnorrKeyPair key = SchnorrKeyFromSeed(ByteView(seed, sizeof(seed)));
+    UInt256 k = UInt256::FromU64(rng.UniformU64(UINT64_MAX));
+    scalars.push_back(k);
+    points.push_back(key.pub);
+    naive = PointAddMixed(naive, ScalarMul(k, key.pub));
+  }
+  const AffinePoint expect = ToAffine(naive);
+  const AffinePoint got = ToAffine(MultiScalarMul(scalars, points));
+  EXPECT_TRUE(expect == got);
+}
+
+TEST(Secp256k1Test, MultiScalarMulHandlesZeroScalarsAndInfinity) {
+  std::vector<UInt256> scalars = {UInt256::FromU64(0), UInt256::FromU64(5)};
+  std::vector<AffinePoint> points = {Secp256k1G(), AffinePoint{}};
+  const AffinePoint got = ToAffine(MultiScalarMul(scalars, points));
+  EXPECT_TRUE(got.infinity);  // 0*G + 5*infinity = infinity.
+}
+
+// --- Schnorr batch verification ---
+
+std::vector<SchnorrKeyPair> BatchKeys(size_t count) {
+  std::vector<SchnorrKeyPair> keys;
+  for (size_t i = 0; i < count; ++i) {
+    const std::string seed = "batch-seed-" + std::to_string(i);
+    keys.push_back(SchnorrKeyFromSeed(AsBytes(seed)));
+  }
+  return keys;
+}
+
+TEST(SchnorrBatchTest, AllValidBatchAccepts) {
+  const auto keys = BatchKeys(7);
+  std::vector<Bytes> sigs;
+  std::vector<std::string> msgs;
+  std::vector<SchnorrBatchInput> batch;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    msgs.push_back("batch message " + std::to_string(i));
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    sigs.push_back(SchnorrSign(keys[i], AsBytes(msgs[i])));
+    batch.push_back({&keys[i].pub, AsBytes(msgs[i]), ByteView(sigs[i].data(), sigs[i].size())});
+  }
+  const SchnorrBatchResult result = SchnorrBatchVerify(batch);
+  EXPECT_TRUE(result.all_valid);
+  EXPECT_EQ(result.first_bad, -1);
+}
+
+TEST(SchnorrBatchTest, EmptyAndSingletonBatches) {
+  EXPECT_TRUE(SchnorrBatchVerify({}).all_valid);
+
+  const auto keys = BatchKeys(1);
+  const Bytes sig = SchnorrSign(keys[0], AsBytes("solo"));
+  std::vector<SchnorrBatchInput> batch = {
+      {&keys[0].pub, AsBytes("solo"), ByteView(sig.data(), sig.size())}};
+  EXPECT_TRUE(SchnorrBatchVerify(batch).all_valid);
+}
+
+TEST(SchnorrBatchTest, OneBadSignatureIsRejectedAndIdentified) {
+  const auto keys = BatchKeys(6);
+  std::vector<Bytes> sigs;
+  std::vector<std::string> msgs;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    msgs.push_back("victim message " + std::to_string(i));
+    sigs.push_back(SchnorrSign(keys[i], AsBytes(msgs[i])));
+  }
+  sigs[3][95] ^= 0x01;  // Corrupt one byte of s in the fourth signature.
+  std::vector<SchnorrBatchInput> batch;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    batch.push_back({&keys[i].pub, AsBytes(msgs[i]), ByteView(sigs[i].data(), sigs[i].size())});
+  }
+  const SchnorrBatchResult result = SchnorrBatchVerify(batch);
+  EXPECT_FALSE(result.all_valid);
+  EXPECT_EQ(result.first_bad, 3);  // The scalar fallback pinpoints the culprit.
+}
+
+TEST(SchnorrBatchTest, WrongMessageInBatchRejects) {
+  const auto keys = BatchKeys(4);
+  std::vector<Bytes> sigs;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    sigs.push_back(SchnorrSign(keys[i], AsBytes("honest message")));
+  }
+  std::vector<SchnorrBatchInput> batch;
+  const std::string forged = "forged message";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    batch.push_back({&keys[i].pub, i == 1 ? AsBytes(forged) : AsBytes("honest message"),
+                     ByteView(sigs[i].data(), sigs[i].size())});
+  }
+  const SchnorrBatchResult result = SchnorrBatchVerify(batch);
+  EXPECT_FALSE(result.all_valid);
+  EXPECT_EQ(result.first_bad, 1);
+}
+
+TEST(SchnorrBatchTest, SwappedSignaturesDoNotCancel) {
+  // Two individually valid signatures attached to each other's slots: the deterministic
+  // per-item weights make the linear combination reject the swap.
+  const auto keys = BatchKeys(2);
+  const Bytes sig_a = SchnorrSign(keys[0], AsBytes("message A"));
+  const Bytes sig_b = SchnorrSign(keys[1], AsBytes("message B"));
+  std::vector<SchnorrBatchInput> batch = {
+      {&keys[0].pub, AsBytes("message A"), ByteView(sig_b.data(), sig_b.size())},
+      {&keys[1].pub, AsBytes("message B"), ByteView(sig_a.data(), sig_a.size())},
+  };
+  const SchnorrBatchResult result = SchnorrBatchVerify(batch);
+  EXPECT_FALSE(result.all_valid);
+  EXPECT_EQ(result.first_bad, 0);
+}
+
+TEST(SchnorrBatchTest, StructurallyInvalidSignatureFallsBack) {
+  const auto keys = BatchKeys(3);
+  std::vector<Bytes> sigs;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    sigs.push_back(SchnorrSign(keys[i], AsBytes("m")));
+  }
+  sigs[2].resize(10);  // Truncated blob cannot even parse.
+  std::vector<SchnorrBatchInput> batch;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    batch.push_back({&keys[i].pub, AsBytes("m"), ByteView(sigs[i].data(), sigs[i].size())});
+  }
+  const SchnorrBatchResult result = SchnorrBatchVerify(batch);
+  EXPECT_FALSE(result.all_valid);
+  EXPECT_EQ(result.first_bad, 2);
+}
+
+TEST(SchnorrBatchTest, BatchAgreesWithScalarVerifyOnRandomBatches) {
+  Rng rng(0xbadc0de);
+  for (int round = 0; round < 10; ++round) {
+    const size_t m = 2 + rng.UniformU64(6);
+    const auto keys = BatchKeys(m);
+    std::vector<Bytes> sigs;
+    std::vector<std::string> msgs;
+    bool expect_valid = true;
+    for (size_t i = 0; i < m; ++i) {
+      msgs.push_back("round " + std::to_string(round) + " msg " + std::to_string(i));
+      sigs.push_back(SchnorrSign(keys[i], AsBytes(msgs[i])));
+    }
+    if (rng.UniformU64(2) == 0) {  // Half the rounds corrupt one random signature.
+      sigs[rng.UniformU64(m)][32 + rng.UniformU64(64)] ^= 0x80;
+      expect_valid = false;
+    }
+    std::vector<SchnorrBatchInput> batch;
+    for (size_t i = 0; i < m; ++i) {
+      batch.push_back({&keys[i].pub, AsBytes(msgs[i]), ByteView(sigs[i].data(), sigs[i].size())});
+    }
+    bool scalar_valid = true;
+    for (size_t i = 0; i < m; ++i) {
+      scalar_valid = scalar_valid &&
+                     SchnorrVerify(keys[i].pub, AsBytes(msgs[i]),
+                                   ByteView(sigs[i].data(), sigs[i].size()));
+    }
+    EXPECT_EQ(scalar_valid, expect_valid) << "round " << round;
+    EXPECT_EQ(SchnorrBatchVerify(batch).all_valid, scalar_valid) << "round " << round;
+  }
+}
+
 }  // namespace
 }  // namespace achilles

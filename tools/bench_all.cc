@@ -1,17 +1,30 @@
 // bench_all: runs every bench binary with --json-out and merges the per-bench reports
 // into one BENCH_summary.json for CI artifacts and cross-commit comparison.
 //
-// Usage: bench_all [--smoke] [--scale=F] [--bin-dir=DIR] [--out=PATH] [--only=SUBSTR]
+// Usage: bench_all [--smoke] [--scale=F] [--jobs=N] [--bin-dir=DIR] [--out=PATH]
+//                  [--only=SUBSTR] [--guard-baseline=PATH]
 //
 //   --smoke        CI plumbing mode: exports ACHILLES_BENCH_SCALE=0.05 to the child
 //                  benches, which shrinks every measured window (src/harness/experiment.cc
 //                  applies the factor with floors). Numbers at smoke scale are for
 //                  checking that the pipeline works, not for quoting.
 //   --scale=F      Like --smoke with an explicit fraction in (0, 1).
+//   --jobs=N       Run up to N bench binaries concurrently. Each child's stdout/stderr is
+//                  buffered to BENCH_<name>.log and replayed in the fixed kBenches order
+//                  once everything finishes, and reports merge in that same order — the
+//                  summary is byte-comparable with a --jobs=1 run (modulo the wall-clock
+//                  metrics themselves). Concurrent children share the machine, so their
+//                  events-per-wall-second gauges dip; use --jobs=1 for quotable numbers.
 //   --bin-dir=DIR  Directory holding the bench_* binaries (default: auto-detected from
 //                  argv[0], assuming the CMake layout build/tools + build/bench).
 //   --out=PATH     Summary path (default BENCH_summary.json in the working directory).
 //   --only=SUBSTR  Run only benches whose name contains SUBSTR.
+//   --guard-baseline=PATH
+//                  Perf-regression guard: compares this run's fig4 peak
+//                  sim.events_per_wall_sec against the committed baseline summary at PATH
+//                  and fails (exit 1) when the current number drops below 80% of the
+//                  baseline. The ratio is scale-insensitive enough to run at smoke scale,
+//                  which is how CI wires it (see ci.yml bench-smoke).
 //
 // The summary embeds, per bench: exit code, headline stats of the best-throughput run
 // (TPS, commit p50/p99, e2e p99, latency breakdown), the simulator self-profiling gauges
@@ -19,10 +32,13 @@
 // run metadata: git commit/branch/dirty and the default CostModel the benches simulate.
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/obs/json.h"
@@ -36,6 +52,7 @@ const char* const kBenches[] = {
     "bench_table1_comparison", "bench_table2_recovery", "bench_table3_profiling",
     "bench_table4_counters",  "bench_ablation_achilles", "bench_context_protocols",
     "bench_parallel_instances", "bench_app_kv",  "bench_checkpoint",
+    "bench_sim_core",
 };
 
 std::string Dirname(const std::string& path) {
@@ -140,6 +157,8 @@ void WriteCostModel(obs::JsonWriter& w) {
   w.KeyBeginObject("cost_model_default")
       .Field("sign_ns", static_cast<int64_t>(m.sign))
       .Field("verify_ns", static_cast<int64_t>(m.verify))
+      .Field("verify_batch_fixed_ns", static_cast<int64_t>(m.verify_batch_fixed))
+      .Field("verify_batch_per_sig_ns", static_cast<int64_t>(m.verify_batch_per_sig))
       .Field("hash_ns_per_byte", m.hash_ns_per_byte)
       .Field("hash_fixed_ns", static_cast<int64_t>(m.hash_fixed))
       .Field("ecall_round_trip_ns", static_cast<int64_t>(m.ecall_round_trip))
@@ -222,12 +241,149 @@ void WriteHeadline(obs::JsonWriter& w, const obs::JsonValue& report) {
   w.EndObject();
 }
 
+// Extracts fig4's best sim.events_per_wall_sec from a merged summary, or -1 when absent
+// (bench skipped by --only, failed, or a pre-guard summary format). The MAX over the
+// bench's runs is the guard metric: it is the sweep point where the simulator itself is
+// the bottleneck, and it is reproducible to well under 1% on an idle machine — unlike
+// the best-TPS run's gauge, which lands on a crypto-bound config and swings tens of
+// percent run to run.
+double Fig4EventsPerWallSec(const obs::JsonValue& summary) {
+  const obs::JsonValue* benches = summary.Get("benches");
+  if (benches == nullptr || !benches->is_array()) {
+    return -1.0;
+  }
+  for (const obs::JsonValue& bench : benches->array) {
+    const obs::JsonValue* binary = bench.Get("binary");
+    if (binary == nullptr || !binary->is_string() ||
+        binary->string != "bench_fig4_saturation") {
+      continue;
+    }
+    const obs::JsonValue* report = bench.Get("report");
+    const obs::JsonValue* runs = report != nullptr ? report->Get("runs") : nullptr;
+    if (runs == nullptr || !runs->is_array()) {
+      return -1.0;
+    }
+    double best = -1.0;
+    for (const obs::JsonValue& run : runs->array) {
+      const obs::JsonValue* metrics = run.Get("metrics");
+      if (metrics != nullptr) {
+        best = std::max(best, NumberOr(metrics->Get("sim.events_per_wall_sec"), -1.0));
+      }
+    }
+    return best;
+  }
+  return -1.0;
+}
+
+// The perf-regression guard behind --guard-baseline. Compares the freshly-merged summary
+// against the committed baseline and fails on a >20% events-per-wall-second drop.
+// Returns 0 on pass, 1 on regression or unusable inputs (a silently-skipped guard would
+// defeat its purpose, so a baseline that no longer parses is also a failure).
+int RunGuard(const std::string& baseline_path, const obs::JsonValue& current) {
+  const std::optional<obs::JsonValue> baseline = obs::ParseJson(ReadFile(baseline_path));
+  if (!baseline.has_value() || !baseline->is_object()) {
+    std::fprintf(stderr, "bench_all: guard baseline %s missing or unparseable\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  const double base = Fig4EventsPerWallSec(*baseline);
+  const double now = Fig4EventsPerWallSec(current);
+  if (base <= 0.0) {
+    std::fprintf(stderr, "bench_all: guard baseline %s has no fig4 events/wall-sec\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  if (now <= 0.0) {
+    std::fprintf(stderr,
+                 "bench_all: guard: current run has no fig4 events/wall-sec (did --only "
+                 "exclude bench_fig4_saturation?)\n");
+    return 1;
+  }
+  const double ratio = now / base;
+  std::printf("bench_all: perf guard: fig4 events/wall-sec %.0f vs baseline %.0f (%.2fx)\n",
+              now, base, ratio);
+  if (ratio < 0.8) {
+    std::fprintf(stderr,
+                 "bench_all: PERF REGRESSION: fig4 sim.events_per_wall_sec dropped to "
+                 "%.0f%% of the committed baseline (threshold 80%%).\n"
+                 "If the slowdown is intentional, regenerate the baseline:\n"
+                 "  build/tools/bench_all --smoke --only=fig4_saturation "
+                 "--out=BENCH_summary.json\n",
+                 ratio * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
+// One bench child scheduled by the --jobs pool.
+struct BenchTask {
+  const char* name = nullptr;
+  std::string binary;     // Empty when the binary was not found.
+  std::string json_path;  // Per-bench report the child writes.
+  std::string log_path;   // Child stdout+stderr when running concurrently.
+  int exit_code = 0;
+};
+
+// Runs `tasks` with up to `jobs` concurrent children. Sequential runs stream child output
+// directly; concurrent runs buffer it per-child (the shell redirect) and replay the logs
+// in task order afterwards, so interleaving never scrambles the tables a human reads.
+void RunTasks(std::vector<BenchTask>& tasks, int jobs) {
+  if (jobs <= 1) {
+    for (BenchTask& task : tasks) {
+      if (task.binary.empty()) {
+        continue;
+      }
+      std::printf("=== bench_all: running %s ===\n", task.binary.c_str());
+      std::fflush(stdout);
+      const std::string cmd = task.binary + " --json-out=" + task.json_path;
+      task.exit_code = std::system(cmd.c_str());
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&tasks, &next] {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= tasks.size()) {
+        return;
+      }
+      BenchTask& task = tasks[i];
+      if (task.binary.empty()) {
+        continue;
+      }
+      const std::string cmd = task.binary + " --json-out=" + task.json_path + " > " +
+                              task.log_path + " 2>&1";
+      task.exit_code = std::system(cmd.c_str());
+    }
+  };
+  std::vector<std::thread> pool;
+  const size_t width = std::min<size_t>(static_cast<size_t>(jobs), tasks.size());
+  pool.reserve(width);
+  for (size_t i = 0; i < width; ++i) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  for (const BenchTask& task : tasks) {
+    if (task.binary.empty()) {
+      continue;
+    }
+    std::printf("=== bench_all: %s (exit %d) ===\n", task.binary.c_str(), task.exit_code);
+    const std::string log = ReadFile(task.log_path);
+    std::fwrite(log.data(), 1, log.size(), stdout);
+    std::fflush(stdout);
+  }
+}
+
 int Main(int argc, char** argv) {
   bool smoke = false;
   double scale = 0.0;
+  int jobs = 1;
   std::string bin_dir;
   std::string out_path = "BENCH_summary.json";
   std::string only;
+  std::string guard_baseline;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -236,16 +392,24 @@ int Main(int argc, char** argv) {
     } else if (arg.rfind("--scale=", 0) == 0) {
       smoke = true;
       scale = std::atof(arg.c_str() + 8);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::atoi(arg.c_str() + 7);
+      if (jobs < 1) {
+        std::fprintf(stderr, "bench_all: --jobs wants a positive integer\n");
+        return 2;
+      }
     } else if (arg.rfind("--bin-dir=", 0) == 0) {
       bin_dir = arg.substr(10);
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
     } else if (arg.rfind("--only=", 0) == 0) {
       only = arg.substr(7);
+    } else if (arg.rfind("--guard-baseline=", 0) == 0) {
+      guard_baseline = arg.substr(17);
     } else {
       std::fprintf(stderr,
-                   "usage: bench_all [--smoke] [--scale=F] [--bin-dir=DIR] [--out=PATH] "
-                   "[--only=SUBSTR]\n");
+                   "usage: bench_all [--smoke] [--scale=F] [--jobs=N] [--bin-dir=DIR] "
+                   "[--out=PATH] [--only=SUBSTR] [--guard-baseline=PATH]\n");
       return 2;
     }
   }
@@ -257,51 +421,64 @@ int Main(int argc, char** argv) {
   }
   const std::string argv0_dir = Dirname(argv[0]);
 
+  // Build the filtered task list up front: execution (possibly out of order across a
+  // thread pool) is separated from merging, which always walks tasks in kBenches order.
+  std::vector<BenchTask> tasks;
+  for (const char* name : kBenches) {
+    if (!only.empty() && std::strstr(name, only.c_str()) == nullptr) {
+      continue;
+    }
+    BenchTask task;
+    task.name = name;
+    // BenchIo would default to BENCH_<name-without-prefix>.json; pass the path explicitly
+    // so the merge step does not depend on that convention.
+    task.json_path = std::string("BENCH_") + (name + std::strlen("bench_")) + ".json";
+    task.log_path = std::string("BENCH_") + (name + std::strlen("bench_")) + ".log";
+    task.binary = FindBinary(bin_dir, argv0_dir, name);
+    if (task.binary.empty()) {
+      std::fprintf(stderr, "bench_all: %s not found (use --bin-dir)\n", name);
+    }
+    tasks.push_back(std::move(task));
+  }
+  if (jobs > 1) {
+    std::printf("bench_all: running %zu bench(es) with %d concurrent job(s)\n",
+                tasks.size(), jobs);
+  }
+  RunTasks(tasks, jobs);
+
   obs::JsonWriter w;
   w.BeginObject().Field("generated_by", "bench_all").Field("smoke", smoke);
   if (smoke) {
     w.Field("scale", scale);
   }
+  w.Field("jobs", static_cast<int64_t>(jobs));
   WriteGitMetadata(w);
   WriteCostModel(w);
   w.KeyBeginArray("benches");
 
   int failures = 0;
   int ran = 0;
-  for (const char* name : kBenches) {
-    if (!only.empty() && std::strstr(name, only.c_str()) == nullptr) {
-      continue;
-    }
-    // BenchIo would default to BENCH_<name-without-prefix>.json; pass the path explicitly
-    // so the merge step does not depend on that convention.
-    const std::string json_path = std::string("BENCH_") + (name + std::strlen("bench_")) +
-                                  ".json";
-    w.BeginObject().Field("binary", name).Field("json_path", json_path);
-    const std::string binary = FindBinary(bin_dir, argv0_dir, name);
-    if (binary.empty()) {
-      std::fprintf(stderr, "bench_all: %s not found (use --bin-dir)\n", name);
+  for (const BenchTask& task : tasks) {
+    w.BeginObject().Field("binary", task.name).Field("json_path", task.json_path);
+    if (task.binary.empty()) {
       w.Field("exit_code", static_cast<int64_t>(-1)).Field("error", "binary not found");
       w.EndObject();
       ++failures;
       continue;
     }
-    std::printf("=== bench_all: running %s ===\n", binary.c_str());
-    std::fflush(stdout);
-    const std::string cmd = binary + " --json-out=" + json_path;
-    const int rc = std::system(cmd.c_str());
-    w.Field("exit_code", static_cast<int64_t>(rc));
+    w.Field("exit_code", static_cast<int64_t>(task.exit_code));
     ++ran;
-    if (rc != 0) {
-      std::fprintf(stderr, "bench_all: %s exited with %d\n", name, rc);
+    if (task.exit_code != 0) {
+      std::fprintf(stderr, "bench_all: %s exited with %d\n", task.name, task.exit_code);
       w.EndObject();
       ++failures;
       continue;
     }
-    const std::string text = ReadFile(json_path);
+    const std::string text = ReadFile(task.json_path);
     const std::optional<obs::JsonValue> report = obs::ParseJson(text);
     if (!report.has_value() || !report->is_object()) {
-      std::fprintf(stderr, "bench_all: %s produced unparseable JSON at %s\n", name,
-                   json_path.c_str());
+      std::fprintf(stderr, "bench_all: %s produced unparseable JSON at %s\n", task.name,
+                   task.json_path.c_str());
       w.Field("error", "unparseable json").EndObject();
       ++failures;
       continue;
@@ -331,6 +508,13 @@ int Main(int argc, char** argv) {
   std::fclose(f);
   std::printf("bench_all: wrote %s (%d bench(es), %d failure(s))\n", out_path.c_str(), ran,
               failures);
+
+  if (!guard_baseline.empty()) {
+    const std::optional<obs::JsonValue> current = obs::ParseJson(w.str());
+    if (!current.has_value() || RunGuard(guard_baseline, *current) != 0) {
+      return 1;
+    }
+  }
   return failures == 0 ? 0 : 1;
 }
 

@@ -69,7 +69,8 @@ void Usage() {
                "stale-read-lease|stale-snapshot-accept]\n"
                "                  [--replay SEED] [--replay-file PATH] [--minimize SEED]\n"
                "                  [--reboot-weight P] [--ckpt-weight P] [--out-dir DIR]\n"
-               "                  [--journal] [--explain] [--verbose]\n");
+               "                  [--engine heap|calendar] [--journal] [--explain]\n"
+               "                  [--verbose]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -161,6 +162,13 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* value = next();
       if (value == nullptr) return false;
       args->out_dir = value;
+    } else if (flag == "--engine") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      if (!SimEngineFromName(value, &args->options.engine)) {
+        std::fprintf(stderr, "chaos_main: unknown engine '%s' (heap|calendar)\n", value);
+        return false;
+      }
     } else if (flag == "--journal") {
       args->options.journal = true;
     } else if (flag == "--explain") {
