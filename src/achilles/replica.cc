@@ -259,9 +259,11 @@ void AchillesReplica::OnVote(const AchVoteMsg& msg) {
     }
   }
   votes.push_back(msg.store_cert);
+  CritNote(0, v);
   if (votes.size() < quorum()) {
     return;
   }
+  CritJoin(0, v);
   highest_decided_ = v;
   auto decide = std::make_shared<AchDecideMsg>();
   decide->commit_cert.hash = proposed->second;

@@ -82,6 +82,10 @@ void CommitTracker::OnClientConfirm(const BlockPtr& block, SimTime now,
   if (breakdown_ != nullptr && path != nullptr) {
     breakdown_->OnConfirm(*path, now, submit_sum, block->txs.size());
   }
+  if (critpath_ != nullptr && critpath_->enabled() && path != nullptr) {
+    critpath_->OnConfirm(path->activity, path->origin, block->height, now, submit_sum,
+                         block->txs.size());
+  }
 }
 
 void CommitTracker::StartMeasurement(SimTime now) {
@@ -93,6 +97,9 @@ void CommitTracker::StartMeasurement(SimTime now) {
   e2e_latency_.Reset();
   if (breakdown_ != nullptr) {
     breakdown_->Reset();
+  }
+  if (critpath_ != nullptr) {
+    critpath_->ResetWindow();
   }
 }
 

@@ -13,6 +13,7 @@
 #include "src/consensus/block.h"
 #include "src/consensus/metrics.h"
 #include "src/obs/breakdown.h"
+#include "src/obs/critpath.h"
 
 namespace achilles {
 
@@ -53,6 +54,9 @@ class CommitTracker {
   // Attribution sink for confirmed-block latency decomposition; measurement-window gating
   // happens here so attribution and the e2e recorder always agree.
   void SetBreakdown(obs::BreakdownAttributor* breakdown) { breakdown_ = breakdown; }
+  // Critical-path sink: confirmed chains freeze their DAG frontier here, with the same
+  // window gating and per-tx weighting as the breakdown attributor.
+  void SetCritPath(obs::CritPathCollector* critpath) { critpath_ = critpath; }
 
   // --- Called by replicas / clients ---
   void OnPropose(const BlockPtr& block);
@@ -105,6 +109,7 @@ class CommitTracker {
   std::vector<CommitListener> listeners_;
   std::vector<ProposeListener> propose_listeners_;
   obs::BreakdownAttributor* breakdown_ = nullptr;
+  obs::CritPathCollector* critpath_ = nullptr;
 
   SimTime window_start_ = 0;
   SimTime window_end_ = -1;

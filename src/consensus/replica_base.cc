@@ -117,6 +117,29 @@ uint64_t ReplicaBase::JournalHash(const Hash256& hash) {
 }
 
 namespace {
+// Quorum-instance key: replica x phase tag x instance (height or block-hash prefix).
+// Replica and tag fold into the top bits so instances never collide across collectors.
+uint64_t CritKey(NodeId node, uint32_t tag, uint64_t instance) {
+  return (static_cast<uint64_t>(node) << 48) ^ (static_cast<uint64_t>(tag) << 40) ^
+         instance;
+}
+}  // namespace
+
+void ReplicaBase::CritNote(uint32_t tag, uint64_t instance) {
+  obs::CritPathCollector* cp = host().critpath();
+  if (cp != nullptr && cp->enabled()) {
+    cp->NoteInput(CritKey(id(), tag, instance), host().current_activity(), LocalNow());
+  }
+}
+
+void ReplicaBase::CritJoin(uint32_t tag, uint64_t instance) {
+  obs::CritPathCollector* cp = host().critpath();
+  if (cp != nullptr && cp->enabled()) {
+    cp->JoinInputs(CritKey(id(), tag, instance), host().current_activity(), LocalNow());
+  }
+}
+
+namespace {
 // Retention below the committed prefix: enough to serve lagging peers' fetches, small
 // enough to keep long runs memory-stable.
 constexpr Height kPruneWindow = 128;

@@ -184,6 +184,14 @@ class ReplicaBase : public IProcess {
                         std::string detail = {});
   // Compact block identity for journal payloads: the hash's first 8 bytes, big-endian.
   static uint64_t JournalHash(const Hash256& hash);
+  // Critical-path quorum bookkeeping (src/obs/critpath.h). CritNote marks the running
+  // handler as carrying one input of quorum instance (`tag`, `instance`) — call it right
+  // after adding a vote to a quorum set. CritJoin attaches every noted input to the
+  // running handler — call it where the quorum check passes, so the what-if engine knows
+  // commit progress waits on the whole vote set, not just the chain that happened to
+  // arrive last. Zero virtual-time cost; no-ops when collection is off.
+  void CritNote(uint32_t tag, uint64_t instance);
+  void CritJoin(uint32_t tag, uint64_t instance);
 
   // --- Chained commit (commits `block` and all uncommitted ancestors, oldest first) ---
   // Informs the tracker, marks the mempool, replies to clients with `cert_wire_size`. If

@@ -236,9 +236,11 @@ void DamysusReplica::OnVote1(const DamVote1Msg& msg) {
     }
   }
   votes.push_back(msg.vote);
+  CritNote(0, v);
   if (votes.size() < quorum()) {
     return;
   }
+  CritJoin(0, v);
   highest_precommit_ = v;
   auto out = std::make_shared<DamPreCommitMsg>();
   out->prepared_qc.hash = proposed->second;
@@ -289,9 +291,11 @@ void DamysusReplica::OnVote2(const DamVote2Msg& msg) {
     }
   }
   votes.push_back(msg.vote);
+  CritNote(1, v);
   if (votes.size() < quorum()) {
     return;
   }
+  CritJoin(1, v);
   highest_decided_ = v;
   auto out = std::make_shared<DamDecideMsg>();
   out->commit_qc.hash = proposed->second;

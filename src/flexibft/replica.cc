@@ -237,6 +237,7 @@ void FlexiBftReplica::OnVote(const FbVoteMsg& msg) {
     }
   }
   cand.votes.push_back(msg.vote.sig);
+  CritNote(0, JournalHash(msg.vote.hash));
   TryCommit(msg.vote.hash);
 }
 
@@ -250,6 +251,7 @@ void FlexiBftReplica::TryCommit(const Hash256& hash) {
     return;
   }
   it->second.committed = true;
+  CritJoin(0, JournalHash(hash));
   const size_t qc_wire = it->second.votes.size() * (4 + 64);
   const bool was_last_proposed = it->second.block == last_proposed_;
   CommitChain(it->second.block, qc_wire);

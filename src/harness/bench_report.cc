@@ -60,6 +60,8 @@ void WriteStats(obs::JsonWriter* w, const RunStats& stats) {
       .Field("safety_ok", stats.safety_ok);
   w->Key("breakdown_ms");
   stats.breakdown.ToJson(w);
+  w->Key("critpath");
+  stats.critpath.ToJson(*w);
   w->EndObject();
 }
 
@@ -80,11 +82,13 @@ BenchReport& BenchReport::Instance() {
 }
 
 void BenchReport::Configure(std::string bench_name, std::string json_path,
-                            std::string trace_path) {
+                            std::string trace_path, std::string critpath_path) {
   name_ = std::move(bench_name);
   json_path_ = std::move(json_path);
   trace_path_ = std::move(trace_path);
+  critpath_path_ = std::move(critpath_path);
   trace_written_ = false;
+  critpath_written_ = false;
   runs_.clear();
   tables_.clear();
 }
@@ -120,6 +124,20 @@ void BenchReport::RecordRun(const ClusterConfig& config, const RunStats& stats,
       std::fprintf(stderr, "WARNING: failed to write trace to %s\n", trace_path_.c_str());
     }
     trace_written_ = true;  // One trace per process either way; don't retrace every run.
+  }
+  if (critpath_wanted() && !critpath_written_ && cluster.critpath().enabled()) {
+    const obs::CritPathCollector& cp = cluster.critpath();
+    bool ok = WriteFile(critpath_path_, cp.ProfileJson());
+    ok = WriteFile(critpath_path_ + ".folded", cp.FoldedStacks()) && ok;
+    ok = WriteFile(critpath_path_ + ".perfetto.json", cp.PerfettoJson(16)) && ok;
+    if (ok) {
+      std::fprintf(stderr, "critpath profile written to %s (+.folded, +.perfetto.json)\n",
+                   critpath_path_.c_str());
+    } else {
+      std::fprintf(stderr, "WARNING: failed to write critpath profile to %s\n",
+                   critpath_path_.c_str());
+    }
+    critpath_written_ = true;
   }
   if (!json_enabled()) {
     return;
@@ -169,6 +187,7 @@ int BenchReport::Finish(int rc) {
 BenchIo::BenchIo(const char* bench_name, int argc, char** argv) {
   std::string json_path;
   std::string trace_path;
+  std::string critpath_path;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--json-out") == 0) {
@@ -179,10 +198,15 @@ BenchIo::BenchIo(const char* bench_name, int argc, char** argv) {
       trace_path = std::string("BENCH_") + bench_name + ".trace.json";
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       trace_path = arg + 12;
+    } else if (std::strcmp(arg, "--critpath-out") == 0) {
+      critpath_path = std::string("BENCH_") + bench_name + ".critpath.json";
+    } else if (std::strncmp(arg, "--critpath-out=", 15) == 0) {
+      critpath_path = arg + 15;
     }
     // Other flags belong to the bench itself (e.g. fig3's --net/--sweep).
   }
-  BenchReport::Instance().Configure(bench_name, std::move(json_path), std::move(trace_path));
+  BenchReport::Instance().Configure(bench_name, std::move(json_path), std::move(trace_path),
+                                    std::move(critpath_path));
 }
 
 }  // namespace achilles

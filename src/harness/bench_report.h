@@ -5,6 +5,10 @@
 //                       metric snapshots) next to the human-readable tables
 //   --trace-out[=path]  run the first measured cluster with span tracing on and export it
 //                       as Chrome trace_event JSON (opens in Perfetto / chrome://tracing)
+//   --critpath-out[=path]  run every measured cluster with the causal critical-path
+//                       profiler on and export, for the first run, the blame/slack/what-if
+//                       profile JSON plus `<path>.folded` (flamegraph folded stacks) and
+//                       `<path>.perfetto.json` (critical-path chains as Perfetto slices)
 //
 // MeasureOnce feeds every measured run into the process-wide BenchReport; benches need no
 // further changes beyond the three-line main() wrapper.
@@ -23,12 +27,17 @@ class BenchReport {
   static BenchReport& Instance();
 
   // Called once by BenchIo before Main runs.
-  void Configure(std::string bench_name, std::string json_path, std::string trace_path);
+  void Configure(std::string bench_name, std::string json_path, std::string trace_path,
+                 std::string critpath_path);
 
   bool json_enabled() const { return !json_path_.empty(); }
   // True until the first traced run has been exported; MeasureOnce checks this to decide
   // whether to enable tracing on the cluster it builds.
   bool trace_wanted() const { return !trace_path_.empty() && !trace_written_; }
+  // Unlike tracing, --critpath-out keeps the profiler on for every run of the process so
+  // each run's JSON carries its own `critpath` summary; the profile artifacts are written
+  // once, from the first measured run.
+  bool critpath_wanted() const { return !critpath_path_.empty(); }
 
   // Serializes one measured run (config + stats + metric snapshot) into the report and, if
   // a trace is still wanted and the cluster recorded one, writes it out.
@@ -48,7 +57,9 @@ class BenchReport {
   std::string name_;
   std::string json_path_;
   std::string trace_path_;
+  std::string critpath_path_;
   bool trace_written_ = false;
+  bool critpath_written_ = false;
   std::vector<std::string> runs_;    // Pre-serialized JSON objects, one per measured run.
   std::vector<std::string> tables_;  // Pre-serialized JSON objects, one per printed table.
 };

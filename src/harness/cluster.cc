@@ -85,7 +85,10 @@ Cluster::Cluster(const ClusterConfig& config)
 
   tracer_.set_enabled(config_.tracing);
   journal_.set_enabled(config_.journaling);
+  critpath_.set_enabled(config_.critpath);
   tracker_.SetBreakdown(&breakdown_);
+  tracker_.SetCritPath(&critpath_);
+  net_.set_critpath(&critpath_);
   net_.AttachMetrics(&metrics_);
 
   for (uint32_t i = 0; i < n_; ++i) {
@@ -138,6 +141,7 @@ Cluster::Cluster(const ClusterConfig& config)
   for (auto& host : hosts_) {
     host->set_tracer(&tracer_);
     host->set_journal(&journal_);
+    host->set_critpath(&critpath_);
     host->AttachMetrics(&metrics_);
   }
 }
@@ -307,6 +311,12 @@ RunStats Cluster::RunMeasured(SimDuration warmup, SimDuration measure) {
       ->Set(static_cast<double>(sim_.peak_pending_events()));
   RefreshFootprintGauges();
 
+  // Observability truncation gauges: how much the span ring and flight recorder dropped.
+  // Always exported so trend guards can watch them even on runs with tracing off.
+  metrics_.GetGauge("trace.dropped_spans")->Set(static_cast<double>(tracer_.dropped()));
+  metrics_.GetGauge("journal.events_recorded")->Set(static_cast<double>(journal_.recorded()));
+  metrics_.GetGauge("journal.events_evicted")->Set(static_cast<double>(journal_.evicted()));
+
   RunStats stats;
   stats.throughput_tps = tracker_.ThroughputTps();
   stats.commit_latency_ms = tracker_.commit_latency().MeanMs();
@@ -322,6 +332,15 @@ RunStats Cluster::RunMeasured(SimDuration warmup, SimDuration measure) {
   stats.counter_writes = TotalCounterWrites() - counter_before;
   stats.safety_ok = !tracker_.safety_violated();
   stats.breakdown = breakdown_.MeanPerTx();
+  if (critpath_.enabled()) {
+    stats.critpath = critpath_.Summarize();
+    metrics_.GetGauge("critpath.activities")
+        ->Set(static_cast<double>(critpath_.activities()));
+    metrics_.GetGauge("critpath.dropped_activities")
+        ->Set(static_cast<double>(critpath_.dropped_activities()));
+    metrics_.GetGauge("critpath.dropped_segments")
+        ->Set(static_cast<double>(critpath_.dropped_segments()));
+  }
   return stats;
 }
 

@@ -75,6 +75,10 @@ struct ClusterConfig {
   // last `trace_capacity` events (smaller rings keep exported traces small).
   bool tracing = false;
   size_t trace_capacity = obs::SpanTracer::kDefaultCapacity;
+  // Critical-path profiling (src/obs/critpath.h). Off by default; like tracing and
+  // journaling, collection is memory-only and never perturbs virtual time, so event-log,
+  // journal and replay digests stay bit-identical either way.
+  bool critpath = false;
   // Flight recorder (src/obs/journal.h). Off by default; like tracing, recording never
   // perturbs virtual time, so RunStats stay bit-identical either way.
   bool journaling = false;
@@ -116,6 +120,9 @@ struct RunStats {
   // Mean per-tx decomposition of e2e latency; breakdown.TotalMs() == e2e_latency_ms up to
   // floating-point rounding (see src/obs/breakdown.h).
   obs::BreakdownMs breakdown;
+  // Causal critical-path summary (enabled=false unless config.critpath). The on-path
+  // component means reconcile with `breakdown` by construction.
+  obs::CritSummary critpath;
 };
 
 class Cluster {
@@ -185,6 +192,7 @@ class Cluster {
   obs::SpanTracer& tracer() { return tracer_; }
   obs::Journal& journal() { return journal_; }
   const obs::BreakdownAttributor& breakdown() const { return breakdown_; }
+  obs::CritPathCollector& critpath() { return critpath_; }
 
  private:
   std::unique_ptr<ReplicaBase> MakeReplica(uint32_t id, bool initial_launch);
@@ -196,6 +204,7 @@ class Cluster {
   obs::SpanTracer tracer_;
   obs::Journal journal_;
   obs::BreakdownAttributor breakdown_;
+  obs::CritPathCollector critpath_;
   Simulation sim_;
   Network net_;
   CryptoSuite suite_;

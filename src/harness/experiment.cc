@@ -41,6 +41,9 @@ RunStats MeasureOnce(const ClusterConfig& config, SimDuration warmup, SimDuratio
   // First measured run of the process carries the trace when --trace-out was given.
   // Tracing records to memory only, so stats are unaffected (tested bit-identical).
   effective.tracing = config.tracing || report.trace_wanted();
+  // --critpath-out turns on causal profiling for every run of the process; like tracing,
+  // collection is memory-only and leaves virtual-time results bit-identical.
+  effective.critpath = config.critpath || report.critpath_wanted();
   Cluster cluster(effective);
   const RunStats stats = cluster.RunMeasured(warmup, measure);
   if (!stats.safety_ok) {

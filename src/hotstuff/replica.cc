@@ -291,9 +291,11 @@ void HotStuffReplica::OnVote(const HsVoteMsg& msg) {
     }
   }
   votes.push_back(msg.vote);
+  CritNote(static_cast<uint32_t>(phase_index), v);
   if (votes.size() < VoteQuorum()) {
     return;
   }
+  CritJoin(static_cast<uint32_t>(phase_index), v);
   phase_done_[v] = static_cast<uint8_t>(phase_index + 1);
   auto out = std::make_shared<HsQcMsg>();
   out->phase = msg.phase;

@@ -201,6 +201,7 @@ void MinBftReplica::OnCommit(NodeId from, const MinCommitMsg& msg) {
     return;
   }
   cand.commits.insert(from);
+  CritNote(0, JournalHash(msg.block_hash));
   TryFinalize(msg.block_hash);
 }
 
@@ -214,6 +215,7 @@ void MinBftReplica::TryFinalize(const Hash256& hash) {
     return;
   }
   it->second.committed = true;
+  CritJoin(0, JournalHash(hash));
   const bool was_last_proposed = it->second.block == last_proposed_;
   const size_t cert_wire = it->second.commits.size() * (4 + 64);
   CommitChain(it->second.block, cert_wire);

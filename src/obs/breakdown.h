@@ -46,6 +46,7 @@ struct Path {
   std::array<int64_t, kNumComponents> parts{};
   uint64_t span = 0;     // Trace span id of the current context (for parent links).
   uint64_t jparent = 0;  // Flight-recorder seq of the causal parent (src/obs/journal.h).
+  uint32_t activity = 0;  // Critical-path activity carrying this chain (src/obs/critpath.h).
 
   void Restart(SimTime now, uint64_t span_id = 0) {
     origin = now;
@@ -53,6 +54,7 @@ struct Path {
     parts.fill(0);
     span = span_id;
     jparent = 0;
+    activity = 0;
   }
 
   void Extend(Component c, SimDuration d) {

@@ -207,6 +207,13 @@ const JournalRecord* FindEvidence(const std::vector<JournalRecord>& events,
       return r.kind == JournalKind::kLeaseServe &&
              (query.node == UINT32_MAX || r.node == query.node);
     });
+  } else if (query.oracle == "liveness") {
+    // Nothing "violates" in a stall; the interesting event is the last commit anywhere —
+    // the tip of the last dependency chain that advanced the frontier. The parent walk
+    // from it is the stalled chain the bounded-liveness clock ran out on.
+    best = latest_of([&](const JournalRecord& r) {
+      return r.kind == JournalKind::kCommit || r.kind == JournalKind::kCheckpoint;
+    });
   }
   if (best == nullptr && !hits.empty()) {
     for (const JournalRecord& r : events) {
@@ -399,8 +406,52 @@ IncidentReport AnalyzeIncident(const Journal& journal, const IncidentQuery& quer
             " version(s))\n";
   }
 
+  // Liveness narrative: where every replica last made progress. The commit frontier
+  // stopped at the evidence commit; whoever's last event trails it is where the stalled
+  // dependency sits.
+  if (query.oracle == "liveness") {
+    struct Progress {
+      uint64_t last_commit_h = 0;
+      SimTime last_commit_ts = -1;
+      uint64_t last_view = 0;
+      SimTime last_ts = -1;
+    };
+    std::map<uint32_t, Progress> progress;
+    for (const JournalRecord& r : events) {
+      Progress& p = progress[r.node];
+      p.last_ts = r.ts;
+      if (r.kind == JournalKind::kCommit || r.kind == JournalKind::kCheckpoint) {
+        p.last_commit_h = r.a;
+        p.last_commit_ts = r.ts;
+      } else if (r.kind == JournalKind::kViewEnter) {
+        p.last_view = r.a;
+      }
+    }
+    text += "\n--- last progress per replica ---\n";
+    for (const auto& [node, p] : progress) {
+      text += FmtNode(node) + ": ";
+      if (p.last_commit_ts >= 0) {
+        text += "last commit h=" + std::to_string(p.last_commit_h) + " at t=" +
+                std::to_string(p.last_commit_ts);
+      } else {
+        text += "never committed";
+      }
+      text += ", last view " + std::to_string(p.last_view) + ", last event t=" +
+              std::to_string(p.last_ts);
+      if (exclude.count(node) != 0) {
+        text += " (byzantine; excluded)";
+      }
+      text += "\n";
+    }
+    text += "no commit extended the frontier after t=" + std::to_string(evidence->ts) +
+            "; the chain below is the stalled dependency chain feeding that last "
+            "commit.\n";
+  }
+
   // --- Causal chain: parent walk from the evidence ---
-  text += "\n--- causal chain (evidence first) ---\n";
+  text += query.oracle == "liveness"
+              ? "\n--- stalled dependency chain (last progress first) ---\n"
+              : "\n--- causal chain (evidence first) ---\n";
   const JournalRecord* cursor = evidence;
   size_t steps = 0;
   while (cursor != nullptr && steps < 20) {

@@ -249,9 +249,11 @@ void OneShotReplica::OnVote1(const OsVote1Msg& msg) {
     }
   }
   votes.push_back(msg.vote);
+  CritNote(0, v);
   if (votes.size() < quorum()) {
     return;
   }
+  CritJoin(0, v);
   highest_precommit_ = v;
   auto out = std::make_shared<OsPreCommitMsg>();
   out->prepared_qc.hash = proposed->second;
@@ -302,9 +304,11 @@ void OneShotReplica::OnCommitVote(const OsCommitVoteMsg& msg) {
     }
   }
   votes.push_back(msg.vote);
+  CritNote(1, v);
   if (votes.size() < quorum()) {
     return;
   }
+  CritJoin(1, v);
   highest_decided_ = v;
   auto out = std::make_shared<OsDecideMsg>();
   out->commit_qc.hash = proposed->second;

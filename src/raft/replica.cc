@@ -283,9 +283,11 @@ void RaftReplica::OnAck(NodeId from, const RaftAckMsg& msg) {
     return;
   }
   it->second.acks.insert(from);
+  CritNote(0, JournalHash(msg.hash));
   if (it->second.acks.size() < quorum()) {
     return;
   }
+  CritJoin(0, JournalHash(msg.hash));
   const BlockPtr block = it->second.block;
   pending_.erase(it);
   CommitChain(block, /*cert_wire_size=*/0);

@@ -64,6 +64,9 @@ void Host::Crash() {
   if (journal_ != nullptr && journal_->enabled()) {
     journal_->Record(id_, obs::JournalKind::kCrash, sim_->Now(), 0, epoch_);
   }
+  if (critpath_ != nullptr) {
+    critpath_->OnHostCrash(id_);  // Reboot resets cpu_free_at_: sever the CPU chain.
+  }
   if (lifecycle_) {
     lifecycle_(id_, "crash");
   }
@@ -175,6 +178,9 @@ void Host::ChargeCpuAs(obs::Component c, SimDuration d) {
   if (in_handler_) {
     handler_charge_ += d;
     cur_path_.Extend(c, d);
+    if (critpath_ != nullptr && cur_path_.activity != 0) {
+      critpath_->AddService(cur_path_.activity, c, d);
+    }
   } else {
     // Charges outside a handler (e.g. setup) extend the CPU horizon directly.
     cpu_free_at_ = std::max(cpu_free_at_, sim_->Now()) + d;
@@ -203,6 +209,11 @@ void Host::RestartPathAt(SimTime origin) {
   // Any handler time already spent past `origin` (e.g. building the block that defines the
   // proposal point) is CPU service; re-covering it keeps sum(parts) == LocalNow - origin.
   cur_path_.CoverUntil(obs::Component::kCpu, LocalNow());
+  if (critpath_ != nullptr && critpath_->enabled()) {
+    cur_path_.activity = critpath_->BeginOrigin(id_, origin, LocalNow());
+  } else {
+    cur_path_.activity = 0;
+  }
 }
 
 uint64_t Host::SetTimer(SimDuration delay, std::function<void()> fn) {
@@ -281,6 +292,12 @@ void Host::DrainOne() {
   // Run-queue wait between arrival (the path frontier) and handler start.
   if (queue_wait_ns_ != nullptr && start > cur_path_.covered_until) {
     queue_wait_ns_->Record(start - cur_path_.covered_until);
+  }
+  if (critpath_ != nullptr && critpath_->enabled()) {
+    cur_path_.activity = critpath_->BeginHandler(id_, work.name, cur_path_.activity,
+                                                 cur_path_.covered_until, start);
+  } else {
+    cur_path_.activity = 0;
   }
   cur_path_.CoverUntil(obs::Component::kCpu, start);
   if (tracer_ != nullptr && tracer_->enabled()) {

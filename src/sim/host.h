@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/obs/breakdown.h"
+#include "src/obs/critpath.h"
 #include "src/obs/journal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -107,6 +108,12 @@ class Host {
   // like the tracer, recording is memory-only and never perturbs virtual time.
   void set_journal(obs::Journal* journal) { journal_ = journal; }
   obs::Journal* journal() const { return journal_; }
+  // Critical-path collector (src/obs/critpath.h): handler/origin activities register here
+  // and ride in cur_path_.activity. Memory-only bookkeeping, zero virtual cost.
+  void set_critpath(obs::CritPathCollector* critpath) { critpath_ = critpath; }
+  obs::CritPathCollector* critpath() const { return critpath_; }
+  // Critical-path activity of the running handler (0 = none / collection off).
+  uint32_t current_activity() const { return cur_path_.activity; }
   // Journal seq of the event that caused the running handler (the deliver/send chain);
   // 0 outside a handler or when journaling is off. New records made by the handler use it
   // as their causal parent.
@@ -175,6 +182,7 @@ class Host {
   LifecycleListener lifecycle_;
   obs::SpanTracer* tracer_ = nullptr;
   obs::Journal* journal_ = nullptr;
+  obs::CritPathCollector* critpath_ = nullptr;
   obs::Histogram* handler_ns_ = nullptr;    // Per-handler CPU charge distribution.
   obs::Histogram* queue_wait_ns_ = nullptr; // Arrival -> handler-start wait distribution.
 

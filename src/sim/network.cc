@@ -58,7 +58,13 @@ SimTime Network::Send(uint32_t from, uint32_t to, MessageRef msg) {
   }
   if (from == to) {
     const SimTime arrival = departure + config_.loopback_delay;
+    const SimTime dep = path.covered_until;  // Sender's causal frontier at Send.
     path.CoverUntil(obs::Component::kNetPropagation, arrival);
+    if (critpath_ != nullptr && critpath_->enabled()) {
+      path.activity = critpath_->BeginTransit(from, to, msg->TraceName(), path.activity,
+                                              dep, dep, dep, arrival, /*nic=*/0,
+                                              /*holds_nic=*/false);
+    }
     if (tap_) {
       tap_(from, to, msg, arrival);
     }
@@ -100,8 +106,14 @@ SimTime Network::Send(uint32_t from, uint32_t to, MessageRef msg) {
           sim_->rng().UniformU64(static_cast<uint64_t>(chaos_.reorder_delay_max) + 1));
     }
   }
+  const SimTime dep = path.covered_until;  // Sender's causal frontier at Send.
   path.CoverUntil(obs::Component::kNicSerialization, tx_end);
   path.CoverUntil(obs::Component::kNetPropagation, arrival);
+  if (critpath_ != nullptr && critpath_->enabled()) {
+    path.activity = critpath_->BeginTransit(from, to, msg->TraceName(), path.activity, dep,
+                                            tx_start, tx_end, arrival, nic,
+                                            /*holds_nic=*/true);
+  }
   if (tap_) {
     tap_(from, to, msg, arrival);
   }
@@ -114,6 +126,13 @@ SimTime Network::Send(uint32_t from, uint32_t to, MessageRef msg) {
             sim_->rng().UniformU64(static_cast<uint64_t>(chaos_.dup_delay_max) + 1));
     obs::Path dup_path = path;
     dup_path.CoverUntil(obs::Component::kNetPropagation, dup_arrival);
+    if (critpath_ != nullptr && critpath_->enabled()) {
+      // The duplicate is triggered by the original transit; it holds no NIC (the bytes
+      // already left the sender) and only adds propagation past the first arrival.
+      dup_path.activity = critpath_->BeginTransit(from, to, msg->TraceName(), path.activity,
+                                                  arrival, arrival, arrival, dup_arrival,
+                                                  /*nic=*/0, /*holds_nic=*/false);
+    }
     if (tap_) {
       tap_(from, to, msg, dup_arrival);
     }

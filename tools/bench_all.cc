@@ -217,6 +217,14 @@ void WriteHeadline(obs::JsonWriter& w, const obs::JsonValue& report) {
     w.Key("breakdown_ms");
     WriteValue(w, *breakdown);
   }
+  // Causal critical-path summary of the peak run, when the bench profiled one.
+  if (const obs::JsonValue* critpath = stats->Get("critpath")) {
+    const obs::JsonValue* enabled = critpath->Get("enabled");
+    if (enabled != nullptr && enabled->boolean) {
+      w.Key("critpath");
+      WriteValue(w, *critpath);
+    }
+  }
   const obs::JsonValue* metrics = best->Get("metrics");
   if (metrics != nullptr && metrics->is_object()) {
     w.KeyBeginObject("sim");
@@ -318,11 +326,20 @@ int RunGuard(const std::string& baseline_path, const obs::JsonValue& current) {
 // One bench child scheduled by the --jobs pool.
 struct BenchTask {
   const char* name = nullptr;
-  std::string binary;     // Empty when the binary was not found.
-  std::string json_path;  // Per-bench report the child writes.
-  std::string log_path;   // Child stdout+stderr when running concurrently.
+  std::string binary;         // Empty when the binary was not found.
+  std::string json_path;      // Per-bench report the child writes.
+  std::string log_path;       // Child stdout+stderr when running concurrently.
+  std::string critpath_path;  // Non-empty: pass --critpath-out=<path> to the child.
   int exit_code = 0;
 };
+
+std::string TaskCommand(const BenchTask& task) {
+  std::string cmd = task.binary + " --json-out=" + task.json_path;
+  if (!task.critpath_path.empty()) {
+    cmd += " --critpath-out=" + task.critpath_path;
+  }
+  return cmd;
+}
 
 // Runs `tasks` with up to `jobs` concurrent children. Sequential runs stream child output
 // directly; concurrent runs buffer it per-child (the shell redirect) and replay the logs
@@ -335,7 +352,7 @@ void RunTasks(std::vector<BenchTask>& tasks, int jobs) {
       }
       std::printf("=== bench_all: running %s ===\n", task.binary.c_str());
       std::fflush(stdout);
-      const std::string cmd = task.binary + " --json-out=" + task.json_path;
+      const std::string cmd = TaskCommand(task);
       task.exit_code = std::system(cmd.c_str());
     }
     return;
@@ -351,8 +368,7 @@ void RunTasks(std::vector<BenchTask>& tasks, int jobs) {
       if (task.binary.empty()) {
         continue;
       }
-      const std::string cmd = task.binary + " --json-out=" + task.json_path + " > " +
-                              task.log_path + " 2>&1";
+      const std::string cmd = TaskCommand(task) + " > " + task.log_path + " 2>&1";
       task.exit_code = std::system(cmd.c_str());
     }
   };
@@ -434,6 +450,12 @@ int Main(int argc, char** argv) {
     // so the merge step does not depend on that convention.
     task.json_path = std::string("BENCH_") + (name + std::strlen("bench_")) + ".json";
     task.log_path = std::string("BENCH_") + (name + std::strlen("bench_")) + ".log";
+    // Table 3 carries the causal profiler always-on; export its profile + flamegraph
+    // artifacts alongside the summary (CI uploads BENCH_*.json and *.folded).
+    if (std::strcmp(name, "bench_table3_profiling") == 0) {
+      task.critpath_path =
+          std::string("BENCH_") + (name + std::strlen("bench_")) + ".critpath.json";
+    }
     task.binary = FindBinary(bin_dir, argv0_dir, name);
     if (task.binary.empty()) {
       std::fprintf(stderr, "bench_all: %s not found (use --bin-dir)\n", name);
@@ -458,6 +480,11 @@ int Main(int argc, char** argv) {
 
   int failures = 0;
   int ran = 0;
+  // Summary-level causal headline: the profiled run (across all benches) with the most
+  // commits — i.e. the statistically strongest critical-path sample of the whole sweep.
+  std::optional<obs::JsonValue> critpath_headline;
+  std::string critpath_headline_bench;
+  double critpath_headline_commits = -1.0;
   for (const BenchTask& task : tasks) {
     w.BeginObject().Field("binary", task.name).Field("json_path", task.json_path);
     if (task.binary.empty()) {
@@ -489,12 +516,35 @@ int Main(int argc, char** argv) {
       }
     }
     WriteHeadline(w, *report);
+    const obs::JsonValue* runs = report->Get("runs");
+    if (runs != nullptr && runs->is_array()) {
+      for (const obs::JsonValue& run : runs->array) {
+        const obs::JsonValue* stats = run.Get("stats");
+        const obs::JsonValue* critpath = stats != nullptr ? stats->Get("critpath") : nullptr;
+        if (critpath == nullptr) {
+          continue;
+        }
+        const obs::JsonValue* enabled = critpath->Get("enabled");
+        const double commits = NumberOr(critpath->Get("commits"), 0.0);
+        if (enabled != nullptr && enabled->boolean && commits > critpath_headline_commits) {
+          critpath_headline_commits = commits;
+          critpath_headline = *critpath;
+          critpath_headline_bench = task.name;
+        }
+      }
+    }
     w.Key("report");
     WriteValue(w, *report);
     w.EndObject();
   }
-  w.EndArray()
-      .Field("benches_run", static_cast<int64_t>(ran))
+  w.EndArray();
+  if (critpath_headline.has_value()) {
+    w.KeyBeginObject("critpath").Field("bench", critpath_headline_bench);
+    w.Key("summary");
+    WriteValue(w, *critpath_headline);
+    w.EndObject();
+  }
+  w.Field("benches_run", static_cast<int64_t>(ran))
       .Field("benches_failed", static_cast<int64_t>(failures))
       .EndObject();
 

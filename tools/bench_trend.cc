@@ -1,0 +1,300 @@
+// bench_trend: merges historical BENCH_summary.json files (tools/bench_all output) into a
+// trend report, and generalizes the CI perf guard from one gauge to a panel.
+//
+// Usage:
+//   bench_trend FILE...                       chronological trend table, one row per
+//                                             summary, one column per tracked gauge,
+//                                             with deltas against the first file
+//   bench_trend --guard --baseline=PATH --current=PATH [--ratio=F]
+//                                             multi-gauge regression guard: fails (exit 1)
+//                                             when any gauge regresses past the ratio,
+//                                             direction-aware (throughput-like gauges must
+//                                             stay >= ratio * baseline, latency/footprint
+//                                             gauges must stay <= baseline / ratio).
+//                                             Default ratio 0.8.
+//
+// Tracked gauges (all extracted from one summary, no extra bench runs needed):
+//   fig4.events_per_wall_sec   simulator hot-path throughput: MAX over fig4's runs of
+//                              sim.events_per_wall_sec (the sweep point where the
+//                              simulator itself is the bottleneck; see bench_all docs).
+//                              Higher is better. The only wall-clock-sensitive gauge.
+//   fig4.commit_p50_ms         protocol-level commit latency at fig4's peak-TPS run.
+//                              Virtual-time deterministic. Lower is better.
+//   log.bytes_retained_max     worst per-node retention footprint across every bench's
+//                              peak run (WAL + block store; PR 7's bounded-retention
+//                              claim). Virtual-time deterministic. Lower is better.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace achilles {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::string out;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return out;
+  }
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+double NumberOr(const obs::JsonValue* v, double fallback) {
+  return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+const obs::JsonValue* FindBench(const obs::JsonValue& summary, const char* binary) {
+  const obs::JsonValue* benches = summary.Get("benches");
+  if (benches == nullptr || !benches->is_array()) {
+    return nullptr;
+  }
+  for (const obs::JsonValue& bench : benches->array) {
+    const obs::JsonValue* name = bench.Get("binary");
+    if (name != nullptr && name->is_string() && name->string == binary) {
+      return &bench;
+    }
+  }
+  return nullptr;
+}
+
+double Fig4EventsPerWallSec(const obs::JsonValue& summary) {
+  const obs::JsonValue* bench = FindBench(summary, "bench_fig4_saturation");
+  const obs::JsonValue* report = bench != nullptr ? bench->Get("report") : nullptr;
+  const obs::JsonValue* runs = report != nullptr ? report->Get("runs") : nullptr;
+  if (runs == nullptr || !runs->is_array()) {
+    return -1.0;
+  }
+  double best = -1.0;
+  for (const obs::JsonValue& run : runs->array) {
+    const obs::JsonValue* metrics = run.Get("metrics");
+    if (metrics != nullptr) {
+      best = std::max(best, NumberOr(metrics->Get("sim.events_per_wall_sec"), -1.0));
+    }
+  }
+  return best;
+}
+
+double Fig4CommitP50Ms(const obs::JsonValue& summary) {
+  const obs::JsonValue* bench = FindBench(summary, "bench_fig4_saturation");
+  const obs::JsonValue* peak = bench != nullptr ? bench->Get("peak") : nullptr;
+  return peak != nullptr ? NumberOr(peak->Get("commit_p50_ms"), -1.0) : -1.0;
+}
+
+double MaxBytesRetained(const obs::JsonValue& summary) {
+  const obs::JsonValue* benches = summary.Get("benches");
+  if (benches == nullptr || !benches->is_array()) {
+    return -1.0;
+  }
+  double best = -1.0;
+  for (const obs::JsonValue& bench : benches->array) {
+    const obs::JsonValue* peak = bench.Get("peak");
+    const obs::JsonValue* footprint = peak != nullptr ? peak->Get("footprint") : nullptr;
+    if (footprint == nullptr || !footprint->is_object()) {
+      continue;
+    }
+    for (const auto& [key, value] : footprint->object) {
+      if (key.rfind("log.bytes_retained", 0) == 0 && value.is_number()) {
+        best = std::max(best, value.number);
+      }
+    }
+  }
+  return best;
+}
+
+struct Gauge {
+  const char* name;
+  bool higher_is_better;
+  double (*extract)(const obs::JsonValue&);
+};
+
+constexpr Gauge kGauges[] = {
+    {"fig4.events_per_wall_sec", true, Fig4EventsPerWallSec},
+    {"fig4.commit_p50_ms", false, Fig4CommitP50Ms},
+    {"log.bytes_retained_max", false, MaxBytesRetained},
+};
+constexpr size_t kNumGauges = sizeof(kGauges) / sizeof(kGauges[0]);
+
+std::string ShortCommit(const obs::JsonValue& summary) {
+  const obs::JsonValue* git = summary.Get("git");
+  const obs::JsonValue* commit = git != nullptr ? git->Get("commit") : nullptr;
+  if (commit == nullptr || !commit->is_string()) {
+    return "unknown";
+  }
+  std::string out = commit->string.substr(0, 9);
+  const obs::JsonValue* dirty = git != nullptr ? git->Get("dirty") : nullptr;
+  if (dirty != nullptr && dirty->boolean) {
+    out += '*';
+  }
+  return out;
+}
+
+std::string FmtValue(double v) {
+  if (v < 0.0) {
+    return "-";
+  }
+  char buf[32];
+  if (v >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+int Trend(const std::vector<std::string>& paths) {
+  struct Row {
+    std::string file;
+    std::string commit;
+    double values[kNumGauges];
+  };
+  std::vector<Row> rows;
+  for (const std::string& path : paths) {
+    const std::optional<obs::JsonValue> summary = obs::ParseJson(ReadFile(path));
+    if (!summary.has_value() || !summary->is_object()) {
+      std::fprintf(stderr, "bench_trend: %s missing or unparseable\n", path.c_str());
+      return 1;
+    }
+    Row row;
+    const size_t slash = path.find_last_of('/');
+    row.file = slash == std::string::npos ? path : path.substr(slash + 1);
+    row.commit = ShortCommit(*summary);
+    for (size_t g = 0; g < kNumGauges; ++g) {
+      row.values[g] = kGauges[g].extract(*summary);
+    }
+    rows.push_back(std::move(row));
+  }
+  std::printf("%-28s %-10s", "summary", "commit");
+  for (const Gauge& gauge : kGauges) {
+    std::printf(" %24s", gauge.name);
+  }
+  std::printf("\n");
+  for (const Row& row : rows) {
+    std::printf("%-28s %-10s", row.file.c_str(), row.commit.c_str());
+    for (size_t g = 0; g < kNumGauges; ++g) {
+      std::string cell = FmtValue(row.values[g]);
+      // Delta vs the first (oldest) summary, signed so regressions read directly.
+      if (&row != &rows.front() && row.values[g] >= 0.0 && rows.front().values[g] > 0.0) {
+        char delta[32];
+        std::snprintf(delta, sizeof(delta), " (%+.1f%%)",
+                      100.0 * (row.values[g] / rows.front().values[g] - 1.0));
+        cell += delta;
+      }
+      std::printf(" %24s", cell.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int Guard(const std::string& baseline_path, const std::string& current_path, double ratio) {
+  const std::optional<obs::JsonValue> baseline = obs::ParseJson(ReadFile(baseline_path));
+  const std::optional<obs::JsonValue> current = obs::ParseJson(ReadFile(current_path));
+  if (!baseline.has_value() || !baseline->is_object()) {
+    std::fprintf(stderr, "bench_trend: baseline %s missing or unparseable\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  if (!current.has_value() || !current->is_object()) {
+    std::fprintf(stderr, "bench_trend: current %s missing or unparseable\n",
+                 current_path.c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const Gauge& gauge : kGauges) {
+    const double base = gauge.extract(*baseline);
+    const double now = gauge.extract(*current);
+    if (base <= 0.0) {
+      // Not in the baseline yet (older summary format / bench skipped): nothing to hold
+      // the current run to. Noted, not fatal — regenerating the baseline picks it up.
+      std::printf("bench_trend: guard %-26s skipped (no baseline value)\n", gauge.name);
+      continue;
+    }
+    if (now < 0.0) {
+      // Present in the baseline but gone from the current run: that is a regression in
+      // coverage, and silently skipping would defeat the guard.
+      std::fprintf(stderr, "bench_trend: guard %-26s FAIL (gauge missing from current)\n",
+                   gauge.name);
+      ++failures;
+      continue;
+    }
+    // Direction-aware bound: throughput-like gauges must not drop below ratio * base;
+    // latency/footprint-like gauges must not grow past base / ratio.
+    const bool ok = gauge.higher_is_better ? now >= ratio * base : now <= base / ratio;
+    std::printf("bench_trend: guard %-26s %s vs %s (%.2fx, %s)\n", gauge.name,
+                FmtValue(now).c_str(), FmtValue(base).c_str(), now / base,
+                ok ? "ok" : "FAIL");
+    if (!ok) {
+      std::fprintf(stderr,
+                   "bench_trend: REGRESSION: %s is %.2fx the committed baseline "
+                   "(allowed: %s %.2fx).\n"
+                   "If intentional, regenerate the baseline summary (see ci.yml "
+                   "bench-smoke).\n",
+                   gauge.name, now / base, gauge.higher_is_better ? ">=" : "<=",
+                   gauge.higher_is_better ? ratio : 1.0 / ratio);
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  bool guard = false;
+  double ratio = 0.8;
+  std::string baseline;
+  std::string current;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--guard") {
+      guard = true;
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline = arg.substr(11);
+    } else if (arg.rfind("--current=", 0) == 0) {
+      current = arg.substr(10);
+    } else if (arg.rfind("--ratio=", 0) == 0) {
+      ratio = std::atof(arg.c_str() + 8);
+      if (ratio <= 0.0 || ratio > 1.0) {
+        std::fprintf(stderr, "bench_trend: --ratio wants a fraction in (0, 1]\n");
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: bench_trend FILE... | bench_trend --guard --baseline=PATH "
+                   "--current=PATH [--ratio=F]\n");
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (guard) {
+    if (baseline.empty() || current.empty()) {
+      std::fprintf(stderr, "bench_trend: --guard needs --baseline= and --current=\n");
+      return 2;
+    }
+    return Guard(baseline, current, ratio);
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_trend FILE... | bench_trend --guard --baseline=PATH "
+                 "--current=PATH [--ratio=F]\n");
+    return 2;
+  }
+  return Trend(files);
+}
+
+}  // namespace
+}  // namespace achilles
+
+int main(int argc, char** argv) { return achilles::Main(argc, argv); }

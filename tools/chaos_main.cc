@@ -31,18 +31,30 @@
 // --journal and additionally runs the forensics analyzer, printing a causal incident
 // report and exporting the journal as Perfetto instants.
 //
+// Every sweep ends with a fault-space coverage report: how many sampled schedules hit
+// each fault kind, each reboot storage-fate surface (WAL x sealed x snapshot), and each
+// Byzantine mode — the evidence that the sampler actually explored the space the oracles
+// are supposed to police. --coverage-out PATH additionally writes it as JSON (CI uploads
+// one per chaos shard).
+//
 // Exit status: honest sweeps fail (1) on any oracle violation; --broken sweeps invert —
 // they fail unless a violation IS found (the planted bug must be caught).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/chaos/minimize.h"
 #include "src/chaos/runner.h"
+#include "src/checkpoint/manager.h"
+#include "src/harness/byzantine.h"
+#include "src/harness/fault_script.h"
+#include "src/obs/json.h"
+#include "src/storage/host_storage.h"
 
 namespace achilles::chaos {
 namespace {
@@ -57,6 +69,7 @@ struct CliArgs {
   long long minimize_seed = -1;
   std::string replay_file;
   std::string out_dir = ".";
+  std::string coverage_out;  // Sweep coverage report JSON (empty = print only).
   bool verbose = false;
   bool explain = false;
 };
@@ -70,7 +83,7 @@ void Usage() {
                "                  [--replay SEED] [--replay-file PATH] [--minimize SEED]\n"
                "                  [--reboot-weight P] [--ckpt-weight P] [--out-dir DIR]\n"
                "                  [--engine heap|calendar] [--journal] [--explain]\n"
-               "                  [--verbose]\n");
+               "                  [--coverage-out PATH] [--verbose]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -162,6 +175,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* value = next();
       if (value == nullptr) return false;
       args->out_dir = value;
+    } else if (flag == "--coverage-out") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->coverage_out = value;
     } else if (flag == "--engine") {
       const char* value = next();
       if (value == nullptr) return false;
@@ -349,9 +366,109 @@ int MinimizeSeed(const CliArgs& args, uint64_t seed) {
   return 1;
 }
 
+// Fault-space coverage accumulated over one sweep: how many sampled schedules exercised
+// each fault kind, each reboot storage-fate surface, and each Byzantine mode. Ordered maps
+// so the report (and its JSON artifact) is deterministic across runs.
+struct CoverageReport {
+  uint64_t runs = 0;
+  uint64_t runs_with_reboot = 0;
+  uint64_t runs_with_byzantine = 0;
+  std::map<std::string, uint64_t> protocols;
+  std::map<std::string, uint64_t> fault_kinds;
+  // "wal=<fate> sealed=<fate> snapshot=<fate>" -> reboots carrying that surface combo.
+  std::map<std::string, uint64_t> reboot_surfaces;
+  std::map<std::string, uint64_t> byzantine_modes;
+};
+
+void AccumulateCoverage(CoverageReport* cov, const ChaosResult& result) {
+  ++cov->runs;
+  ++cov->protocols[ProtocolName(result.protocol)];
+  bool rebooted = false;
+  for (const FaultEvent& event : result.script.events) {
+    ++cov->fault_kinds[FaultKindName(event.kind)];
+    if (event.kind == FaultKind::kReboot) {
+      rebooted = true;
+      const StorageFate fate = DecodeStorageFate(event.arg);
+      std::string key = std::string("wal=") + storage::WalFateName(fate.wal) +
+                        " sealed=" + SealedFateName(fate.sealed) +
+                        " snapshot=" + checkpoint::SnapshotFateName(fate.snapshot);
+      ++cov->reboot_surfaces[key];
+    }
+  }
+  bool byzantine = false;
+  for (ByzantineMode mode : result.script.byzantine) {
+    if (mode != ByzantineMode::kNone) {
+      byzantine = true;
+      ++cov->byzantine_modes[ByzantineModeName(mode)];
+    }
+  }
+  cov->runs_with_reboot += rebooted ? 1 : 0;
+  cov->runs_with_byzantine += byzantine ? 1 : 0;
+}
+
+void PrintCoverageSection(const char* title, const std::map<std::string, uint64_t>& cells) {
+  std::printf("  %s:\n", title);
+  if (cells.empty()) {
+    std::printf("    (none)\n");
+    return;
+  }
+  for (const auto& [key, count] : cells) {
+    std::printf("    %-52s %llu\n", key.c_str(), static_cast<unsigned long long>(count));
+  }
+}
+
+void PrintCoverage(const CoverageReport& cov) {
+  std::printf("\nfault-space coverage: %llu run(s), %llu with reboots, %llu with "
+              "byzantine replicas\n",
+              static_cast<unsigned long long>(cov.runs),
+              static_cast<unsigned long long>(cov.runs_with_reboot),
+              static_cast<unsigned long long>(cov.runs_with_byzantine));
+  PrintCoverageSection("protocols", cov.protocols);
+  PrintCoverageSection("fault kinds (events)", cov.fault_kinds);
+  PrintCoverageSection("reboot storage-fate surfaces", cov.reboot_surfaces);
+  PrintCoverageSection("byzantine modes (replicas)", cov.byzantine_modes);
+}
+
+void CoverageSectionJson(obs::JsonWriter& w, const char* key,
+                         const std::map<std::string, uint64_t>& cells) {
+  w.KeyBeginObject(key);
+  for (const auto& [cell, count] : cells) {
+    w.Field(cell, count);
+  }
+  w.EndObject();
+}
+
+std::string CoverageJson(const CliArgs& args, const CoverageReport& cov) {
+  obs::JsonWriter w;
+  w.BeginObject()
+      .Field("runs", cov.runs)
+      .Field("runs_with_reboot", cov.runs_with_reboot)
+      .Field("runs_with_byzantine", cov.runs_with_byzantine)
+      .Field("shard_index", args.shard_index)
+      .Field("shard_count", args.shard_count)
+      .Field("seed_base", args.seed_base);
+  CoverageSectionJson(w, "protocols", cov.protocols);
+  CoverageSectionJson(w, "fault_kinds", cov.fault_kinds);
+  CoverageSectionJson(w, "reboot_surfaces", cov.reboot_surfaces);
+  CoverageSectionJson(w, "byzantine_modes", cov.byzantine_modes);
+  w.EndObject();
+  std::string out = w.Take();
+  out += '\n';
+  return out;
+}
+
+int FinishSweep(const CliArgs& args, const CoverageReport& cov, int code) {
+  PrintCoverage(cov);
+  if (!args.coverage_out.empty() && WriteFile(args.coverage_out, CoverageJson(args, cov))) {
+    std::printf("coverage artifact: %s\n", args.coverage_out.c_str());
+  }
+  return code;
+}
+
 int Sweep(const CliArgs& args) {
   const bool expect_violation = args.options.broken != BrokenVariant::kNone;
   uint64_t ran = 0;
+  CoverageReport cov;
   std::vector<ChaosResult> failures;
   for (uint64_t i = 0; i < args.seeds; ++i) {
     if (i % args.shard_count != args.shard_index) {
@@ -360,6 +477,7 @@ int Sweep(const CliArgs& args) {
     const uint64_t seed = args.seed_base + i;
     ChaosResult result = RunChaosSeed(args.options, seed);
     ++ran;
+    AccumulateCoverage(&cov, result);
     if (args.verbose || !result.ok) {
       PrintResult(result, false);
     }
@@ -370,7 +488,7 @@ int Sweep(const CliArgs& args) {
                     static_cast<unsigned long long>(ran),
                     static_cast<unsigned long long>(seed));
         MaybeExplain(args, result);
-        return 0;
+        return FinishSweep(args, cov, 0);
       }
       DumpFailure(args, result);
       MaybeExplain(args, result);
@@ -388,17 +506,17 @@ int Sweep(const CliArgs& args) {
     std::printf("broken variant '%s' was NOT flagged in %llu run(s) — oracle gap!\n",
                 BrokenVariantName(args.options.broken),
                 static_cast<unsigned long long>(ran));
-    return 1;
+    return FinishSweep(args, cov, 1);
   }
   if (failures.empty()) {
     std::printf("swarm clean: %llu run(s), 0 violations\n",
                 static_cast<unsigned long long>(ran));
-    return 0;
+    return FinishSweep(args, cov, 0);
   }
   MinimizeAndDump(args, failures.front());
   std::printf("swarm FAILED: %zu violation(s) in %llu run(s)\n", failures.size(),
               static_cast<unsigned long long>(ran));
-  return 1;
+  return FinishSweep(args, cov, 1);
 }
 
 int Main(int argc, char** argv) {
