@@ -87,6 +87,6 @@ int Main() {
 }  // namespace achilles
 
 int main(int argc, char** argv) {
-  achilles::BenchIo io("ablation_achilles", argc, argv);
+  achilles::BenchIo io("ablation_achilles", &argc, argv);
   return io.Finish(achilles::Main());
 }

@@ -57,6 +57,6 @@ int Main() {
 }  // namespace achilles
 
 int main(int argc, char** argv) {
-  achilles::BenchIo io("app_kv", argc, argv);
+  achilles::BenchIo io("app_kv", &argc, argv);
   return io.Finish(achilles::Main());
 }

@@ -169,6 +169,6 @@ int Main() {
 }  // namespace achilles
 
 int main(int argc, char** argv) {
-  achilles::BenchIo io("checkpoint", argc, argv);
+  achilles::BenchIo io("checkpoint", &argc, argv);
   return io.Finish(achilles::Main());
 }

@@ -54,6 +54,6 @@ int Main() {
 }  // namespace achilles
 
 int main(int argc, char** argv) {
-  achilles::BenchIo io("context_protocols", argc, argv);
+  achilles::BenchIo io("context_protocols", &argc, argv);
   return io.Finish(achilles::Main());
 }

@@ -146,6 +146,6 @@ int Main(int argc, char** argv) {
 }  // namespace achilles
 
 int main(int argc, char** argv) {
-  achilles::BenchIo io("fig3_main", argc, argv);
+  achilles::BenchIo io("fig3_main", &argc, argv);
   return io.Finish(achilles::Main(argc, argv));
 }

@@ -50,6 +50,6 @@ int Main() {
 }  // namespace achilles
 
 int main(int argc, char** argv) {
-  achilles::BenchIo io("fig4_saturation", argc, argv);
+  achilles::BenchIo io("fig4_saturation", &argc, argv);
   return io.Finish(achilles::Main());
 }

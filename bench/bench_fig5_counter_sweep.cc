@@ -40,6 +40,6 @@ int Main() {
 }  // namespace achilles
 
 int main(int argc, char** argv) {
-  achilles::BenchIo io("fig5_counter_sweep", argc, argv);
+  achilles::BenchIo io("fig5_counter_sweep", &argc, argv);
   return io.Finish(achilles::Main());
 }

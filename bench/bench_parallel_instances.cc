@@ -89,6 +89,6 @@ int main(int argc, char** argv) {
       }
     }
   }
-  achilles::BenchIo io("parallel_instances", argc, argv);
+  achilles::BenchIo io("parallel_instances", &argc, argv);
   return io.Finish(achilles::Main());
 }

@@ -138,6 +138,6 @@ int Main() {
 }  // namespace achilles
 
 int main(int argc, char** argv) {
-  achilles::BenchIo io("sim_core", argc, argv);
+  achilles::BenchIo io("sim_core", &argc, argv);
   return io.Finish(achilles::Main());
 }

@@ -128,6 +128,6 @@ int Main() {
 }  // namespace achilles
 
 int main(int argc, char** argv) {
-  achilles::BenchIo io("table1_comparison", argc, argv);
+  achilles::BenchIo io("table1_comparison", &argc, argv);
   return io.Finish(achilles::Main());
 }

@@ -64,6 +64,6 @@ int Main() {
 }  // namespace achilles
 
 int main(int argc, char** argv) {
-  achilles::BenchIo io("table2_recovery", argc, argv);
+  achilles::BenchIo io("table2_recovery", &argc, argv);
   return io.Finish(achilles::Main());
 }

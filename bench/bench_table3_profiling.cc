@@ -83,6 +83,6 @@ int Main() {
 }  // namespace achilles
 
 int main(int argc, char** argv) {
-  achilles::BenchIo io("table3_profiling", argc, argv);
+  achilles::BenchIo io("table3_profiling", &argc, argv);
   return io.Finish(achilles::Main());
 }

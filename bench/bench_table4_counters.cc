@@ -102,6 +102,6 @@ int Main() {
 }  // namespace achilles
 
 int main(int argc, char** argv) {
-  achilles::BenchIo io("table4_counters", argc, argv);
+  achilles::BenchIo io("table4_counters", &argc, argv);
   return io.Finish(achilles::Main());
 }

@@ -6,6 +6,10 @@
 
 namespace achilles {
 
+namespace {
+constexpr const char* kSealSlot = "achilles-checker";
+}
+
 std::string AchRpyDomain(NodeId requester) {
   return std::string("achilles/RPY/") + std::to_string(requester);
 }
@@ -18,17 +22,65 @@ AchillesChecker::AchillesChecker(EnclaveRuntime* enclave, uint32_t n, uint32_t f
       recovering_(!initial_launch),
       break_nonce_check_(break_nonce_check) {
   preph_ = Block::Genesis()->hash;  // (prepv, preph) = (0, H(G)), Algorithm 2 line 3.
+  if (!initial_launch &&
+      enclave_->defense().caps().kind != persist::DefenseKind::kLocal) {
+    // Racing Achilles against a storage-level defense: with a quorum backend the checker
+    // state is persisted like the counter-based checkers', so on reboot we first try a
+    // storage restore. A fresh record skips Algorithm 3 entirely (the backend IS the
+    // rollback defense); a detected rollback falls back to network recovery, carrying the
+    // version floor forward so the chaos version-monotonic oracle stays sound.
+    enclave_->ChargeEcall();
+    persist::OpenResult opened = enclave_->defense().Open(kSealSlot, /*verify=*/true);
+    switch (opened.status) {
+      case persist::OpenStatus::kFresh: {
+        if (!opened.record) {
+          break;
+        }
+        ByteReader r(ByteView(opened.record->data(), opened.record->size()));
+        const auto vi = r.U64();
+        const auto flag = r.U8();
+        const auto prepv = r.U64();
+        const auto preph = r.Raw(32);
+        if (!vi || !flag || !prepv || !preph || r.remaining() != 0) {
+          break;  // Forged/garbled record: stay recovering, Algorithm 3 takes over.
+        }
+        vi_ = *vi;
+        flag_ = (*flag & 1) != 0;
+        prepv_ = *prepv;
+        std::copy(preph->begin(), preph->end(), preph_.begin());
+        version_ = opened.version;
+        recovering_ = false;
+        break;
+      }
+      case persist::OpenStatus::kRolledBack:
+        enclave_->platform().host().JournalEvent(obs::JournalKind::kRollbackReject,
+                                                 opened.version, opened.expected_version,
+                                                 kSealSlot);
+        version_ = std::max(opened.version, opened.expected_version);
+        break;  // Stale storage: recover over the network (Algorithm 3).
+      case persist::OpenStatus::kEmpty:
+        break;  // Nothing persisted yet: recover over the network.
+    }
+  }
 }
 
 void AchillesChecker::RecordStateUpdate() {
-  // Same snapshot shape the counter-based checkers seal, but written to an explicitly
-  // volatile store: the durability class *is* the design statement (see persist.h).
+  // Same snapshot shape the counter-based checkers seal. Under the local backend it goes
+  // to an explicitly volatile store — the durability class *is* the design statement (see
+  // persist.h): Achilles persists nothing and relies on Algorithm 3 recovery. Under a
+  // quorum defense (--defense rollbaccine/healer) the snapshot rides the backend instead,
+  // racing storage-level rollback defenses against the paper's network recovery.
   ByteWriter w;
   w.U64(vi_);
   w.U8(static_cast<uint8_t>(flag_ ? 1 : 0));
   w.U64(prepv_);
   w.Raw(ByteView(preph_.data(), preph_.size()));
-  state_store_.Put("achilles-checker", ByteView(w.bytes().data(), w.bytes().size()));
+  if (enclave_->defense().caps().kind != persist::DefenseKind::kLocal) {
+    version_ = enclave_->defense().Persist(kSealSlot,
+                                           ByteView(w.bytes().data(), w.bytes().size()));
+  } else {
+    state_store_.Put(kSealSlot, ByteView(w.bytes().data(), w.bytes().size()));
+  }
   ++state_updates_;
 }
 

@@ -6,7 +6,10 @@
 //
 // Unlike Damysus-R/OneShot-R, none of these functions touches a persistent counter: state
 // freshness after reboot comes from the rollback-resilient recovery (TeeRequest / TeeReply /
-// TeeRecover), not from local storage.
+// TeeRecover), not from local storage. Under a quorum rollback-defense backend
+// (--defense rollbaccine/healer; src/storage/defense.h) the checker additionally persists
+// its snapshot through the backend and tries a storage restore on reboot, so the paper's
+// network recovery can be raced head-to-head against storage-level defenses.
 #ifndef SRC_ACHILLES_CHECKER_H_
 #define SRC_ACHILLES_CHECKER_H_
 
@@ -53,6 +56,8 @@ class AchillesChecker {
   bool proposed_flag() const { return flag_; }
   View prepv() const { return prepv_; }
   const Hash256& preph() const { return preph_; }
+  // Backend-assigned state version; stays 0 under the local backend (volatile store).
+  uint64_t version() const { return version_; }
 
   // --- Normal-case operations (Algorithm 2) ---
 
@@ -119,6 +124,7 @@ class AchillesChecker {
   bool break_nonce_check_ = false;  // Broken variant (oracle self-test); see constructor.
   persist::VolatileStore state_store_;  // Explicitly volatile; dies with the enclave.
   uint64_t state_updates_ = 0;
+  uint64_t version_ = 0;  // Defense-backend version (0 under --defense local).
 };
 
 }  // namespace achilles

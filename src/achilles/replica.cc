@@ -35,6 +35,15 @@ void AchillesReplica::OnStart() {
     StartRecoveryRound();
     return;
   }
+  if (checker_.vi() > 0) {
+    // Reboot with a fresh storage restore (quorum defense backend): the trusted state
+    // survived intact, so skip Algorithm 3 and rejoin directly — burn one view past the
+    // restored one, since messages may already have been sent there before the crash.
+    cur_view_ = checker_.vi();
+    JournalEvent(obs::JournalKind::kViewEnter, cur_view_);
+    AdvanceViaTeeView(checker_.vi() + 1);
+    return;
+  }
   // Genesis bootstrap: every node enters view 1 and reports its (empty) state to leader(1).
   AdvanceViaTeeView(1);
 }

@@ -34,6 +34,7 @@ class AchillesReplica : public ReplicaBase {
     InvariantSnapshot snap = ReplicaBase::Invariants();
     snap.view = checker_.vi();
     snap.recovering = checker_.recovering();
+    snap.trusted_version = checker_.version();  // 0 under --defense local.
     return snap;
   }
 

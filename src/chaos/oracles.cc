@@ -23,6 +23,7 @@ std::string TimeTag(SimTime now) {
 
 OracleSuite::OracleSuite(const OracleConfig& config) : config_(config) {
   last_counter_.assign(config_.n, 0);
+  last_version_.assign(config_.n, 0);
   ckpt_floor_.assign(config_.n, 0);
   committed_high_.assign(config_.n, 0);
 }
@@ -77,6 +78,21 @@ void OracleSuite::OnSnapshot(NodeId id, const InvariantSnapshot& snap, SimTime n
              std::to_string(snap.counter_value) + " (stale sealed state accepted)",
          "counter", id);
     return;
+  }
+  // Defense-backend version monotonicity: under a quorum defense the backend binds a
+  // strictly growing version to the trusted state; a snapshot whose version sits below the
+  // replica's own high-water mark means a rolled-back blob was accepted on restore (the
+  // quorum-restore-skip / cert-floor-skip broken backends do exactly that).
+  if (config_.version_monotonic && !snap.halted) {
+    if (snap.trusted_version < last_version_[id]) {
+      Fail(now,
+           "defense: node " + std::to_string(id) + " trusted version regressed " +
+               std::to_string(last_version_[id]) + " -> " +
+               std::to_string(snap.trusted_version) + " (rolled-back state accepted)",
+           "defense", id);
+      return;
+    }
+    last_version_[id] = snap.trusted_version;
   }
   // Durability: the snapshot head must match what the cluster committed at that height.
   if (snap.committed_height > 0) {

@@ -51,13 +51,19 @@ struct OracleConfig {
   // halted. Plain/broken variants skip the rollback compare and violate this after a stale
   // restore — which is exactly what the oracle is for.
   bool counter_lockstep = false;
+  // True when a quorum rollback-defense backend is active for this run's protocol
+  // (--defense rollbaccine/healer): every defended replica's trusted version is
+  // backend-assigned and must never regress across reboots. A broken backend (the
+  // quorum-restore-skip / cert-floor-skip variants) accepts a rolled-back blob, whose
+  // lower version then shows up in the next snapshot.
+  bool version_monotonic = false;
 };
 
 // Structured form of the run's first violation, kept alongside the verbatim text so the
 // forensics analyzer (src/obs/forensics.h) can seed its journal walk without re-parsing.
 struct Incident {
   std::string oracle;       // Family: "agreement", "durability", "counter", "freshness",
-                            // "liveness", "linearizability", "checkpoint".
+                            // "liveness", "linearizability", "checkpoint", "defense".
   NodeId node = kNoNode;    // Replica the violation was observed on (kNoNode = global).
   Height height = 0;        // Block height involved (0 = n/a).
   SimTime at = 0;           // Virtual time of the observation.
@@ -113,6 +119,7 @@ class OracleSuite {
   std::set<NodeId> byzantine_;
   std::map<Height, Hash256> committed_;  // Write-once agreement + durability audit.
   std::vector<uint64_t> last_counter_;   // Per-replica high-water counter mark.
+  std::vector<uint64_t> last_version_;   // Per-replica high-water trusted-version mark.
   std::vector<Height> ckpt_floor_;       // Per-replica certified checkpoint floor.
   std::vector<Height> committed_high_;   // Per-replica committed watermark, per incarnation.
   bool healed_ = false;

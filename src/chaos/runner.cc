@@ -128,7 +128,11 @@ void EnsureBrokenTrigger(BrokenVariant broken, FaultScript* script) {
     script->events.push_back({Ms(900), FaultKind::kCrash, victim, 0, 0});
     script->events.push_back({Ms(901), FaultKind::kStaleRecoveryReplay, victim, 0, 0});
     script->events.push_back({Ms(905), FaultKind::kReboot, victim, 0, honest});
-  } else if (broken == BrokenVariant::kCounterCompare) {
+  } else if (broken == BrokenVariant::kCounterCompare ||
+             broken == BrokenVariant::kQuorumRestoreSkip ||
+             broken == BrokenVariant::kCertFloorSkip) {
+    // All three skip the restore-time freshness verification (counter compare, peer
+    // quorum, certified floor) — the same stale-seal reboot triggers each of them.
     for (const FaultEvent& event : script->events) {
       if (event.kind == FaultKind::kReboot &&
           DecodeStorageFate(event.arg).sealed == SealedFate::kStale) {
@@ -164,12 +168,16 @@ const char* BrokenVariantName(BrokenVariant variant) {
       return "stale-read-lease";
     case BrokenVariant::kStaleSnapshotAccept:
       return "stale-snapshot-accept";
+    case BrokenVariant::kQuorumRestoreSkip:
+      return "quorum-restore-skip";
+    case BrokenVariant::kCertFloorSkip:
+      return "cert-floor-skip";
   }
   return "?";
 }
 
 bool BrokenVariantFromName(std::string_view name, BrokenVariant* out) {
-  for (int i = 0; i <= static_cast<int>(BrokenVariant::kStaleSnapshotAccept); ++i) {
+  for (int i = 0; i <= static_cast<int>(BrokenVariant::kCertFloorSkip); ++i) {
     const BrokenVariant variant = static_cast<BrokenVariant>(i);
     if (name == BrokenVariantName(variant)) {
       *out = variant;
@@ -193,15 +201,26 @@ ScriptArtifact ChaosResult::Artifact() const {
   artifact.protocol = ProtocolName(protocol);
   artifact.f = f;
   artifact.seed = seed;
+  artifact.defense = persist::DefenseKindName(defense);
   artifact.script = script;
   return artifact;
 }
 
 ChaosResult RunChaosSeed(const ChaosOptions& options, uint64_t seed) {
+  ChaosOptions effective = options;
+  // The planted-backend variants pin the defense: the bug lives in the backend's restore
+  // path, so the run must actually go through that backend.
+  if (options.broken == BrokenVariant::kQuorumRestoreSkip) {
+    effective.defense = persist::DefenseKind::kRollbaccine;
+  } else if (options.broken == BrokenVariant::kCertFloorSkip) {
+    effective.defense = persist::DefenseKind::kHealer;
+  }
   Protocol protocol;
   if (options.broken == BrokenVariant::kRecoveryNonce) {
     protocol = Protocol::kAchilles;
-  } else if (options.broken == BrokenVariant::kCounterCompare) {
+  } else if (options.broken == BrokenVariant::kCounterCompare ||
+             options.broken == BrokenVariant::kQuorumRestoreSkip ||
+             options.broken == BrokenVariant::kCertFloorSkip) {
     protocol = Protocol::kDamysusR;
   } else if (options.broken == BrokenVariant::kStaleReadLease) {
     // BRaft's node 0 bootstraps as leader, so the canonical trigger knows the leaseholder.
@@ -221,6 +240,7 @@ ChaosResult RunChaosSeed(const ChaosOptions& options, uint64_t seed) {
   ScriptParams params;
   params.protocol = protocol;
   params.f = f;
+  params.defense = effective.defense;
   params.heal_at = options.heal_at;
   params.liveness_window = options.liveness_window;
   params.reboot_prob = options.reboot_prob;
@@ -229,7 +249,7 @@ ChaosResult RunChaosSeed(const ChaosOptions& options, uint64_t seed) {
   if (options.broken != BrokenVariant::kNone) {
     EnsureBrokenTrigger(options.broken, &script);
   }
-  return RunChaosScript(options, seed, protocol, f, script);
+  return RunChaosScript(effective, seed, protocol, f, script);
 }
 
 ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol protocol,
@@ -240,11 +260,13 @@ ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol 
   result.seed = seed;
   result.protocol = protocol;
   result.f = f;
+  result.defense = options.defense;
   result.script = script;
 
   ClusterConfig config;
   config.protocol = protocol;
   config.f = f;
+  config.defense = options.defense;
   config.batch_size = options.batch_size;
   config.payload_size = 16;
   config.net = NetworkConfig::Lan();
@@ -252,7 +274,12 @@ ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol 
   config.seed = seed;
   config.client_rate_tps = options.client_rate_tps;
   config.break_recovery_nonce = options.broken == BrokenVariant::kRecoveryNonce;
-  config.break_counter_compare = options.broken == BrokenVariant::kCounterCompare;
+  // All three variants disable restore-time freshness verification — the counter compare
+  // under the local backend, the peer-quorum consult / certified-floor check under the
+  // quorum ones (Backend::Open's `verify` parameter).
+  config.break_counter_compare = options.broken == BrokenVariant::kCounterCompare ||
+                                 options.broken == BrokenVariant::kQuorumRestoreSkip ||
+                                 options.broken == BrokenVariant::kCertFloorSkip;
   config.journaling = options.journal;
   config.engine = options.engine;
   const bool app_kv = options.app_kv || options.broken == BrokenVariant::kStaleReadLease;
@@ -273,11 +300,18 @@ ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol 
   ACHILLES_CHECK(script.byzantine.size() == n);
   Simulation& sim = cluster.sim();
 
+  const bool quorum_defended = options.defense != persist::DefenseKind::kLocal &&
+                               ProtocolUsesDefenseBackend(protocol);
   OracleConfig oracle_config;
   oracle_config.n = n;
   oracle_config.f = f;
+  // Under a quorum defense the -R counters are off (the backend replaces them), so the
+  // counter-lockstep invariant is vacuous; the version-monotonic oracle audits the
+  // backend-assigned versions instead.
   oracle_config.counter_lockstep =
-      protocol == Protocol::kDamysusR || protocol == Protocol::kOneShotR;
+      (protocol == Protocol::kDamysusR || protocol == Protocol::kOneShotR) &&
+      !quorum_defended;
+  oracle_config.version_monotonic = quorum_defended;
   OracleSuite oracles(oracle_config);
 
   auto log = [&result](SimTime t, const std::string& line) {
@@ -396,9 +430,14 @@ ChaosResult RunChaosScript(const ChaosOptions& options, uint64_t seed, Protocol 
     }
     if (event.kind == FaultKind::kReboot && event.node < n) {
       const StorageFate fate = DecodeStorageFate(event.arg);
+      // Under a quorum defense the certificate store is the backend view, so both the
+      // sealed surface and the peer quorum can depress the restored floor.
       const bool cert_attacked =
-          cert_in_tee ? fate.sealed != SealedFate::kFresh
-                      : fate.snapshot != checkpoint::SnapshotFate::kIntact;
+          quorum_defended
+              ? fate.sealed != SealedFate::kFresh ||
+                    fate.defense != persist::DefenseFate::kIntact
+              : (cert_in_tee ? fate.sealed != SealedFate::kFresh
+                             : fate.snapshot != checkpoint::SnapshotFate::kIntact);
       oracles.OnReplicaReboot(event.node, cert_attacked);
     }
   });

@@ -32,6 +32,13 @@ enum class BrokenVariant {
                          // serve their oldest retained snapshot and requesters force-install
                          // it, rolling a lagging rejoiner back below its own committed
                          // prefix (caught by the checkpoint oracle).
+  kQuorumRestoreSkip,    // Rollbaccine backend restores from the local blob without
+                         // consulting the peer replicas, so a rolled-back seal installs
+                         // silently (caught by the defense version-monotonic oracle).
+                         // Forces Damysus-R with --defense rollbaccine.
+  kCertFloorSkip,        // Healer backend installs the local blob without checking the
+                         // quorum's certified version floor — same silent stale install,
+                         // certificate flavor. Forces Damysus-R with --defense healer.
 };
 
 const char* BrokenVariantName(BrokenVariant variant);
@@ -43,6 +50,10 @@ struct ChaosOptions {
   bool protocol_all = true;
   Protocol protocol = Protocol::kAchilles;
   BrokenVariant broken = BrokenVariant::kNone;
+  // Rollback-defense backend (--defense). Quorum backends disable the -R counters, add
+  // peer-quorum reboot fates to the sampler, and arm the defense version-monotonic
+  // oracle. Overridden by the kQuorumRestoreSkip / kCertFloorSkip broken variants.
+  persist::DefenseKind defense = persist::DefenseKind::kLocal;
   // Fault window end / post-heal liveness budget. The window must absorb the pacemaker's
   // accumulated exponential backoff after heal, so keep it generous.
   SimTime heal_at = Ms(1400);
@@ -72,6 +83,7 @@ struct ChaosResult {
   uint64_t seed = 0;
   Protocol protocol = Protocol::kAchilles;
   uint32_t f = 1;
+  persist::DefenseKind defense = persist::DefenseKind::kLocal;  // Backend the run used.
   bool ok = true;
   std::string violation;            // First oracle violation (empty when ok).
   FaultScript script;               // The script that was executed.

@@ -205,8 +205,18 @@ void ReplicaBase::AdoptCheckpoint(const BlockPtr& block, size_t cert_wire_size) 
 }
 
 persist::Store& ReplicaBase::CheckpointCertStore() {
-  return enclave_->in_tee() ? enclave_->sealed_store()
-                            : ctx_.platform->host_storage().record_store();
+  // The local backend's store() is the historical dispatch (sealed in a TEE, host record
+  // store otherwise); the quorum backends route the certificate through the defended
+  // Persist/Open path, so the checkpoint floor inherits their freshness guarantee.
+  return enclave_->defense().store();
+}
+
+storage::WriteAheadLog& ReplicaBase::Wal(const std::string& name) {
+  return ctx_.platform->host_storage().Wal(name);
+}
+
+persist::Store& ReplicaBase::HostRecords() {
+  return ctx_.platform->host_storage().record_store();
 }
 
 BlockPtr ReplicaBase::RestoreStableCheckpoint() {
@@ -224,8 +234,7 @@ BlockPtr ReplicaBase::RestoreStableCheckpoint() {
     ckpt_floor_ = sealed_cert->height;
     last_persisted_ckpt_ = sealed_cert->height;
   }
-  std::optional<Bytes> payload =
-      ctx_.platform->host_storage().record_store().Get(checkpoint::kSnapshotKey);
+  std::optional<Bytes> payload = HostRecords().Get(checkpoint::kSnapshotKey);
   if (!payload) {
     return nullptr;  // No snapshot (never checkpointed, or erased): network transfer.
   }
@@ -263,8 +272,7 @@ void ReplicaBase::PersistStableCheckpoint(const checkpoint::CheckpointCert& cert
   const Bytes payload = checkpoint::EncodeSnapshotRecord(cert, *block);
   ChargeHashBytes(payload.size());
   // Snapshot payload: host-durable (the record-store put is a sync put — one fsync).
-  ctx_.platform->host_storage().record_store().Put(
-      checkpoint::kSnapshotKey, ByteView(payload.data(), payload.size()));
+  HostRecords().Put(checkpoint::kSnapshotKey, ByteView(payload.data(), payload.size()));
   // Certificate: TEE-sealed where available, so snapshot rollback is detectable on reboot.
   const Bytes cert_wire = cert.Encode();
   CheckpointCertStore().Put(checkpoint::kCertKey, ByteView(cert_wire.data(), cert_wire.size()));

@@ -129,10 +129,21 @@ class ReplicaBase : public IProcess {
   // A snapshot was adopted via state transfer; protocols that keep a log-head pointer
   // (Raft) override to advance it past the adopted block.
   virtual void OnCheckpointAdopted(const BlockPtr& /*block*/) {}
-  // Where the checkpoint certificate lives: the TEE sealing surface when the platform has
-  // one (rollback is then detected on restore), the host record store otherwise (baselines
-  // without a TEE cannot detect snapshot rollback — see the README threat-model table).
+  // Where the checkpoint certificate lives: the rollback-defense backend's record facet
+  // (src/storage/defense.h). Under the local backend that is the historical dispatch —
+  // TEE sealing surface when the platform has one, host record store otherwise (baselines
+  // without a TEE cannot detect snapshot rollback — see the README threat-model table);
+  // the quorum backends add their own freshness guarantee to the certificate.
   persist::Store& CheckpointCertStore();
+
+  // --- Host-durable persistence seam (satellite of the backend API redesign) ---
+  // Protocol modules reach the per-node disk only through these two handles (plus the
+  // persist::Store handles above), never through HostStableStorage directly; persistence
+  // semantics stay greppable at the persist:: seam.
+  storage::WriteAheadLog& Wal(const std::string& name);
+  // Host-durable metadata records (persist::Durability::kHostDurable). Put is a sync put;
+  // PutAsync buys the torn-tail window deliberately.
+  persist::Store& HostRecords();
 
   NodeId id() const { return ctx_.platform->node_id(); }
   uint32_t n() const { return ctx_.params.n; }

@@ -22,31 +22,29 @@ DamysusChecker::DamysusChecker(EnclaveRuntime* enclave, uint32_t n, uint32_t f,
 
 std::unique_ptr<DamysusChecker> DamysusChecker::Restore(EnclaveRuntime* enclave, uint32_t n,
                                                         uint32_t f,
-                                                        bool break_counter_compare) {
+                                                        bool break_restore_verify) {
   enclave->ChargeEcall();
-  const std::optional<Bytes> blob = enclave->sealed_store().Get(kSealSlot);
-  if (!blob) {
+  // The defense backend serves the surviving record with its freshness verdict: counter
+  // compare under the local backend, peer copies/certificates under the quorum ones.
+  // `break_restore_verify` skips the freshness check (chaos oracle self-tests only).
+  persist::OpenResult opened = enclave->defense().Open(kSealSlot, !break_restore_verify);
+  if (opened.status == persist::OpenStatus::kRolledBack) {
+    // Rollback detected (stale version vs the backend's proven floor) -> refuse to run.
+    enclave->platform().host().JournalEvent(obs::JournalKind::kRollbackReject,
+                                            opened.version, opened.expected_version,
+                                            kSealSlot);
+    return nullptr;
+  }
+  if (!opened.record) {
     return nullptr;  // Nothing to restore (or forged blob).
   }
-  ByteReader r(ByteView(blob->data(), blob->size()));
+  ByteReader r(ByteView(opened.record->data(), opened.record->size()));
   const auto vi = r.U64();
   const auto flags = r.U8();
   const auto prepv = r.U64();
   const auto preph = r.Raw(32);
-  const auto version = r.U64();
-  if (!vi || !flags || !prepv || !preph || !version || r.remaining() != 0) {
+  if (!vi || !flags || !prepv || !preph || r.remaining() != 0) {
     return nullptr;
-  }
-  persist::Store& counter = enclave->counter_store();
-  if (counter.available() && !break_counter_compare) {
-    // Rollback detection: the sealed version must match the counter exactly. A stale blob
-    // (version < counter) means the OS rolled the state back -> refuse to run.
-    const uint64_t expected = counter.Read();
-    if (*version != expected) {
-      enclave->platform().host().JournalEvent(obs::JournalKind::kRollbackReject, *version,
-                                              expected, kSealSlot);
-      return nullptr;
-    }
   }
   auto checker =
       std::unique_ptr<DamysusChecker>(new DamysusChecker(enclave, n, f, /*restored=*/true));
@@ -56,22 +54,20 @@ std::unique_ptr<DamysusChecker> DamysusChecker::Restore(EnclaveRuntime* enclave,
   checker->voted2_ = (*flags & 4) != 0;
   checker->prepv_ = *prepv;
   std::copy(preph->begin(), preph->end(), checker->preph_.begin());
-  checker->version_ = *version;
+  checker->version_ = opened.version;
   return checker;
 }
 
 void DamysusChecker::PersistState() {
-  ++version_;
-  // Store-then-increment (§2.1): bind the new version, then bump the counter (a no-op
-  // without a device). This write is the 20-97 ms stall on Damysus-R's critical path.
-  enclave_->counter_store().Increment();
   ByteWriter w;
   w.U64(vi_);
   w.U8(static_cast<uint8_t>((flag_ ? 1 : 0) | (voted1_ ? 2 : 0) | (voted2_ ? 4 : 0)));
   w.U64(prepv_);
   w.Raw(ByteView(preph_.data(), preph_.size()));
-  w.U64(version_);
-  enclave_->sealed_store().Put(kSealSlot, ByteView(w.bytes().data(), w.bytes().size()));
+  // The backend assigns the version, appends it to the sealed blob, and pays the defense
+  // cost: the counter write in -R (the 20-97 ms critical-path stall), the peer-quorum
+  // round trip under rollbaccine/healer.
+  version_ = enclave_->defense().Persist(kSealSlot, ByteView(w.bytes().data(), w.bytes().size()));
 }
 
 void DamysusChecker::AdvanceTo(View v) {

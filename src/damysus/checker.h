@@ -1,12 +1,15 @@
 // Damysus' trusted components (paper Appendix A): a CHECKER tracking the last *prepared*
 // block (two voting phases per view) and an ACCUMULATOR for leader parent selection.
 //
-// Rollback handling is local: the checker seals its state after every mutation. In the -R
-// variant each mutation additionally writes a persistent monotonic counter whose value is
-// bound into the sealed blob; on restart the sealed state is only accepted if its version
-// matches the counter, otherwise the enclave refuses to run (crash-stop). Without the
-// counter (plain Damysus), a rolled-back seal is accepted silently — the vulnerability the
-// paper's §2.1 describes, demonstrated by tests/damysus_test.cc.
+// Rollback handling goes through the pluggable defense backend (src/storage/defense.h):
+// the checker persists its state after every mutation and the backend binds a monotonic
+// version to the sealed blob. Under the local backend the version is checked against the
+// persistent counter in -R; under the quorum backends (--defense rollbaccine/healer) peer
+// replicas vouch for freshness instead. On restart a detected rollback makes the enclave
+// refuse to run (crash-stop), except that rollbaccine repairs from the freshest peer copy.
+// Without any freshness source (plain Damysus, local backend, no counter), a rolled-back
+// seal is accepted silently — the vulnerability the paper's §2.1 describes, demonstrated
+// by tests/damysus_test.cc.
 #ifndef SRC_DAMYSUS_CHECKER_H_
 #define SRC_DAMYSUS_CHECKER_H_
 
@@ -31,22 +34,22 @@ class DamysusChecker {
   // Fresh genesis-time checker.
   DamysusChecker(EnclaveRuntime* enclave, uint32_t n, uint32_t f);
 
-  // Restores a checker from sealed storage after a reboot. Returns nullptr when the state
-  // is unusable: missing/forged seal, or (-R only) seal version != persistent counter —
-  // i.e. a detected rollback, upon which Damysus-R refuses to participate.
-  // `break_counter_compare` skips that version check — a deliberately-broken variant used
-  // only by the chaos harness to prove its counter-integrity oracle catches the
-  // silently-accepted rollback.
+  // Restores a checker from the defense backend after a reboot. Returns nullptr when the
+  // state is unusable: missing/forged seal, or a detected rollback (seal version behind
+  // the backend's freshness floor), upon which the replica refuses to participate.
+  // `break_restore_verify` skips the freshness check — a deliberately-broken variant used
+  // only by the chaos harness to prove its oracles catch the silently-accepted rollback.
   static std::unique_ptr<DamysusChecker> Restore(EnclaveRuntime* enclave, uint32_t n,
                                                  uint32_t f,
-                                                 bool break_counter_compare = false);
+                                                 bool break_restore_verify = false);
 
   View vi() const { return vi_; }
   View prepv() const { return prepv_; }
   const Hash256& preph() const { return preph_; }
   bool proposed_flag() const { return flag_; }
-  // Sealed-state version; in -R this equals the persistent counter after every mutation
-  // (the invariant the chaos harness's counter oracle checks).
+  // Backend-assigned state version; in -R (local backend) this equals the persistent
+  // counter after every mutation (the invariant the chaos harness's counter oracle
+  // checks); under quorum backends it is the version the peer quorum vouches for.
   uint64_t version() const { return version_; }
 
   // Leader: certify a block for the current view. Justified either by an accumulator over
@@ -70,7 +73,7 @@ class DamysusChecker {
  private:
   DamysusChecker(EnclaveRuntime* enclave, uint32_t n, uint32_t f, bool restored);
 
-  // Seals the state and, when a counter device is present, binds + bumps it.
+  // Persists the state through the defense backend (which assigns version_).
   void PersistState();
   void AdvanceTo(View v);
 
@@ -84,7 +87,7 @@ class DamysusChecker {
   bool voted2_ = false;  // Second-phase vote cast in vi.
   View prepv_ = 0;
   Hash256 preph_;
-  uint64_t version_ = 0;  // Monotonic state version bound to the counter in -R.
+  uint64_t version_ = 0;  // Monotonic state version assigned by the defense backend.
 };
 
 }  // namespace achilles

@@ -50,14 +50,12 @@ void FlexiSequencer::PersistState() {
   w.U64(epoch_);
   w.U64(next_seq_);
   w.U64(enclave_->platform().counter().value());
-  enclave_->platform().host_storage().records().Put(
-      kSeqKey, ByteView(w.bytes().data(), w.bytes().size()), storage::SyncMode::kSync);
+  meta_->Put(kSeqKey, ByteView(w.bytes().data(), w.bytes().size()));
 }
 
 void FlexiSequencer::Restore() {
   uint64_t persisted_counter = 0;
-  if (const std::optional<Bytes> state =
-          enclave_->platform().host_storage().records().Get(kSeqKey)) {
+  if (const std::optional<Bytes> state = meta_->Get(kSeqKey)) {
     ByteReader r(ByteView(state->data(), state->size()));
     const auto epoch = r.U64();
     const auto next_seq = r.U64();
@@ -81,7 +79,9 @@ void FlexiSequencer::Restore() {
 }
 
 FlexiBftReplica::FlexiBftReplica(const ReplicaContext& ctx, bool initial_launch)
-    : ReplicaBase(ctx), initial_launch_(initial_launch), sequencer_(&enclave()) {
+    : ReplicaBase(ctx),
+      initial_launch_(initial_launch),
+      sequencer_(&enclave(), &HostRecords()) {
   // Backups keep no trusted state: a rebooted FlexiBFT node simply rejoins at the current
   // epoch (its quorum math tolerates rolled-back backups — the 3f+1 trade-off). Only the
   // leader-side sequencer frontier and its ordered-block log are durable.
@@ -102,7 +102,7 @@ void FlexiBftReplica::RestoreDurableState() {
   // Replay the ordered-block log so a restored leader proposes on top of what it already
   // sequenced. Records at or past the sequence frontier were appended but never ordered
   // (Order() failed after the append) and are ignored.
-  for (const Bytes& record : platform().host_storage().Wal(kLogWal).records()) {
+  for (const Bytes& record : Wal(kLogWal).records()) {
     const BlockPtr block = DecodeBlockRecord(ByteView(record.data(), record.size()));
     if (block == nullptr || block->height >= sequencer_.next_seq() ||
         block->height <= last_committed_height_) {
@@ -151,8 +151,7 @@ void FlexiBftReplica::TryPropose() {
   // durable in the same barrier, so the restored log can never lag the burned sequence
   // number. If Order() fails the orphan record stays below the frontier filter on replay.
   const Bytes record = EncodeBlockRecord(*block);
-  platform().host_storage().Wal(kLogWal).Append(ByteView(record.data(), record.size()),
-                                                storage::SyncMode::kAsync);
+  Wal(kLogWal).Append(ByteView(record.data(), record.size()), storage::SyncMode::kAsync);
   const auto cert = sequencer_.Order(*block, block->height, epoch_);
   if (!cert) {
     host().SetTimer(Ms(1), [this] { TryPropose(); });
@@ -339,7 +338,7 @@ void FlexiBftReplica::OnStableCheckpoint(const checkpoint::CheckpointCert& cert)
   ReplicaBase::OnStableCheckpoint(cert);
   // Compact the ordered-block log behind the certified boundary. The scan stops at the
   // first record beyond the boundary so later appends are never dropped.
-  storage::WriteAheadLog& wal = platform().host_storage().Wal(kLogWal);
+  storage::WriteAheadLog& wal = Wal(kLogWal);
   size_t drop = 0;
   for (const Bytes& record : wal.records()) {
     const BlockPtr block = DecodeBlockRecord(ByteView(record.data(), record.size()));

@@ -52,7 +52,10 @@ struct FbEpochChangeMsg : SimMessage {
 // record is stale.
 class FlexiSequencer {
  public:
-  explicit FlexiSequencer(EnclaveRuntime* enclave) : enclave_(enclave) {}
+  // `meta` is the host-durable persist::Store the (epoch, next_seq) frontier mirror lives
+  // in (every Put is a sync put; the caller's WAL appends ride the same barrier).
+  FlexiSequencer(EnclaveRuntime* enclave, persist::Store* meta)
+      : enclave_(enclave), meta_(meta) {}
 
   // Orders `b` at `seq` within `epoch`; enforces gapless monotonic sequencing per epoch.
   std::optional<SignedCert> Order(const Block& b, uint64_t seq, uint64_t epoch);
@@ -69,6 +72,7 @@ class FlexiSequencer {
   void PersistState();
 
   EnclaveRuntime* enclave_;
+  persist::Store* meta_;
   uint64_t epoch_ = 0;
   uint64_t next_seq_ = 1;
 };

@@ -1,8 +1,10 @@
 #include "src/harness/bench_report.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
+#include "src/harness/flags.h"
 #include "src/obs/json.h"
 
 namespace achilles {
@@ -29,7 +31,8 @@ void WriteConfig(obs::JsonWriter* w, const ClusterConfig& config) {
       .Field("seed", config.seed)
       .Field("client_rate_tps", config.client_rate_tps)
       .Field("commit_fast_path", config.commit_fast_path)
-      .Field("base_timeout_ns", config.base_timeout);
+      .Field("base_timeout_ns", config.base_timeout)
+      .Field("defense", persist::DefenseKindName(config.defense));
   w->KeyBeginObject("net")
       .Field("one_way_base_ns", config.net.one_way_base)
       .Field("one_way_jitter_ns", config.net.one_way_jitter)
@@ -184,29 +187,15 @@ int BenchReport::Finish(int rc) {
   return rc;
 }
 
-BenchIo::BenchIo(const char* bench_name, int argc, char** argv) {
-  std::string json_path;
-  std::string trace_path;
-  std::string critpath_path;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strcmp(arg, "--json-out") == 0) {
-      json_path = std::string("BENCH_") + bench_name + ".json";
-    } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
-      json_path = arg + 11;
-    } else if (std::strcmp(arg, "--trace-out") == 0) {
-      trace_path = std::string("BENCH_") + bench_name + ".trace.json";
-    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
-      trace_path = arg + 12;
-    } else if (std::strcmp(arg, "--critpath-out") == 0) {
-      critpath_path = std::string("BENCH_") + bench_name + ".critpath.json";
-    } else if (std::strncmp(arg, "--critpath-out=", 15) == 0) {
-      critpath_path = arg + 15;
-    }
-    // Other flags belong to the bench itself (e.g. fig3's --net/--sweep).
+BenchIo::BenchIo(const char* bench_name, int* argc, char** argv) {
+  // The shared family (--defense/--json-out/--trace-out/--critpath-out) is consumed here;
+  // whatever survives in argv belongs to the bench itself (e.g. fig3's --net/--sweep).
+  harness::FlagSet flags(bench_name);
+  if (!flags.Parse(argc, argv)) {
+    std::exit(2);
   }
-  BenchReport::Instance().Configure(bench_name, std::move(json_path), std::move(trace_path),
-                                    std::move(critpath_path));
+  BenchReport::Instance().Configure(bench_name, flags.json_out(), flags.trace_out(),
+                                    flags.critpath_out());
 }
 
 }  // namespace achilles

@@ -1,6 +1,8 @@
 // Machine-readable bench output. Every bench binary wraps its Main in a BenchIo, which
-// parses two flags shared across all benches:
+// runs the shared harness::FlagSet parser (src/harness/flags.h) over argv:
 //
+//   --defense NAME      rollback-defense backend for every cluster the bench builds
+//                       (local|rollbaccine|healer; applied via persist::SetDefaultDefense)
 //   --json-out[=path]   write BENCH_<name>.json (run configs, stats, latency breakdown,
 //                       metric snapshots) next to the human-readable tables
 //   --trace-out[=path]  run the first measured cluster with span tracing on and export it
@@ -10,8 +12,9 @@
 //                       profile JSON plus `<path>.folded` (flamegraph folded stacks) and
 //                       `<path>.perfetto.json` (critical-path chains as Perfetto slices)
 //
-// MeasureOnce feeds every measured run into the process-wide BenchReport; benches need no
-// further changes beyond the three-line main() wrapper.
+// The family is consumed from argv (argc shrinks), so a bench's own parser only sees its
+// private flags. MeasureOnce feeds every measured run into the process-wide BenchReport;
+// benches need no further changes beyond the three-line main() wrapper.
 #ifndef SRC_HARNESS_BENCH_REPORT_H_
 #define SRC_HARNESS_BENCH_REPORT_H_
 
@@ -67,12 +70,16 @@ class BenchReport {
 // Flag parsing + report finalization for bench main()s:
 //
 //   int main(int argc, char** argv) {
-//     achilles::BenchIo io("fig4_saturation", argc, argv);
+//     achilles::BenchIo io("fig4_saturation", &argc, argv);
 //     return io.Finish(achilles::Main());
 //   }
+//
+// Takes argc by pointer because the shared flag family is consumed in place; a bench that
+// parses its remaining argv afterwards must see the compacted count. Exits (2) on a
+// malformed shared flag — a bench cannot sensibly continue with half a config.
 class BenchIo {
  public:
-  BenchIo(const char* bench_name, int argc, char** argv);
+  BenchIo(const char* bench_name, int* argc, char** argv);
   int Finish(int rc) { return BenchReport::Instance().Finish(rc); }
 };
 

@@ -68,6 +68,20 @@ bool DefaultCounterEnabled(Protocol protocol) {
   }
 }
 
+bool ProtocolUsesDefenseBackend(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kAchilles:
+    case Protocol::kAchillesC:
+    case Protocol::kDamysus:
+    case Protocol::kDamysusR:
+    case Protocol::kOneShot:
+    case Protocol::kOneShotR:
+      return true;
+    default:
+      return false;
+  }
+}
+
 Cluster::Cluster(const ClusterConfig& config)
     : config_(config),
       n_(ReplicasFor(config.protocol, config.f)),
@@ -81,7 +95,13 @@ Cluster::Cluster(const ClusterConfig& config)
   tee.components_in_tee = config_.protocol != Protocol::kAchillesC &&
                           config_.protocol != Protocol::kRaft &&
                           config_.protocol != Protocol::kHotStuff;
-  tee.counter = DefaultCounterEnabled(config_.protocol) ? config_.counter : CounterSpec::None();
+  // Under a quorum defense the backend replaces the counter's anti-rollback role for the
+  // protocols on the defense seam (-R keeps halting on detection, via the backend); the
+  // protocol-intrinsic counters (MinBFT USIG, FlexiBFT leader) stay regardless.
+  const bool defended = config_.defense != persist::DefenseKind::kLocal &&
+                        ProtocolUsesDefenseBackend(config_.protocol);
+  tee.counter = DefaultCounterEnabled(config_.protocol) && !defended ? config_.counter
+                                                                     : CounterSpec::None();
 
   tracer_.set_enabled(config_.tracing);
   journal_.set_enabled(config_.journaling);
@@ -91,11 +111,22 @@ Cluster::Cluster(const ClusterConfig& config)
   net_.set_critpath(&critpath_);
   net_.AttachMetrics(&metrics_);
 
+  if (defended) {
+    persist::DefenseCosts defense_costs;
+    defense_costs.one_way = config_.net.one_way_base;
+    defense_costs.replica_write = config_.costs.defense_replica_write;
+    defense_costs.replica_read = config_.costs.defense_replica_read;
+    defense_costs.cert_op = config_.costs.defense_cert_op;
+    defense_service_ = std::make_unique<persist::DefenseService>(n_, defense_costs);
+  }
   for (uint32_t i = 0; i < n_; ++i) {
     hosts_.push_back(std::make_unique<Host>(&sim_, i));
     net_.AddHost(hosts_.back().get());
     platforms_.push_back(std::make_unique<NodePlatform>(hosts_.back().get(), &suite_,
                                                         config_.costs, tee, config_.seed));
+    if (defended) {
+      platforms_.back()->ConfigureDefense(config_.defense, defense_service_.get());
+    }
   }
   replica_ptrs_.assign(n_, nullptr);
   byzantine_.assign(n_, ByzantineMode::kNone);

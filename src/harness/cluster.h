@@ -20,6 +20,7 @@
 #include "src/obs/journal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/storage/defense.h"
 
 namespace achilles {
 
@@ -49,6 +50,13 @@ uint32_t ReplicasFor(Protocol protocol, uint32_t f);
 // uses one on the leader by design).
 bool DefaultCounterEnabled(Protocol protocol);
 
+// True when the protocol's trusted state persists through the pluggable rollback-defense
+// seam (src/storage/defense.h): the Damysus/OneShot checker families and Achilles. MinBFT
+// and FlexiBFT keep their counters regardless of --defense (the USIG/leader counter is
+// protocol-intrinsic, not a swappable defense); the TEE-less baselines have no defended
+// state at all.
+bool ProtocolUsesDefenseBackend(Protocol protocol);
+
 struct ClusterConfig {
   Protocol protocol = Protocol::kAchilles;
   uint32_t f = 1;
@@ -58,6 +66,11 @@ struct ClusterConfig {
   CostModel costs = CostModel::Default();
   // Counter used by counter-dependent protocols. Defaults to the paper's 20 ms write.
   CounterSpec counter = CounterSpec::PaperDefault();
+  // Rollback-defense backend for the protocols on the defense seam (--defense on every
+  // bench/chaos tool; src/storage/defense.h). Under a quorum defense the -R counters are
+  // disabled — the backend replaces the counter's anti-rollback role — and the Cluster
+  // owns a DefenseService modeling the peer disk/certificate quorum.
+  persist::DefenseKind defense = persist::DefaultDefense();
   SimDuration base_timeout = Ms(500);
   bool commit_fast_path = true;  // Achilles NEW-VIEW optimization (ablation knob).
   uint64_t seed = 1;
@@ -148,6 +161,8 @@ class Cluster {
   KvClientProcess* kv_client() { return kv_client_; }
   // Checkpoint coordinator (null unless config.ckpt.enabled).
   checkpoint::CheckpointManager* checkpoint_manager() { return ckpt_manager_.get(); }
+  // Peer quorum behind the rollback-defense backends (null when config.defense == kLocal).
+  persist::DefenseService* defense_service() { return defense_service_.get(); }
   // Checkpoint quorum for this cluster shape: the commit-certificate quorum (f+1 on the
   // 2f+1 TEE protocols, 2f+1 on the 3f+1 ones).
   size_t CheckpointQuorum() const;
@@ -211,6 +226,7 @@ class Cluster {
   CommitTracker tracker_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<NodePlatform>> platforms_;
+  std::unique_ptr<persist::DefenseService> defense_service_;
   std::vector<ReplicaBase*> replica_ptrs_;
   std::vector<ByzantineMode> byzantine_;
   std::unique_ptr<app::KvService> kv_service_;

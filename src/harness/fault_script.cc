@@ -38,7 +38,8 @@ const char* SealedFateName(SealedFate fate) {
 
 uint64_t EncodeStorageFate(StorageFate fate) {
   return static_cast<uint64_t>(fate.wal) | (static_cast<uint64_t>(fate.sealed) << 8) |
-         (static_cast<uint64_t>(fate.snapshot) << 16);
+         (static_cast<uint64_t>(fate.snapshot) << 16) |
+         (static_cast<uint64_t>(fate.defense) << 24);
 }
 
 StorageFate DecodeStorageFate(uint64_t arg) {
@@ -46,6 +47,7 @@ StorageFate DecodeStorageFate(uint64_t arg) {
   fate.wal = static_cast<storage::WalFate>(arg & 0xff);
   fate.sealed = static_cast<SealedFate>((arg >> 8) & 0xff);
   fate.snapshot = static_cast<checkpoint::SnapshotFate>((arg >> 16) & 0xff);
+  fate.defense = static_cast<persist::DefenseFate>((arg >> 24) & 0xff);
   return fate;
 }
 
@@ -232,11 +234,23 @@ FaultScript SampleFaultScript(const ScriptParams& params, Rng& rng) {
         fate.wal = rng.Chance(0.5) ? storage::WalFate::kLostUnsynced
                                    : storage::WalFate::kTornTail;
       }
-      if (ProtocolRollbackProtected(params.protocol) && rng.Chance(0.5)) {
+      const bool quorum_defended = params.defense != persist::DefenseKind::kLocal &&
+                                   ProtocolUsesDefenseBackend(params.protocol);
+      if ((ProtocolRollbackProtected(params.protocol) || quorum_defended) &&
+          rng.Chance(0.5)) {
         // Adversarial sealed storage at reboot: full rollback or a wiped blob store.
         // Achilles recovers over the network regardless; the -R checkers must detect the
-        // rollback and halt.
+        // rollback and halt; under a quorum defense backend every backend-using protocol
+        // must detect it (healer) or repair from a peer copy (rollbaccine).
         fate.sealed = rng.Chance(0.5) ? SealedFate::kStale : SealedFate::kErased;
+      }
+      if (quorum_defended && rng.Chance(0.4)) {
+        // Peer-quorum fate (v4): one holder of the victim's replicated copies /
+        // freshness certificates regresses or loses them. Bounded at one holder so the
+        // quorum's freshest survivor is intact — composition with fate.sealed above is
+        // the interesting case (local rollback AND a degraded quorum).
+        fate.defense = rng.Chance(0.5) ? persist::DefenseFate::kPeerStale
+                                       : persist::DefenseFate::kPeerErased;
       }
       if (rng.Chance(params.ckpt_prob)) {
         // Adversarial checkpoint snapshot surface: a rolled-back (internally valid) old
@@ -331,10 +345,11 @@ FaultScript SampleFaultScript(const ScriptParams& params, Rng& rng) {
 
 std::string ScriptArtifact::ToText() const {
   std::ostringstream out;
-  out << "chaos-script v3\n";
+  out << "chaos-script v4\n";
   out << "protocol " << protocol << "\n";
   out << "f " << f << "\n";
   out << "seed " << seed << "\n";
+  out << "defense " << (defense.empty() ? "local" : defense) << "\n";
   for (size_t i = 0; i < script.byzantine.size(); ++i) {
     if (script.byzantine[i] != ByzantineMode::kNone) {
       out << "byz " << i << " " << ByzantineModeName(script.byzantine[i]) << "\n";
@@ -358,9 +373,11 @@ bool ScriptArtifact::FromText(const std::string& text, ScriptArtifact* out) {
   }
   // v1 reboot events carried a bare RollbackMode in arg; v2 carries EncodeStorageFate()
   // without a snapshot byte (bits 16+ are zero, so it decodes as kIntact and parses
-  // unchanged); v3 adds the checkpoint snapshot fate at bits 16-23.
+  // unchanged); v3 adds the checkpoint snapshot fate at bits 16-23; v4 adds the
+  // defense-backend peer fate at bits 24-31 plus the `defense <name>` header line.
   const bool v1 = line == "chaos-script v1";
-  if (!v1 && line != "chaos-script v2" && line != "chaos-script v3") {
+  if (!v1 && line != "chaos-script v2" && line != "chaos-script v3" &&
+      line != "chaos-script v4") {
     return false;
   }
   Protocol proto;
@@ -383,6 +400,12 @@ bool ScriptArtifact::FromText(const std::string& text, ScriptArtifact* out) {
       fields >> out->f;
     } else if (key == "seed") {
       fields >> out->seed;
+    } else if (key == "defense") {
+      fields >> out->defense;
+      persist::DefenseKind kind;
+      if (!persist::DefenseKindFromName(out->defense, &kind)) {
+        return false;
+      }
     } else if (key == "byz") {
       uint32_t id = 0;
       std::string mode_name;
@@ -482,6 +505,12 @@ void Cluster::ApplyFaultEvent(const FaultEvent& event) {
       // with the crash fate above and the sealed fate below).
       if (ckpt_manager_ != nullptr) {
         ckpt_manager_->ApplySnapshotFate(event.node, fate.snapshot);
+      }
+      // Defense-backend peer quorum fate (v4): degrade the attacked holder's copies of
+      // this owner's state BEFORE the reboot-time Open consults the quorum.
+      if (defense_service_ != nullptr &&
+          fate.defense != persist::DefenseFate::kIntact) {
+        defense_service_->ApplyPeerFate(event.node, fate.defense);
       }
       // The adversarial OS chooses what the new enclave unseals. Local restore happens in
       // the replica constructor (inside RebootReplica), so the mode can be lifted

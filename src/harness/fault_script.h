@@ -32,16 +32,21 @@ const char* SealedFateName(SealedFate fate);
 // Per-surface storage outcome carried by a reboot event. The surfaces have disjoint
 // fault vocabularies by design: the host WAL/record store suffers only crash-consistency
 // faults (torn tail, lost unsynced suffix — never rollback), sealed blobs suffer
-// only adversarial replay (never torn writes; the sealing device write is atomic), and
-// the checkpoint snapshot record (v3) is an adversarial host surface of its own — stale /
-// erased / corrupt, rollback detectable only where the certificate is TEE-sealed.
-// Encoded into FaultEvent::arg as (wal | sealed << 8 | snapshot << 16); the all-honest
-// fate encodes to 0, which keeps v1 scripts (arg = RollbackMode, honest = kLatest = 0)
-// and v2 scripts (no snapshot byte) meaning-compatible.
+// only adversarial replay (never torn writes; the sealing device write is atomic), the
+// checkpoint snapshot record (v3) is an adversarial host surface of its own — stale /
+// erased / corrupt, rollback detectable only where the certificate is TEE-sealed — and
+// the defense-backend peer quorum (v4) can lose/regress the rebooting owner's replicated
+// copies at one holder (stale / erased; src/storage/defense.h — bounded at one holder so
+// a fresh peer always survives, matching the backends' f < n/2 storage-fault assumption).
+// Encoded into FaultEvent::arg as (wal | sealed << 8 | snapshot << 16 | defense << 24);
+// the all-honest fate encodes to 0, which keeps v1 scripts (arg = RollbackMode, honest =
+// kLatest = 0), v2 scripts (no snapshot byte) and v3 scripts (no defense byte)
+// meaning-compatible.
 struct StorageFate {
   storage::WalFate wal = storage::WalFate::kIntact;
   SealedFate sealed = SealedFate::kFresh;
   checkpoint::SnapshotFate snapshot = checkpoint::SnapshotFate::kIntact;
+  persist::DefenseFate defense = persist::DefenseFate::kIntact;
 };
 uint64_t EncodeStorageFate(StorageFate fate);
 StorageFate DecodeStorageFate(uint64_t arg);
@@ -104,6 +109,12 @@ std::vector<ByzantineMode> AllowedByzantineModes(Protocol protocol);
 struct ScriptParams {
   Protocol protocol = Protocol::kAchilles;
   uint32_t f = 1;
+  // Rollback-defense backend the run is configured with (--defense). Under a quorum
+  // backend the sampler adds peer-quorum fates at reboot and extends sealed-fate attacks
+  // to every backend-using protocol (the backend, not the protocol, must cope). All extra
+  // RNG draws are gated behind defense != kLocal so kLocal streams — and therefore replay
+  // digests of every pre-v4 artifact — are unchanged.
+  persist::DefenseKind defense = persist::DefenseKind::kLocal;
   SimTime heal_at = Ms(1800);
   SimDuration liveness_window = Sec(8);
   // Probability the script contains crash+reboot cycles at all (--reboot-weight). Raising
@@ -126,6 +137,8 @@ struct ScriptArtifact {
   std::string protocol;  // ProtocolName() string.
   uint32_t f = 1;
   uint64_t seed = 0;
+  // DefenseKindName() string (v4 header line; absent in v1-v3, defaulting to "local").
+  std::string defense = "local";
   FaultScript script;
 
   std::string ToText() const;

@@ -1,0 +1,80 @@
+#include "src/harness/flags.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace achilles {
+namespace harness {
+namespace {
+
+// Matches `--flag` / `--flag=value`; value-less occurrences yield an empty string (the
+// caller substitutes its default).
+bool MatchPathFlag(const char* arg, const char* flag, std::string* value) {
+  const size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) != 0) {
+    return false;
+  }
+  if (arg[len] == '\0') {
+    value->clear();
+    return true;
+  }
+  if (arg[len] == '=') {
+    value->assign(arg + len + 1);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FlagSet::FlagSet(const char* tool) : tool_(tool) {}
+
+bool FlagSet::Parse(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    if (std::strcmp(arg, "--defense") == 0 ||
+        std::strncmp(arg, "--defense=", 10) == 0) {
+      const char* name = nullptr;
+      if (arg[9] == '=') {
+        name = arg + 10;
+      } else if (i + 1 < *argc) {
+        name = argv[++i];
+      } else {
+        std::fprintf(stderr, "%s: --defense needs a value (local|rollbaccine|healer)\n",
+                     tool_.c_str());
+        return false;
+      }
+      if (!persist::DefenseKindFromName(name, &defense_)) {
+        std::fprintf(stderr, "%s: unknown defense '%s' (local|rollbaccine|healer)\n",
+                     tool_.c_str(), name);
+        return false;
+      }
+      defense_set_ = true;
+      continue;
+    }
+    if (MatchPathFlag(arg, "--json-out", &value)) {
+      json_out_ = value.empty() ? "BENCH_" + tool_ + ".json" : value;
+      continue;
+    }
+    if (MatchPathFlag(arg, "--trace-out", &value)) {
+      trace_out_ = value.empty() ? "BENCH_" + tool_ + ".trace.json" : value;
+      continue;
+    }
+    if (MatchPathFlag(arg, "--critpath-out", &value)) {
+      critpath_out_ = value.empty() ? "BENCH_" + tool_ + ".critpath.json" : value;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  if (defense_set_) {
+    persist::SetDefaultDefense(defense_);
+  }
+  return true;
+}
+
+}  // namespace harness
+}  // namespace achilles

@@ -78,7 +78,7 @@ HotStuffReplica::HotStuffReplica(const ReplicaContext& ctx, bool initial_launch)
 }
 
 void HotStuffReplica::RestoreDurableState() {
-  const std::optional<Bytes> state = platform().host_storage().records().Get(kStateKey);
+  const std::optional<Bytes> state = HostRecords().Get(kStateKey);
   if (!state) {
     return;
   }
@@ -99,9 +99,7 @@ void HotStuffReplica::PersistState() {
   w.U64(cur_view_);
   WriteQc(w, prepare_qc_);
   WriteQc(w, locked_qc_);
-  platform().host_storage().records().Put(kStateKey,
-                                          ByteView(w.bytes().data(), w.bytes().size()),
-                                          storage::SyncMode::kSync);
+  HostRecords().Put(kStateKey, ByteView(w.bytes().data(), w.bytes().size()));
 }
 
 void HotStuffReplica::OnStart() {

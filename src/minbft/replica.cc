@@ -29,9 +29,8 @@ MinBftReplica::MinBftReplica(const ReplicaContext& ctx, bool initial_launch)
 }
 
 void MinBftReplica::RestoreDurableState() {
-  storage::HostStableStorage& device = platform().host_storage();
   Hash256 voted_hash = ZeroHash();
-  if (const std::optional<Bytes> meta = device.records().Get(kMetaKey)) {
+  if (const std::optional<Bytes> meta = HostRecords().Get(kMetaKey)) {
     ByteReader r(ByteView(meta->data(), meta->size()));
     const auto epoch = r.U64();
     const auto voted_epoch = r.U64();
@@ -53,7 +52,7 @@ void MinBftReplica::RestoreDurableState() {
   }
   // Replay the message log so the vote we certified last incarnation is still ours.
   BlockPtr tip;
-  for (const Bytes& record : device.Wal(kLogWal).records()) {
+  for (const Bytes& record : Wal(kLogWal).records()) {
     const BlockPtr block = DecodeBlockRecord(ByteView(record.data(), record.size()));
     if (block == nullptr) {
       continue;  // Torn/unfinished record: everything after it is gone anyway.
@@ -86,9 +85,7 @@ void MinBftReplica::PersistMeta() {
   const Hash256 voted_hash = voted_block_ != nullptr ? voted_block_->hash : ZeroHash();
   w.Raw(ByteView(voted_hash.data(), voted_hash.size()));
   w.U64(usig_.counter());
-  platform().host_storage().records().Put(kMetaKey,
-                                          ByteView(w.bytes().data(), w.bytes().size()),
-                                          storage::SyncMode::kSync);
+  HostRecords().Put(kMetaKey, ByteView(w.bytes().data(), w.bytes().size()));
 }
 
 void MinBftReplica::AppendToLog(const BlockPtr& block) {
@@ -98,8 +95,7 @@ void MinBftReplica::AppendToLog(const BlockPtr& block) {
   const Bytes record = EncodeBlockRecord(*block);
   // Async: every call site follows with PersistMeta(), whose sync makes the appended
   // record durable in the same barrier (one disk, one fsync).
-  platform().host_storage().Wal(kLogWal).Append(ByteView(record.data(), record.size()),
-                                                storage::SyncMode::kAsync);
+  Wal(kLogWal).Append(ByteView(record.data(), record.size()), storage::SyncMode::kAsync);
 }
 
 void MinBftReplica::OnStart() {
@@ -314,7 +310,7 @@ void MinBftReplica::OnStableCheckpoint(const checkpoint::CheckpointCert& cert) {
   // Compact the message log: every record at or below the certified boundary is
   // committed history the checkpoint now vouches for. The scan stops at the first
   // record beyond the boundary so later out-of-order appends are never dropped.
-  storage::WriteAheadLog& wal = platform().host_storage().Wal(kLogWal);
+  storage::WriteAheadLog& wal = Wal(kLogWal);
   size_t drop = 0;
   for (const Bytes& record : wal.records()) {
     const BlockPtr block = DecodeBlockRecord(ByteView(record.data(), record.size()));

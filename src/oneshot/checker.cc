@@ -20,29 +20,26 @@ OneShotChecker::OneShotChecker(EnclaveRuntime* enclave, uint32_t n, uint32_t f,
 }
 
 std::unique_ptr<OneShotChecker> OneShotChecker::Restore(EnclaveRuntime* enclave, uint32_t n,
-                                                        uint32_t f) {
+                                                        uint32_t f,
+                                                        bool break_restore_verify) {
   enclave->ChargeEcall();
-  const std::optional<Bytes> blob = enclave->sealed_store().Get(kSealSlot);
-  if (!blob) {
+  persist::OpenResult opened = enclave->defense().Open(kSealSlot, !break_restore_verify);
+  if (opened.status == persist::OpenStatus::kRolledBack) {
+    enclave->platform().host().JournalEvent(obs::JournalKind::kRollbackReject,
+                                            opened.version, opened.expected_version,
+                                            kSealSlot);
+    return nullptr;  // Rollback detected.
+  }
+  if (!opened.record) {
     return nullptr;
   }
-  ByteReader r(ByteView(blob->data(), blob->size()));
+  ByteReader r(ByteView(opened.record->data(), opened.record->size()));
   const auto vi = r.U64();
   const auto flags = r.U8();
   const auto prepv = r.U64();
   const auto preph = r.Raw(32);
-  const auto version = r.U64();
-  if (!vi || !flags || !prepv || !preph || !version || r.remaining() != 0) {
+  if (!vi || !flags || !prepv || !preph || r.remaining() != 0) {
     return nullptr;
-  }
-  persist::Store& counter = enclave->counter_store();
-  if (counter.available()) {
-    const uint64_t expected = counter.Read();
-    if (*version != expected) {
-      enclave->platform().host().JournalEvent(obs::JournalKind::kRollbackReject, *version,
-                                              expected, kSealSlot);
-      return nullptr;  // Rollback detected.
-    }
   }
   auto checker =
       std::unique_ptr<OneShotChecker>(new OneShotChecker(enclave, n, f, /*restored=*/true));
@@ -52,20 +49,19 @@ std::unique_ptr<OneShotChecker> OneShotChecker::Restore(EnclaveRuntime* enclave,
   checker->voted2_ = (*flags & 4) != 0;
   checker->prepv_ = *prepv;
   std::copy(preph->begin(), preph->end(), checker->preph_.begin());
-  checker->version_ = *version;
+  checker->version_ = opened.version;
   return checker;
 }
 
 void OneShotChecker::PersistState() {
-  ++version_;
-  enclave_->counter_store().Increment();  // No-op without a counter device.
   ByteWriter w;
   w.U64(vi_);
   w.U8(static_cast<uint8_t>((flag_ ? 1 : 0) | (voted1_ ? 2 : 0) | (voted2_ ? 4 : 0)));
   w.U64(prepv_);
   w.Raw(ByteView(preph_.data(), preph_.size()));
-  w.U64(version_);
-  enclave_->sealed_store().Put(kSealSlot, ByteView(w.bytes().data(), w.bytes().size()));
+  // Backend assigns the version, binds it to the blob, and pays the defense cost (counter
+  // write / quorum round trip).
+  version_ = enclave_->defense().Persist(kSealSlot, ByteView(w.bytes().data(), w.bytes().size()));
 }
 
 void OneShotChecker::AdvanceTo(View v) {

@@ -25,14 +25,16 @@ class OneShotChecker {
  public:
   OneShotChecker(EnclaveRuntime* enclave, uint32_t n, uint32_t f);
 
-  // Restore-from-seal after reboot (same semantics as DamysusChecker::Restore).
+  // Restore-from-backend after reboot (same semantics as DamysusChecker::Restore).
   static std::unique_ptr<OneShotChecker> Restore(EnclaveRuntime* enclave, uint32_t n,
-                                                 uint32_t f);
+                                                 uint32_t f,
+                                                 bool break_restore_verify = false);
 
   View vi() const { return vi_; }
   View prepv() const { return prepv_; }
   const Hash256& preph() const { return preph_; }
-  // Sealed-state version; equals the persistent counter in -R (chaos counter oracle).
+  // Backend-assigned state version; equals the persistent counter in -R under the local
+  // backend (chaos counter oracle).
   uint64_t version() const { return version_; }
 
   // Leader, fast path: certify a block extending the block committed at commit_qc.view.

@@ -20,7 +20,8 @@ OneShotReplica::OneShotReplica(const ReplicaContext& ctx, bool initial_launch)
   if (initial_launch) {
     checker_ = std::make_unique<OneShotChecker>(&enclave(), ctx.params.n, ctx.params.f);
   } else {
-    checker_ = OneShotChecker::Restore(&enclave(), ctx.params.n, ctx.params.f);
+    checker_ = OneShotChecker::Restore(&enclave(), ctx.params.n, ctx.params.f,
+                                       ctx.params.break_counter_compare);
     RestoreStableCheckpoint();
   }
 }

@@ -27,8 +27,7 @@ RaftReplica::RaftReplica(const ReplicaContext& ctx, bool initial_launch)
 }
 
 void RaftReplica::RestoreDurableState() {
-  storage::HostStableStorage& device = platform().host_storage();
-  if (const std::optional<Bytes> meta = device.record_store().Get(kMetaKey)) {
+  if (const std::optional<Bytes> meta = HostRecords().Get(kMetaKey)) {
     ByteReader r(ByteView(meta->data(), meta->size()));
     const auto term = r.U64();
     const auto voted = r.U64();
@@ -39,7 +38,7 @@ void RaftReplica::RestoreDurableState() {
   }
   // Replay the log; the tail (highest (term, height)) becomes head_ again, so the election
   // restriction and re-replication behave as if the crash never happened.
-  for (const Bytes& record : device.Wal(kLogWal).records()) {
+  for (const Bytes& record : Wal(kLogWal).records()) {
     const BlockPtr block = DecodeBlockRecord(ByteView(record.data(), record.size()));
     if (block == nullptr) {
       continue;  // Torn/unfinished record: everything after it is gone anyway.
@@ -61,7 +60,7 @@ void RaftReplica::OnStableCheckpoint(const checkpoint::CheckpointCert& cert) {
   // Drop the WAL prefix the snapshot subsumes. Records are scanned in append order and the
   // scan stops at the first record above the boundary: entries logged out of height order
   // across term changes under-truncate (safe) rather than over-truncate.
-  storage::WriteAheadLog& wal = platform().host_storage().Wal(kLogWal);
+  storage::WriteAheadLog& wal = Wal(kLogWal);
   size_t drop = 0;
   for (const Bytes& record : wal.records()) {
     const BlockPtr block = DecodeBlockRecord(ByteView(record.data(), record.size()));
@@ -86,9 +85,7 @@ void RaftReplica::PersistMeta() {
   ByteWriter w;
   w.U64(term_);
   w.U64(voted_in_term_);
-  platform().host_storage().records().Put(kMetaKey,
-                                          ByteView(w.bytes().data(), w.bytes().size()),
-                                          storage::SyncMode::kSync);
+  HostRecords().Put(kMetaKey, ByteView(w.bytes().data(), w.bytes().size()));
 }
 
 void RaftReplica::AppendToLog(const BlockPtr& block) {
@@ -96,8 +93,7 @@ void RaftReplica::AppendToLog(const BlockPtr& block) {
     return;  // Already durable (heartbeat re-delivery); no second fsync.
   }
   const Bytes record = EncodeBlockRecord(*block);
-  platform().host_storage().Wal(kLogWal).Append(ByteView(record.data(), record.size()),
-                                                storage::SyncMode::kSync);
+  Wal(kLogWal).Append(ByteView(record.data(), record.size()), storage::SyncMode::kSync);
 }
 
 void RaftReplica::OnStart() {

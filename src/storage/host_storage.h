@@ -130,6 +130,8 @@ class HostDurableStore final : public persist::Store {
     return persist::Durability::kHostDurable;
   }
   void Put(const std::string& key, ByteView record) override;
+  // Buffered put: durable only after the device's next sync barrier (torn-tail window).
+  void PutAsync(const std::string& key, ByteView record) override;
   std::optional<Bytes> Get(const std::string& key) override;
 
  private:

@@ -50,6 +50,13 @@ class Store {
   virtual void Put(const std::string& key, ByteView record) = 0;
   virtual std::optional<Bytes> Get(const std::string& key) = 0;
 
+  // Deliberately-async put: the record is visible immediately but rides to durability on
+  // the surface's next sync barrier (host-durable stores override; everywhere else the
+  // distinction is meaningless and this is a plain Put). Protocol code uses it to state
+  // "losing the unsynced suffix of this is acceptable" without reaching below the
+  // persist::Store seam.
+  virtual void PutAsync(const std::string& key, ByteView record) { Put(key, record); }
+
   // Monotonic-counter facet, meaningful only for kTeeCounter stores: Increment bumps and
   // returns the new value, Read returns the current one. Record-only stores return 0.
   virtual uint64_t Increment() { return 0; }

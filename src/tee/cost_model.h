@@ -30,6 +30,14 @@ struct CostModel {
   // Durable log append (CFT protocols must fsync their log before acknowledging; cloud
   // block-storage latency). BFT protocols here rely on TEEs/recovery instead of fsync.
   SimDuration log_fsync = Ms(1);
+  // Peer-side costs of the quorum rollback-defense backends (src/storage/defense.h); the
+  // network one-way delay is added from the cluster's NetworkConfig at setup. Replica
+  // write models a peer's durable disk write of a replicated sealed copy (Rollbaccine),
+  // replica read the recovery-time copy lookup, cert_op a freshness-certificate
+  // issue/lookup (Healer) — certificate ops are cheap, copies pay disk latency.
+  SimDuration defense_replica_write = Us(150);
+  SimDuration defense_replica_read = Us(60);
+  SimDuration defense_cert_op = Us(30);
 
   static CostModel Default() { return CostModel{}; }
 
@@ -50,6 +58,9 @@ struct CostModel {
     m.per_msg_handling = 0;
     m.seal_op = 0;
     m.log_fsync = 0;
+    m.defense_replica_write = 0;
+    m.defense_replica_read = 0;
+    m.defense_cert_op = 0;
     return m;
   }
 

@@ -1,0 +1,27 @@
+// The three persist::Backend implementations (src/storage/defense.h) an enclave can run
+// its rollback-defended state over. One backend instance per EnclaveRuntime incarnation;
+// the crash-surviving peer state of the quorum backends lives in the cluster-owned
+// persist::DefenseService the platform is configured with (NodePlatform::ConfigureDefense).
+//
+// All three write the same wire shape — the caller's record with an 8-byte version
+// trailer, sealed under the device key — so the sealed blobs of the local backend are
+// byte-identical to what the Damysus/OneShot checkers historically produced, and the
+// chaos replay digests of --defense local runs match pre-backend builds exactly.
+#ifndef SRC_TEE_DEFENSE_BACKENDS_H_
+#define SRC_TEE_DEFENSE_BACKENDS_H_
+
+#include <memory>
+
+#include "src/storage/defense.h"
+
+namespace achilles {
+
+class EnclaveRuntime;
+
+// Builds the backend for the platform's configured DefenseKind. Quorum kinds require a
+// DefenseService on the platform (the Cluster installs one when --defense != local).
+std::unique_ptr<persist::Backend> MakeDefenseBackend(EnclaveRuntime* enclave);
+
+}  // namespace achilles
+
+#endif  // SRC_TEE_DEFENSE_BACKENDS_H_

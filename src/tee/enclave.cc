@@ -5,6 +5,7 @@
 #include "src/common/rng.h"
 #include "src/common/serde.h"
 #include "src/crypto/hmac.h"
+#include "src/tee/defense_backends.h"
 
 namespace achilles {
 
@@ -20,6 +21,7 @@ EnclaveRuntime::EnclaveRuntime(NodePlatform* platform) : platform_(platform) {
   std::memcpy(&seed, sk.data(), sizeof(seed));
   nonce_state_ = seed ^ static_cast<uint64_t>(platform_->host().sim().Now()) ^
                  (static_cast<uint64_t>(platform_->node_id()) << 48);
+  defense_ = MakeDefenseBackend(this);
 }
 
 void EnclaveRuntime::ChargeEcall() {

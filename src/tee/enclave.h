@@ -5,9 +5,11 @@
 #ifndef SRC_TEE_ENCLAVE_H_
 #define SRC_TEE_ENCLAVE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "src/storage/defense.h"
 #include "src/storage/persist.h"
 #include "src/tee/platform.h"
 
@@ -79,6 +81,13 @@ class EnclaveRuntime {
   persist::Store& sealed_store() { return sealed_store_; }
   persist::Store& counter_store() { return counter_store_; }
 
+  // The rollback-defense backend this enclave's trusted state persists through
+  // (src/storage/defense.h; built per the platform's configured DefenseKind). The
+  // Damysus/OneShot/Achilles checkers and the checkpoint certificate floor run over this
+  // seam — not over sealed_store()/counter_store() directly — so competing defenses are
+  // swappable per run (--defense).
+  persist::Backend& defense() { return *defense_; }
+
   // Deterministic per-enclave nonce source (models RDRAND inside the enclave).
   uint64_t FreshNonce();
 
@@ -96,6 +105,7 @@ class EnclaveRuntime {
   NodePlatform* platform_;
   SealedStore sealed_store_{this};
   CounterStore counter_store_{this};
+  std::unique_ptr<persist::Backend> defense_;
   uint64_t seal_iv_ = 0;
   uint64_t nonce_state_;
   uint64_t ecalls_ = 0;

@@ -7,6 +7,7 @@
 
 #include "src/crypto/signer.h"
 #include "src/sim/host.h"
+#include "src/storage/defense.h"
 #include "src/storage/host_storage.h"
 #include "src/tee/cost_model.h"
 #include "src/tee/monotonic_counter.h"
@@ -47,6 +48,17 @@ class NodePlatform {
   // Device sealing key (fused into the CPU; adversary never learns it).
   const Hash256& sealing_key() const { return sealing_key_; }
 
+  // --- Rollback-defense backend selection (src/storage/defense.h) ---
+  // The Cluster configures every replica platform before any enclave is built; quorum
+  // kinds need the cluster-owned DefenseService. Defaults to kLocal with no service —
+  // the historical sealed+counter behavior.
+  void ConfigureDefense(persist::DefenseKind kind, persist::DefenseService* service) {
+    defense_kind_ = kind;
+    defense_service_ = service;
+  }
+  persist::DefenseKind defense_kind() const { return defense_kind_; }
+  persist::DefenseService* defense_service() { return defense_service_; }
+
  private:
   Host* host_;
   CryptoSuite* suite_;
@@ -57,6 +69,8 @@ class NodePlatform {
   MonotonicCounter counter_;
   storage::HostStableStorage host_storage_;
   Hash256 sealing_key_;
+  persist::DefenseKind defense_kind_ = persist::DefenseKind::kLocal;
+  persist::DefenseService* defense_service_ = nullptr;
 };
 
 }  // namespace achilles

@@ -225,6 +225,89 @@ TEST(ChaosRunnerTest, ArtifactTextRoundTrips) {
   EXPECT_EQ(parsed.ToText(), text);  // Canonical form is a fixed point.
 }
 
+// --- chaos-script v4: defense header + peer-quorum reboot fates ---
+
+TEST(ChaosScriptV4Test, DefenseFateBitsEncodeAndDecode) {
+  StorageFate fate;
+  fate.wal = storage::WalFate::kTornTail;
+  fate.sealed = SealedFate::kStale;
+  fate.snapshot = checkpoint::SnapshotFate::kStale;
+  fate.defense = persist::DefenseFate::kPeerErased;
+  const StorageFate decoded = DecodeStorageFate(EncodeStorageFate(fate));
+  EXPECT_EQ(decoded.wal, fate.wal);
+  EXPECT_EQ(decoded.sealed, fate.sealed);
+  EXPECT_EQ(decoded.snapshot, fate.snapshot);
+  EXPECT_EQ(decoded.defense, fate.defense);
+  // The all-honest fate still encodes to 0 (v1-v3 meaning compatibility).
+  EXPECT_EQ(EncodeStorageFate(StorageFate{}), 0u);
+}
+
+TEST(ChaosScriptV4Test, DefenseHeaderAndPeerFateRoundTrip) {
+  ScriptArtifact artifact;
+  artifact.protocol = "Damysus-R";
+  artifact.f = 1;
+  artifact.seed = 99;
+  artifact.defense = "rollbaccine";
+  StorageFate fate;
+  fate.sealed = SealedFate::kStale;
+  fate.defense = persist::DefenseFate::kPeerStale;
+  FaultEvent crash{Ms(100), FaultKind::kCrash, 2, 0, 0};
+  FaultEvent reboot{Ms(300), FaultKind::kReboot, 2, 0, EncodeStorageFate(fate)};
+  artifact.script.byzantine.assign(4, ByzantineMode::kNone);
+  artifact.script.events = {crash, reboot};
+  artifact.script.heal_at = Ms(1800);
+  artifact.script.horizon = Sec(3);
+  const std::string text = artifact.ToText();
+  EXPECT_NE(text.find("chaos-script v4"), std::string::npos) << text;
+  EXPECT_NE(text.find("defense rollbaccine"), std::string::npos) << text;
+  ScriptArtifact parsed;
+  ASSERT_TRUE(ScriptArtifact::FromText(text, &parsed));
+  EXPECT_EQ(parsed.defense, "rollbaccine");
+  ASSERT_EQ(parsed.script.events.size(), 2u);
+  const StorageFate replayed = DecodeStorageFate(parsed.script.events[1].arg);
+  EXPECT_EQ(replayed.sealed, SealedFate::kStale);
+  EXPECT_EQ(replayed.defense, persist::DefenseFate::kPeerStale);
+  EXPECT_EQ(parsed.ToText(), text);  // Canonical form is a fixed point.
+}
+
+TEST(ChaosScriptV4Test, PreV4TextsParseWithLocalDefenseDefault) {
+  // v1-v3 artifacts carry no defense line; they must keep meaning exactly what they
+  // meant — the local backend, peer quorum untouched.
+  ScriptArtifact parsed;
+  ASSERT_TRUE(ScriptArtifact::FromText(
+      "chaos-script v3\nprotocol Achilles\nf 1\nseed 4\n"
+      "event 100000000 reboot 1 0 257\n"
+      "heal 1400000000\nhorizon 2000000000\n",
+      &parsed));
+  EXPECT_EQ(parsed.defense, "local");
+  const StorageFate fate = DecodeStorageFate(parsed.script.events[0].arg);
+  EXPECT_EQ(fate.defense, persist::DefenseFate::kIntact);
+  // Re-serialization upgrades the header but preserves the fate bytes verbatim.
+  EXPECT_NE(parsed.ToText().find("chaos-script v4"), std::string::npos);
+  EXPECT_NE(parsed.ToText().find("event 100000000 reboot 1 0 257"), std::string::npos);
+}
+
+TEST(ChaosScriptV4Test, QuorumDefenseSweepStaysCleanAndReplaysDigestStable) {
+  for (const persist::DefenseKind defense :
+       {persist::DefenseKind::kRollbaccine, persist::DefenseKind::kHealer}) {
+    ChaosOptions options;
+    options.defense = defense;
+    options.reboot_prob = 1.0;  // Weight toward the reboots that exercise peer fates.
+    const ChaosResult result = chaos::RunChaosSeed(options, 3);
+    ASSERT_TRUE(result.ok) << persist::DefenseKindName(defense) << ": "
+                           << result.violation;
+    EXPECT_EQ(result.defense, defense);
+    const ScriptArtifact artifact = result.Artifact();
+    EXPECT_EQ(artifact.defense, persist::DefenseKindName(defense));
+    Protocol protocol = Protocol::kAchilles;
+    ASSERT_TRUE(ProtocolFromName(artifact.protocol, &protocol));
+    const ChaosResult replayed = chaos::RunChaosScript(options, artifact.seed, protocol,
+                                                       artifact.f, artifact.script);
+    EXPECT_EQ(replayed.log_digest_hex, result.log_digest_hex)
+        << persist::DefenseKindName(defense);
+  }
+}
+
 // --- Broken-variant self-tests: the oracles must flag the planted bugs ---
 
 TEST(ChaosBrokenVariantTest, RecoveryNonceBypassIsFlagged) {
@@ -253,6 +336,26 @@ TEST(ChaosBrokenVariantTest, StaleSnapshotAcceptIsFlagged) {
   ASSERT_FALSE(result.ok) << "broken stale-snapshot-accept variant passed the oracles";
   EXPECT_NE(result.violation.find("checkpoint"), std::string::npos) << result.violation;
   EXPECT_NE(result.violation.find("stale snapshot accepted"), std::string::npos)
+      << result.violation;
+}
+
+TEST(ChaosBrokenVariantTest, QuorumRestoreSkipIsFlagged) {
+  ChaosOptions options;
+  options.broken = BrokenVariant::kQuorumRestoreSkip;  // Forces Damysus-R + rollbaccine.
+  const ChaosResult result = chaos::RunChaosSeed(options, 1);
+  ASSERT_FALSE(result.ok) << "broken quorum-restore-skip variant passed the oracles";
+  EXPECT_EQ(result.defense, persist::DefenseKind::kRollbaccine);
+  EXPECT_NE(result.violation.find("trusted version regressed"), std::string::npos)
+      << result.violation;
+}
+
+TEST(ChaosBrokenVariantTest, CertFloorSkipIsFlagged) {
+  ChaosOptions options;
+  options.broken = BrokenVariant::kCertFloorSkip;  // Forces Damysus-R + healer.
+  const ChaosResult result = chaos::RunChaosSeed(options, 1);
+  ASSERT_FALSE(result.ok) << "broken cert-floor-skip variant passed the oracles";
+  EXPECT_EQ(result.defense, persist::DefenseKind::kHealer);
+  EXPECT_NE(result.violation.find("trusted version regressed"), std::string::npos)
       << result.violation;
 }
 
@@ -325,6 +428,37 @@ TEST(ChaosMinimizeTest, DdminRoundTripsThroughTheV3ArtifactText) {
       chaos::RunChaosScript(options, parsed.seed, protocol, parsed.f, parsed.script);
   EXPECT_FALSE(rerun.ok);
   EXPECT_NE(rerun.violation.find("checkpoint"), std::string::npos) << rerun.violation;
+}
+
+TEST(ChaosMinimizeTest, DdminPreservesTheDefenseHeader) {
+  // A minimized quorum-backend reproducer must re-run under the same backend: the defense
+  // line has to survive ddmin's ToText -> FromText round trip, or the replay silently
+  // falls back to the local backend and the reproducer stops reproducing.
+  ChaosOptions options;
+  options.broken = BrokenVariant::kQuorumRestoreSkip;
+  const ChaosResult failing = chaos::RunChaosSeed(options, 1);
+  ASSERT_FALSE(failing.ok);
+  const MinimizeResult minimized = chaos::MinimizeScript(
+      options, failing.seed, failing.protocol, failing.f, failing.script);
+  ASSERT_TRUE(minimized.reproduced);
+  ScriptArtifact artifact = failing.Artifact();
+  artifact.script = minimized.script;
+  const std::string text = artifact.ToText();
+  EXPECT_NE(text.find("defense rollbaccine"), std::string::npos) << text;
+  ScriptArtifact parsed;
+  ASSERT_TRUE(ScriptArtifact::FromText(text, &parsed));
+  EXPECT_EQ(parsed.defense, "rollbaccine");
+  Protocol protocol = Protocol::kAchilles;
+  ASSERT_TRUE(ProtocolFromName(parsed.protocol, &protocol));
+  // Replay contract (chaos_main's ReplayFile): the artifact's defense line configures the
+  // rerun's backend. Without it the replay would run the local backend and diverge.
+  ChaosOptions replay_options = options;
+  ASSERT_TRUE(persist::DefenseKindFromName(parsed.defense, &replay_options.defense));
+  const ChaosResult rerun = chaos::RunChaosScript(replay_options, parsed.seed, protocol,
+                                                  parsed.f, parsed.script);
+  EXPECT_FALSE(rerun.ok);
+  EXPECT_NE(rerun.violation.find("trusted version regressed"), std::string::npos)
+      << rerun.violation;
 }
 
 TEST(ChaosRunnerTest, CheckpointWeightedSweepStaysClean) {

@@ -348,9 +348,9 @@ TEST(StorageFateTest, V2ScriptsParseWithSnapshotFateIntact) {
   EXPECT_EQ(fate.wal, storage::WalFate::kTornTail);
   EXPECT_EQ(fate.sealed, SealedFate::kStale);
   EXPECT_EQ(fate.snapshot, checkpoint::SnapshotFate::kIntact);
-  // Re-serializing writes the current (v3) header with the arg unchanged.
+  // Re-serializing writes the current (v4) header with the arg unchanged.
   const std::string text = artifact.ToText();
-  EXPECT_EQ(text.compare(0, 15, "chaos-script v3"), 0);
+  EXPECT_EQ(text.compare(0, 15, "chaos-script v4"), 0);
   ScriptArtifact round;
   ASSERT_TRUE(ScriptArtifact::FromText(text, &round));
   EXPECT_EQ(round.script.events[0].arg, artifact.script.events[0].arg);

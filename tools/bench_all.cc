@@ -2,7 +2,7 @@
 // into one BENCH_summary.json for CI artifacts and cross-commit comparison.
 //
 // Usage: bench_all [--smoke] [--scale=F] [--jobs=N] [--bin-dir=DIR] [--out=PATH]
-//                  [--only=SUBSTR] [--guard-baseline=PATH]
+//                  [--only=SUBSTR] [--guard-baseline=PATH] [--defense=NAME]
 //
 //   --smoke        CI plumbing mode: exports ACHILLES_BENCH_SCALE=0.05 to the child
 //                  benches, which shrinks every measured window (src/harness/experiment.cc
@@ -19,6 +19,9 @@
 //                  argv[0], assuming the CMake layout build/tools + build/bench).
 //   --out=PATH     Summary path (default BENCH_summary.json in the working directory).
 //   --only=SUBSTR  Run only benches whose name contains SUBSTR.
+//   --defense=NAME Forward --defense=NAME (local|rollbaccine|healer) to every child bench
+//                  except bench_defense (which sweeps all backends itself), so a whole
+//                  summary can be generated under one rollback-defense backend.
 //   --guard-baseline=PATH
 //                  Perf-regression guard: compares this run's fig4 peak
 //                  sim.events_per_wall_sec against the committed baseline summary at PATH
@@ -41,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/harness/flags.h"
 #include "src/obs/json.h"
 #include "src/tee/cost_model.h"
 
@@ -52,7 +56,7 @@ const char* const kBenches[] = {
     "bench_table1_comparison", "bench_table2_recovery", "bench_table3_profiling",
     "bench_table4_counters",  "bench_ablation_achilles", "bench_context_protocols",
     "bench_parallel_instances", "bench_app_kv",  "bench_checkpoint",
-    "bench_sim_core",
+    "bench_sim_core",         "bench_defense",
 };
 
 std::string Dirname(const std::string& path) {
@@ -330,6 +334,7 @@ struct BenchTask {
   std::string json_path;      // Per-bench report the child writes.
   std::string log_path;       // Child stdout+stderr when running concurrently.
   std::string critpath_path;  // Non-empty: pass --critpath-out=<path> to the child.
+  std::string defense;        // Non-empty: pass --defense=<name> to the child.
   int exit_code = 0;
 };
 
@@ -337,6 +342,9 @@ std::string TaskCommand(const BenchTask& task) {
   std::string cmd = task.binary + " --json-out=" + task.json_path;
   if (!task.critpath_path.empty()) {
     cmd += " --critpath-out=" + task.critpath_path;
+  }
+  if (!task.defense.empty()) {
+    cmd += " --defense=" + task.defense;
   }
   return cmd;
 }
@@ -393,6 +401,13 @@ void RunTasks(std::vector<BenchTask>& tasks, int jobs) {
 }
 
 int Main(int argc, char** argv) {
+  // Shared flag family: --defense=NAME here is forwarded verbatim to every child bench
+  // (bench_defense ignores it — it sweeps all backends by design). The out-path flags are
+  // consumed but unused; bench_all's own --out= controls the summary path.
+  harness::FlagSet shared("bench_all");
+  if (!shared.Parse(&argc, argv)) {
+    return 2;
+  }
   bool smoke = false;
   double scale = 0.0;
   int jobs = 1;
@@ -425,7 +440,8 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_all [--smoke] [--scale=F] [--jobs=N] [--bin-dir=DIR] "
-                   "[--out=PATH] [--only=SUBSTR] [--guard-baseline=PATH]\n");
+                   "[--out=PATH] [--only=SUBSTR] [--guard-baseline=PATH] "
+                   "[--defense=NAME]\n");
       return 2;
     }
   }
@@ -456,6 +472,11 @@ int Main(int argc, char** argv) {
       task.critpath_path =
           std::string("BENCH_") + (name + std::strlen("bench_")) + ".critpath.json";
     }
+    // --defense fans out to every child except bench_defense, whose whole point is the
+    // cross-backend sweep (it would reject a pin as a silently-narrowed comparison).
+    if (shared.defense_set() && std::strcmp(name, "bench_defense") != 0) {
+      task.defense = persist::DefenseKindName(shared.defense());
+    }
     task.binary = FindBinary(bin_dir, argv0_dir, name);
     if (task.binary.empty()) {
       std::fprintf(stderr, "bench_all: %s not found (use --bin-dir)\n", name);
@@ -472,6 +493,9 @@ int Main(int argc, char** argv) {
   w.BeginObject().Field("generated_by", "bench_all").Field("smoke", smoke);
   if (smoke) {
     w.Field("scale", scale);
+  }
+  if (shared.defense_set()) {
+    w.Field("defense", persist::DefenseKindName(shared.defense()));
   }
   w.Field("jobs", static_cast<int64_t>(jobs));
   WriteGitMetadata(w);

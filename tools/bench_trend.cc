@@ -23,6 +23,10 @@
 //   log.bytes_retained_max     worst per-node retention footprint across every bench's
 //                              peak run (WAL + block store; PR 7's bounded-retention
 //                              claim). Virtual-time deterministic. Lower is better.
+//   defense.tax_pct_max        worst steady-state throughput tax any quorum rollback-
+//                              defense backend charged vs the same-protocol local baseline
+//                              (bench_defense publishes the per-run gauge). Virtual-time
+//                              deterministic. Lower is better.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "src/harness/flags.h"
 #include "src/obs/json.h"
 
 namespace achilles {
@@ -113,6 +118,35 @@ double MaxBytesRetained(const obs::JsonValue& summary) {
   return best;
 }
 
+// Worst steady-state throughput tax any quorum rollback-defense backend charged, across
+// every run of every bench in the summary (bench_defense publishes the gauge per defended
+// run; see bench/bench_defense.cc). Virtual-time deterministic. Lower is better — a jump
+// means a defense backend's critical-path cost grew relative to the local baseline.
+double DefenseTaxPctMax(const obs::JsonValue& summary) {
+  const obs::JsonValue* benches = summary.Get("benches");
+  if (benches == nullptr || !benches->is_array()) {
+    return -1.0;
+  }
+  double best = -1.0;
+  for (const obs::JsonValue& bench : benches->array) {
+    const obs::JsonValue* report = bench.Get("report");
+    const obs::JsonValue* runs = report != nullptr ? report->Get("runs") : nullptr;
+    if (runs == nullptr || !runs->is_array()) {
+      continue;
+    }
+    for (const obs::JsonValue& run : runs->array) {
+      const obs::JsonValue* metrics = run.Get("metrics");
+      const obs::JsonValue* tax = metrics != nullptr ? metrics->Get("defense.tax_pct") : nullptr;
+      if (tax != nullptr && tax->is_number()) {
+        // A defended run can beat its local baseline (the quorum wait replaces the counter
+        // device); clamp at 0 so the absent-gauge sentinel (-1) stays unambiguous.
+        best = std::max(best, std::max(0.0, tax->number));
+      }
+    }
+  }
+  return best;
+}
+
 struct Gauge {
   const char* name;
   bool higher_is_better;
@@ -123,6 +157,7 @@ constexpr Gauge kGauges[] = {
     {"fig4.events_per_wall_sec", true, Fig4EventsPerWallSec},
     {"fig4.commit_p50_ms", false, Fig4CommitP50Ms},
     {"log.bytes_retained_max", false, MaxBytesRetained},
+    {"defense.tax_pct_max", false, DefenseTaxPctMax},
 };
 constexpr size_t kNumGauges = sizeof(kGauges) / sizeof(kGauges[0]);
 
@@ -250,6 +285,12 @@ int Guard(const std::string& baseline_path, const std::string& current_path, dou
 }
 
 int Main(int argc, char** argv) {
+  // Accept the shared flag family silently (CI invokes every tool with a uniform tail);
+  // bench_trend reads summaries, so the values are unused.
+  harness::FlagSet shared("bench_trend");
+  if (!shared.Parse(&argc, argv)) {
+    return 2;
+  }
   bool guard = false;
   double ratio = 0.8;
   std::string baseline;

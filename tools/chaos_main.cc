@@ -21,6 +21,12 @@
 //                                                     # the incident report for the caught
 //                                                     # violation
 //
+// --defense NAME runs every seed under a rollback-defense backend (local|rollbaccine|
+// healer; src/storage/defense.h). Quorum defenses swap the -R counters for peer-quorum
+// freshness, add peer-rollback reboot fates to the sampler, and arm the defense
+// version-monotonic oracle. Script artifacts pin the defense they ran under, and replay
+// honors the artifact over the command line.
+//
 // --reboot-weight P sets the sampler's probability that a script carries crash+reboot
 // cycles (default 0.65); CI shards raise it to weight schedules toward reboot coverage.
 // --ckpt-weight P weights schedules toward checkpoint coverage: snapshot-surface attacks
@@ -53,7 +59,9 @@
 #include "src/checkpoint/manager.h"
 #include "src/harness/byzantine.h"
 #include "src/harness/fault_script.h"
+#include "src/harness/flags.h"
 #include "src/obs/json.h"
+#include "src/storage/defense.h"
 #include "src/storage/host_storage.h"
 
 namespace achilles::chaos {
@@ -77,9 +85,11 @@ struct CliArgs {
 void Usage() {
   std::fprintf(stderr,
                "usage: chaos_main [--protocol NAME|all] [--seeds N] [--seed-base N]\n"
-               "                  [--shard I/K] [--app kv]\n"
+               "                  [--shard I/K] [--app kv] [--defense "
+               "local|rollbaccine|healer]\n"
                "                  [--broken none|recovery-nonce|counter-compare|"
-               "stale-read-lease|stale-snapshot-accept]\n"
+               "stale-read-lease|stale-snapshot-accept|quorum-restore-skip|"
+               "cert-floor-skip]\n"
                "                  [--replay SEED] [--replay-file PATH] [--minimize SEED]\n"
                "                  [--reboot-weight P] [--ckpt-weight P] [--out-dir DIR]\n"
                "                  [--engine heap|calendar] [--journal] [--explain]\n"
@@ -258,6 +268,7 @@ void MinimizeAndDump(const CliArgs& args, const ChaosResult& failure) {
   artifact.protocol = ProtocolName(failure.protocol);
   artifact.f = failure.f;
   artifact.seed = failure.seed;
+  artifact.defense = persist::DefenseKindName(failure.defense);
   artifact.script = minimized.script;
   const std::string path = args.out_dir + "/chaos_seed_" +
                            std::to_string(failure.seed) + ".min.script.txt";
@@ -267,10 +278,16 @@ void MinimizeAndDump(const CliArgs& args, const ChaosResult& failure) {
 }
 
 void PrintResult(const ChaosResult& result, bool with_log) {
-  std::printf("seed %llu protocol=%s f=%u events=%zu byz=%u -> %s\n",
+  // The defense tag only appears on defended runs, so local sweeps print byte-identically
+  // to the pre-backend harness.
+  std::string defense_tag;
+  if (result.defense != persist::DefenseKind::kLocal) {
+    defense_tag = std::string(" defense=") + persist::DefenseKindName(result.defense);
+  }
+  std::printf("seed %llu protocol=%s%s f=%u events=%zu byz=%u -> %s\n",
               static_cast<unsigned long long>(result.seed),
-              ProtocolName(result.protocol), result.f, result.script.events.size(),
-              result.script.ByzantineCount(),
+              ProtocolName(result.protocol), defense_tag.c_str(), result.f,
+              result.script.events.size(), result.script.ByzantineCount(),
               result.ok ? "ok" : result.violation.c_str());
   std::printf("  final height %llu, log digest %s\n",
               static_cast<unsigned long long>(result.final_height),
@@ -342,7 +359,16 @@ int ReplayFile(const CliArgs& args) {
   if (!ProtocolFromName(artifact.protocol, &protocol)) {
     return 2;
   }
-  ChaosResult result = RunChaosScript(args.options, artifact.seed, protocol, artifact.f,
+  // The artifact pins the defense backend the failing run used (chaos-script v4 header);
+  // replaying under a different one would change RNG draws and charge profiles, so the
+  // artifact wins over any --defense on the replay command line.
+  ChaosOptions options = args.options;
+  if (!persist::DefenseKindFromName(artifact.defense, &options.defense)) {
+    std::fprintf(stderr, "chaos_main: %s names unknown defense '%s'\n",
+                 args.replay_file.c_str(), artifact.defense.c_str());
+    return 2;
+  }
+  ChaosResult result = RunChaosScript(options, artifact.seed, protocol, artifact.f,
                                       artifact.script);
   PrintResult(result, args.verbose);
   if (!result.ok) {
@@ -391,7 +417,8 @@ void AccumulateCoverage(CoverageReport* cov, const ChaosResult& result) {
       const StorageFate fate = DecodeStorageFate(event.arg);
       std::string key = std::string("wal=") + storage::WalFateName(fate.wal) +
                         " sealed=" + SealedFateName(fate.sealed) +
-                        " snapshot=" + checkpoint::SnapshotFateName(fate.snapshot);
+                        " snapshot=" + checkpoint::SnapshotFateName(fate.snapshot) +
+                        " defense=" + persist::DefenseFateName(fate.defense);
       ++cov->reboot_surfaces[key];
     }
   }
@@ -520,7 +547,14 @@ int Sweep(const CliArgs& args) {
 }
 
 int Main(int argc, char** argv) {
+  // The shared flag family first (src/harness/flags.h): --defense is spelled exactly as on
+  // the bench binaries; the out-path flags are accepted for uniformity and unused here.
+  harness::FlagSet shared("chaos_main");
+  if (!shared.Parse(&argc, argv)) {
+    return 2;
+  }
   CliArgs args;
+  args.options.defense = shared.defense();
   if (!ParseArgs(argc, argv, &args)) {
     return 2;
   }
